@@ -1,0 +1,67 @@
+// ABL-GRAIN — ablation of the split-stop threshold.
+//
+// Section V: "The basic cases should be treated carefully since we don't
+// have control over the level at which parallel decomposition stops."
+// This bench shows exactly what that control is worth: the polynomial
+// evaluation's task tree simulated on P cores while the leaf size sweeps
+// 2^4 .. 2^18 for a fixed n = 2^22.
+// Expected shape: a U-curve — tiny leaves drown in spawn/steal overhead,
+// huge leaves starve the processors (fewer chunks than cores); the flat
+// valley around n/(4P) is why Java's AbstractTask picks that default.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+#include "powerlist/executors.hpp"
+#include "simmachine/scheduler.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+int main() {
+  const unsigned cores = pls::bench::simulated_cores();
+  const std::size_t n = std::size_t{1} << 22;
+
+  pls::Xoshiro256 rng(7);
+  std::vector<double> coeffs(n);
+  for (auto& c : coeffs) c = rng.next_double() - 0.5;
+
+  std::printf("ABL-GRAIN: leaf-size ablation, polynomial evaluation, "
+              "n=2^22, P=%u simulated cores\n\n", cores);
+
+  pls::powerlist::PolynomialFunction<double> vp;
+  pls::simmachine::CostModel model;  // default overheads, 1 ns/op
+  pls::simmachine::Simulator sim(model, cores);
+
+  pls::TextTable table({"leaf_size", "chunks", "sim_ms", "speedup",
+                        "utilization", "steals"});
+
+  double t1 = 0.0;
+  {
+    // Sequential reference: one leaf covering everything.
+    const auto ex = pls::powerlist::execute_simulated(
+        pls::simmachine::Simulator(model, 1), vp,
+        pls::powerlist::view_of(coeffs), 0.999999, n);
+    t1 = ex.sim.makespan_ns;
+  }
+
+  for (unsigned lg : {4u, 6u, 8u, 10u, 12u, 14u, 16u, 18u, 19u, 20u, 21u,
+                      22u}) {
+    const std::size_t leaf = std::size_t{1} << lg;
+    const auto ex = pls::powerlist::execute_simulated(
+        sim, vp, pls::powerlist::view_of(coeffs), 0.999999, leaf);
+    pls::bench::keep(ex.result);
+    table.add_row({std::to_string(leaf), std::to_string(n / leaf),
+                   pls::TextTable::num(ex.sim.makespan_ns / 1e6),
+                   pls::TextTable::num(t1 / ex.sim.makespan_ns, 2),
+                   pls::TextTable::num(ex.sim.utilization(), 3),
+                   std::to_string(ex.sim.steals)});
+  }
+
+  table.print();
+  const std::size_t java_default = n / (4ull * cores);
+  std::printf("\nJava-style default target for this configuration: "
+              "n/(4P) = %zu.\nexpected shape: U-curve with its valley "
+              "around that default.\n", java_default);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared plumbing for the figure-reproduction harnesses.
+//
+// Environment knobs (all optional):
+//   PLS_BENCH_REPS      repetitions per configuration (default 3; the
+//                       paper used 5 — set PLS_BENCH_REPS=5 to match)
+//   PLS_BENCH_MAX_LOG2  cap on the largest problem size (default 26, the
+//                       paper's maximum; lower it for quick runs)
+//   PLS_BENCH_CORES     simulated processor count (default 8, the paper's
+//                       machine)
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pls::bench {
+
+inline long env_long(const char* name, long fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+inline int repetitions() {
+  return static_cast<int>(env_long("PLS_BENCH_REPS", 3));
+}
+
+inline unsigned max_log2() {
+  return static_cast<unsigned>(env_long("PLS_BENCH_MAX_LOG2", 26));
+}
+
+inline unsigned simulated_cores() {
+  return static_cast<unsigned>(env_long("PLS_BENCH_CORES", 8));
+}
+
+/// Run `fn` `reps` times; returns wall-clock stats in milliseconds.
+template <typename Fn>
+SampleStats time_ms(Fn&& fn, int reps) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    fn();
+    samples.push_back(sw.elapsed_ms());
+  }
+  return summarize(std::move(samples));
+}
+
+/// A value sink preventing dead-code elimination of benchmark results.
+inline void keep(double v) {
+  static volatile double sink = 0.0;
+  sink = sink + v;
+}
+
+}  // namespace pls::bench

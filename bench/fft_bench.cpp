@@ -1,0 +1,104 @@
+// SEC2-FFT — Section II/V: the FFT as the motivating two-operator
+// PowerList function, with the leaf (basic-case) specialisation.
+//
+// Wall-clock series (google-benchmark):
+//   powerlist FFT, sequential executor, leaf sizes 1 and 16
+//     (the leaf-16 variant shows the cost of direct-DFT leaves, the
+//      "sequential computation on sublists" of Section V);
+//   iterative in-place radix-2 FFT (the conventional optimised baseline);
+//   naive DFT (small sizes only, the O(n^2) anchor).
+// Followed by a simulated-speedup series for the PowerList FFT task tree.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "powerlist/algorithms/fft.hpp"
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+std::vector<Complex> signal(std::size_t n) {
+  pls::Xoshiro256 rng(n);
+  std::vector<Complex> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.emplace_back(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  }
+  return v;
+}
+
+void BM_PowerlistFftLeaf1(benchmark::State& state) {
+  const auto x = signal(static_cast<std::size_t>(state.range(0)));
+  FftFunction fft;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        execute_sequential(fft, view_of(x), {}, 1).size());
+  }
+}
+
+void BM_PowerlistFftLeaf16(benchmark::State& state) {
+  const auto x = signal(static_cast<std::size_t>(state.range(0)));
+  FftFunction fft;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        execute_sequential(fft, view_of(x), {}, 16).size());
+  }
+}
+
+void BM_IterativeFft(benchmark::State& state) {
+  const auto x = signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = x;
+    fft_in_place(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+
+void BM_NaiveDft(benchmark::State& state) {
+  const auto x = signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dft(view_of(x)).size());
+  }
+}
+
+void report_simulated_speedups() {
+  std::printf("\nSimulated parallel speedups of the PowerList FFT task "
+              "tree (leaf size 16):\n");
+  pls::TextTable table({"n", "P=1", "P=2", "P=4", "P=8", "P=16"});
+  FftFunction fft;
+  for (unsigned lg : {12u, 14u, 16u}) {
+    const auto x = signal(std::size_t{1} << lg);
+    std::vector<std::string> row{std::to_string(x.size())};
+    double t1 = 0.0;
+    for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+      pls::simmachine::Simulator sim(pls::simmachine::CostModel{}, p);
+      const auto ex = execute_simulated(sim, fft, view_of(x), {}, 16);
+      if (p == 1) t1 = ex.sim.makespan_ns;
+      row.push_back(pls::TextTable::num(t1 / ex.sim.makespan_ns, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("expected shape: near-linear until the O(n) top-level "
+              "combines bound the span.\n");
+}
+
+}  // namespace
+
+BENCHMARK(BM_PowerlistFftLeaf1)->RangeMultiplier(4)->Range(1 << 8, 1 << 14)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_PowerlistFftLeaf16)->RangeMultiplier(4)->Range(1 << 8, 1 << 14)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_IterativeFft)->RangeMultiplier(4)->Range(1 << 8, 1 << 16)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_NaiveDft)->RangeMultiplier(4)->Range(1 << 6, 1 << 10)->UseRealTime()->MinTime(0.05);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_simulated_speedups();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// FIG3 — reproduces Figure 3 of the paper: speedup of the parallel
+// stream-based polynomial evaluation over the sequential one, for
+// coefficient lists of length 2^20 .. 2^26.
+//
+// Host substitution (DESIGN.md): this machine is pinned to ONE cpu, so the
+// parallel series cannot be wall-clocked. The bench therefore reports:
+//   speedup_meas — sequential wall time over the simulated-P-core makespan
+//                  with the cost model calibrated from a real run of the
+//                  *parallel code path on a one-worker pool*. This charges
+//                  the parallel path its measured per-element cost — which
+//                  on this C++ build is dominated by the ZipSpliterator's
+//                  strided memory traversal (a cost Java's boxed Doubles
+//                  mask, since boxed sequential access is just as
+//                  cache-hostile as strided; see EXPERIMENTS.md);
+//   speedup_unif — same schedule, cost model calibrated from the
+//                  sequential run (uniform per-element cost, the paper's
+//                  implicit assumption): this is the series to compare
+//                  against Figure 3's 5.5-7.9 band;
+//   speedup_wall — the honest wall-clock ratio with a P-thread pool on
+//                  this host (expected <1 here: P threads time-share one
+//                  cpu; meaningful on a real multicore).
+// The paper's shape to compare against: speedup near the core count for
+// all sizes, with a dropout at 2^24 the authors attribute to a JVM
+// sequential-optimisation artifact (a managed-runtime effect we do not
+// model; see EXPERIMENTS.md).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "forkjoin/pool.hpp"
+#include "powerlist/collector_functions.hpp"
+#include "simmachine/costmodel.hpp"
+#include "simmachine/scheduler.hpp"
+#include "simmachine/trace.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using pls::simmachine::CostModel;
+using pls::simmachine::Simulator;
+using pls::simmachine::TaskTrace;
+
+std::shared_ptr<const std::vector<double>> make_coefficients(std::size_t n) {
+  pls::Xoshiro256 rng(n);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.next_double() * 2.0 - 1.0;
+  return std::make_shared<const std::vector<double>>(std::move(c));
+}
+
+/// The collect task tree of the parallel evaluation: uniform binary
+/// splitting until chunks reach the Java-style target n / (4P); leaf cost
+/// is one multiply-add per coefficient, descend/combine costs one pow +
+/// bookkeeping.
+TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
+  const std::size_t target = std::max<std::size_t>(1, n / (4ull * cores));
+  unsigned levels = 0;
+  std::size_t chunk = n;
+  while (chunk > target && chunk % 2 == 0) {
+    chunk /= 2;
+    ++levels;
+  }
+  return TaskTrace::balanced(
+      levels, n,
+      [](std::size_t len) { return 2.0 * static_cast<double>(len); },
+      [](std::size_t) { return 4.0; },   // trySplit: exponent update + max
+      [](std::size_t) { return 8.0; });  // combiner: pow + multiply-add
+}
+
+}  // namespace
+
+int main() {
+  const int reps = pls::bench::repetitions();
+  const unsigned cores = pls::bench::simulated_cores();
+  const unsigned max_log2 = pls::bench::max_log2();
+  const double x = 0.9999991;  // |x|<1 keeps 2^26-degree values finite
+
+  std::printf("FIG3: speedup of parallel polynomial evaluation "
+              "(paper: 8 cores, 5-run averages)\n");
+  std::printf("simulated cores = %u, repetitions = %d\n\n", cores, reps);
+
+  pls::forkjoin::ForkJoinPool pool(cores);
+  pls::forkjoin::ForkJoinPool one_worker(1);
+  pls::TextTable table({"log2(n)", "n", "seq_ms", "par1_ms", "sim_meas_ms",
+                        "speedup_meas", "speedup_unif", "par_wall_ms",
+                        "speedup_wall"});
+
+  for (unsigned lg = 20; lg <= max_log2; ++lg) {
+    const std::size_t n = std::size_t{1} << lg;
+    const auto coeffs = make_coefficients(n);
+
+    // Sequential baseline: the collector evaluated without parallelism
+    // (one container, one Horner sweep) — the paper's "simple stream
+    // based computation".
+    const auto seq = pls::bench::time_ms(
+        [&] {
+          pls::bench::keep(
+              pls::powerlist::evaluate_polynomial_stream(coeffs, x, false));
+        },
+        reps);
+
+    // Parallel, wall clock, P OS threads (honest number for this host).
+    pls::streams::ExecutionConfig cfg;
+    cfg.pool = &pool;
+    const auto par_wall = pls::bench::time_ms(
+        [&] {
+          pls::bench::keep(
+              pls::powerlist::evaluate_polynomial_stream(coeffs, x, true,
+                                                         cfg));
+        },
+        reps);
+
+    // The parallel code path on ONE worker: same splitting, same leaf
+    // machinery, no physical parallelism — wall-clockable on this host
+    // and the honest calibration source for the simulator.
+    pls::streams::ExecutionConfig cfg1;
+    cfg1.pool = &one_worker;
+    cfg1.min_chunk = std::max<std::uint64_t>(1, n / (4ull * cores));
+    const auto par1 = pls::bench::time_ms(
+        [&] {
+          pls::bench::keep(
+              pls::powerlist::evaluate_polynomial_stream(coeffs, x, true,
+                                                         cfg1));
+        },
+        reps);
+
+    // Simulated P cores under the two calibrations.
+    const TaskTrace trace = build_collect_trace(n, cores);
+    const auto sim_meas =
+        Simulator(CostModel::calibrated(par1.mean * 1e6,
+                                        2.0 * static_cast<double>(n)),
+                  cores)
+            .run(trace);
+    const auto sim_unif =
+        Simulator(CostModel::calibrated(seq.mean * 1e6,
+                                        2.0 * static_cast<double>(n)),
+                  cores)
+            .run(trace);
+
+    table.add_row({std::to_string(lg), std::to_string(n),
+                   pls::TextTable::num(seq.mean),
+                   pls::TextTable::num(par1.mean),
+                   pls::TextTable::num(sim_meas.makespan_ns / 1e6),
+                   pls::TextTable::num(
+                       seq.mean / (sim_meas.makespan_ns / 1e6), 2),
+                   pls::TextTable::num(
+                       seq.mean / (sim_unif.makespan_ns / 1e6), 2),
+                   pls::TextTable::num(par_wall.mean),
+                   pls::TextTable::num(seq.mean / par_wall.mean, 2)});
+  }
+
+  table.print();
+  std::printf(
+      "\npaper reference (Fig 3, 8 cores): speedups ~5.5-7.9 across\n"
+      "2^20..2^26 with a dip at 2^24 caused by a JVM sequential-side\n"
+      "optimisation (not modelled here). Compare speedup_unif against\n"
+      "that band; speedup_meas additionally charges the zip splitting's\n"
+      "strided-traversal cost, which C++ primitive arrays expose but\n"
+      "Java's boxed element storage hides (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// EXT-MATRIX — the related-work direction ([3] Anand & Shyamasundar:
+// PowerLists scheduling partitioned matrices): quadrant D&C kernels on
+// the shared-memory substrate — wall-clock vs the naive kernels, plus
+// simulated-multicore speedups of the quadrant multiplication tree.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "powerlist/algorithms/matrix.hpp"
+#include "simmachine/scaling.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.at(i, j) = rng.next_double() - 0.5;
+    }
+  }
+  return m;
+}
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, 1), b = random_matrix(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_naive(a, b).order());
+  }
+}
+
+void BM_MatmulDc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, 1), b = random_matrix(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_dc(a, b, 32).order());
+  }
+}
+
+void BM_TransposeDc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpose_dc(a, 32).order());
+  }
+}
+
+void BM_MatvecDc(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, 5);
+  std::vector<double> x(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matvec_dc(a, x, 64).size());
+  }
+}
+
+/// Simulated speedup of the quadrant multiplication: the task tree has
+/// 8 children per node (two sequenced rounds of 4 parallel tasks), which
+/// the binary trace hosts as round = fork-chain of 4.
+pls::simmachine::TaskTrace::NodeId build_matmul_tree(
+    pls::simmachine::TaskTrace& trace, std::size_t n, std::size_t leaf) {
+  if (n <= leaf) {
+    return trace.add_leaf(2.0 * static_cast<double>(n) *
+                          static_cast<double>(n) * static_cast<double>(n));
+  }
+  const auto round = [&] {
+    pls::simmachine::TaskTrace::NodeId acc =
+        build_matmul_tree(trace, n / 2, leaf);
+    for (int k = 1; k < 4; ++k) {
+      acc = trace.add_fork(0.0, 0.0, acc,
+                           build_matmul_tree(trace, n / 2, leaf));
+    }
+    return acc;
+  };
+  const auto r0 = round();
+  const auto r1 = round();
+  // Sequenced rounds: model as a fork whose "combine" carries round 2's
+  // span... the simulator has no series composition, so chain via a fork
+  // with zero-cost parent — conservative (allows overlap) but close: the
+  // disjoint-destination structure does allow overlapping rounds of
+  // *different* subtrees.
+  return trace.add_fork(0.0, 0.0, r0, r1);
+}
+
+void report_simulated_speedups() {
+  std::printf("\nSimulated speedups of quadrant matmul (leaf 32):\n");
+  pls::TextTable table({"order", "P=2", "P=4", "P=8", "P=16"});
+  for (std::size_t n : {128u, 256u, 512u}) {
+    pls::simmachine::TaskTrace trace;
+    trace.set_root(build_matmul_tree(trace, n, 32));
+    const auto curve = pls::simmachine::scaling_curve(
+        trace, pls::simmachine::CostModel{}, {2, 4, 8, 16});
+    std::vector<std::string> row{std::to_string(n)};
+    for (const auto& p : curve.points) {
+      row.push_back(pls::TextTable::num(p.speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("expected shape: near-linear (abundant uniform leaves,\n"
+              "O(1) joins) — the matmul tree is embarrassingly wide.\n");
+}
+
+}  // namespace
+
+BENCHMARK(BM_MatmulNaive)->RangeMultiplier(2)->Range(64, 256)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_MatmulDc)->RangeMultiplier(2)->Range(64, 512)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_TransposeDc)->RangeMultiplier(4)->Range(64, 1024)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_MatvecDc)->RangeMultiplier(4)->Range(64, 1024)->UseRealTime()->MinTime(0.05);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_simulated_speedups();
+  return 0;
+}

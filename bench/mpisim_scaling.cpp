@@ -1,0 +1,110 @@
+// EXT-MPI — Section III's scalability claim: "The MPI executors
+// facilitate a much larger scalability and so better performance."
+//
+// Reproduced over the message-passing simulation: the polynomial
+// evaluation and a reduce distributed over 2..64 simulated ranks, under
+// three network models (fast / default / slow), reporting simulated
+// completion time, speedup over one rank, and the communication share.
+// Expected shape: near-linear speedup while local compute dominates,
+// flattening as the log2(P) hypercube rounds' latency grows relative to
+// the shrinking local work — earlier on the slow network.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "mpisim/power_executor.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pls::mpisim;
+
+std::vector<double> coefficients(std::size_t n) {
+  pls::Xoshiro256 rng(2026);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.next_double() - 0.5;
+  return c;
+}
+
+void run_series(const char* label, const NetworkModel& net, std::size_t n,
+                double ns_per_op) {
+  const auto coeffs = coefficients(n);
+  std::printf("\n[%s] alpha=%.0fns beta=%.2fns/B, n=%zu, ns/op=%.1f\n",
+              label, net.alpha_ns, net.beta_ns_per_byte, n, ns_per_op);
+  pls::TextTable table({"ranks", "sim_ms", "speedup", "comm_share",
+                        "msgs/rank"});
+  double t1 = 0.0;
+  for (int p : {1, 2, 4, 8, 16, 32, 64}) {
+    World world(p, net);
+    double comm_total = 0.0;
+    double clock_total = 0.0;
+    std::uint64_t msgs = 0;
+    const auto stats = world.run([&](Comm& comm) {
+      pls::bench::keep(mpi_polynomial_eval(comm, coeffs, 0.99999, ns_per_op));
+    });
+    for (const auto& s : stats) {
+      comm_total += s.comm_ns;
+      clock_total += s.clock_ns;
+      msgs += s.messages;
+    }
+    const double t = world.simulated_time_ns();
+    if (p == 1) t1 = t;
+    table.add_row({std::to_string(p), pls::TextTable::num(t / 1e6),
+                   pls::TextTable::num(t1 / t, 2),
+                   pls::TextTable::num(
+                       clock_total > 0 ? comm_total / clock_total : 0.0, 3),
+                   std::to_string(msgs / static_cast<std::uint64_t>(p))});
+  }
+  table.print();
+}
+
+void run_reduce_series(std::size_t n) {
+  const auto coeffs = coefficients(n);
+  std::printf("\n[reduce, default network] n=%zu, block vs cyclic "
+              "distribution\n", n);
+  pls::TextTable table({"ranks", "block_sim_ms", "cyclic_sim_ms"});
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    double times[2] = {0.0, 0.0};
+    int idx = 0;
+    for (auto dist : {Distribution::kBlock, Distribution::kCyclic}) {
+      World world(p);
+      world.run([&](Comm& comm) {
+        pls::bench::keep(mpi_reduce(comm, coeffs, std::plus<double>{}, dist,
+                                    /*ns_per_op=*/1.0));
+      });
+      times[idx++] = world.simulated_time_ns();
+    }
+    table.add_row({std::to_string(p), pls::TextTable::num(times[0] / 1e6),
+                   pls::TextTable::num(times[1] / 1e6)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXT-MPI: JPLF-style MPI executor scaling over the "
+              "message-passing simulation\n");
+
+  const std::size_t n = std::size_t{1} << 22;
+
+  NetworkModel fast;  // tightly-coupled cluster
+  fast.alpha_ns = 500.0;
+  fast.beta_ns_per_byte = 0.1;
+  NetworkModel slow;  // commodity ethernet
+  slow.alpha_ns = 20000.0;
+  slow.beta_ns_per_byte = 8.0;
+
+  run_series("fast network", fast, n, 1.0);
+  run_series("default network", NetworkModel{}, n, 1.0);
+  run_series("slow network", slow, n, 1.0);
+  run_reduce_series(n);
+
+  std::printf(
+      "\npaper reference (Section III): MPI executors scale beyond the\n"
+      "single-node thread pool; the trend holds while per-rank work\n"
+      "dominates the log2(P) combine rounds.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// SEC2-SCAN — prefix sums, one of the PowerList-expressible functions
+// Section III enumerates. Wall-clock of the three constructions
+// (sequential, Sklansky tie, Ladner-Fischer zip) plus simulated
+// multicore speedups of the Sklansky task tree (whose O(n)-work combines
+// cap its scalability — the contrast with map/reduce trees).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/executors.hpp"
+#include "simmachine/scaling.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+std::vector<long> payload(std::size_t n) {
+  pls::Xoshiro256 rng(n * 7 + 3);
+  std::vector<long> v(n);
+  for (auto& x : v) x = static_cast<long>(rng.next_below(1000));
+  return v;
+}
+
+void BM_ScanSequential(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scan_sequential(view_of(data), std::plus<long>{}).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ScanSklansky(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  SklanskyScanFunction<long, std::plus<long>> f{std::plus<long>{}};
+  const std::size_t leaf = data.size() / 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        execute_sequential(f, view_of(data), {}, std::max<std::size_t>(
+                                                     1, leaf))
+            .size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ScanLadnerFischer(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scan_ladner_fischer(view_of(data), std::plus<long>{}).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void report_simulated_speedups() {
+  std::printf("\nSimulated speedups of the Sklansky scan tree "
+              "(128 leaves; combine updates half the node):\n");
+  pls::TextTable table({"n", "P=2", "P=4", "P=8", "P=16"});
+  for (unsigned lg : {14u, 16u, 18u}) {
+    // The Sklansky tree: leaves scan sequentially (len ops), combines
+    // update the right half and merge (len ops at a node of len).
+    const auto trace = pls::simmachine::TaskTrace::balanced(
+        7, std::size_t{1} << lg,
+        [](std::size_t len) { return static_cast<double>(len); },
+        [](std::size_t) { return 0.0; },
+        [](std::size_t len) { return static_cast<double>(len); });
+    const auto curve = pls::simmachine::scaling_curve(
+        trace, pls::simmachine::CostModel{}, {2, 4, 8, 16});
+    std::vector<std::string> row{std::to_string(std::size_t{1} << lg)};
+    for (const auto& p : curve.points) {
+      row.push_back(pls::TextTable::num(p.speedup, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("expected shape: speedups cap well below P — the combine\n"
+              "phase touches O(n) elements per level (Sklansky does\n"
+              "O(n log n) total work), so the span stays Omega(n).\n");
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScanSequential)->RangeMultiplier(4)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_ScanSklansky)->RangeMultiplier(4)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_ScanLadnerFischer)->RangeMultiplier(4)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_simulated_speedups();
+  return 0;
+}

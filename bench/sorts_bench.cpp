@@ -1,0 +1,106 @@
+// SEC2-SORT — Section III lists Batcher and bitonic sort among the
+// functions the PowerList theory expresses. Wall-clock comparison of the
+// comparison networks against std::sort, plus a simulated-speedup series
+// for the Batcher PowerFunction (its O(n log n)-work combine makes the
+// span profile very different from map/reduce).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "plist/functions.hpp"
+#include "powerlist/algorithms/sort.hpp"
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+std::vector<int> payload(std::size_t n) {
+  pls::Xoshiro256 rng(n ^ 0xabcdef);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(1u << 30));
+  return v;
+}
+
+void BM_StdSort(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = data;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+
+void BM_BatcherPowerFunction(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  BatcherSortFunction<int> sorter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        execute_sequential(sorter, view_of(data), {}, 64).size());
+  }
+}
+
+void BM_BitonicSort(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = data;
+    bitonic_sort(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+
+void BM_MultiwayMergeSort3(benchmark::State& state) {
+  // PList 3-way mergesort over a 3^k-divisible size nearest the range.
+  std::size_t n = 1;
+  while (n * 3 <= static_cast<std::size_t>(state.range(0))) n *= 3;
+  const auto data = payload(n);
+  pls::plist::MultiwayMergeSort<int> sorter(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pls::plist::execute_sequential(
+            sorter, pls::plist::PListView<const int>::over(data), {}, 81)
+            .size());
+  }
+}
+
+void report_simulated_speedups() {
+  std::printf("\nSimulated parallel speedups of Batcher mergesort (leaf "
+              "64):\n");
+  pls::TextTable table({"n", "P=1", "P=2", "P=4", "P=8", "P=16"});
+  BatcherSortFunction<int> sorter;
+  for (unsigned lg : {12u, 14u, 16u}) {
+    const auto data = payload(std::size_t{1} << lg);
+    std::vector<std::string> row{std::to_string(data.size())};
+    double t1 = 0.0;
+    for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+      pls::simmachine::Simulator sim(pls::simmachine::CostModel{}, p);
+      const auto ex = execute_simulated(sim, sorter, view_of(data), {}, 64);
+      if (p == 1) t1 = ex.sim.makespan_ns;
+      row.push_back(pls::TextTable::num(t1 / ex.sim.makespan_ns, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("expected shape: speedup saturates early — the sequential\n"
+              "O(n log n) top-level merge bounds the span (the known\n"
+              "limitation of mergesort-with-sequential-merge).\n");
+}
+
+}  // namespace
+
+BENCHMARK(BM_StdSort)->RangeMultiplier(4)->Range(1 << 10, 1 << 18)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_BatcherPowerFunction)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_BitonicSort)->RangeMultiplier(4)->Range(1 << 10, 1 << 18)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_MultiwayMergeSort3)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)->UseRealTime()->MinTime(0.05);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_simulated_speedups();
+  return 0;
+}

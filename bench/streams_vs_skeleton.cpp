@@ -1,0 +1,128 @@
+// SEC3-A — Section III's comparison claim: "for applications based on
+// simple concatenation, the performance results are similar" between Java
+// parallel streams and the JPLF skeleton framework, with the framework
+// adding value only for functions needing zip or descending-phase work.
+//
+// Five implementations of the same map-then-reduce workload
+// (sum of f(v) over n doubles):
+//   raw loop / Stream sequential / Stream parallel /
+//   PowerFunction sequential / PowerFunction fork-join.
+// Expected shape: the three sequential variants within a small constant
+// of each other (abstraction cost only); the two parallel variants
+// likewise comparable with each other.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/executors.hpp"
+#include "streams/stream.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+using pls::streams::Stream;
+
+double transform(double v) { return v * 1.0000001 + 0.5; }
+
+std::vector<double> payload(std::size_t n) {
+  pls::Xoshiro256 rng(n);
+  std::vector<double> v(n);
+  for (auto& d : v) d = rng.next_double();
+  return v;
+}
+
+ForkJoinPool& bench_pool() {
+  static ForkJoinPool pool(8);
+  return pool;
+}
+
+void BM_RawLoop(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (double v : data) sum += transform(v);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_StreamSequential(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  auto shared = std::make_shared<const std::vector<double>>(data);
+  for (auto _ : state) {
+    const double sum = Stream<double>::of_shared(shared)
+                           .map(&transform)
+                           .reduce(0.0, [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_StreamParallel(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  auto shared = std::make_shared<const std::vector<double>>(data);
+  for (auto _ : state) {
+    const double sum = Stream<double>::of_shared(shared)
+                           .parallel()
+                           .via(bench_pool())
+                           .map(&transform)
+                           .reduce(0.0, [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+// The JPLF-style skeleton path: a ReduceFunction whose leaf folds
+// transform(v) directly (map fused into the basic case).
+class MapSumFunction final
+    : public pls::powerlist::PowerFunction<double, double> {
+ public:
+  double basic_case(pls::powerlist::PowerListView<const double> leaf,
+                    const pls::powerlist::NoContext&) const override {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < leaf.length(); ++i) acc += transform(leaf[i]);
+    return acc;
+  }
+  double combine(double&& l, double&& r, const pls::powerlist::NoContext&,
+                 std::size_t) const override {
+    return l + r;
+  }
+};
+
+void BM_SkeletonSequential(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  const auto view = pls::powerlist::view_of(data);
+  MapSumFunction f;
+  const std::size_t leaf = data.size() / 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pls::powerlist::execute_sequential(f, view, {}, leaf));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SkeletonForkJoin(benchmark::State& state) {
+  const auto data = payload(static_cast<std::size_t>(state.range(0)));
+  const auto view = pls::powerlist::view_of(data);
+  MapSumFunction f;
+  const std::size_t leaf = data.size() / 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pls::powerlist::execute_forkjoin(bench_pool(), f, view, {}, leaf));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawLoop)->RangeMultiplier(8)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_StreamSequential)->RangeMultiplier(8)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_StreamParallel)->RangeMultiplier(8)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_SkeletonSequential)->RangeMultiplier(8)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_SkeletonForkJoin)->RangeMultiplier(8)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+
+BENCHMARK_MAIN();

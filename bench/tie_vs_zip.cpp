@@ -1,0 +1,136 @@
+// SEC5-A — Section V of the paper: "Definitions of the existing stream
+// functions - as map or reduce - based on a ZipSpliterator could make
+// sense in some performance tests where different memory access patterns
+// for the elements could give some differences; depending on the system
+// (caches, etc.) linear or cyclic data distributions could lead to better
+// performance."
+//
+// This bench quantifies that claim: map and reduce over the same data
+// through a TieSpliterator (linear access within chunks) versus a
+// ZipSpliterator (strided access, stride = number of chunks), across
+// sizes that move the working set through the cache hierarchy. Expected
+// shape: tie and zip are comparable while the data fits in cache; once it
+// spills, the zip (strided) traversal pays for its cache-line waste.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "powerlist/collector_functions.hpp"
+#include "powerlist/spliterators.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::powerlist::TieSpliterator;
+using pls::powerlist::ZipSpliterator;
+namespace stream_support = pls::streams::stream_support;
+
+std::shared_ptr<const std::vector<double>> payload(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return std::make_shared<const std::vector<double>>(std::move(v));
+}
+
+template <typename Sp>
+void reduce_via(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = payload(n);
+  for (auto _ : state) {
+    auto sp = std::make_unique<Sp>(data);
+    auto stream =
+        stream_support::from_spliterator<double>(std::move(sp), true);
+    const double sum = std::move(stream).with_min_chunk(n / 64).reduce(
+        0.0, [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_ReduceTie(benchmark::State& state) {
+  reduce_via<TieSpliterator<double>>(state);
+}
+void BM_ReduceZip(benchmark::State& state) {
+  reduce_via<ZipSpliterator<double>>(state);
+}
+
+template <typename Sp>
+void map_via(benchmark::State& state, pls::powerlist::DecompositionOp op) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = payload(n);
+  for (auto _ : state) {
+    auto sp = std::make_unique<Sp>(data);
+    auto stream =
+        stream_support::from_spliterator<double>(std::move(sp), true);
+    const auto out =
+        std::move(stream)
+            .with_min_chunk(n / 64)
+            .collect(pls::powerlist::power_map_collector<double>(
+                [](const double& d) { return d * 1.0001 + 1.0; }, op));
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_MapTie(benchmark::State& state) {
+  map_via<TieSpliterator<double>>(state,
+                                  pls::powerlist::DecompositionOp::kTie);
+}
+void BM_MapZip(benchmark::State& state) {
+  map_via<ZipSpliterator<double>>(state,
+                                  pls::powerlist::DecompositionOp::kZip);
+}
+
+// Raw traversal of the split sublists, isolating the access pattern from
+// collection overhead: linear halves vs strided residue sequences.
+void BM_TraverseTieChunks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = payload(n);
+  for (auto _ : state) {
+    double sum = 0.0;
+    TieSpliterator<double> sp(data);
+    std::vector<std::unique_ptr<pls::streams::Spliterator<double>>> parts;
+    // Six self-splits: 7 chunks, the last with stride 64 for zip.
+    for (int i = 0; i < 6; ++i) parts.push_back(sp.try_split());
+    for (auto& p : parts) {
+      p->for_each_remaining([&](const double& d) { sum += d; });
+    }
+    sp.for_each_remaining([&](const double& d) { sum += d; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_TraverseZipChunks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = payload(n);
+  for (auto _ : state) {
+    double sum = 0.0;
+    ZipSpliterator<double> sp(data);
+    std::vector<std::unique_ptr<pls::streams::Spliterator<double>>> parts;
+    for (int i = 0; i < 6; ++i) parts.push_back(sp.try_split());
+    // After six zip self-splits the kept suffix walks stride 64.
+    for (auto& p : parts) {
+      p->for_each_remaining([&](const double& d) { sum += d; });
+    }
+    sp.for_each_remaining([&](const double& d) { sum += d; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReduceTie)->RangeMultiplier(4)->Range(1 << 14, 1 << 22)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_ReduceZip)->RangeMultiplier(4)->Range(1 << 14, 1 << 22)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_MapTie)->RangeMultiplier(4)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_MapZip)->RangeMultiplier(4)->Range(1 << 14, 1 << 20)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_TraverseTieChunks)->RangeMultiplier(4)->Range(1 << 14, 1 << 22)->UseRealTime()->MinTime(0.05);
+BENCHMARK(BM_TraverseZipChunks)->RangeMultiplier(4)->Range(1 << 14, 1 << 22)->UseRealTime()->MinTime(0.05);
+
+BENCHMARK_MAIN();

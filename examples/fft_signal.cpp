@@ -1,0 +1,82 @@
+// FFT over PowerLists on a realistic task: pick the dominant frequencies
+// out of a noisy multi-tone signal, then round-trip through the inverse
+// transform.
+//
+// The FFT is the paper's flagship two-operator function: zip
+// deconstruction, tie recombination (equation 3).
+//
+// Usage: ./examples/fft_signal [log2_samples]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+#include "powerlist/algorithms/fft.hpp"
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+
+using pls::powerlist::Complex;
+
+int main(int argc, char** argv) {
+  const unsigned lg = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 12;
+  const std::size_t n = std::size_t{1} << lg;
+  const double sample_rate = 4096.0;  // Hz
+
+  // Three tones + noise.
+  const double tones_hz[3] = {220.0, 440.0, 1250.0};
+  const double amps[3] = {1.0, 0.6, 0.3};
+  pls::Xoshiro256 rng(7);
+  std::vector<Complex> signal;
+  signal.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    double s = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      s += amps[k] * std::sin(2.0 * std::numbers::pi * tones_hz[k] * t);
+    }
+    s += 0.1 * (rng.next_double() - 0.5);  // noise
+    signal.emplace_back(s, 0.0);
+  }
+
+  // PowerList FFT on the fork-join pool, direct-DFT leaves of 16.
+  pls::powerlist::FftFunction fft;
+  auto& pool = pls::forkjoin::ForkJoinPool::common();
+  const auto spectrum = pls::powerlist::execute_forkjoin(
+      pool, fft, pls::powerlist::view_of(signal), {}, 16);
+
+  // Report the three largest magnitude bins below Nyquist.
+  struct Peak {
+    double hz;
+    double magnitude;
+  };
+  std::vector<Peak> peaks;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    const double mag = std::abs(spectrum[k]) * 2.0 / static_cast<double>(n);
+    const double hz = static_cast<double>(k) * sample_rate /
+                      static_cast<double>(n);
+    if (peaks.size() < 3) {
+      peaks.push_back({hz, mag});
+    } else {
+      auto weakest = std::min_element(
+          peaks.begin(), peaks.end(),
+          [](const Peak& a, const Peak& b) { return a.magnitude < b.magnitude; });
+      if (mag > weakest->magnitude) *weakest = {hz, mag};
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.hz < b.hz; });
+  std::printf("dominant frequencies (true: 220, 440, 1250 Hz):\n");
+  for (const auto& p : peaks) {
+    std::printf("  %7.1f Hz  amplitude %.2f\n", p.hz, p.magnitude);
+  }
+
+  // Round-trip: inverse FFT must reproduce the signal.
+  const auto back = pls::powerlist::inverse_fft(spectrum);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(back[i] - signal[i]));
+  }
+  std::printf("inverse-FFT round-trip max error: %.3e\n", max_err);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Prefix sums three ways — sequential, Sklansky (tie), Ladner-Fischer
+// (zip, the paper's equation-5-shaped descending-phase recursion) — on a
+// running-balance task, plus the carry-lookahead adder, which is a scan
+// over the carry monoid in disguise.
+//
+// Usage: ./examples/prefix_sum [log2_size]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "powerlist/algorithms/adder.hpp"
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned lg = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 20;
+  const std::size_t n = std::size_t{1} << lg;
+
+  // Daily account movements: the running balance is an inclusive scan.
+  pls::Xoshiro256 rng(2026);
+  std::vector<long> movements(n);
+  for (auto& m : movements) {
+    m = static_cast<long>(rng.next_below(2001)) - 1000;
+  }
+  const auto view = pls::powerlist::view_of(movements);
+
+  std::vector<long> seq, sklansky, ladner;
+  {
+    pls::Stopwatch sw;
+    seq = pls::powerlist::scan_sequential(view, std::plus<long>{});
+    std::printf("sequential scan        %8.2f ms\n", sw.elapsed_ms());
+  }
+  {
+    pls::powerlist::SklanskyScanFunction<long, std::plus<long>> f{
+        std::plus<long>{}};
+    pls::Stopwatch sw;
+    sklansky =
+        pls::powerlist::execute_sequential(f, view, {}, n / 64).values();
+    std::printf("Sklansky (tie)         %8.2f ms\n", sw.elapsed_ms());
+  }
+  {
+    pls::Stopwatch sw;
+    ladner = pls::powerlist::scan_ladner_fischer(view, std::plus<long>{});
+    std::printf("Ladner-Fischer (zip)   %8.2f ms\n", sw.elapsed_ms());
+  }
+  std::printf("all three agree: %s\n",
+              (seq == sklansky && seq == ladner) ? "yes" : "NO");
+  std::printf("final balance: %ld; lowest balance: %ld\n", seq.back(),
+              *std::min_element(seq.begin(), seq.end()));
+
+  // The same scan machinery adds numbers: carry-lookahead addition.
+  const std::uint64_t a = 0xDEADBEEFCAFEull, b = 0x123456789ABCull;
+  const auto sum = pls::powerlist::carry_lookahead_add(
+      pls::powerlist::to_bits(a, 64), pls::powerlist::to_bits(b, 64));
+  std::printf("\ncarry-lookahead adder: %llx + %llx = %llx (check %llx)\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b),
+              static_cast<unsigned long long>(
+                  pls::powerlist::from_bits(sum.sum)),
+              static_cast<unsigned long long>(a + b));
+  return 0;
+}

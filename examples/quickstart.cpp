@@ -1,0 +1,75 @@
+// Quickstart: the three layers of the library in one file.
+//
+//   1. Streams — the Java-Streams-like pipeline (map/filter/collect).
+//   2. PowerList functions — divide-and-conquer skeletons with tie/zip.
+//   3. The adaptation — PowerList computation driven through the stream
+//      collect template method, as in the paper.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+#include "powerlist/collector_functions.hpp"
+#include "powerlist/executors.hpp"
+#include "streams/collectors.hpp"
+#include "streams/stream.hpp"
+
+using pls::streams::Stream;
+
+int main() {
+  // ---- 1. streams ----------------------------------------------------
+  // Sum of squares of the multiples of 3 below 1000, in parallel.
+  const long sum = Stream<long>::range(0, 1000)
+                       .parallel()
+                       .filter([](long v) { return v % 3 == 0; })
+                       .map([](long v) { return v * v; })
+                       .reduce(0L, [](long a, long b) { return a + b; });
+  std::printf("sum of squares of multiples of 3 below 1000: %ld\n", sum);
+
+  // The paper's word-joining collect (3-argument form).
+  const auto sentence =
+      Stream<std::string>::of({"power", "lists", "meet", "streams"})
+          .parallel()
+          .collect(pls::streams::collectors::joining(", "));
+  std::printf("joined: %s\n", sentence.c_str());
+
+  // ---- 2. PowerList functions -----------------------------------------
+  // A PowerList is a power-of-two-length list; functions split it with
+  // tie (halves) or zip (even/odd) and recombine.
+  std::vector<double> data(1 << 10);
+  std::iota(data.begin(), data.end(), 1.0);
+
+  pls::powerlist::ReduceFunction<double, std::plus<double>> total{
+      std::plus<double>{}};
+  const double reduced = pls::powerlist::execute_sequential(
+      total, pls::powerlist::view_of(data));
+  std::printf("PowerList reduce of 1..1024: %.0f\n", reduced);
+
+  // The same function on the fork-join pool: definition unchanged,
+  // execution swapped (the JPLF separation the paper builds on).
+  auto& pool = pls::forkjoin::ForkJoinPool::common();
+  const double reduced_par = pls::powerlist::execute_forkjoin(
+      pool, total, pls::powerlist::view_of(data), {}, 64);
+  std::printf("same, fork-join executor:   %.0f\n", reduced_par);
+
+  // ---- 3. the adaptation ----------------------------------------------
+  // Polynomial evaluation through the stream machinery: a Collector
+  // carrying a specialised ZipSpliterator that works during splitting.
+  std::vector<double> coeffs(1 << 12);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = (i % 3 == 0) ? 1.0 : -0.5;
+  }
+  auto shared = std::make_shared<const std::vector<double>>(coeffs);
+  const double x = 0.9993;
+  const double via_stream =
+      pls::powerlist::evaluate_polynomial_stream(shared, x, true);
+  const double via_horner =
+      pls::powerlist::horner_descending(pls::powerlist::view_of(coeffs), x);
+  std::printf("polynomial at %.4f: stream=%.10f horner=%.10f\n", x,
+              via_stream, via_horner);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Chase-Lev work-stealing deque.
+//
+// One owner thread pushes and pops at the bottom (LIFO, preserving the
+// depth-first execution order that keeps divide-and-conquer working sets
+// cache-resident); thief threads steal at the top (FIFO, taking the largest
+// remaining subtrees). Memory ordering follows Le, Pop, Cohen, Nardelli,
+// "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP'13).
+//
+// The ring buffer grows on demand. Retired rings are kept alive until the
+// deque is destroyed because a concurrent thief may still be reading a slot
+// of an old ring; this trades a small bounded amount of memory for freedom
+// from ABA/use-after-free without hazard pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::forkjoin {
+
+class RawTask;
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(unsigned initial_capacity_log2 = 8)
+      : ring_(new Ring(initial_capacity_log2)) {
+    top_.value.store(0, std::memory_order_relaxed);
+    bottom_.value.store(0, std::memory_order_relaxed);
+    active_ring_.store(ring_.get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: push a task at the bottom.
+  void push(RawTask* task) {
+    const std::int64_t b = bottom_.value.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    Ring* ring = active_ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(ring->capacity()) - 1) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.value.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop the most recently pushed task, or nullptr.
+  RawTask* pop() {
+    const std::int64_t b = bottom_.value.load(std::memory_order_relaxed) - 1;
+    Ring* ring = active_ring_.load(std::memory_order_relaxed);
+    bottom_.value.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.value.load(std::memory_order_relaxed);
+    RawTask* task = nullptr;
+    if (t <= b) {
+      task = ring->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.value.compare_exchange_strong(t, t + 1,
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_relaxed)) {
+          task = nullptr;  // a thief won
+        }
+        bottom_.value.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      // Deque was already empty.
+      bottom_.value.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread: steal the oldest task, or nullptr (empty or lost race).
+  RawTask* steal() {
+    std::int64_t t = top_.value.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Ring* ring = active_ring_.load(std::memory_order_consume);
+    RawTask* task = ring->get(t);
+    if (!top_.value.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; caller retries elsewhere
+    }
+    return task;
+  }
+
+  /// Approximate emptiness; exact only for the owner when no thieves run.
+  bool empty() const {
+    const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    return b <= t;
+  }
+
+  /// Approximate size (may be stale under concurrency).
+  std::size_t size() const {
+    const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  class Ring {
+   public:
+    explicit Ring(unsigned capacity_log2)
+        : mask_((std::size_t{1} << capacity_log2) - 1),
+          slots_(new std::atomic<RawTask*>[std::size_t{1} << capacity_log2]) {}
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    void put(std::int64_t index, RawTask* task) {
+      slots_[static_cast<std::size_t>(index) & mask_].store(
+          task, std::memory_order_relaxed);
+    }
+
+    RawTask* get(std::int64_t index) const {
+      return slots_[static_cast<std::size_t>(index) & mask_].load(
+          std::memory_order_relaxed);
+    }
+
+   private:
+    std::size_t mask_;
+    std::unique_ptr<std::atomic<RawTask*>[]> slots_;
+  };
+
+  Ring* grow(Ring* old, std::int64_t top, std::int64_t bottom) {
+    auto bigger = std::make_unique<Ring>(
+        pls::floor_log2(old->capacity()) + 1);
+    for (std::int64_t i = top; i < bottom; ++i) {
+      bigger->put(i, old->get(i));
+    }
+    Ring* raw = bigger.get();
+    retired_.push_back(std::move(ring_));
+    ring_ = std::move(bigger);
+    active_ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  CacheAligned<std::atomic<std::int64_t>> top_;
+  CacheAligned<std::atomic<std::int64_t>> bottom_;
+  std::atomic<Ring*> active_ring_;
+  std::unique_ptr<Ring> ring_;
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-mutated only (grow)
+};
+
+}  // namespace pls::forkjoin

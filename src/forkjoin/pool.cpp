@@ -1,0 +1,148 @@
+#include "forkjoin/pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace pls::forkjoin {
+
+thread_local ForkJoinPool::Worker* ForkJoinPool::tls_worker_ = nullptr;
+thread_local ForkJoinPool* ForkJoinPool::tls_pool_ = nullptr;
+
+ForkJoinPool::ForkJoinPool(unsigned parallelism) {
+  PLS_CHECK(parallelism >= 1, "ForkJoinPool needs at least one worker");
+  workers_.reserve(parallelism);
+  for (unsigned i = 0; i < parallelism; ++i) {
+    // Fixed seed base: worker behaviour (victim selection) is deterministic
+    // across runs for a given parallelism.
+    workers_.push_back(std::make_unique<Worker>(i, 0x9E3779B9u + i));
+  }
+  threads_.reserve(parallelism);
+  for (unsigned i = 0; i < parallelism; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ForkJoinPool::~ForkJoinPool() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++wake_epoch_;
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+unsigned ForkJoinPool::default_parallelism() {
+  if (const char* env = std::getenv("PLS_PARALLELISM")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1u;
+}
+
+ForkJoinPool& ForkJoinPool::common() {
+  static ForkJoinPool pool(default_parallelism());
+  return pool;
+}
+
+void ForkJoinPool::worker_loop(unsigned index) {
+  Worker& self = *workers_[index];
+  tls_worker_ = &self;
+  tls_pool_ = this;
+  while (true) {
+    RawTask* task = find_task(self);
+    if (task != nullptr) {
+      task->execute();
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) break;
+    // Nothing runnable: sleep until new work is published. The epoch is
+    // sampled before the re-check so a task pushed in between forces an
+    // immediate retry instead of a missed wakeup; the timed wait is a
+    // belt-and-braces bound on any residual race.
+    std::uint64_t observed;
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      observed = wake_epoch_;
+    }
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    RawTask* late = find_task(self);
+    if (late != nullptr) {
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      late->execute();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(10), [&] {
+        return wake_epoch_ != observed ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  tls_worker_ = nullptr;
+  tls_pool_ = nullptr;
+}
+
+RawTask* ForkJoinPool::find_task(Worker& self) {
+  if (RawTask* own = self.deque.pop()) return own;
+  if (RawTask* injected = poll_injection()) return injected;
+  return try_steal(self);
+}
+
+RawTask* ForkJoinPool::try_steal(Worker& self) {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return nullptr;
+  // Start the sweep at a random victim to spread contention, then scan all
+  // other workers once.
+  const std::size_t offset = self.rng.next_below(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (offset + k) % n;
+    if (victim == self.index) continue;
+    if (RawTask* stolen = workers_[victim]->deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return stolen;
+    }
+  }
+  return nullptr;
+}
+
+RawTask* ForkJoinPool::poll_injection() {
+  std::lock_guard<std::mutex> lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  RawTask* task = injected_.front();
+  injected_.pop_front();
+  return task;
+}
+
+void ForkJoinPool::external_push(RawTask* task) {
+  {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    injected_.push_back(task);
+  }
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    ++wake_epoch_;
+  }
+  sleep_cv_.notify_all();
+}
+
+void ForkJoinPool::wake_one_if_sleeping() {
+  // Full fence: the preceding deque push must be globally visible before
+  // the sleeper check (x86 reorders store -> later load; without this a
+  // worker could go to sleep "around" a fresh task, costing one timed-
+  // wait period of latency).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      ++wake_epoch_;
+    }
+    sleep_cv_.notify_one();
+  }
+}
+
+}  // namespace pls::forkjoin

@@ -1,0 +1,185 @@
+// ForkJoinPool: a work-stealing thread pool specialised for recursive
+// divide-and-conquer tasks — the C++ analogue of java.util.concurrent's
+// ForkJoinPool, which both Java parallel streams and the JPLF framework use
+// as their execution substrate.
+//
+// Execution model
+//   - N worker threads, each owning a Chase-Lev deque.
+//   - invoke_two(left, right) is the fork-join primitive: the right closure
+//     is pushed on the calling worker's deque (fork), the left closure runs
+//     inline, and the join either pops the right task back (it was not
+//     stolen: zero synchronisation beyond the deque protocol) or helps by
+//     executing other tasks until the thief finishes it.
+//   - External threads enter through run(), which injects a heap task and
+//     blocks on a future; all recursive parallelism then happens on workers.
+//
+// Following CP.4 the API is expressed in tasks (closures), never threads;
+// workers are joined in the destructor (CP.25/CP.26: no detached threads).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "forkjoin/deque.hpp"
+#include "forkjoin/task.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace pls::forkjoin {
+
+class ForkJoinPool {
+ public:
+  /// Create a pool with the given number of worker threads (>= 1).
+  explicit ForkJoinPool(unsigned parallelism = default_parallelism());
+
+  /// Joins all workers; outstanding external submissions complete first
+  /// only if the caller waited on their futures (normal usage).
+  ~ForkJoinPool();
+
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
+
+  unsigned parallelism() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Parallelism used by default-constructed pools: the PLS_PARALLELISM
+  /// environment variable if set, otherwise hardware_concurrency (min 1).
+  static unsigned default_parallelism();
+
+  /// Process-wide shared pool (analogue of ForkJoinPool.commonPool()).
+  static ForkJoinPool& common();
+
+  /// True if the calling thread is a worker of *some* ForkJoinPool.
+  static bool in_worker() noexcept { return tls_worker_ != nullptr; }
+
+  /// True if the calling thread is a worker of *this* pool.
+  bool in_this_pool() const noexcept { return tls_pool_ == this; }
+
+  /// Execute `f` on the pool and return its result. If called from a worker
+  /// of this pool, runs inline (it is already "on the pool"); otherwise the
+  /// calling thread blocks until a worker has finished the task.
+  template <typename F>
+  auto run(F&& f) -> std::invoke_result_t<F&> {
+    if (in_this_pool()) {
+      return f();
+    }
+    using Fn = std::decay_t<F>;
+    auto* task = new HeapTask<Fn>(std::forward<F>(f));  // deletes itself
+    auto future = task->get_future();
+    external_push(task);
+    return future.get();
+  }
+
+  /// The fork-join primitive: execute both closures, potentially in
+  /// parallel. Must be joined before the enclosing frame returns (enforced
+  /// structurally: this function only returns once both closures finished).
+  /// Exceptions from either closure propagate to the caller; if both throw,
+  /// the left one wins (the right one's is dropped, matching std::async
+  /// composition semantics closely enough for this library).
+  template <typename FL, typename FR>
+  void invoke_two(FL&& left, FR&& right) {
+    Worker* self = (tls_pool_ == this) ? tls_worker_ : nullptr;
+    if (self == nullptr) {
+      // Not on this pool: degrade gracefully to sequential execution.
+      left();
+      right();
+      return;
+    }
+    using RightFn = std::remove_reference_t<FR>;
+    ChildTask<RightFn> child(right);
+    self->deque.push(&child);
+    wake_one_if_sleeping();
+    // The child lives on this frame: even if `left` throws we must join it
+    // before unwinding, or a thief could execute a destroyed task.
+    std::exception_ptr left_error;
+    try {
+      left();
+    } catch (...) {
+      left_error = std::current_exception();
+    }
+    join(*self, child);
+    if (left_error) std::rethrow_exception(left_error);
+    child.rethrow_if_failed();
+  }
+
+  /// Total number of successful steals since construction (diagnostic).
+  std::uint64_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    explicit Worker(unsigned index_, std::uint64_t seed)
+        : index(index_), rng(seed) {}
+    unsigned index;
+    WorkStealingDeque deque;
+    Xoshiro256 rng;
+  };
+
+  void worker_loop(unsigned index);
+
+  /// Find runnable work: own deque, then injection queue, then steal sweep.
+  RawTask* find_task(Worker& self);
+
+  /// Steal one task from some other worker (one full sweep); nullptr if none.
+  RawTask* try_steal(Worker& self);
+
+  RawTask* poll_injection();
+  void external_push(RawTask* task);
+  void wake_one_if_sleeping();
+
+  /// Wait for `target` to complete, executing other tasks meanwhile.
+  template <typename Child>
+  void join(Worker& self, Child& target) {
+    // Fast path: the child is still on top of our own deque.
+    if (!target.is_done()) {
+      RawTask* popped = self.deque.pop();
+      if (popped == &target) {
+        popped->execute();
+        return;
+      }
+      if (popped != nullptr) {
+        // Defensive: structured fork-join keeps the deque balanced, but if
+        // user code escaped the discipline, still make progress.
+        popped->execute();
+      }
+    }
+    // Slow path: the child was stolen; help run the rest of the system.
+    unsigned idle_spins = 0;
+    while (!target.is_done()) {
+      RawTask* t = find_task(self);
+      if (t != nullptr) {
+        t->execute();
+        idle_spins = 0;
+      } else if (++idle_spins > 64) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mutex_;
+  std::deque<RawTask*> injected_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::uint64_t wake_epoch_ = 0;          // guarded by sleep_mutex_
+  std::atomic<int> sleepers_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> steals_{0};
+
+  static thread_local Worker* tls_worker_;
+  static thread_local ForkJoinPool* tls_pool_;
+};
+
+}  // namespace pls::forkjoin

@@ -1,0 +1,170 @@
+// Collective operations over the message-passing simulation, built from
+// point-to-point sends the way real MPI implementations build them:
+// binomial trees for broadcast/reduce, recursive-doubling butterflies for
+// the all- variants, flat fan-in/out for gather/scatter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/communicator.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::mpisim {
+
+/// Broadcast `value` from `root` to all ranks (binomial tree). Every rank
+/// returns the broadcast value; ranks other than root ignore their input.
+template <typename T>
+T broadcast(Comm& comm, T value, int root, int tag = 700) {
+  const int size = comm.size();
+  if (size == 1) return value;
+  const int relative = (comm.rank() - root + size) % size;
+  // Receive from the parent (the rank that differs in the lowest set bit).
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int src = (comm.rank() - mask + size) % size;
+      value = comm.recv<T>(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children below the received bit.
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size) {
+      const int dst = (comm.rank() + mask) % size;
+      comm.send(dst, tag, value);
+    }
+    mask >>= 1;
+  }
+  return value;
+}
+
+/// Reduce all ranks' values to `root` with associative `op` (binomial
+/// tree). Result is meaningful only at root; other ranks return their
+/// partial. Arguments are combined in rank order (low, high).
+template <typename T, typename Op>
+T reduce(Comm& comm, T value, Op op, int root, int tag = 710) {
+  const int size = comm.size();
+  if (size == 1) return value;
+  const int relative = (comm.rank() - root + size) % size;
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int dst = (comm.rank() - mask + size) % size;
+      comm.send(dst, tag, std::move(value));
+      return T{};
+    }
+    if (relative + mask < size) {
+      const int src = (comm.rank() + mask) % size;
+      T other = comm.recv<T>(src, tag);
+      value = op(std::move(value), std::move(other));
+    }
+    mask <<= 1;
+  }
+  return value;
+}
+
+/// Allreduce via recursive doubling (requires power-of-two rank count);
+/// every rank returns the combined value. `op` sees (low-rank, high-rank)
+/// argument order each round.
+template <typename T, typename Op>
+T allreduce(Comm& comm, T value, Op op, int tag = 720) {
+  const int size = comm.size();
+  PLS_CHECK(pls::is_power_of_two(static_cast<std::uint64_t>(size)),
+            "allreduce requires a power-of-two rank count");
+  for (int bit = 1; bit < size; bit <<= 1) {
+    const int peer = comm.rank() ^ bit;
+    T other = comm.exchange(peer, tag + bit, value);
+    if (comm.rank() < peer) {
+      value = op(std::move(value), std::move(other));
+    } else {
+      value = op(std::move(other), std::move(value));
+    }
+  }
+  return value;
+}
+
+/// Gather every rank's value at `root`, in rank order. Only root's return
+/// value is meaningful.
+template <typename T>
+std::vector<T> gather(Comm& comm, T value, int root, int tag = 730) {
+  const int size = comm.size();
+  if (comm.rank() != root) {
+    comm.send(root, tag, std::move(value));
+    return {};
+  }
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) {
+    if (r == root) {
+      out.push_back(value);
+    } else {
+      out.push_back(comm.recv<T>(r, tag));
+    }
+  }
+  return out;
+}
+
+/// Scatter `parts` (significant at root, one entry per rank) so each rank
+/// returns its own part.
+template <typename T>
+T scatter(Comm& comm, std::vector<T> parts, int root, int tag = 740) {
+  const int size = comm.size();
+  if (comm.rank() == root) {
+    PLS_CHECK(parts.size() == static_cast<std::size_t>(size),
+              "scatter needs exactly one part per rank");
+    for (int r = 0; r < size; ++r) {
+      if (r != root) {
+        comm.send(r, tag, std::move(parts[static_cast<std::size_t>(r)]));
+      }
+    }
+    return std::move(parts[static_cast<std::size_t>(root)]);
+  }
+  return comm.recv<T>(root, tag);
+}
+
+/// Allgather via gather at rank 0 + broadcast.
+template <typename T>
+std::vector<T> allgather(Comm& comm, T value, int tag = 750) {
+  auto all = gather(comm, std::move(value), 0, tag);
+  return broadcast(comm, std::move(all), 0, tag + 1);
+}
+
+/// Inclusive scan across ranks (MPI_Scan): rank r returns
+/// op(v_0, ..., v_r). Hillis-Steele recursive doubling: log2(P) rounds,
+/// works for any rank count; `op` must be associative.
+template <typename T, typename Op>
+T scan(Comm& comm, T value, Op op, int tag = 760) {
+  const int size = comm.size();
+  T inclusive = std::move(value);
+  for (int dist = 1; dist < size; dist <<= 1) {
+    const int right = comm.rank() + dist;
+    const int left = comm.rank() - dist;
+    // Send my running value to the rank `dist` above; receive from the
+    // rank `dist` below and fold it in front.
+    if (right < size) comm.send(right, tag + dist, inclusive);
+    if (left >= 0) {
+      T from_left = comm.recv<T>(left, tag + dist);
+      inclusive = op(std::move(from_left), std::move(inclusive));
+    }
+  }
+  return inclusive;
+}
+
+/// Exclusive scan (MPI_Exscan): rank 0 returns `identity`; rank r > 0
+/// returns op(v_0, ..., v_{r-1}).
+template <typename T, typename Op>
+T exscan(Comm& comm, T value, Op op, T identity, int tag = 780) {
+  // Shift the inclusive scan down by one rank.
+  const T inclusive = scan(comm, std::move(value), op, tag);
+  if (comm.rank() + 1 < comm.size()) {
+    comm.send(comm.rank() + 1, tag + 1000, inclusive);
+  }
+  if (comm.rank() == 0) return identity;
+  return comm.recv<T>(comm.rank() - 1, tag + 1000);
+}
+
+}  // namespace pls::mpisim

@@ -1,0 +1,74 @@
+#include "mpisim/communicator.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace pls::mpisim {
+
+World::World(int size, NetworkModel network)
+    : size_(size), network_(network) {
+  PLS_CHECK(size >= 1, "World needs at least one rank");
+  mail_.reserve(static_cast<std::size_t>(size) * size);
+  for (int i = 0; i < size * size; ++i) {
+    mail_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::vector<World::RankStats> World::run(
+    const std::function<void(Comm&)>& program) {
+  std::vector<RankStats> stats(static_cast<std::size_t>(size_));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(this, r);
+      try {
+        program(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+      auto& s = stats[static_cast<std::size_t>(r)];
+      s.clock_ns = comm.clock_ns();
+      s.compute_ns = comm.compute_ns();
+      s.comm_ns = comm.comm_ns();
+      s.messages = comm.messages_sent();
+      s.bytes = comm.bytes_sent();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  last_time_ns_ = 0.0;
+  for (const auto& s : stats) {
+    last_time_ns_ = std::max(last_time_ns_, s.clock_ns);
+  }
+  return stats;
+}
+
+void World::barrier_wait(double& rank_clock) {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  barrier_max_clock_ = std::max(barrier_max_clock_, rank_clock);
+  if (++barrier_count_ == size_) {
+    barrier_release_clock_ = barrier_max_clock_ + network_.barrier_ns;
+    barrier_max_clock_ = 0.0;
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    rank_clock = barrier_release_clock_;
+    lock.unlock();
+    barrier_cv_.notify_all();
+    return;
+  }
+  const std::uint64_t arrived_generation = barrier_generation_;
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != arrived_generation;
+  });
+  rank_clock = barrier_release_clock_;
+}
+
+}  // namespace pls::mpisim

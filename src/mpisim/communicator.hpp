@@ -1,0 +1,227 @@
+// SPMD world and per-rank communicator for the in-process MPI simulation.
+//
+// World::run launches one thread per rank executing the same program (SPMD,
+// as with mpirun) and returns per-rank statistics. Each rank owns a Comm
+// handle providing MPI-like point-to-point operations plus simulated-time
+// accounting: every rank carries a virtual clock advanced by explicit
+// compute charges and by message transfer costs from the NetworkModel, so
+// cluster-scale timing trends can be reported from a single machine.
+//
+// Real thread-level blocking (mailbox waits) and virtual time are distinct:
+// the former makes the execution correct, the latter makes it measurable.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mpisim/cost.hpp"
+#include "mpisim/mailbox.hpp"
+#include "support/assert.hpp"
+
+namespace pls::mpisim {
+
+class World;
+
+/// Number of payload bytes for cost accounting. Extend by overloading for
+/// your own message types; the default charges sizeof(T).
+template <typename T>
+std::uint64_t payload_bytes(const T&) {
+  return sizeof(T);
+}
+
+template <typename U>
+std::uint64_t payload_bytes(const std::vector<U>& v) {
+  return static_cast<std::uint64_t>(v.size()) * sizeof(U);
+}
+
+/// Per-rank communication endpoint. Not thread-safe: each rank thread uses
+/// only its own Comm (the SPMD discipline).
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Send `value` to `dst` with `tag`. Buffered (never blocks on the
+  /// receiver); charges the sender its send overhead.
+  template <typename T>
+  void send(int dst, int tag, T value) {
+    const std::uint64_t bytes = payload_bytes(value);
+    Message msg;
+    msg.tag = tag;
+    msg.bytes = bytes;
+    msg.available_at_ns = clock_ns_ + network().transfer_ns(bytes);
+    msg.payload = std::make_any<T>(std::move(value));
+    deliver(dst, std::move(msg));
+    // The sender is occupied for the latency portion only.
+    clock_ns_ += network().alpha_ns;
+    comm_ns_ += network().alpha_ns;
+    ++messages_sent_;
+    bytes_sent_ += bytes;
+  }
+
+  /// Receive a T from `src` with `tag`; blocks until it arrives. The rank's
+  /// virtual clock advances to the message availability time if later.
+  template <typename T>
+  T recv(int src, int tag) {
+    Message msg = take(src, tag);
+    if (msg.available_at_ns > clock_ns_) {
+      comm_ns_ += msg.available_at_ns - clock_ns_;
+      clock_ns_ = msg.available_at_ns;
+    }
+    try {
+      return std::any_cast<T>(std::move(msg.payload));
+    } catch (const std::bad_any_cast&) {
+      throw precondition_error(
+          "plstream: mpisim recv type does not match the sent payload");
+    }
+  }
+
+  /// Combined send+recv with a peer (deadlock-free pairwise exchange, the
+  /// workhorse of hypercube algorithms).
+  template <typename T>
+  T exchange(int peer, int tag, T value) {
+    send(peer, tag, std::move(value));
+    return recv<T>(peer, tag);
+  }
+
+  /// Non-blocking probe: is a (src, tag) message already deliverable?
+  bool probe(int src, int tag);
+
+  /// Deferred receive handle (MPI_Irecv + MPI_Test/MPI_Wait). Matching
+  /// happens lazily; `ready()` probes, `wait()` blocks and performs the
+  /// clock accounting of a recv.
+  template <typename T>
+  class RecvRequest {
+   public:
+    bool ready() const { return comm_->probe(src_, tag_); }
+    T wait() { return comm_->recv<T>(src_, tag_); }
+
+   private:
+    friend class Comm;
+    RecvRequest(Comm* comm, int src, int tag)
+        : comm_(comm), src_(src), tag_(tag) {}
+    Comm* comm_;
+    int src_;
+    int tag_;
+  };
+
+  template <typename T>
+  RecvRequest<T> irecv(int src, int tag) {
+    PLS_CHECK(src >= 0 && src < size() && src != rank_,
+              "irecv source out of range");
+    return RecvRequest<T>(this, src, tag);
+  }
+
+  /// Synchronise all ranks; every virtual clock advances to the maximum.
+  void barrier();
+
+  /// Advance this rank's virtual clock by `ns` of computation.
+  void charge_compute(double ns) {
+    PLS_CHECK(ns >= 0.0, "compute charges must be non-negative");
+    clock_ns_ += ns;
+    compute_ns_ += ns;
+  }
+
+  double clock_ns() const noexcept { return clock_ns_; }
+  double compute_ns() const noexcept { return compute_ns_; }
+  double comm_ns() const noexcept { return comm_ns_; }
+  std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  friend class World;
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  const NetworkModel& network() const noexcept;
+  void deliver(int dst, Message msg);
+  Message take(int src, int tag);
+
+  World* world_;
+  int rank_;
+  double clock_ns_ = 0.0;
+  double compute_ns_ = 0.0;
+  double comm_ns_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// A simulated cluster of `size` ranks.
+class World {
+ public:
+  struct RankStats {
+    double clock_ns = 0.0;
+    double compute_ns = 0.0;
+    double comm_ns = 0.0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  explicit World(int size, NetworkModel network = NetworkModel{});
+
+  int size() const noexcept { return size_; }
+  const NetworkModel& network() const noexcept { return network_; }
+
+  /// Execute `program` SPMD on all ranks (one thread each); blocks until
+  /// every rank returns. Exceptions from any rank are rethrown (first rank
+  /// wins). Returns per-rank statistics.
+  std::vector<RankStats> run(const std::function<void(Comm&)>& program);
+
+  /// Simulated completion time of the last run(): max over rank clocks.
+  double simulated_time_ns() const noexcept { return last_time_ns_; }
+
+ private:
+  friend class Comm;
+
+  Mailbox& mailbox(int src, int dst) {
+    return *mail_[static_cast<std::size_t>(src) * size_ +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  void barrier_wait(double& rank_clock);
+
+  int size_;
+  NetworkModel network_;
+  std::vector<std::unique_ptr<Mailbox>> mail_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+  double barrier_max_clock_ = 0.0;
+  double barrier_release_clock_ = 0.0;
+
+  double last_time_ns_ = 0.0;
+};
+
+inline int Comm::size() const noexcept { return world_->size(); }
+
+inline const NetworkModel& Comm::network() const noexcept {
+  return world_->network();
+}
+
+inline void Comm::deliver(int dst, Message msg) {
+  PLS_CHECK(dst >= 0 && dst < world_->size(), "send destination out of range");
+  PLS_CHECK(dst != rank_, "a rank may not send to itself");
+  world_->mailbox(rank_, dst).put(std::move(msg));
+}
+
+inline Message Comm::take(int src, int tag) {
+  PLS_CHECK(src >= 0 && src < world_->size(), "recv source out of range");
+  PLS_CHECK(src != rank_, "a rank may not receive from itself");
+  return world_->mailbox(src, rank_).take(tag);
+}
+
+inline void Comm::barrier() { world_->barrier_wait(clock_ns_); }
+
+inline bool Comm::probe(int src, int tag) {
+  PLS_CHECK(src >= 0 && src < world_->size() && src != rank_,
+            "probe source out of range");
+  return world_->mailbox(src, rank_).probe(tag);
+}
+
+}  // namespace pls::mpisim

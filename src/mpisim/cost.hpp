@@ -1,0 +1,24 @@
+// Alpha-beta communication cost model for the MPI simulation.
+//
+// Simulated message time = alpha (per-message latency) + beta * bytes
+// (inverse bandwidth). Defaults approximate a commodity cluster
+// interconnect (~2 us latency, ~10 GbE effective bandwidth); benches sweep
+// them to show how the JPLF-style MPI executor's scaling depends on the
+// network.
+#pragma once
+
+#include <cstdint>
+
+namespace pls::mpisim {
+
+struct NetworkModel {
+  double alpha_ns = 2000.0;     ///< per-message latency
+  double beta_ns_per_byte = 0.8;  ///< inverse bandwidth (0.8 ns/B ~ 10 Gb/s)
+  double barrier_ns = 4000.0;   ///< cost of a barrier episode
+
+  double transfer_ns(std::uint64_t bytes) const {
+    return alpha_ns + beta_ns_per_byte * static_cast<double>(bytes);
+  }
+};
+
+}  // namespace pls::mpisim

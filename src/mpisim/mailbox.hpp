@@ -1,0 +1,76 @@
+// Point-to-point message channels for the in-process MPI simulation.
+//
+// JPLF executes PowerList functions over MPI on clusters; this reproduction
+// has no cluster, so ranks are threads and messages travel through these
+// blocking mailboxes. Each (source, destination) pair owns one mailbox;
+// receives match MPI-style on tag, in FIFO order among equal tags.
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "support/assert.hpp"
+
+namespace pls::mpisim {
+
+/// A message in flight: type-erased payload plus the simulated time at
+/// which it becomes visible to the receiver (sender clock + alpha-beta
+/// transfer cost), which drives the simulated-time accounting.
+struct Message {
+  int tag = 0;
+  std::any payload;
+  double available_at_ns = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Blocking FIFO channel with tag matching. Thread-safe.
+class Mailbox {
+ public:
+  void put(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    ready_.notify_all();
+  }
+
+  /// Block until a message with `tag` is available; returns the earliest
+  /// such message (FIFO among equal tags).
+  Message take(int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->tag == tag) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      ready_.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe: true if a message with `tag` is waiting.
+  bool probe(int tag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& m : queue_) {
+      if (m.tag == tag) return true;
+    }
+    return false;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace pls::mpisim

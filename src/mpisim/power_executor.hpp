@@ -1,0 +1,248 @@
+// PowerList execution over the message-passing simulation — the JPLF MPI
+// executor ([20] in the paper) rebuilt on mpisim.
+//
+// Data distribution follows the decomposition operator: k zip splits
+// spread a PowerList over P = 2^k ranks so that rank r holds the elements
+// whose index ≡ r (mod P); k tie splits give rank r the r-th contiguous
+// block. The ascending phase is a hypercube combine: log2(P) pairwise
+// exchange rounds, processing the deepest decomposition level first, so
+// level-dependent combiners (the polynomial's x^(2^d) multiplier) receive
+// the correct level. After the final round every rank holds the result
+// (allreduce style), exactly how JPLF's MPI executor finishes reduce-like
+// PowerList functions.
+//
+// All timing here is *simulated*: computation is charged through the
+// cost-model hooks and communication through the alpha-beta network model,
+// so the scaling benches report cluster-style trends from one machine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mpisim/collectives.hpp"
+#include "mpisim/communicator.hpp"
+#include "powerlist/algorithms/fft.hpp"
+#include "powerlist/view.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::mpisim {
+
+/// How a PowerList is spread over the ranks.
+enum class Distribution { kBlock, kCyclic };  // tie^k vs zip^k
+
+/// The local sublist of `full` owned by `rank` of `size` ranks.
+template <typename T>
+std::vector<T> local_part(const std::vector<T>& full, int rank, int size,
+                          Distribution dist) {
+  PLS_CHECK(size >= 1 && pls::is_power_of_two(static_cast<std::uint64_t>(size)),
+            "rank count must be a power of two");
+  PLS_CHECK(full.size() % static_cast<std::size_t>(size) == 0,
+            "list length must divide evenly over the ranks");
+  const std::size_t part = full.size() / static_cast<std::size_t>(size);
+  std::vector<T> out;
+  out.reserve(part);
+  if (dist == Distribution::kBlock) {
+    const std::size_t lo = part * static_cast<std::size_t>(rank);
+    out.assign(full.begin() + static_cast<std::ptrdiff_t>(lo),
+               full.begin() + static_cast<std::ptrdiff_t>(lo + part));
+  } else {
+    for (std::size_t i = static_cast<std::size_t>(rank); i < full.size();
+         i += static_cast<std::size_t>(size)) {
+      out.push_back(full[i]);
+    }
+  }
+  return out;
+}
+
+/// Hypercube combine with a level-indexed combiner.
+///
+/// `combine(level, low, high)` merges the value held by the rank whose bit
+/// `level` is 0 (`low`) with its partner's (`high`); `level` counts
+/// decomposition levels from the outermost (0). Rounds run from the
+/// innermost level (log2(P)-1) down to 0, mirroring the ascending phase of
+/// the PowerList recursion, and each round exchanges values with the
+/// partner across one dimension — so every rank returns the combined
+/// result (allreduce style), and non-commutative combiners always see
+/// their arguments in encounter order.
+template <typename R, typename CombineFn>
+R hypercube_allcombine(Comm& comm, R value, const CombineFn& combine,
+                       int tag_base = 900) {
+  const int size = comm.size();
+  PLS_CHECK(pls::is_power_of_two(static_cast<std::uint64_t>(size)),
+            "hypercube combine requires a power-of-two rank count");
+  const unsigned dims = pls::exact_log2(static_cast<std::uint64_t>(size));
+  for (unsigned round = 0; round < dims; ++round) {
+    const unsigned level = dims - 1 - round;  // deepest level first
+    const int bit = 1 << level;
+    const int peer = comm.rank() ^ bit;
+    R other =
+        comm.exchange(peer, tag_base + static_cast<int>(round), value);
+    if ((comm.rank() & bit) == 0) {
+      value = combine(level, std::move(value), std::move(other));
+    } else {
+      value = combine(level, std::move(other), std::move(value));
+    }
+  }
+  return value;
+}
+
+/// Distributed reduce of a PowerList: cyclic or block distribution, local
+/// sequential fold charged to the cost model, hypercube combine. `op` must
+/// be associative (and commutative for cyclic distribution). Every rank
+/// returns the result.
+template <typename T, typename Op>
+T mpi_reduce(Comm& comm, const std::vector<T>& full, Op op,
+             Distribution dist = Distribution::kBlock,
+             double ns_per_op = 1.0) {
+  const auto local = local_part(full, comm.rank(), comm.size(), dist);
+  T acc = local[0];
+  for (std::size_t i = 1; i < local.size(); ++i) acc = op(acc, local[i]);
+  comm.charge_compute(static_cast<double>(local.size()) * ns_per_op);
+  if (comm.size() == 1) return acc;
+  if (dist == Distribution::kBlock) {
+    // Block (tie^k) distribution: adjacent blocks differ in the LOWEST
+    // rank bit, so the ascending phase is plain recursive doubling
+    // (lowest bit first), which keeps encounter order for
+    // non-commutative ops.
+    return allreduce(comm, std::move(acc), [&](T low, T high) {
+      return op(std::move(low), std::move(high));
+    });
+  }
+  // Cyclic (zip^k) distribution: residue bit d corresponds to tree level
+  // d, so combine the deepest level (highest bit) first.
+  return hypercube_allcombine(
+      comm, std::move(acc),
+      [&](unsigned, T low, T high) { return op(std::move(low), high); });
+}
+
+/// Distributed polynomial evaluation (ascending coefficients, equation 4):
+/// cyclic distribution (zip^k), local Horner at x^P, hypercube combine
+/// with the level-dependent multiplier x^(2^level). Every rank returns the
+/// value; `ns_per_op` prices one multiply-add for the simulated clock.
+inline double mpi_polynomial_eval(Comm& comm,
+                                  const std::vector<double>& coefficients,
+                                  double x, double ns_per_op = 1.0) {
+  const int size = comm.size();
+  const auto local =
+      local_part(coefficients, comm.rank(), size, Distribution::kCyclic);
+  // Local phase: the subseries sum_j local[j] * (x^P)^j.
+  double point = x;
+  for (int s = size; s > 1; s /= 2) point *= point;
+  double acc = local.back();
+  for (std::size_t i = local.size() - 1; i > 0; --i) {
+    acc = acc * point + local[i - 1];
+  }
+  comm.charge_compute(2.0 * static_cast<double>(local.size()) * ns_per_op);
+  if (size == 1) return acc;
+  // Ascending phase: combine residue pairs, deepest level first; at level
+  // d the multiplier is x^(2^d) (low residue + x^(2^d) * high residue).
+  return hypercube_allcombine(
+      comm, acc, [&](unsigned level, double low, double high) {
+        double mult = x;
+        for (unsigned s = 0; s < level; ++s) mult *= mult;
+        comm.charge_compute(2.0 * ns_per_op);
+        return low + mult * high;
+      });
+}
+
+/// Distributed map: root scatters contiguous blocks, ranks map locally
+/// (charging ns_per_op per element), root gathers the results back in
+/// order. Returns the full mapped list at root, the local block elsewhere.
+template <typename T, typename U, typename Fn>
+std::vector<U> mpi_map(Comm& comm, const std::vector<T>& full, Fn fn,
+                       double ns_per_op = 1.0, int root = 0) {
+  const int size = comm.size();
+  PLS_CHECK(full.size() % static_cast<std::size_t>(size) == 0,
+            "list length must divide evenly over the ranks");
+  std::vector<std::vector<T>> parts;
+  if (comm.rank() == root) {
+    const std::size_t part = full.size() / static_cast<std::size_t>(size);
+    parts.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      const std::size_t lo = part * static_cast<std::size_t>(r);
+      parts.emplace_back(full.begin() + static_cast<std::ptrdiff_t>(lo),
+                         full.begin() + static_cast<std::ptrdiff_t>(lo + part));
+    }
+  }
+  const std::vector<T> local = scatter(comm, std::move(parts), root);
+  std::vector<U> mapped;
+  mapped.reserve(local.size());
+  for (const T& v : local) mapped.push_back(fn(v));
+  comm.charge_compute(static_cast<double>(local.size()) * ns_per_op);
+  auto gathered = gather(comm, std::move(mapped), root);
+  if (comm.rank() != root) return mapped;
+  std::vector<U> out;
+  out.reserve(full.size());
+  for (auto& g : gathered) {
+    out.insert(out.end(), std::make_move_iterator(g.begin()),
+               std::make_move_iterator(g.end()));
+  }
+  return out;
+}
+
+/// Distributed inclusive prefix scan of a whole list: each rank scans
+/// its contiguous block locally, an exscan of the block totals provides
+/// the offsets, and the offset folds into the local results. Rank r
+/// returns its scanned block; gather at the caller if the full list is
+/// needed. `op` must be associative.
+template <typename T, typename Op>
+std::vector<T> mpi_scan_list(Comm& comm, const std::vector<T>& full, Op op,
+                             T identity, double ns_per_op = 1.0) {
+  auto local = local_part(full, comm.rank(), comm.size(),
+                          Distribution::kBlock);
+  // Local inclusive scan.
+  for (std::size_t i = 1; i < local.size(); ++i) {
+    local[i] = op(local[i - 1], local[i]);
+  }
+  comm.charge_compute(static_cast<double>(local.size()) * ns_per_op);
+  if (comm.size() > 1) {
+    const T offset = exscan(comm, local.back(), op, identity);
+    if (comm.rank() > 0) {
+      for (T& v : local) v = op(offset, v);
+      comm.charge_compute(static_cast<double>(local.size()) * ns_per_op);
+    }
+  }
+  return local;
+}
+
+/// Distributed FFT over the hypercube (JPLF-style list-valued function):
+/// cyclic distribution, local in-place FFT of each rank's subsequence,
+/// then log2(P) butterfly rounds — at each round partner ranks exchange
+/// their spectra and apply the PowerList combine
+///   (P + u x Q) | (P - u x Q)
+/// with u = powers(len). Vector length doubles each round; after the last
+/// round every rank holds the full spectrum. `flop_ns` prices one complex
+/// multiply-add for the simulated clock.
+inline std::vector<pls::powerlist::Complex> mpi_fft(
+    Comm& comm, const std::vector<pls::powerlist::Complex>& signal,
+    double flop_ns = 1.0) {
+  using pls::powerlist::Complex;
+  const int size = comm.size();
+  PLS_CHECK(pls::is_power_of_two(signal.size()) &&
+                signal.size() >= static_cast<std::size_t>(size),
+            "FFT length must be a power of two and >= rank count");
+  auto local = local_part(signal, comm.rank(), size, Distribution::kCyclic);
+  pls::powerlist::fft_in_place(local);
+  comm.charge_compute(
+      5.0 * static_cast<double>(local.size()) *
+      (1.0 + pls::floor_log2(local.size())) * flop_ns);
+  if (size == 1) return local;
+  return hypercube_allcombine(
+      comm, std::move(local),
+      [&](unsigned, std::vector<Complex> low, std::vector<Complex> high) {
+        const std::size_t n = low.size();
+        const auto u = pls::powerlist::powers(n);
+        std::vector<Complex> out(2 * n);
+        for (std::size_t j = 0; j < n; ++j) {
+          const Complex t = u[j] * high[j];
+          out[j] = low[j] + t;
+          out[j + n] = low[j] - t;
+        }
+        comm.charge_compute(10.0 * static_cast<double>(n) * flop_ns);
+        return out;
+      });
+}
+
+}  // namespace pls::mpisim

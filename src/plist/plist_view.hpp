@@ -1,0 +1,130 @@
+// PListView: n-way generalisation of PowerListView (Kornerup's PLists,
+// Section II of the paper).
+//
+// A PList drops the power-of-two restriction and generalises the two
+// binary constructors to arities: for n >= 2,
+//   n-way tie  [ | i : i in n : p.i ]  — concatenation of n similar lists;
+//   n-way zip  [ ⋈ i : i in n : p.i ]  — interleaving of n similar lists,
+// so for p.i = [i*3, i*3+1, i*3+2]:
+//   3-way tie = [0,1,2,3,4,5,6,7,8],  3-way zip = [0,3,6,1,4,7,2,5,8]
+// (the paper's example). Deconstruction requires the length to be
+// divisible by the arity.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pls::plist {
+
+template <typename T>
+class PListView {
+ public:
+  using element_type = T;
+
+  PListView(T* base, std::size_t start, std::size_t stride,
+            std::size_t length)
+      : base_(base), start_(start), stride_(stride), length_(length) {
+    PLS_CHECK(base != nullptr, "PListView requires storage");
+    PLS_CHECK(length >= 1, "PList must be non-empty");
+    PLS_CHECK(stride >= 1, "PListView stride must be >= 1");
+  }
+
+  template <typename Vec>
+  static PListView over(Vec& storage) {
+    return PListView(storage.data(), 0, 1, storage.size());
+  }
+
+  operator PListView<const T>() const {
+    return PListView<const T>(base_, start_, stride_, length_);
+  }
+
+  std::size_t length() const noexcept { return length_; }
+  bool is_singleton() const noexcept { return length_ == 1; }
+
+  T& operator[](std::size_t i) const {
+    PLS_ASSERT(i < length_);
+    return base_[start_ + i * stride_];
+  }
+
+  bool divisible_by(std::size_t n) const noexcept {
+    return n >= 1 && length_ % n == 0;
+  }
+
+  /// n-way tie deconstruction: n consecutive blocks of length/n.
+  std::vector<PListView> tie_n(std::size_t n) const {
+    PLS_CHECK(n >= 2 && divisible_by(n),
+              "n-way tie requires length divisible by n (n >= 2)");
+    const std::size_t part = length_ / n;
+    std::vector<PListView> out;
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(
+          PListView(base_, start_ + stride_ * part * k, stride_, part));
+    }
+    return out;
+  }
+
+  /// n-way zip deconstruction: the k-th part holds indices ≡ k (mod n).
+  std::vector<PListView> zip_n(std::size_t n) const {
+    PLS_CHECK(n >= 2 && divisible_by(n),
+              "n-way zip requires length divisible by n (n >= 2)");
+    const std::size_t part = length_ / n;
+    std::vector<PListView> out;
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(
+          PListView(base_, start_ + stride_ * k, stride_ * n, part));
+    }
+    return out;
+  }
+
+  std::vector<std::remove_const_t<T>> to_vector() const {
+    std::vector<std::remove_const_t<T>> out;
+    out.reserve(length_);
+    for (std::size_t i = 0; i < length_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  T* base_;
+  std::size_t start_;
+  std::size_t stride_;
+  std::size_t length_;
+};
+
+/// n-way tie construction: concatenate n similar vectors.
+template <typename T>
+std::vector<T> tie_join(const std::vector<std::vector<T>>& parts) {
+  PLS_CHECK(!parts.empty(), "tie_join requires at least one part");
+  std::vector<T> out;
+  out.reserve(parts.size() * parts.front().size());
+  for (const auto& p : parts) {
+    PLS_CHECK(p.size() == parts.front().size(),
+              "tie_join requires similar parts");
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+/// n-way zip construction: interleave n similar vectors.
+template <typename T>
+std::vector<T> zip_join(const std::vector<std::vector<T>>& parts) {
+  PLS_CHECK(!parts.empty(), "zip_join requires at least one part");
+  const std::size_t n = parts.size();
+  const std::size_t part_len = parts.front().size();
+  for (const auto& p : parts) {
+    PLS_CHECK(p.size() == part_len, "zip_join requires similar parts");
+  }
+  std::vector<T> out(n * part_len);
+  for (std::size_t i = 0; i < part_len; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      out[i * n + k] = parts[k][i];
+    }
+  }
+  return out;
+}
+
+}  // namespace pls::plist

@@ -1,0 +1,69 @@
+// plstream — PowerList computation inside a Streams API.
+//
+// Umbrella header: pulls in the whole public API. Fine-grained headers
+// remain available for build-time-conscious users; this is the one-stop
+// include for applications and examples.
+//
+// Module map (see DESIGN.md for the full inventory):
+//   support/    bits, RNG, stopwatch, stats, function_ref, tables
+//   forkjoin/   work-stealing ForkJoinPool, parallel_for/reduce/invoke
+//   simmachine/ task-trace recorder + virtual-multicore scheduler
+//   streams/    Spliterator, Stream, Collector, collectors, unsized
+//   powerlist/  views, PowerArray, Tie/ZipSpliterators, PowerFunction,
+//               executors, the algorithm library, the Streams adaptation
+//               layer, PowerStream facade, JPLF-compatibility layer
+//   plist/      n-way views, multiway spliterators, PList functions
+//   mpisim/     message-passing simulation + distributed executors
+#pragma once
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "support/function_ref.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+#include "forkjoin/parallel.hpp"
+#include "forkjoin/pool.hpp"
+
+#include "simmachine/costmodel.hpp"
+#include "simmachine/scaling.hpp"
+#include "simmachine/scheduler.hpp"
+#include "simmachine/trace.hpp"
+
+#include "streams/collector.hpp"
+#include "streams/collectors.hpp"
+#include "streams/stream.hpp"
+#include "streams/unsized.hpp"
+
+#include "powerlist/algorithms/adder.hpp"
+#include "powerlist/algorithms/convolution.hpp"
+#include "powerlist/algorithms/fft.hpp"
+#include "powerlist/algorithms/gray.hpp"
+#include "powerlist/algorithms/hadamard.hpp"
+#include "powerlist/algorithms/inv_rev.hpp"
+#include "powerlist/algorithms/karatsuba.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/matrix.hpp"
+#include "powerlist/algorithms/mss.hpp"
+#include "powerlist/algorithms/pointwise.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/algorithms/shuffle.hpp"
+#include "powerlist/algorithms/sort.hpp"
+#include "powerlist/collector_functions.hpp"
+#include "powerlist/executors.hpp"
+#include "powerlist/jplf.hpp"
+#include "powerlist/power_array.hpp"
+#include "powerlist/power_stream.hpp"
+#include "powerlist/spliterators.hpp"
+#include "powerlist/view.hpp"
+
+#include "plist/functions.hpp"
+#include "plist/multiway_spliterator.hpp"
+#include "plist/plist_view.hpp"
+
+#include "mpisim/collectives.hpp"
+#include "mpisim/communicator.hpp"
+#include "mpisim/power_executor.hpp"

@@ -1,0 +1,60 @@
+// Polynomial multiplication (convolution) through the PowerList FFT —
+// the application that makes the FFT a *library* feature rather than a
+// demo: multiply two coefficient lists in O(n log n).
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "powerlist/algorithms/fft.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// Direct O(n*m) convolution (reference).
+inline std::vector<double> convolve_naive(const std::vector<double>& a,
+                                          const std::vector<double>& b) {
+  PLS_CHECK(!a.empty() && !b.empty(), "convolution needs non-empty inputs");
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+/// FFT convolution: zero-pad to the next power of two >= |a|+|b|-1,
+/// transform, multiply pointwise, transform back.
+inline std::vector<double> convolve_fft(const std::vector<double>& a,
+                                        const std::vector<double>& b) {
+  PLS_CHECK(!a.empty() && !b.empty(), "convolution needs non-empty inputs");
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+  std::vector<Complex> fa(n, Complex{0.0, 0.0});
+  std::vector<Complex> fb(n, Complex{0.0, 0.0});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = Complex{a[i], 0.0};
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = Complex{b[i], 0.0};
+  fft_in_place(fa);
+  fft_in_place(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  const auto inv = inverse_fft(std::move(fa));
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = inv[i].real();
+  return out;
+}
+
+/// Multiply two polynomials given as ascending coefficient lists.
+inline std::vector<double> poly_multiply(const std::vector<double>& a,
+                                         const std::vector<double>& b) {
+  // Below this size the O(n^2) kernel wins (no transform overhead).
+  constexpr std::size_t kNaiveCutoff = 64;
+  if (a.size() * b.size() <= kNaiveCutoff * kNaiveCutoff) {
+    return convolve_naive(a, b);
+  }
+  return convolve_fft(a, b);
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,139 @@
+// Fast Fourier Transform over PowerLists (Section II, equation 3).
+//
+//   fft([a])    = [a]
+//   fft(p ⋈ q)  = (P + u × Q) | (P - u × Q)
+// with P = fft(p), Q = fft(q), u = powers(p) = (w^0, ..., w^{n-1}) and w
+// the (2n)-th principal root of unity. This is the Cooley-Tukey
+// decimation-in-time algorithm written with zip deconstruction and tie
+// recombination — the flagship example of needing both operators.
+//
+// Also here: powers(), a naive O(n^2) DFT used as the correctness
+// reference, an iterative in-place radix-2 FFT (the conventional
+// optimised formulation, via the inv permutation), and the inverse
+// transform for round-trip tests.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <numbers>
+#include <utility>
+#include <vector>
+
+#include "powerlist/function.hpp"
+#include "powerlist/view.hpp"
+#include "powerlist/algorithms/inv_rev.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+using Complex = std::complex<double>;
+
+/// powers(p) for a PowerList of length n: (w^0, ..., w^{n-1}), w the
+/// (2n)-th principal root of unity, sign -1 for the forward transform.
+inline std::vector<Complex> powers(std::size_t n, double sign = -1.0) {
+  PLS_CHECK(is_power_of_two(n), "powers() requires a power-of-two length");
+  std::vector<Complex> u;
+  u.reserve(n);
+  const double theta = sign * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double a = theta * static_cast<double>(j);
+    u.emplace_back(std::cos(a), std::sin(a));
+  }
+  return u;
+}
+
+/// Naive O(n^2) discrete Fourier transform (reference).
+inline std::vector<Complex> dft(PowerListView<const Complex> p,
+                                double sign = -1.0) {
+  const std::size_t n = p.length();
+  std::vector<Complex> out(n);
+  const double theta = sign * 2.0 * std::numbers::pi / static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = theta * static_cast<double>(k * j);
+      acc += p[j] * Complex{std::cos(a), std::sin(a)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+/// fft as a PowerFunction: zip deconstruction, butterfly recombination.
+/// The basic case on a leaf sublist is a direct DFT of that sublist (the
+/// "sequential computation" specialisation Section V describes for leaves
+/// where parallel decomposition stopped).
+class FftFunction final : public PowerFunction<Complex, std::vector<Complex>> {
+ public:
+  explicit FftFunction(double sign = -1.0) : sign_(sign) {}
+
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kZip;
+  }
+
+  std::vector<Complex> basic_case(PowerListView<const Complex> leaf,
+                                  const NoContext&) const override {
+    if (leaf.length() == 1) return {leaf[0]};
+    return dft(leaf, sign_);
+  }
+
+  std::vector<Complex> combine(std::vector<Complex>&& left,
+                               std::vector<Complex>&& right, const NoContext&,
+                               std::size_t) const override {
+    const std::size_t n = left.size();
+    const std::vector<Complex> u = powers(n, sign_);
+    std::vector<Complex> out(2 * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex t = u[j] * right[j];
+      out[j] = left[j] + t;       // P + u×Q
+      out[j + n] = left[j] - t;   // P - u×Q  (tie recombination)
+    }
+    return out;
+  }
+
+  double leaf_cost_ops(std::size_t len) const override {
+    return len == 1 ? 1.0 : static_cast<double>(len * len * 8);
+  }
+  double combine_cost_ops(std::size_t len) const override {
+    return static_cast<double>(len) * 10.0;  // twiddle + butterfly per pair
+  }
+
+ private:
+  double sign_;
+};
+
+/// Iterative in-place radix-2 FFT: inv (bit-reversal) permutation followed
+/// by log n butterfly passes. The conventional optimised formulation used
+/// as the performance baseline in the FFT bench.
+inline void fft_in_place(std::vector<Complex>& a, double sign = -1.0) {
+  PLS_CHECK(is_power_of_two(a.size()), "FFT length must be a power of two");
+  inv_permute_in_place(a);
+  const std::size_t n = a.size();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double theta =
+        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex w_len{std::cos(theta), std::sin(theta)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex even = a[i + j];
+        const Complex odd = a[i + j + len / 2] * w;
+        a[i + j] = even + odd;
+        a[i + j + len / 2] = even - odd;
+        w *= w_len;
+      }
+    }
+  }
+}
+
+/// Inverse FFT (unscaled forward with sign +1, then divide by n).
+inline std::vector<Complex> inverse_fft(std::vector<Complex> spectrum) {
+  fft_in_place(spectrum, +1.0);
+  const double n = static_cast<double>(spectrum.size());
+  for (Complex& c : spectrum) c /= n;
+  return spectrum;
+}
+
+}  // namespace pls::powerlist

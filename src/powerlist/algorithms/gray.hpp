@@ -1,0 +1,42 @@
+// Gray code sequences as a PowerList construction (Section III lists Gray
+// codes among the functions expressible in the theory).
+//
+// The binary-reflected Gray code sequence satisfies the PowerList
+// recursion
+//   G(0)   = [0]
+//   G(n+1) = (0·G(n)) | (1·rev(G(n)))
+// i.e. tie of the previous sequence with a 0 bit prefixed and its reversal
+// with a 1 bit prefixed — a tie+rev construction. The closed form is
+// g(i) = i xor (i >> 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// The 2^bits binary-reflected Gray codes via the PowerList recursion.
+inline std::vector<std::uint64_t> gray_sequence(unsigned bits) {
+  PLS_CHECK(bits <= 62, "gray_sequence supports at most 62 bits");
+  std::vector<std::uint64_t> g{0};
+  for (unsigned b = 0; b < bits; ++b) {
+    const std::uint64_t prefix = std::uint64_t{1} << b;
+    const std::size_t n = g.size();
+    g.reserve(2 * n);
+    // 1·rev(G(b)): append the reversal with the new bit set.
+    for (std::size_t i = n; i > 0; --i) {
+      g.push_back(prefix | g[i - 1]);
+    }
+  }
+  return g;
+}
+
+/// Closed-form n-th Gray code (reference; also exported from support/bits).
+inline std::uint64_t gray_closed_form(std::uint64_t n) {
+  return gray_code(n);
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,61 @@
+// Walsh-Hadamard transform: the concrete instance of the paper's
+// equation 5 family
+//     f([a])   = [a]
+//     f(p | q) = f(p ⊕ q) | f(p ⊗ q)
+// with ⊕ = + and ⊗ = −. These are the functions whose *descending* phase
+// transforms the data (the elements must be rewritten while splitting),
+// which the Streams adaptation supports through a trySplit override
+// (see DescendOpSpliterator in collector_functions.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// O(n^2) reference: WHT[k] = sum_j (-1)^popcount(j & k) v[j]
+/// (Sylvester/Hadamard ordering, which the equation-5 recursion produces).
+template <typename T>
+std::vector<T> wht_reference(const std::vector<T>& v) {
+  PLS_CHECK(is_power_of_two(v.size()), "WHT length must be a power of two");
+  std::vector<T> out(v.size());
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    T acc{};
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      if (popcount64(j & k) % 2 == 0) {
+        acc += v[j];
+      } else {
+        acc -= v[j];
+      }
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+/// Apply the equation-5 recursion to the window [lo, lo+n) in place.
+template <typename T>
+void wht_in_place_range(std::vector<T>& v, std::size_t lo, std::size_t n) {
+  if (n < 2) return;
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const T a = v[lo + i];
+    const T b = v[lo + half + i];
+    v[lo + i] = a + b;       // ⊕ side
+    v[lo + half + i] = a - b;  // ⊗ side
+  }
+  wht_in_place_range(v, lo, half);
+  wht_in_place_range(v, lo + half, half);
+}
+
+/// Fast in-place WHT via the equation-5 recursion (O(n log n)).
+template <typename T>
+void wht_in_place(std::vector<T>& v) {
+  PLS_CHECK(is_power_of_two(v.size()), "WHT length must be a power of two");
+  wht_in_place_range(v, std::size_t{0}, v.size());
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,102 @@
+// inv and rev: the permutations that need both operators (Section II).
+//
+//   inv([a])   = [a]                rev([a])   = [a]
+//   inv(p | q) = inv(p) ⋈ inv(q)    rev(p | q) = rev(q) | rev(p)
+//
+// inv moves the element at index b to the index whose binary
+// representation is the reversal of b's — it is the permutation that makes
+// the iterative FFT work, and the canonical example of a function
+// inexpressible with one deconstruction operator alone (equation 2).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "powerlist/function.hpp"
+#include "powerlist/power_array.hpp"
+#include "powerlist/view.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// inv as a PowerFunction: tie deconstruction, zip recombination.
+template <typename T>
+class InvFunction final : public PowerFunction<T, PowerArray<T>> {
+ public:
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kTie;
+  }
+
+  PowerArray<T> basic_case(PowerListView<const T> leaf,
+                           const NoContext&) const override {
+    // inv on a leaf sublist: the bit-reversal permutation of the leaf.
+    PowerArray<T> out;
+    const unsigned bits = leaf.levels();
+    for (std::size_t i = 0; i < leaf.length(); ++i) {
+      out.add(leaf[reverse_bits(i, bits)]);
+    }
+    return out;
+  }
+
+  PowerArray<T> combine(PowerArray<T>&& left, PowerArray<T>&& right,
+                        const NoContext&, std::size_t) const override {
+    left.zip_all(right);
+    return std::move(left);
+  }
+
+  double combine_cost_ops(std::size_t len) const override {
+    return static_cast<double>(len);
+  }
+};
+
+/// rev as a PowerFunction: tie both ways, halves swapped.
+template <typename T>
+class RevFunction final : public PowerFunction<T, PowerArray<T>> {
+ public:
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kTie;
+  }
+
+  PowerArray<T> basic_case(PowerListView<const T> leaf,
+                           const NoContext&) const override {
+    PowerArray<T> out;
+    for (std::size_t i = leaf.length(); i > 0; --i) out.add(leaf[i - 1]);
+    return out;
+  }
+
+  PowerArray<T> combine(PowerArray<T>&& left, PowerArray<T>&& right,
+                        const NoContext&, std::size_t) const override {
+    right.tie_all(left);
+    return std::move(right);
+  }
+
+  double combine_cost_ops(std::size_t len) const override {
+    return static_cast<double>(len);
+  }
+};
+
+/// Direct O(n) bit-reversal permutation (reference implementation and the
+/// building block of the iterative FFT). Accepts const or mutable views.
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> inv_permutation(PowerListView<TV> p) {
+  const unsigned bits = p.levels();
+  std::vector<T> out(p.length());
+  for (std::size_t i = 0; i < p.length(); ++i) {
+    out[reverse_bits(i, bits)] = p[i];
+  }
+  return out;
+}
+
+/// In-place bit-reversal permutation of a power-of-two-sized vector.
+template <typename T>
+void inv_permute_in_place(std::vector<T>& v) {
+  const unsigned bits = exact_log2(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const std::size_t j = reverse_bits(i, bits);
+    if (i < j) std::swap(v[i], v[j]);
+  }
+}
+
+}  // namespace pls::powerlist

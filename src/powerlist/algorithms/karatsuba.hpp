@@ -1,0 +1,96 @@
+// Karatsuba polynomial multiplication — divide-and-conquer with THREE
+// sub-problems per level, the textbook example of why the PList
+// generalisation (arbitrary arity, Section II) matters: binary
+// PowerList recursion cannot express it, the 3-way skeleton can.
+//
+//   a = a_lo + a_hi x^m,  b = b_lo + b_hi x^m          (m = n/2)
+//   a*b = P0 + (P2 - P0 - P1) x^m + P1 x^{2m}
+//   P0 = a_lo*b_lo,  P1 = a_hi*b_hi,  P2 = (a_lo+a_hi)*(b_lo+b_hi)
+//
+// O(n^{log2 3}) multiplications; the three products are independent and
+// fork on the pool.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/algorithms/convolution.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+namespace detail {
+
+template <typename T>
+std::vector<T> karatsuba_rec(const std::vector<T>& a,
+                             const std::vector<T>& b, std::size_t cutoff,
+                             forkjoin::ForkJoinPool* pool) {
+  const std::size_t n = a.size();  // == b.size(), power of two
+  if (n <= cutoff) {
+    // Base case: schoolbook convolution.
+    std::vector<T> out(2 * n - 1, T{});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) out[i + j] += a[i] * b[j];
+    }
+    out.resize(2 * n, T{});  // uniform length simplifies recombination
+    return out;
+  }
+  const std::size_t m = n / 2;
+  const std::vector<T> a_lo(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(m));
+  const std::vector<T> a_hi(a.begin() + static_cast<std::ptrdiff_t>(m), a.end());
+  const std::vector<T> b_lo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(m));
+  const std::vector<T> b_hi(b.begin() + static_cast<std::ptrdiff_t>(m), b.end());
+  std::vector<T> a_sum(m), b_sum(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    a_sum[i] = a_lo[i] + a_hi[i];
+    b_sum[i] = b_lo[i] + b_hi[i];
+  }
+
+  std::optional<std::vector<T>> p0, p1, p2;
+  if (pool != nullptr) {
+    pool->invoke_two(
+        [&] { p0.emplace(karatsuba_rec(a_lo, b_lo, cutoff, pool)); },
+        [&] {
+          pool->invoke_two(
+              [&] { p1.emplace(karatsuba_rec(a_hi, b_hi, cutoff, pool)); },
+              [&] { p2.emplace(karatsuba_rec(a_sum, b_sum, cutoff, pool)); });
+        });
+  } else {
+    p0.emplace(karatsuba_rec(a_lo, b_lo, cutoff, nullptr));
+    p1.emplace(karatsuba_rec(a_hi, b_hi, cutoff, nullptr));
+    p2.emplace(karatsuba_rec(a_sum, b_sum, cutoff, nullptr));
+  }
+
+  // Combine: out = P0 + (P2 - P0 - P1) x^m + P1 x^{2m}.  |Pk| = 2m = n.
+  std::vector<T> out(2 * n, T{});
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] += (*p0)[i];
+    out[i + m] += (*p2)[i] - (*p0)[i] - (*p1)[i];
+    out[i + n] += (*p1)[i];
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Multiply two ascending-coefficient polynomials of equal power-of-two
+/// length; returns 2n coefficients (the top one zero-padded).
+/// Fork the three sub-products on `pool` when given.
+template <typename T>
+std::vector<T> karatsuba_multiply(const std::vector<T>& a,
+                                  const std::vector<T>& b,
+                                  std::size_t cutoff = 32,
+                                  forkjoin::ForkJoinPool* pool = nullptr) {
+  PLS_CHECK(a.size() == b.size() && is_power_of_two(a.size()),
+            "karatsuba requires similar power-of-two inputs");
+  PLS_CHECK(cutoff >= 1, "cutoff must be >= 1");
+  if (pool != nullptr) {
+    return pool->run(
+        [&] { return detail::karatsuba_rec(a, b, cutoff, pool); });
+  }
+  return detail::karatsuba_rec(a, b, cutoff, nullptr);
+}
+
+}  // namespace pls::powerlist

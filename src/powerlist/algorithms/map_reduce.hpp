@@ -1,0 +1,103 @@
+// map and reduce as PowerList functions (Section II, equation 1).
+//
+//   map(f, [a])    = [f a]
+//   map(f, p | q)  = map(f, p) | map(f, q)        (or the zip variant)
+//   red(op, [a])   = a
+//   red(op, p | q) = op(red(op, p), red(op, q))
+//
+// Both admit tie- and zip-based definitions; the choice changes the memory
+// access pattern, not the result (for reduce under zip this additionally
+// requires commutativity — see the class comments). The tie/zip ablation
+// bench measures exactly this difference.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "powerlist/function.hpp"
+#include "powerlist/power_array.hpp"
+#include "powerlist/view.hpp"
+
+namespace pls::powerlist {
+
+/// map as a PowerFunction producing an owning PowerArray. The combine
+/// operator mirrors the decomposition operator, so the output ordering is
+/// restored whichever way the input was split.
+template <typename T, typename U, typename Fn>
+class MapFunction final : public PowerFunction<T, PowerArray<U>> {
+ public:
+  explicit MapFunction(Fn fn, DecompositionOp op = DecompositionOp::kTie)
+      : fn_(std::move(fn)), op_(op) {}
+
+  DecompositionOp decomposition() const override { return op_; }
+
+  PowerArray<U> basic_case(PowerListView<const T> leaf,
+                           const NoContext&) const override {
+    PowerArray<U> out;
+    for (std::size_t i = 0; i < leaf.length(); ++i) out.add(fn_(leaf[i]));
+    return out;
+  }
+
+  PowerArray<U> combine(PowerArray<U>&& left, PowerArray<U>&& right,
+                        const NoContext&, std::size_t) const override {
+    if (op_ == DecompositionOp::kTie) {
+      left.tie_all(right);
+    } else {
+      left.zip_all(right);
+    }
+    return std::move(left);
+  }
+
+  double combine_cost_ops(std::size_t len) const override {
+    return static_cast<double>(len);  // container merge is O(len)
+  }
+
+ private:
+  Fn fn_;
+  DecompositionOp op_;
+};
+
+/// reduce as a PowerFunction. `op` must be associative; with zip
+/// decomposition it must also be commutative (zip reorders the fold).
+template <typename T, typename Op>
+class ReduceFunction final : public PowerFunction<T, T> {
+ public:
+  explicit ReduceFunction(Op op, DecompositionOp decomp = DecompositionOp::kTie)
+      : op_(std::move(op)), decomp_(decomp) {}
+
+  DecompositionOp decomposition() const override { return decomp_; }
+
+  T basic_case(PowerListView<const T> leaf, const NoContext&) const override {
+    T acc = leaf[0];
+    for (std::size_t i = 1; i < leaf.length(); ++i) acc = op_(acc, leaf[i]);
+    return acc;
+  }
+
+  T combine(T&& left, T&& right, const NoContext&,
+            std::size_t) const override {
+    return op_(std::move(left), std::move(right));
+  }
+
+ private:
+  Op op_;
+  DecompositionOp decomp_;
+};
+
+/// In-place map over views: dst[i] = f(src[i]), divide-and-conquer via
+/// the requested operator (no allocation; used by the executors' benches).
+template <typename T, typename U, typename Fn>
+void map_into(PowerListView<const T> src, PowerListView<U> dst, const Fn& fn,
+              DecompositionOp op = DecompositionOp::kTie) {
+  PLS_CHECK(src.similar(dst), "map_into requires similar views");
+  if (src.length() == 1) {
+    dst[0] = fn(src[0]);
+    return;
+  }
+  const auto [src_left, src_right] = src.split(op);
+  const auto [dst_left, dst_right] = dst.split(op);
+  map_into(src_left, dst_left, fn, op);
+  map_into(src_right, dst_right, fn, op);
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,273 @@
+// Matrices as two-dimensional PowerLists: quadrant divide-and-conquer.
+//
+// The paper's related work ([3], Anand & Shyamasundar) uses PowerLists to
+// "capture both parallelism and recursion succinctly" for partitioned
+// matrices. This module gives the same flavour on a shared-memory
+// substrate: square matrices of power-of-two order with no-copy quadrant
+// views (the 2D analogue of tie deconstruction), and the classic D&C
+// kernels — transpose, matrix-vector, and matrix-matrix multiplication —
+// each with a fork-join parallel variant and a naive reference.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// Square power-of-two-order matrix, row-major owning storage.
+class Matrix {
+ public:
+  Matrix() : order_(0) {}
+
+  explicit Matrix(std::size_t order, double fill = 0.0)
+      : order_(order), cells_(order * order, fill) {
+    PLS_CHECK(is_power_of_two(order), "matrix order must be a power of two");
+  }
+
+  static Matrix identity(std::size_t order) {
+    Matrix m(order);
+    for (std::size_t i = 0; i < order; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t order() const noexcept { return order_; }
+
+  double& at(std::size_t row, std::size_t col) {
+    PLS_ASSERT(row < order_ && col < order_);
+    return cells_[row * order_ + col];
+  }
+  double at(std::size_t row, std::size_t col) const {
+    PLS_ASSERT(row < order_ && col < order_);
+    return cells_[row * order_ + col];
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.order_ == b.order_ && a.cells_ == b.cells_;
+  }
+
+  double max_abs_diff(const Matrix& other) const {
+    PLS_CHECK(order_ == other.order_, "matrices must be similar");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      worst = std::max(worst, std::abs(cells_[i] - other.cells_[i]));
+    }
+    return worst;
+  }
+
+ private:
+  std::size_t order_;
+  std::vector<double> cells_;
+};
+
+/// No-copy view of a square sub-block (the 2D analogue of PowerListView):
+/// (storage, row0, col0, order, row_stride).
+template <typename M>  // Matrix or const Matrix
+class MatrixView {
+ public:
+  explicit MatrixView(M& matrix)
+      : matrix_(&matrix), row0_(0), col0_(0), order_(matrix.order()) {}
+
+  MatrixView(M& matrix, std::size_t row0, std::size_t col0,
+             std::size_t order)
+      : matrix_(&matrix), row0_(row0), col0_(col0), order_(order) {
+    PLS_CHECK(row0 + order <= matrix.order() &&
+                  col0 + order <= matrix.order(),
+              "matrix view out of range");
+  }
+
+  std::size_t order() const noexcept { return order_; }
+
+  decltype(auto) at(std::size_t r, std::size_t c) const {
+    return matrix_->at(row0_ + r, col0_ + c);
+  }
+
+  /// Quadrant deconstruction: (r, c) in {0,1}^2 selects the block.
+  MatrixView quadrant(int r, int c) const {
+    PLS_CHECK(order_ >= 2, "cannot deconstruct a 1x1 matrix");
+    const std::size_t half = order_ / 2;
+    return MatrixView(*matrix_, row0_ + (r != 0 ? half : 0),
+                      col0_ + (c != 0 ? half : 0), half);
+  }
+
+ private:
+  M* matrix_;
+  std::size_t row0_;
+  std::size_t col0_;
+  std::size_t order_;
+};
+
+// ---- reference kernels -----------------------------------------------
+
+/// Naive O(n^3) multiplication (reference).
+inline Matrix matmul_naive(const Matrix& a, const Matrix& b) {
+  PLS_CHECK(a.order() == b.order(), "matrices must be similar");
+  const std::size_t n = a.order();
+  Matrix out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        out.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+/// Naive matrix-vector product (reference).
+inline std::vector<double> matvec_naive(const Matrix& a,
+                                        const std::vector<double>& x) {
+  PLS_CHECK(a.order() == x.size(), "vector length must match matrix order");
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t i = 0; i < a.order(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.order(); ++j) acc += a.at(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+// ---- quadrant D&C kernels ----------------------------------------------
+
+namespace detail {
+
+/// dst += a * b over views, splitting into quadrants until `leaf`.
+/// The 8 sub-multiplications group into two rounds of 4: within a round
+/// the destination quadrants are disjoint, so the 4 tasks fork safely;
+/// the rounds are sequenced because both accumulate into dst.
+template <typename MA, typename MB, typename MD>
+void matmul_acc(MatrixView<MA> a, MatrixView<MB> b, MatrixView<MD> dst,
+                std::size_t leaf, forkjoin::ForkJoinPool* pool) {
+  const std::size_t n = a.order();
+  if (n <= leaf) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double aik = a.at(i, k);
+        for (std::size_t j = 0; j < n; ++j) {
+          dst.at(i, j) += aik * b.at(k, j);
+        }
+      }
+    }
+    return;
+  }
+  for (int round = 0; round < 2; ++round) {
+    auto task = [&, round](int r, int c) {
+      // dst[r][c] += a[r][round] * b[round][c]
+      matmul_acc(a.quadrant(r, round), b.quadrant(round, c),
+                 dst.quadrant(r, c), leaf, pool);
+    };
+    if (pool != nullptr) {
+      pool->invoke_two(
+          [&] {
+            pool->invoke_two([&] { task(0, 0); }, [&] { task(0, 1); });
+          },
+          [&] {
+            pool->invoke_two([&] { task(1, 0); }, [&] { task(1, 1); });
+          });
+    } else {
+      task(0, 0);
+      task(0, 1);
+      task(1, 0);
+      task(1, 1);
+    }
+  }
+}
+
+template <typename MS, typename MD>
+void transpose_rec(MatrixView<MS> src, MatrixView<MD> dst,
+                   std::size_t leaf) {
+  const std::size_t n = src.order();
+  if (n <= leaf) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dst.at(j, i) = src.at(i, j);
+      }
+    }
+    return;
+  }
+  // dst quadrant (c, r) receives src quadrant (r, c) transposed.
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      transpose_rec(src.quadrant(r, c), dst.quadrant(c, r), leaf);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Quadrant D&C multiplication; sequential when pool is null.
+inline Matrix matmul_dc(const Matrix& a, const Matrix& b,
+                        std::size_t leaf = 32,
+                        forkjoin::ForkJoinPool* pool = nullptr) {
+  PLS_CHECK(a.order() == b.order(), "matrices must be similar");
+  PLS_CHECK(leaf >= 1, "leaf must be >= 1");
+  Matrix out(a.order());
+  MatrixView<const Matrix> va(a), vb(b);
+  MatrixView<Matrix> vo(out);
+  if (pool != nullptr) {
+    pool->run([&] { detail::matmul_acc(va, vb, vo, leaf, pool); });
+  } else {
+    detail::matmul_acc(va, vb, vo, leaf,
+                       static_cast<forkjoin::ForkJoinPool*>(nullptr));
+  }
+  return out;
+}
+
+/// Cache-oblivious D&C transpose.
+inline Matrix transpose_dc(const Matrix& a, std::size_t leaf = 32) {
+  Matrix out(a.order());
+  MatrixView<const Matrix> src(a);
+  MatrixView<Matrix> dst(out);
+  detail::transpose_rec(src, dst, leaf);
+  return out;
+}
+
+/// Matrix-vector product by row-halving (tie over the row PowerList);
+/// forks the two halves when a pool is given.
+inline std::vector<double> matvec_dc(const Matrix& a,
+                                     const std::vector<double>& x,
+                                     std::size_t leaf_rows = 64,
+                                     forkjoin::ForkJoinPool* pool = nullptr) {
+  PLS_CHECK(a.order() == x.size(), "vector length must match matrix order");
+  std::vector<double> y(x.size(), 0.0);
+  struct Runner {
+    const Matrix& a;
+    const std::vector<double>& x;
+    std::vector<double>& y;
+    std::size_t leaf;
+    forkjoin::ForkJoinPool* pool;
+    void rows(std::size_t lo, std::size_t hi) {
+      if (hi - lo <= leaf) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          double acc = 0.0;
+          for (std::size_t j = 0; j < a.order(); ++j) {
+            acc += a.at(i, j) * x[j];
+          }
+          y[i] = acc;
+        }
+        return;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (pool != nullptr) {
+        pool->invoke_two([&] { rows(lo, mid); }, [&] { rows(mid, hi); });
+      } else {
+        rows(lo, mid);
+        rows(mid, hi);
+      }
+    }
+  } runner{a, x, y, leaf_rows, pool};
+  if (pool != nullptr) {
+    pool->run([&] { runner.rows(0, a.order()); });
+  } else {
+    runner.rows(0, a.order());
+  }
+  return y;
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,58 @@
+// Extended pointwise operators on similar PowerLists (Section II).
+//
+// Scalar binary operators extend to PowerLists positionally: (p op q)[i] =
+// p[i] op q[i] for similar (equal-length) p, q; scalars broadcast
+// (x · p)[i] = x · p[i]. The FFT definition uses + , - and × in exactly
+// this sense.
+#pragma once
+
+#include <vector>
+
+#include "powerlist/view.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+/// Elementwise op over similar PowerLists, materialised into a vector.
+template <typename T, typename U, typename Op>
+auto pointwise(PowerListView<const T> a, PowerListView<const U> b, Op op)
+    -> std::vector<decltype(op(a[0], b[0]))> {
+  PLS_CHECK(a.similar(b), "pointwise operators require similar PowerLists");
+  std::vector<decltype(op(a[0], b[0]))> out;
+  out.reserve(a.length());
+  for (std::size_t i = 0; i < a.length(); ++i) out.push_back(op(a[i], b[i]));
+  return out;
+}
+
+/// Elementwise op writing into a destination view (no allocation).
+template <typename T, typename U, typename V, typename Op>
+void pointwise_into(PowerListView<const T> a, PowerListView<const U> b,
+                    PowerListView<V> dst, Op op) {
+  PLS_CHECK(a.similar(b) && a.similar(dst),
+            "pointwise operators require similar PowerLists");
+  for (std::size_t i = 0; i < a.length(); ++i) dst[i] = op(a[i], b[i]);
+}
+
+/// Broadcast a scalar over a PowerList: out[i] = op(scalar, p[i]).
+template <typename S, typename T, typename Op>
+auto broadcast(const S& scalar, PowerListView<const T> p, Op op)
+    -> std::vector<decltype(op(scalar, p[0]))> {
+  std::vector<decltype(op(scalar, p[0]))> out;
+  out.reserve(p.length());
+  for (std::size_t i = 0; i < p.length(); ++i) out.push_back(op(scalar, p[i]));
+  return out;
+}
+
+/// p + q on similar PowerLists.
+template <typename T>
+std::vector<T> add(PowerListView<const T> a, PowerListView<const T> b) {
+  return pointwise(a, b, [](const T& x, const T& y) { return x + y; });
+}
+
+/// p × q (elementwise) on similar PowerLists.
+template <typename T>
+std::vector<T> mul(PowerListView<const T> a, PowerListView<const T> b) {
+  return pointwise(a, b, [](const T& x, const T& y) { return x * y; });
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,139 @@
+// Polynomial evaluation over PowerLists — the paper's running example and
+// the workload of its performance evaluation (Figures 3 and 4).
+//
+// With ascending coefficients (coeffs[i] multiplies x^i) the PowerList
+// definition is equation 4:
+//   vp([a], x)      = a
+//   vp(p ⋈ q, x)    = vp(p, x²) + x · vp(q, x²)
+// The descending phase squares the point — the canonical example of a
+// function with "additional operations at the splitting phase".
+//
+// Two conventions appear in the paper: equation 4 uses ascending
+// coefficients, while the PolynomialValue collector code uses Horner's
+// descending order (first coefficient = highest power). This header
+// provides sequential references for both; PolynomialFunction implements
+// equation 4, and the collector port (collector_functions.hpp) follows the
+// paper's code.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "powerlist/executors.hpp"
+#include "powerlist/function.hpp"
+#include "powerlist/view.hpp"
+
+namespace pls::powerlist {
+
+/// Horner evaluation, ascending coefficients: sum coeffs[i] * x^i.
+/// TV may be const-qualified (mutable and const views both accepted).
+template <typename TV, typename T = std::remove_const_t<TV>>
+T horner_ascending(PowerListView<TV> coeffs, T x) {
+  T acc = coeffs[coeffs.length() - 1];
+  for (std::size_t i = coeffs.length() - 1; i > 0; --i) {
+    acc = acc * x + coeffs[i - 1];
+  }
+  return acc;
+}
+
+/// Horner evaluation, descending coefficients: coeffs[0] is the leading
+/// coefficient (the convention of the paper's collector code).
+template <typename TV, typename T = std::remove_const_t<TV>>
+T horner_descending(PowerListView<TV> coeffs, T x) {
+  T acc = coeffs[0];
+  for (std::size_t i = 1; i < coeffs.length(); ++i) {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+
+/// Equation 4 as a PowerFunction. Context = the evaluation point for the
+/// current node; descend squares it; combine is l + x·r.
+template <typename T>
+class PolynomialFunction final : public PowerFunction<T, T, T> {
+ public:
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kZip;
+  }
+
+  T basic_case(PowerListView<const T> leaf, const T& x) const override {
+    // The leaf holds every 2^k-th coefficient; with the context already
+    // squared k times, plain Horner on the leaf evaluates its subseries.
+    return horner_ascending(leaf, x);
+  }
+
+  T combine(T&& left, T&& right, const T& x, std::size_t) const override {
+    return left + x * right;
+  }
+
+  std::pair<T, T> descend(const T& x, std::size_t) const override {
+    const T squared = x * x;
+    return {squared, squared};
+  }
+
+  double leaf_cost_ops(std::size_t len) const override {
+    return 2.0 * static_cast<double>(len);  // one mul + one add per coeff
+  }
+  double descend_cost_ops(std::size_t) const override { return 1.0; }
+  double combine_cost_ops(std::size_t) const override { return 2.0; }
+};
+
+/// The tupling transformation of the paper's reference [22] ("Transforming
+/// powerlist based divide&conquer programs for an improved execution
+/// model"): equation 4's descending-phase squaring disappears when each
+/// node returns the *pair* (value, x^length) and the function switches to
+/// tie decomposition:
+///     F([a])    = (a, x)
+///     F(p | q)  = (v_p + w_p * v_q,  w_p * w_q)
+///                 where (v_p, w_p) = F(p), (v_q, w_q) = F(q)
+/// — no context flows down at all; the powers of x are built bottom-up.
+template <typename T>
+struct PolyPair {
+  T value{};  ///< vp(part, x)
+  T power{};  ///< x^length(part)
+};
+
+template <typename T>
+class TupledPolynomialFunction final
+    : public PowerFunction<T, PolyPair<T>, T> {
+ public:
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kTie;
+  }
+
+  PolyPair<T> basic_case(PowerListView<const T> leaf,
+                         const T& x) const override {
+    // Sequential Horner over the leaf plus x^len, both O(len).
+    PolyPair<T> out;
+    out.value = horner_ascending(leaf, x);
+    out.power = x;
+    for (std::size_t i = 1; i < leaf.length(); ++i) out.power *= x;
+    return out;
+  }
+
+  PolyPair<T> combine(PolyPair<T>&& left, PolyPair<T>&& right, const T&,
+                      std::size_t) const override {
+    return PolyPair<T>{left.value + left.power * right.value,
+                       left.power * right.power};
+  }
+
+  /// No descending work: contexts just copy (the default), which is the
+  /// point of the transformation.
+
+  double leaf_cost_ops(std::size_t len) const override {
+    return 3.0 * static_cast<double>(len);  // Horner + power build-up
+  }
+  double combine_cost_ops(std::size_t) const override { return 3.0; }
+};
+
+/// Convenience: evaluate via the tupled function (ascending coefficients).
+template <typename TV, typename T = std::remove_const_t<TV>>
+T polynomial_value_tupled(PowerListView<TV> coeffs, T x,
+                          std::size_t leaf_size = 1) {
+  TupledPolynomialFunction<T> f;
+  return execute_sequential(f, PowerListView<const T>(coeffs), x, leaf_size)
+      .value;
+}
+
+}  // namespace pls::powerlist

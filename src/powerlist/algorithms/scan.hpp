@@ -1,0 +1,98 @@
+// Prefix sums (scan) over PowerLists.
+//
+// Three implementations of inclusive scan with an associative operator:
+//   - scan_sequential: the O(n) reference;
+//   - SklanskyScanFunction: the tie-based PowerList recursion
+//       ps(p | q) = ps(p) | (last(ps(p)) ⊕ ps(q))
+//     (O(n log n) work, O(log n) depth — Sklansky's construction);
+//   - scan_ladner_fischer: the zip-based recursion from Misra's paper
+//       ps(p ⋈ q) = (shift(t) ⊕ p) ⋈ t   where t = ps(p ⊕ q)
+//     which performs work at the *descending* phase (computing p ⊕ q
+//     before the single recursive call) — the shape of equation 5 in the
+//     paper, where splitting is not pure data distribution.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "powerlist/function.hpp"
+#include "powerlist/power_array.hpp"
+#include "powerlist/view.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+/// Inclusive sequential scan of a view (const or mutable).
+template <typename TV, typename Op, typename T = std::remove_const_t<TV>>
+std::vector<T> scan_sequential(PowerListView<TV> p, Op op) {
+  std::vector<T> out;
+  out.reserve(p.length());
+  T acc = p[0];
+  out.push_back(acc);
+  for (std::size_t i = 1; i < p.length(); ++i) {
+    acc = op(acc, p[i]);
+    out.push_back(acc);
+  }
+  return out;
+}
+
+/// Sklansky's scan as a tie-based PowerFunction.
+template <typename T, typename Op>
+class SklanskyScanFunction final : public PowerFunction<T, PowerArray<T>> {
+ public:
+  explicit SklanskyScanFunction(Op op) : op_(std::move(op)) {}
+
+  DecompositionOp decomposition() const override {
+    return DecompositionOp::kTie;
+  }
+
+  PowerArray<T> basic_case(PowerListView<const T> leaf,
+                           const NoContext&) const override {
+    return PowerArray<T>(scan_sequential(leaf, op_));
+  }
+
+  PowerArray<T> combine(PowerArray<T>&& left, PowerArray<T>&& right,
+                        const NoContext&, std::size_t) const override {
+    const T& carry = left[left.size() - 1];
+    for (std::size_t i = 0; i < right.size(); ++i) {
+      right[i] = op_(carry, right[i]);
+    }
+    left.tie_all(right);
+    return std::move(left);
+  }
+
+  double combine_cost_ops(std::size_t len) const override {
+    return static_cast<double>(len);  // half the node is updated + merge
+  }
+
+ private:
+  Op op_;
+};
+
+/// Ladner-Fischer scan: the zip-based PowerList recursion. Note the
+/// descending-phase computation (p ⊕ q) and the *single* recursive call —
+/// a D&C shape outside the binary-fork skeleton, implemented directly.
+template <typename TV, typename Op, typename T = std::remove_const_t<TV>>
+std::vector<T> scan_ladner_fischer(PowerListView<TV> p, const Op& op) {
+  if (p.length() == 1) return {p[0]};
+  const auto [evens, odds] = p.zip();
+  // Descending phase: pairwise-combined list (p ⊕ q).
+  std::vector<T> pairs;
+  pairs.reserve(evens.length());
+  for (std::size_t i = 0; i < evens.length(); ++i) {
+    pairs.push_back(op(evens[i], odds[i]));
+  }
+  const std::vector<T> t =
+      scan_ladner_fischer(PowerListView<const T>::over(pairs), op);
+  // Ascending phase: interleave (shift(t) ⊕ p) with t.
+  std::vector<T> out(p.length());
+  for (std::size_t i = 0; i < evens.length(); ++i) {
+    out[2 * i] = (i == 0) ? evens[0] : op(t[i - 1], evens[i]);
+    out[2 * i + 1] = t[i];
+  }
+  return out;
+}
+
+}  // namespace pls::powerlist

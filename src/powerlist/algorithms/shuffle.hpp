@@ -1,0 +1,77 @@
+// Permutation functions from Misra's PowerList paper: shift, rotate, and
+// the perfect shuffle (the permutation that ties `tie` and `zip`
+// together: shuffle(p | q) = p ⋈ q).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "powerlist/view.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+/// shift(p, fill): every element moves one position right; the first
+/// position takes `fill` and the last element falls off. (The `shift`
+/// used by the Ladner-Fischer scan definition.)
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> shift_right(PowerListView<TV> p, T fill) {
+  std::vector<T> out;
+  out.reserve(p.length());
+  out.push_back(std::move(fill));
+  for (std::size_t i = 0; i + 1 < p.length(); ++i) out.push_back(p[i]);
+  return out;
+}
+
+/// Rotate right by one: rr(p)[i] = p[(i - 1) mod n]. PowerList form:
+/// rr(p ⋈ q) = rr(q) ⋈ p.
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> rotate_right(PowerListView<TV> p) {
+  std::vector<T> out;
+  out.reserve(p.length());
+  out.push_back(p[p.length() - 1]);
+  for (std::size_t i = 0; i + 1 < p.length(); ++i) out.push_back(p[i]);
+  return out;
+}
+
+/// Rotate left by one: rl(p)[i] = p[(i + 1) mod n]. PowerList form:
+/// rl(p ⋈ q) = q ⋈ rl(p).
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> rotate_left(PowerListView<TV> p) {
+  std::vector<T> out;
+  out.reserve(p.length());
+  for (std::size_t i = 1; i < p.length(); ++i) out.push_back(p[i]);
+  out.push_back(p[0]);
+  return out;
+}
+
+/// Perfect shuffle: shuffle(p | q) = p ⋈ q — the riffle of the two
+/// halves. On indices: element at i goes to position 2i mod (n-1) (with
+/// the last element fixed).
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> shuffle(PowerListView<TV> p) {
+  PLS_CHECK(p.length() >= 2, "shuffle needs at least two elements");
+  const auto [lo, hi] = p.tie();
+  std::vector<T> out;
+  out.reserve(p.length());
+  for (std::size_t i = 0; i < lo.length(); ++i) {
+    out.push_back(lo[i]);
+    out.push_back(hi[i]);
+  }
+  return out;
+}
+
+/// Inverse perfect shuffle: unshuffle(p ⋈ q) = p | q.
+template <typename TV, typename T = std::remove_const_t<TV>>
+std::vector<T> unshuffle(PowerListView<TV> p) {
+  PLS_CHECK(p.length() >= 2, "unshuffle needs at least two elements");
+  const auto [evens, odds] = p.zip();
+  std::vector<T> out;
+  out.reserve(p.length());
+  for (std::size_t i = 0; i < evens.length(); ++i) out.push_back(evens[i]);
+  for (std::size_t i = 0; i < odds.length(); ++i) out.push_back(odds[i]);
+  return out;
+}
+
+}  // namespace pls::powerlist

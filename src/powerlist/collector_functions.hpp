@@ -1,0 +1,342 @@
+// The Streams <-> PowerList adaptation layer (Section IV of the paper).
+//
+// This header is the paper's actual contribution, ported faithfully:
+//
+//  1. PowerArray collectors — the identity/map/reduce family expressed
+//     through the collect template method: supplier = PowerArray,
+//     accumulator = add, combiner = tie_all or zip_all (the paper's first
+//     example: collect(PowerList::new, PowerList::add, PowerList::zipAll)
+//     over a ZipSpliterator reconstructs the source).
+//
+//  2. PolynomialValueCollector — the paper's central example (Section
+//     IV-B): a Collector whose own specialised ZipSpliterator performs the
+//     splitting-phase work (doubling the exponent of x) and publishes it
+//     into state shared with the collector, the "general mechanism of
+//     communication between the computation phases" of Section V. Java
+//     expresses the sharing with an inner class; here the spliterator and
+//     the collector share a Shared block, and the paper's synchronized
+//     max-update becomes an atomic fetch-max.
+//
+//  3. DescendOpSpliterator — the equation-5 family f(p|q) = f(p⊕q)|f(p⊗q),
+//     where trySplit itself transforms the elements ("the elements should
+//     be updated correspondingly, before the new Spliterator instance is
+//     created", Section V) and forEachRemaining completes the recursion on
+//     the leaf sublists. walsh_hadamard_stream() instantiates it with
+//     (+, -).
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "powerlist/power_array.hpp"
+#include "powerlist/spliterators.hpp"
+#include "streams/collector.hpp"
+#include "streams/stream.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// Collector rebuilding a PowerArray with tie recombination (use with
+/// TieSpliterator sources).
+template <typename T>
+auto to_power_array_tie() {
+  return streams::make_collector<T>(
+      [] { return PowerArray<T>{}; },
+      [](PowerArray<T>& acc, const T& v) { acc.add(v); },
+      [](PowerArray<T>& left, PowerArray<T>& right) { left.tie_all(right); });
+}
+
+/// Collector rebuilding a PowerArray with zip recombination (use with
+/// ZipSpliterator sources — the paper's identity example).
+template <typename T>
+auto to_power_array_zip() {
+  return streams::make_collector<T>(
+      [] { return PowerArray<T>{}; },
+      [](PowerArray<T>& acc, const T& v) { acc.add(v); },
+      [](PowerArray<T>& left, PowerArray<T>& right) { left.zip_all(right); });
+}
+
+/// map through the collect template method: the accumulator first applies
+/// the function, then adds — the paper's "(list, d) -> { d = f(d);
+/// list.add(d); }" — with the combiner matching the decomposition operator.
+template <typename T, typename Fn>
+auto power_map_collector(Fn fn, DecompositionOp op) {
+  using U = std::remove_cvref_t<std::invoke_result_t<Fn&, const T&>>;
+  return streams::make_collector<T>(
+      [] { return PowerArray<U>{}; },
+      [fn](PowerArray<U>& acc, const T& v) { acc.add(fn(v)); },
+      [op](PowerArray<U>& left, PowerArray<U>& right) {
+        if (op == DecompositionOp::kTie) {
+          left.tie_all(right);
+        } else {
+          left.zip_all(right);
+        }
+      });
+}
+
+/// The mutable result container of PolynomialValueCollector: the current
+/// point, the running value, and the exponent this partial works at (the
+/// paper's PolynomialValue fields x, val, x_degree). `x_power` caches
+/// x^x_degree: the paper's code calls Math.pow per element, but x_degree
+/// is constant within a container, so hoisting the pow to the supplier
+/// keeps the computation identical while making the per-element cost one
+/// multiply-add — the flop-bound profile the evaluation assumes.
+struct PolynomialPartial {
+  double x = 0.0;
+  double val = 0.0;
+  std::uint64_t x_degree = 1;
+  double x_power = 0.0;  ///< x^x_degree, maintained alongside x_degree
+};
+
+/// The paper's PolynomialValue (Section IV-B), descending-coefficient
+/// (Horner) convention: coefficient list (a0, ..., a_{n-1}) denotes
+/// a0 x^{n-1} + a1 x^{n-2} + ... + a_{n-1}.
+class PolynomialValueCollector final
+    : public streams::Collector<double, PolynomialPartial, double> {
+ public:
+  using Partial = PolynomialPartial;
+
+  explicit PolynomialValueCollector(double x)
+      : x_(x), shared_(std::make_shared<Shared>()) {}
+
+  /// The supplier copies the function object, including the *global*
+  /// splitting depth published by the spliterators: the connection between
+  /// the splitting phase and the leaf phase.
+  Partial supply() const override {
+    const std::uint64_t degree =
+        shared_->x_degree.load(std::memory_order_acquire);
+    return Partial{x_, 0.0, degree,
+                   std::pow(x_, static_cast<double>(degree))};
+  }
+
+  /// Leaf phase: Horner step at the leaf's exponent,
+  /// val := val * x^x_degree + d.
+  void accumulate(Partial& pv, const double& d) const override {
+    pv.val = pv.val * pv.x_power + d;
+  }
+
+  /// Ascending phase: halve the exponent and fold,
+  /// val := val_left * x^(x_degree/2) + val_right.
+  void combine(Partial& left, Partial& right) const override {
+    PLS_ASSERT(left.x_degree == right.x_degree);
+    left.x_degree /= 2;
+    left.x_power = std::pow(x_, static_cast<double>(left.x_degree));
+    left.val = left.val * left.x_power + right.val;
+  }
+
+  double finish(Partial&& pv) const override { return pv.val; }
+
+  /// Create the specialised spliterator bound to this collector's shared
+  /// state (the paper creates it through the same functionObject).
+  std::unique_ptr<streams::Spliterator<double>> make_spliterator(
+      std::shared_ptr<const std::vector<double>> coefficients) const {
+    PLS_CHECK(coefficients != nullptr && !coefficients->empty(),
+              "polynomial needs at least one coefficient");
+    const std::size_t n = coefficients->size();
+    return std::unique_ptr<streams::Spliterator<double>>(
+        new PZipSpliterator(shared_, std::move(coefficients), 0, 1, n, 1));
+  }
+
+  double point() const noexcept { return x_; }
+
+ private:
+  /// State shared between the collector and every split of its
+  /// spliterator — the role played by the Java inner class's implicit
+  /// reference to PolynomialValue.this.
+  struct Shared {
+    std::atomic<std::uint64_t> x_degree{1};
+
+    void publish_max(std::uint64_t candidate) {
+      // The paper guards this with synchronized and a compare; an atomic
+      // fetch-max loop is the C++ equivalent.
+      std::uint64_t current = x_degree.load(std::memory_order_relaxed);
+      while (candidate > current &&
+             !x_degree.compare_exchange_weak(current, candidate,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  /// The paper's PZipSpliterator: each split doubles the local exponent
+  /// and publishes the maximum into the shared state.
+  class PZipSpliterator final : public ZipSpliterator<double> {
+   public:
+    PZipSpliterator(std::shared_ptr<Shared> shared,
+                    std::shared_ptr<const std::vector<double>> data,
+                    std::size_t start, std::size_t incr, std::size_t count,
+                    std::uint64_t x_degree)
+        : ZipSpliterator<double>(std::move(data), start, incr, count),
+          shared_(std::move(shared)),
+          x_degree_(x_degree) {}
+
+   protected:
+    void on_split() override {
+      x_degree_ *= 2;  // the next level works at the squared point
+      shared_->publish_max(x_degree_);
+    }
+
+    std::unique_ptr<streams::Spliterator<double>> make_like(
+        std::shared_ptr<const std::vector<double>> data, std::size_t start,
+        std::size_t incr, std::size_t count) override {
+      return std::unique_ptr<streams::Spliterator<double>>(
+          new PZipSpliterator(shared_, std::move(data), start, incr, count,
+                              x_degree_));
+    }
+
+   private:
+    std::shared_ptr<Shared> shared_;
+    std::uint64_t x_degree_;
+  };
+
+  double x_;
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Evaluate a polynomial (descending coefficients) through the Streams
+/// adaptation — the paper's final snippet: build the collector, its
+/// spliterator (checking the POWER2 characteristic), the stream, and
+/// collect. `parallel` selects the execution mode measured by Figures 3/4.
+inline double evaluate_polynomial_stream(
+    std::shared_ptr<const std::vector<double>> coefficients, double x,
+    bool parallel, streams::ExecutionConfig cfg = {}) {
+  PolynomialValueCollector pv(x);
+  auto spliterator = pv.make_spliterator(std::move(coefficients));
+  PLS_CHECK(spliterator->has(streams::kPower2),
+            "the coefficient list must have power-of-two length");
+  auto stream = streams::stream_support::from_spliterator<double>(
+      std::move(spliterator), parallel);
+  if (cfg.pool != nullptr) stream = std::move(stream).via(*cfg.pool);
+  if (cfg.min_chunk != 0) stream = std::move(stream).with_min_chunk(cfg.min_chunk);
+  return std::move(stream).collect(pv);
+}
+
+/// Spliterator for the equation-5 family f(p|q) = f(p ⊕ q) | f(p ⊗ q):
+/// trySplit rewrites the two halves with ⊕/⊗ before handing off the
+/// prefix, and forEachRemaining finishes the recursion on leaf sublists.
+/// The storage is mutable and shared, but every split owns a disjoint
+/// window, so no synchronisation is needed (unlike the polynomial's global
+/// state — the contrast Section V draws).
+template <typename T, typename Plus, typename Times>
+class DescendOpSpliterator final : public streams::Spliterator<T> {
+ public:
+  using Action = typename streams::Spliterator<T>::Action;
+
+  DescendOpSpliterator(std::shared_ptr<std::vector<T>> data, Plus plus,
+                       Times times)
+      : DescendOpSpliterator(std::move(data), 0, 0, std::move(plus),
+                             std::move(times)) {
+    count_ = data_->size();
+    PLS_CHECK(is_power_of_two(count_),
+              "equation-5 functions require power-of-two input");
+  }
+
+  bool try_advance(Action action) override {
+    complete_transform();
+    if (count_ == 0) return false;
+    action((*data_)[start_]);
+    ++start_;
+    --count_;
+    return true;
+  }
+
+  void for_each_remaining(Action action) override {
+    // Leaf phase: finish the descending recursion on this window, then
+    // emit (the paper's forEachRemaining override).
+    complete_transform();
+    for (std::size_t k = 0; k < count_; ++k) action((*data_)[start_ + k]);
+    start_ += count_;
+    count_ = 0;
+  }
+
+  std::unique_ptr<streams::Spliterator<T>> try_split() override {
+    // Once the leaf-phase transform ran, splitting would re-apply the
+    // rewrite over already-transformed data; refuse (as with traversal
+    // generally, split-after-advance is not part of the protocol).
+    if (transformed_ || count_ < 2) return nullptr;
+    const std::size_t half = count_ / 2;
+    // Descending phase: rewrite both halves before splitting.
+    for (std::size_t i = 0; i < half; ++i) {
+      const T a = (*data_)[start_ + i];
+      const T b = (*data_)[start_ + half + i];
+      (*data_)[start_ + i] = plus_(a, b);
+      (*data_)[start_ + half + i] = times_(a, b);
+    }
+    auto prefix = std::unique_ptr<streams::Spliterator<T>>(
+        new DescendOpSpliterator(data_, start_, half, plus_, times_));
+    start_ += half;
+    count_ = half;
+    return prefix;
+  }
+
+  std::uint64_t estimate_size() const override { return count_; }
+
+  streams::Characteristics characteristics() const override {
+    streams::Characteristics c =
+        streams::kOrdered | streams::kSized | streams::kSubsized;
+    if (is_power_of_two(count_)) c |= streams::kPower2;
+    return c;
+  }
+
+ private:
+  DescendOpSpliterator(std::shared_ptr<std::vector<T>> data,
+                       std::size_t start, std::size_t count, Plus plus,
+                       Times times)
+      : data_(std::move(data)),
+        start_(start),
+        count_(count),
+        plus_(std::move(plus)),
+        times_(std::move(times)) {
+    PLS_CHECK(data_ != nullptr, "DescendOpSpliterator requires storage");
+  }
+
+  void complete_transform() {
+    if (transformed_) return;
+    transformed_ = true;
+    complete_range(start_, count_);
+  }
+
+  void complete_range(std::size_t lo, std::size_t n) {
+    if (n < 2) return;
+    const std::size_t half = n / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const T a = (*data_)[lo + i];
+      const T b = (*data_)[lo + half + i];
+      (*data_)[lo + i] = plus_(a, b);
+      (*data_)[lo + half + i] = times_(a, b);
+    }
+    complete_range(lo, half);
+    complete_range(lo + half, half);
+  }
+
+  std::shared_ptr<std::vector<T>> data_;
+  std::size_t start_;
+  std::size_t count_;
+  Plus plus_;
+  Times times_;
+  bool transformed_ = false;
+};
+
+/// Walsh-Hadamard transform through the Streams adaptation: equation 5
+/// with ⊕ = + and ⊗ = −, collected with tie recombination.
+template <typename T>
+PowerArray<T> walsh_hadamard_stream(std::vector<T> values, bool parallel,
+                                    streams::ExecutionConfig cfg = {}) {
+  auto storage = std::make_shared<std::vector<T>>(std::move(values));
+  auto plus = [](const T& a, const T& b) { return a + b; };
+  auto times = [](const T& a, const T& b) { return a - b; };
+  auto sp = std::make_unique<
+      DescendOpSpliterator<T, decltype(plus), decltype(times)>>(
+      storage, plus, times);
+  auto stream =
+      streams::stream_support::from_spliterator<T>(std::move(sp), parallel);
+  if (cfg.pool != nullptr) stream = std::move(stream).via(*cfg.pool);
+  if (cfg.min_chunk != 0) stream = std::move(stream).with_min_chunk(cfg.min_chunk);
+  return std::move(stream).collect(to_power_array_tie<T>());
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,207 @@
+// Executors for PowerFunctions: sequential, fork-join, and simulated.
+//
+// JPLF's key design point (Section III) is that execution is managed
+// separately from function definition; these executors all consume the
+// same PowerFunction interface:
+//   execute_sequential — plain depth-first recursion;
+//   execute_forkjoin   — both halves through ForkJoinPool::invoke_two;
+//   execute_simulated  — depth-first recursion that additionally records
+//                        the fork-join task tree with the function's
+//                        operation counts, then schedules it on P virtual
+//                        processors (the stand-in for the paper's 8-core
+//                        testbed; see DESIGN.md, Substitutions).
+// A fourth executor runs over the message-passing simulation
+// (src/mpisim/power_executor.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/function.hpp"
+#include "powerlist/view.hpp"
+#include "simmachine/scheduler.hpp"
+#include "simmachine/trace.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+namespace detail {
+
+template <typename T, typename R, typename Ctx>
+R run_sequential(const PowerFunction<T, R, Ctx>& f,
+                 PowerListView<const T> input, const Ctx& ctx,
+                 std::size_t leaf_size) {
+  if (input.length() <= leaf_size) return f.basic_case(input, ctx);
+  const auto [left_view, right_view] = input.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  R left = run_sequential(f, left_view, left_ctx, leaf_size);
+  R right = run_sequential(f, right_view, right_ctx, leaf_size);
+  return f.combine(std::move(left), std::move(right), ctx, input.length());
+}
+
+template <typename T, typename R, typename Ctx>
+R run_forkjoin(forkjoin::ForkJoinPool& pool, const PowerFunction<T, R, Ctx>& f,
+               PowerListView<const T> input, const Ctx& ctx,
+               std::size_t leaf_size) {
+  if (input.length() <= leaf_size) return f.basic_case(input, ctx);
+  const auto [left_view, right_view] = input.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  std::optional<R> left;
+  std::optional<R> right;
+  pool.invoke_two(
+      [&] {
+        left.emplace(
+            run_forkjoin(pool, f, left_view, left_ctx, leaf_size));
+      },
+      [&] {
+        right.emplace(
+            run_forkjoin(pool, f, right_view, right_ctx, leaf_size));
+      });
+  return f.combine(std::move(*left), std::move(*right), ctx, input.length());
+}
+
+template <typename T, typename R, typename Ctx>
+R run_traced(const PowerFunction<T, R, Ctx>& f, PowerListView<const T> input,
+             const Ctx& ctx, std::size_t leaf_size,
+             simmachine::TaskTrace& trace, simmachine::TaskTrace::NodeId& id) {
+  if (input.length() <= leaf_size) {
+    id = trace.add_leaf(f.leaf_cost_ops(input.length()));
+    return f.basic_case(input, ctx);
+  }
+  const auto [left_view, right_view] = input.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  simmachine::TaskTrace::NodeId left_id = 0;
+  simmachine::TaskTrace::NodeId right_id = 0;
+  R left = run_traced(f, left_view, left_ctx, leaf_size, trace, left_id);
+  R right = run_traced(f, right_view, right_ctx, leaf_size, trace, right_id);
+  id = trace.add_fork(f.descend_cost_ops(input.length()),
+                      f.combine_cost_ops(input.length()), left_id, right_id);
+  return f.combine(std::move(left), std::move(right), ctx, input.length());
+}
+
+inline std::size_t checked_leaf_size(std::size_t leaf_size) {
+  PLS_CHECK(leaf_size >= 1, "leaf size must be >= 1");
+  return leaf_size;
+}
+
+}  // namespace detail
+
+/// Depth-first sequential execution. The view parameter is deduced from
+/// either a mutable or a const view (TV may be const-qualified).
+template <typename TV, typename R, typename Ctx>
+R execute_sequential(
+    const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+    PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  return detail::run_sequential(
+      f, PowerListView<const std::remove_const_t<TV>>(input), ctx,
+      leaf_size);
+}
+
+/// Parallel execution on a fork-join pool. The function's hooks run
+/// concurrently; they are const and must be thread-safe.
+template <typename TV, typename R, typename Ctx>
+R execute_forkjoin(forkjoin::ForkJoinPool& pool,
+                   const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+                   PowerListView<TV> input, Ctx ctx = Ctx{},
+                   std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  PowerListView<const std::remove_const_t<TV>> view(input);
+  return pool.run(
+      [&] { return detail::run_forkjoin(pool, f, view, ctx, leaf_size); });
+}
+
+/// Result of a simulated execution: the (real) function value plus the
+/// simulated schedule of its task tree.
+template <typename R>
+struct SimulatedExecution {
+  R result;
+  simmachine::SimResult sim;
+};
+
+/// Structural statistics of one execution (gathered by
+/// execute_instrumented): how the skeleton actually decomposed the input.
+struct ExecutionStats {
+  std::size_t basic_cases = 0;   ///< leaf-phase invocations
+  std::size_t combines = 0;      ///< ascending-phase invocations
+  std::size_t descends = 0;      ///< splitting-phase invocations
+  unsigned max_depth = 0;        ///< deepest recursion level reached
+  std::size_t min_leaf_length = 0;
+  std::size_t max_leaf_length = 0;
+};
+
+/// Instrumented execution result.
+template <typename R>
+struct InstrumentedExecution {
+  R result;
+  ExecutionStats stats;
+};
+
+namespace detail {
+
+template <typename T, typename R, typename Ctx>
+R run_instrumented(const PowerFunction<T, R, Ctx>& f,
+                   PowerListView<const T> input, const Ctx& ctx,
+                   std::size_t leaf_size, unsigned depth,
+                   ExecutionStats& stats) {
+  stats.max_depth = std::max(stats.max_depth, depth);
+  if (input.length() <= leaf_size) {
+    ++stats.basic_cases;
+    if (stats.min_leaf_length == 0 ||
+        input.length() < stats.min_leaf_length) {
+      stats.min_leaf_length = input.length();
+    }
+    stats.max_leaf_length = std::max(stats.max_leaf_length, input.length());
+    return f.basic_case(input, ctx);
+  }
+  ++stats.descends;
+  const auto [left_view, right_view] = input.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  R left = run_instrumented(f, left_view, left_ctx, leaf_size, depth + 1,
+                            stats);
+  R right = run_instrumented(f, right_view, right_ctx, leaf_size, depth + 1,
+                             stats);
+  ++stats.combines;
+  return f.combine(std::move(left), std::move(right), ctx, input.length());
+}
+
+}  // namespace detail
+
+/// Sequential execution that additionally reports how the recursion
+/// unfolded — the observable counterpart of the paper's remark that "we
+/// don't have control over the level at which parallel decomposition
+/// stops" (here we do, and the stats prove where it stopped).
+template <typename TV, typename R, typename Ctx>
+InstrumentedExecution<R> execute_instrumented(
+    const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+    PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  ExecutionStats stats;
+  R result = detail::run_instrumented(
+      f, PowerListView<const std::remove_const_t<TV>>(input), ctx,
+      leaf_size, 0, stats);
+  return InstrumentedExecution<R>{std::move(result), stats};
+}
+
+/// Execute sequentially while recording the task tree, then schedule it on
+/// the simulator's virtual processors.
+template <typename TV, typename R, typename Ctx>
+SimulatedExecution<R> execute_simulated(
+    const simmachine::Simulator& sim,
+    const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+    PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  simmachine::TaskTrace trace;
+  simmachine::TaskTrace::NodeId root = 0;
+  R result = detail::run_traced(
+      f, PowerListView<const std::remove_const_t<TV>>(input), ctx, leaf_size,
+      trace, root);
+  trace.set_root(root);
+  return SimulatedExecution<R>{std::move(result), sim.run(trace)};
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,148 @@
+// JPLF-compatibility layer: the framework of Section III, with its
+// original shape.
+//
+// JPLF (the authors' Java framework, [19]-[21]) differs from this
+// library's idiomatic PowerFunction in two ways that this header
+// reproduces faithfully for users porting JPLF code:
+//
+//  1. the deconstruction operator belongs to the *list*, not the
+//     function: TiePowerList and ZipPowerList know how to split
+//     themselves;
+//  2. the function object supplies create_left_function /
+//     create_right_function — the sub-computations may be *different
+//     function objects* (how JPLF threads descending-phase state such as
+//     the polynomial's squared point, without a context parameter).
+//
+// The template method `compute` implements the solving strategy; the
+// parallel variant forks the two sub-computations on a pool.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/view.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist::jplf {
+
+/// Abstract PowerList: a view plus a self-deconstruction rule.
+template <typename T>
+class BasePowerList {
+ public:
+  explicit BasePowerList(PowerListView<const T> view) : view_(view) {}
+  virtual ~BasePowerList() = default;
+
+  std::size_t length() const { return view_.length(); }
+  bool is_singleton() const { return view_.is_singleton(); }
+  const PowerListView<const T>& view() const { return view_; }
+
+  /// Deconstruct with this list's operator.
+  virtual std::pair<std::unique_ptr<BasePowerList>,
+                    std::unique_ptr<BasePowerList>>
+  deconstruct() const = 0;
+
+ protected:
+  PowerListView<const T> view_;
+};
+
+/// A PowerList that deconstructs with tie (halves).
+template <typename T>
+class TiePowerList final : public BasePowerList<T> {
+ public:
+  using BasePowerList<T>::BasePowerList;
+
+  std::pair<std::unique_ptr<BasePowerList<T>>,
+            std::unique_ptr<BasePowerList<T>>>
+  deconstruct() const override {
+    const auto [l, r] = this->view_.tie();
+    return {std::make_unique<TiePowerList<T>>(l),
+            std::make_unique<TiePowerList<T>>(r)};
+  }
+};
+
+/// A PowerList that deconstructs with zip (even/odd).
+template <typename T>
+class ZipPowerList final : public BasePowerList<T> {
+ public:
+  using BasePowerList<T>::BasePowerList;
+
+  std::pair<std::unique_ptr<BasePowerList<T>>,
+            std::unique_ptr<BasePowerList<T>>>
+  deconstruct() const override {
+    const auto [l, r] = this->view_.zip();
+    return {std::make_unique<ZipPowerList<T>>(l),
+            std::make_unique<ZipPowerList<T>>(r)};
+  }
+};
+
+/// The JPLF PowerFunction: subclasses provide the four primitive
+/// operations; `compute` is the template method.
+template <typename T, typename R>
+class JplfPowerFunction {
+ public:
+  virtual ~JplfPowerFunction() = default;
+
+  /// Solve a basic case (length <= basic_threshold()).
+  virtual R basic_case(const BasePowerList<T>& list) = 0;
+
+  /// Combine the two sub-results.
+  virtual R combine(R left, R right) = 0;
+
+  /// Function objects for the two sub-computations. These may differ from
+  /// *this — JPLF's way of performing descending-phase work.
+  virtual std::unique_ptr<JplfPowerFunction> create_left_function() const = 0;
+  virtual std::unique_ptr<JplfPowerFunction> create_right_function()
+      const = 0;
+
+  /// Lists at or below this length are basic cases.
+  virtual std::size_t basic_threshold() const { return 1; }
+
+  /// The template method: the divide-and-conquer solving strategy.
+  R compute(const BasePowerList<T>& list) {
+    if (list.length() <= basic_threshold()) {
+      return basic_case(list);
+    }
+    auto [left_list, right_list] = list.deconstruct();
+    auto left_fn = create_left_function();
+    auto right_fn = create_right_function();
+    R left = left_fn->compute(*left_list);
+    R right = right_fn->compute(*right_list);
+    return combine(std::move(left), std::move(right));
+  }
+
+  /// Parallel solving strategy: same decomposition, the two
+  /// sub-computations forked on the pool. Sub-function objects are
+  /// per-branch (fresh from create_*_function), so no sharing is needed;
+  /// basic_case/combine of *distinct objects* run concurrently.
+  R compute_parallel(forkjoin::ForkJoinPool& pool,
+                     const BasePowerList<T>& list) {
+    return pool.run([&] { return compute_parallel_impl(pool, list); });
+  }
+
+ private:
+  R compute_parallel_impl(forkjoin::ForkJoinPool& pool,
+                          const BasePowerList<T>& list) {
+    if (list.length() <= basic_threshold()) {
+      return basic_case(list);
+    }
+    auto [left_list, right_list] = list.deconstruct();
+    auto left_fn = create_left_function();
+    auto right_fn = create_right_function();
+    std::optional<R> left;
+    std::optional<R> right;
+    pool.invoke_two(
+        [&] {
+          left.emplace(left_fn->compute_parallel_impl(pool, *left_list));
+        },
+        [&] {
+          right.emplace(
+              right_fn->compute_parallel_impl(pool, *right_list));
+        });
+    return combine(std::move(*left), std::move(*right));
+  }
+};
+
+}  // namespace pls::powerlist::jplf

@@ -1,0 +1,86 @@
+// PowerArray<T>: the owning PowerList container of the Streams adaptation.
+//
+// This is the C++ port of the paper's PowerList class (Figure 2): "a class
+// PowerList that extends a list (more specifically an ArrayList); the class
+// provides tieAll and zipAll methods, which append the elements of a
+// collection argument, accordingly". It is the mutable result container
+// used with the collect template method:
+//   supplier   -> PowerArray{}
+//   accumulator-> add
+//   combiner   -> tie_all (linear splits) or zip_all (zip splits)
+//
+// During a collect, intermediate PowerArrays may hold any length; the
+// power-of-two property is guaranteed by construction when the source
+// spliterator had the POWER2 characteristic.
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+#include "powerlist/view.hpp"
+
+namespace pls::powerlist {
+
+template <typename T>
+class PowerArray {
+ public:
+  PowerArray() = default;
+  explicit PowerArray(std::vector<T> values) : values_(std::move(values)) {}
+  PowerArray(std::initializer_list<T> values) : values_(values) {}
+
+  /// Append one element (the accumulator of the collect template method).
+  void add(const T& value) { values_.push_back(value); }
+  void add(T&& value) { values_.push_back(std::move(value)); }
+
+  /// tie construction: append all of `other` after this (p | q).
+  void tie_all(PowerArray& other) {
+    values_.insert(values_.end(),
+                   std::make_move_iterator(other.values_.begin()),
+                   std::make_move_iterator(other.values_.end()));
+    other.values_.clear();
+  }
+
+  /// zip construction: interleave `other` with this (p ⋈ q). Requires
+  /// similar (equal-length) arguments, as the PowerList algebra does.
+  void zip_all(PowerArray& other) {
+    PLS_CHECK(values_.size() == other.values_.size(),
+              "zip_all requires similar PowerLists");
+    std::vector<T> zipped;
+    zipped.reserve(values_.size() * 2);
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      zipped.push_back(std::move(values_[i]));
+      zipped.push_back(std::move(other.values_[i]));
+    }
+    values_ = std::move(zipped);
+    other.values_.clear();
+  }
+
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  bool is_power_list() const noexcept {
+    return is_power_of_two(values_.size());
+  }
+
+  const T& operator[](std::size_t i) const { return values_[i]; }
+  T& operator[](std::size_t i) { return values_[i]; }
+
+  const std::vector<T>& values() const noexcept { return values_; }
+  std::vector<T> take() && { return std::move(values_); }
+
+  /// Read-only PowerList view (requires power-of-two size).
+  PowerListView<const T> view() const {
+    return PowerListView<const T>::over(values_);
+  }
+
+  friend bool operator==(const PowerArray& a, const PowerArray& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<T> values_;
+};
+
+}  // namespace pls::powerlist

@@ -1,0 +1,165 @@
+// PowerStream<T>: the convenience facade a downstream user adopts.
+//
+// Wraps a PowerList (power-of-two vector) and exposes the library's
+// PowerList functions with one execution configuration: sequential,
+// fork-join on a chosen pool, or simulated multicore — the "execution is
+// managed separately from definition" principle surfaced as a fluent API.
+//
+//   auto ps = PowerStream<double>::of(values).via(pool).with_leaf(4096);
+//   double s   = ps.reduce(std::plus<>{});
+//   auto spect = PowerStream<Complex>::of(signal).fft();
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/algorithms/fft.hpp"
+#include "powerlist/algorithms/inv_rev.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/algorithms/sort.hpp"
+#include "powerlist/executors.hpp"
+#include "support/assert.hpp"
+
+namespace pls::powerlist {
+
+enum class ExecutionMode { kSequential, kForkJoin };
+
+template <typename T>
+class PowerStream {
+ public:
+  /// Adopt a power-of-two-length vector.
+  static PowerStream of(std::vector<T> values) {
+    PLS_CHECK(is_power_of_two(values.size()),
+              "PowerStream requires a power-of-two length");
+    return PowerStream(std::move(values));
+  }
+
+  // ---- execution configuration (fluent) -------------------------------
+
+  PowerStream&& via(forkjoin::ForkJoinPool& pool) && {
+    pool_ = &pool;
+    mode_ = ExecutionMode::kForkJoin;
+    return std::move(*this);
+  }
+
+  PowerStream&& sequential() && {
+    mode_ = ExecutionMode::kSequential;
+    return std::move(*this);
+  }
+
+  PowerStream&& with_leaf(std::size_t leaf_size) && {
+    PLS_CHECK(leaf_size >= 1, "leaf size must be >= 1");
+    leaf_ = leaf_size;
+    return std::move(*this);
+  }
+
+  // ---- PowerList functions ---------------------------------------------
+
+  /// map with the chosen decomposition operator; returns a new
+  /// PowerStream with the same execution configuration.
+  template <typename Fn>
+  auto map(Fn fn, DecompositionOp op = DecompositionOp::kTie) && {
+    using U = std::remove_cvref_t<std::invoke_result_t<Fn&, const T&>>;
+    MapFunction<T, U, Fn> f(std::move(fn), op);
+    PowerArray<U> out = run(f, NoContext{});
+    PowerStream<U> next(std::move(out).take());
+    next.pool_ = pool_;
+    next.mode_ = mode_;
+    next.leaf_ = leaf_;
+    return next;
+  }
+
+  /// reduce with an associative operator (commutative if zip is chosen).
+  template <typename Op>
+  T reduce(Op op, DecompositionOp decomp = DecompositionOp::kTie) const {
+    ReduceFunction<T, Op> f(std::move(op), decomp);
+    return run(f, NoContext{});
+  }
+
+  /// Inclusive prefix scan (Sklansky construction).
+  template <typename Op>
+  std::vector<T> scan(Op op) const {
+    SklanskyScanFunction<T, Op> f(std::move(op));
+    return run(f, NoContext{}).values();
+  }
+
+  /// Bit-reversal permutation (inv).
+  std::vector<T> inv() const {
+    InvFunction<T> f;
+    return run(f, NoContext{}).values();
+  }
+
+  /// Reversal (rev).
+  std::vector<T> rev() const {
+    RevFunction<T> f;
+    return run(f, NoContext{}).values();
+  }
+
+  /// Batcher odd-even mergesort.
+  template <typename Cmp = std::less<T>>
+  std::vector<T> sorted(Cmp cmp = Cmp{}) const {
+    BatcherSortFunction<T, Cmp> f(std::move(cmp));
+    return run(f, NoContext{});
+  }
+
+  /// Polynomial value at x (this stream's values as ascending
+  /// coefficients; equation 4).
+  T polynomial_value(T x) const {
+    PolynomialFunction<T> f;
+    return run(f, x);
+  }
+
+  /// FFT (only for T = std::complex<double>).
+  std::vector<Complex> fft() const {
+    static_assert(std::is_same_v<T, Complex>,
+                  "fft requires PowerStream<std::complex<double>>");
+    FftFunction f;
+    return run(f, NoContext{});
+  }
+
+  // ---- access -----------------------------------------------------------
+
+  const std::vector<T>& values() const noexcept { return values_; }
+  std::vector<T> take() && { return std::move(values_); }
+  std::size_t size() const noexcept { return values_.size(); }
+  PowerListView<const T> view() const {
+    return PowerListView<const T>::over(values_);
+  }
+
+ private:
+  explicit PowerStream(std::vector<T> values) : values_(std::move(values)) {}
+
+  template <typename U>
+  friend class PowerStream;
+
+  template <typename R, typename Ctx>
+  R run(const PowerFunction<T, R, Ctx>& f, Ctx ctx) const {
+    const std::size_t leaf =
+        leaf_ != 0 ? leaf_
+                   : std::max<std::size_t>(
+                         1, values_.size() /
+                                (4 * (pool_ != nullptr
+                                          ? pool_->parallelism()
+                                          : forkjoin::ForkJoinPool::
+                                                default_parallelism())));
+    if (mode_ == ExecutionMode::kForkJoin) {
+      auto& pool =
+          pool_ != nullptr ? *pool_ : forkjoin::ForkJoinPool::common();
+      return execute_forkjoin(pool, f, view(), ctx, leaf);
+    }
+    return execute_sequential(f, view(), ctx, leaf);
+  }
+
+  std::vector<T> values_;
+  forkjoin::ForkJoinPool* pool_ = nullptr;
+  ExecutionMode mode_ = ExecutionMode::kSequential;
+  std::size_t leaf_ = 0;  ///< 0 = auto (n / 4P)
+};
+
+}  // namespace pls::powerlist

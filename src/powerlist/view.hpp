@@ -1,0 +1,131 @@
+// PowerListView: a no-copy view of a PowerList (Misra 1994).
+//
+// A PowerList is a list whose length is a power of two, deconstructible in
+// two ways:
+//   tie:  p | q  — p is the first half, q the second half;
+//   zip:  p ⋈ q — p holds the even-indexed elements, q the odd-indexed.
+//
+// Following JPLF (Section V of the paper: "updating only the data structure
+// information"), a view never copies elements: it is (storage, start,
+// stride, length), and both deconstruction operators merely produce two new
+// views over the same storage:
+//   tie:  (start, stride, n/2) and (start + stride*n/2, stride, n/2)
+//   zip:  (start, 2*stride, n/2) and (start + stride, 2*stride, n/2)
+//
+// The element type T may be const-qualified for read-only views;
+// PowerListView<const T> is implicitly constructible from
+// PowerListView<T>.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::powerlist {
+
+/// Which deconstruction operator a PowerList function splits with.
+enum class DecompositionOp { kTie, kZip };
+
+template <typename T>
+class PowerListView {
+ public:
+  using element_type = T;
+
+  /// View over `length` elements of `base` at `start`, spaced `stride`.
+  /// `length` must be a power of two.
+  PowerListView(T* base, std::size_t start, std::size_t stride,
+                std::size_t length)
+      : base_(base), start_(start), stride_(stride), length_(length) {
+    PLS_CHECK(base != nullptr, "PowerListView requires storage");
+    PLS_CHECK(is_power_of_two(length),
+              "PowerList length must be a power of two");
+    PLS_CHECK(stride >= 1, "PowerListView stride must be >= 1");
+  }
+
+  /// Full view over a vector (its size must be a power of two).
+  template <typename Vec>
+  static PowerListView over(Vec& storage) {
+    return PowerListView(storage.data(), 0, 1, storage.size());
+  }
+
+  /// Read-only views convert implicitly from mutable ones.
+  operator PowerListView<const T>() const {
+    return PowerListView<const T>(base_, start_, stride_, length_);
+  }
+
+  std::size_t length() const noexcept { return length_; }
+  bool is_singleton() const noexcept { return length_ == 1; }
+  /// log2(length): the number of decomposition levels below this view.
+  unsigned levels() const noexcept { return exact_log2(length_); }
+
+  std::size_t start() const noexcept { return start_; }
+  std::size_t stride() const noexcept { return stride_; }
+  T* base() const noexcept { return base_; }
+
+  /// The i-th element of this PowerList.
+  T& operator[](std::size_t i) const {
+    PLS_ASSERT(i < length_);
+    return base_[start_ + i * stride_];
+  }
+
+  /// tie deconstruction: first and second halves.
+  std::pair<PowerListView, PowerListView> tie() const {
+    PLS_CHECK(length_ >= 2, "cannot deconstruct a singleton");
+    const std::size_t half = length_ / 2;
+    return {PowerListView(base_, start_, stride_, half),
+            PowerListView(base_, start_ + stride_ * half, stride_, half)};
+  }
+
+  /// zip deconstruction: even- and odd-indexed elements.
+  std::pair<PowerListView, PowerListView> zip() const {
+    PLS_CHECK(length_ >= 2, "cannot deconstruct a singleton");
+    const std::size_t half = length_ / 2;
+    return {PowerListView(base_, start_, stride_ * 2, half),
+            PowerListView(base_, start_ + stride_, stride_ * 2, half)};
+  }
+
+  /// Deconstruct with the given operator.
+  std::pair<PowerListView, PowerListView> split(DecompositionOp op) const {
+    return op == DecompositionOp::kTie ? tie() : zip();
+  }
+
+  /// Materialise the viewed elements, in order.
+  std::vector<std::remove_const_t<T>> to_vector() const {
+    std::vector<std::remove_const_t<T>> out;
+    out.reserve(length_);
+    for (std::size_t i = 0; i < length_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+  /// Two views are `similar` when they have the same length (the
+  /// precondition of the PowerList construction operators and of the
+  /// extended pointwise operators).
+  template <typename U>
+  bool similar(const PowerListView<U>& other) const noexcept {
+    return length_ == other.length();
+  }
+
+ private:
+  T* base_;
+  std::size_t start_;
+  std::size_t stride_;
+  std::size_t length_;
+};
+
+/// Deduction helper: read-only view over a const vector.
+template <typename T>
+PowerListView<const T> view_of(const std::vector<T>& v) {
+  return PowerListView<const T>::over(v);
+}
+
+/// Deduction helper: mutable view over a vector.
+template <typename T>
+PowerListView<T> view_of(std::vector<T>& v) {
+  return PowerListView<T>::over(v);
+}
+
+}  // namespace pls::powerlist

@@ -1,0 +1,43 @@
+// Deterministic cost model for the simulated parallel machine.
+//
+// The host this reproduction runs on is pinned to a single CPU, so the
+// paper's Figure 3 (speedup on 8 cores) cannot be measured with wall clocks.
+// Instead, PowerList executions are recorded as a fork-join task tree whose
+// node costs are *operation counts*; this model maps operations to
+// nanoseconds (calibrated against one real sequential run) and prices the
+// scheduling overheads (task spawn, steal, join bookkeeping) that produce
+// the sub-linear speedup region the paper shows for small inputs.
+#pragma once
+
+#include "support/assert.hpp"
+
+namespace pls::simmachine {
+
+struct CostModel {
+  /// Nanoseconds per abstract operation (calibrated).
+  double ns_per_op = 1.0;
+  /// Cost charged to the spawning worker per forked child.
+  double spawn_overhead_ns = 120.0;
+  /// Cost charged to a thief for acquiring a task from another worker.
+  double steal_overhead_ns = 450.0;
+  /// Bookkeeping cost at each join point.
+  double join_overhead_ns = 60.0;
+
+  /// Derive ns_per_op from a measured sequential run: `measured_ns` wall
+  /// time for `total_ops` abstract operations.
+  static CostModel calibrated(double measured_ns, double total_ops,
+                              CostModel base);
+  static CostModel calibrated(double measured_ns, double total_ops) {
+    return calibrated(measured_ns, total_ops, CostModel{});
+  }
+};
+
+inline CostModel CostModel::calibrated(double measured_ns, double total_ops,
+                                       CostModel base) {
+  PLS_CHECK(total_ops > 0.0, "calibration requires a positive op count");
+  PLS_CHECK(measured_ns > 0.0, "calibration requires a positive time");
+  base.ns_per_op = measured_ns / total_ops;
+  return base;
+}
+
+}  // namespace pls::simmachine

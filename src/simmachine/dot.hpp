@@ -1,0 +1,41 @@
+// Task-trace export to Graphviz DOT, for inspecting the fork-join
+// structures the executors record (debugging aid and documentation tool;
+// render with `dot -Tsvg trace.dot`).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "simmachine/trace.hpp"
+
+namespace pls::simmachine {
+
+/// Render the trace as a DOT digraph: leaves are boxes labelled with
+/// their op counts; forks are ellipses labelled "pre/post"; edges point
+/// from parent to children.
+inline std::string to_dot(const TaskTrace& trace,
+                          const std::string& name = "task_trace") {
+  std::ostringstream out;
+  out << "digraph " << name << " {\n";
+  out << "  node [fontsize=10];\n";
+  for (TaskTrace::NodeId id = 0;
+       id < static_cast<TaskTrace::NodeId>(trace.node_count()); ++id) {
+    const auto& n = trace.node(id);
+    if (n.is_leaf()) {
+      out << "  n" << id << " [shape=box, label=\"leaf " << id << "\\n"
+          << n.pre_ops << " ops\"];\n";
+    } else {
+      out << "  n" << id << " [shape=ellipse, label=\"fork " << id << "\\n"
+          << n.pre_ops << " / " << n.post_ops << "\"];\n";
+      out << "  n" << id << " -> n" << n.left << ";\n";
+      out << "  n" << id << " -> n" << n.right << ";\n";
+    }
+  }
+  if (trace.has_root()) {
+    out << "  n" << trace.root() << " [style=bold];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pls::simmachine

@@ -1,0 +1,59 @@
+// Scaling-curve helpers: run one trace across a processor sweep and
+// summarise strong-scaling behaviour (speedup, efficiency, the knee).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "simmachine/scheduler.hpp"
+
+namespace pls::simmachine {
+
+struct ScalingPoint {
+  unsigned processors = 1;
+  double makespan_ns = 0.0;
+  double speedup = 1.0;     ///< T1 / TP
+  double efficiency = 1.0;  ///< speedup / P
+};
+
+struct ScalingCurve {
+  std::vector<ScalingPoint> points;
+
+  /// Largest processor count with efficiency >= threshold (the scaling
+  /// knee); returns 1 if even P=1 misses the threshold.
+  unsigned knee(double efficiency_threshold = 0.5) const {
+    unsigned best = 1;
+    for (const auto& p : points) {
+      if (p.efficiency >= efficiency_threshold) best = p.processors;
+    }
+    return best;
+  }
+
+  double max_speedup() const {
+    double best = 0.0;
+    for (const auto& p : points) best = std::max(best, p.speedup);
+    return best;
+  }
+};
+
+/// Simulate `trace` for each processor count in `sweep` under `model`.
+/// The P=1 run defines T1 (so overheads are included consistently).
+inline ScalingCurve scaling_curve(const TaskTrace& trace,
+                                  const CostModel& model,
+                                  const std::vector<unsigned>& sweep) {
+  PLS_CHECK(!sweep.empty(), "scaling_curve needs at least one point");
+  ScalingCurve curve;
+  const double t1 = Simulator(model, 1).run(trace).makespan_ns;
+  for (unsigned p : sweep) {
+    const SimResult r = Simulator(model, p).run(trace);
+    ScalingPoint point;
+    point.processors = p;
+    point.makespan_ns = r.makespan_ns;
+    point.speedup = r.makespan_ns > 0.0 ? t1 / r.makespan_ns : 0.0;
+    point.efficiency = point.speedup / static_cast<double>(p);
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace pls::simmachine

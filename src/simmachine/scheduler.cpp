@@ -1,0 +1,176 @@
+#include "simmachine/scheduler.hpp"
+
+#include <deque>
+#include <queue>
+#include <tuple>
+
+namespace pls::simmachine {
+
+namespace {
+
+enum class SegmentKind : std::uint8_t { kDescend, kLeaf, kCombine };
+
+struct Segment {
+  SegmentKind kind;
+  TaskTrace::NodeId node;
+};
+
+struct WorkerState {
+  double clock = 0.0;          // time the worker becomes/became free
+  bool busy = false;
+  Segment current{SegmentKind::kLeaf, 0};
+  std::deque<Segment> stack;   // back = LIFO top (own pops), front = steals
+};
+
+/// Completion event: (time, worker). Min-heap by time, ties by worker index.
+using Event = std::pair<double, unsigned>;
+
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  }
+};
+
+}  // namespace
+
+Simulator::Simulator(CostModel model, unsigned processors)
+    : model_(model), processors_(processors) {
+  PLS_CHECK(processors >= 1, "Simulator needs at least one processor");
+}
+
+SimResult Simulator::run(const TaskTrace& trace) const {
+  const TaskTrace::NodeId root = trace.root();
+
+  // Parent links and pending-children counters for join detection.
+  std::vector<TaskTrace::NodeId> parent(trace.node_count(),
+                                        TaskTrace::kNoNode);
+  std::vector<std::uint8_t> pending(trace.node_count(), 0);
+  for (TaskTrace::NodeId id = 0;
+       id < static_cast<TaskTrace::NodeId>(trace.node_count()); ++id) {
+    const auto& n = trace.node(id);
+    if (!n.is_leaf()) {
+      parent[n.left] = id;
+      parent[n.right] = id;
+      pending[id] = 2;
+    }
+  }
+
+  std::vector<WorkerState> workers(processors_);
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+
+  SimResult result;
+  result.processors = processors_;
+  result.span_ns = trace.span_ops() * model_.ns_per_op;
+  result.pure_work_ns = trace.total_work_ops() * model_.ns_per_op;
+
+  const auto duration_of = [&](const Segment& seg) {
+    const auto& n = trace.node(seg.node);
+    switch (seg.kind) {
+      case SegmentKind::kDescend:
+        return n.pre_ops * model_.ns_per_op + 2.0 * model_.spawn_overhead_ns;
+      case SegmentKind::kLeaf:
+        return n.pre_ops * model_.ns_per_op;
+      case SegmentKind::kCombine:
+        return n.post_ops * model_.ns_per_op + model_.join_overhead_ns;
+    }
+    return 0.0;  // unreachable
+  };
+
+  const auto start_segment = [&](unsigned w, Segment seg, double start) {
+    WorkerState& ws = workers[w];
+    ws.busy = true;
+    ws.current = seg;
+    const double dur = duration_of(seg);
+    result.work_ns += dur;
+    ws.clock = start + dur;
+    events.push({ws.clock, w});
+    ++result.segments;
+  };
+
+  // Give a free worker something to do at time `t`. Returns false if the
+  // worker stays idle.
+  const auto dispatch = [&](unsigned w, double t) {
+    WorkerState& ws = workers[w];
+    if (!ws.stack.empty()) {
+      Segment seg = ws.stack.back();
+      ws.stack.pop_back();
+      start_segment(w, seg, t);
+      return true;
+    }
+    // Steal sweep: round-robin from the next worker; take the oldest entry
+    // (the largest remaining subtree) from the first non-empty victim.
+    for (unsigned k = 1; k < processors_; ++k) {
+      const unsigned victim = (w + k) % processors_;
+      if (!workers[victim].stack.empty()) {
+        Segment seg = workers[victim].stack.front();
+        workers[victim].stack.pop_front();
+        ++result.steals;
+        start_segment(w, seg, t + model_.steal_overhead_ns);
+        return true;
+      }
+    }
+    ws.busy = false;
+    ws.clock = t;
+    return false;
+  };
+
+  // Seed: the root segment runs on worker 0 at time zero.
+  {
+    const Segment root_seg{trace.node(root).is_leaf() ? SegmentKind::kLeaf
+                                                      : SegmentKind::kDescend,
+                           root};
+    start_segment(0, root_seg, 0.0);
+  }
+
+  double finish_time = 0.0;
+  while (!events.empty()) {
+    const auto [t, w] = events.top();
+    events.pop();
+    WorkerState& ws = workers[w];
+    const Segment done = ws.current;
+    ws.busy = false;
+
+    switch (done.kind) {
+      case SegmentKind::kDescend: {
+        const auto& n = trace.node(done.node);
+        // Push right below left so the spawner continues depth-first into
+        // the left child, mirroring invoke_two's inline-left policy.
+        const auto seg_for = [&](TaskTrace::NodeId child) {
+          return Segment{trace.node(child).is_leaf() ? SegmentKind::kLeaf
+                                                     : SegmentKind::kDescend,
+                         child};
+        };
+        ws.stack.push_back(seg_for(n.right));
+        ws.stack.push_back(seg_for(n.left));
+        break;
+      }
+      case SegmentKind::kLeaf:
+      case SegmentKind::kCombine: {
+        // A Leaf or Combine segment finishes its node entirely.
+        if (done.node == root) {
+          finish_time = t;
+          break;
+        }
+        const TaskTrace::NodeId p = parent[done.node];
+        PLS_ASSERT(p != TaskTrace::kNoNode);
+        if (--pending[p] == 0) {
+          // Continuation runs on the worker finishing the last child.
+          ws.stack.push_back(Segment{SegmentKind::kCombine, p});
+        }
+        break;
+      }
+    }
+
+    dispatch(w, t);
+    // Newly published work may feed workers that went idle earlier.
+    for (unsigned v = 0; v < processors_; ++v) {
+      if (!workers[v].busy) dispatch(v, t);
+    }
+  }
+
+  result.makespan_ns = finish_time;
+  return result;
+}
+
+}  // namespace pls::simmachine

@@ -1,0 +1,63 @@
+// Event-driven work-stealing scheduler over recorded task traces.
+//
+// Simulates P virtual processors executing a TaskTrace under the same
+// policy the real ForkJoinPool uses: forked children go on the spawning
+// worker's LIFO stack, idle workers steal the *oldest* entry from a victim
+// (FIFO — the largest remaining subtree), and the combine segment of a fork
+// runs on the worker that completed the fork's last child (continuation
+// locality). Spawn, steal and join overheads are priced by the CostModel,
+// which is what produces the realistic sub-linear speedups for small
+// problems.
+//
+// The simulation is fully deterministic: victim scanning is round-robin
+// from a seeded start, and ties in time are broken by worker index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmachine/costmodel.hpp"
+#include "simmachine/trace.hpp"
+
+namespace pls::simmachine {
+
+/// Summary of one simulated execution.
+struct SimResult {
+  unsigned processors = 1;
+  double makespan_ns = 0.0;    ///< simulated parallel completion time
+  double work_ns = 0.0;        ///< T1: total priced work incl. overheads
+  double pure_work_ns = 0.0;   ///< T1 without scheduling overheads
+  double span_ns = 0.0;        ///< T-infinity (critical path, no overheads)
+  std::uint64_t steals = 0;    ///< successful task migrations
+  std::uint64_t segments = 0;  ///< executed segments (leaves+descends+combines)
+
+  /// Fraction of processor-time spent on work: work_ns / (P * makespan).
+  double utilization() const {
+    return makespan_ns > 0.0
+               ? work_ns / (static_cast<double>(processors) * makespan_ns)
+               : 0.0;
+  }
+
+  /// Speedup relative to a given sequential time.
+  double speedup_vs(double sequential_ns) const {
+    return makespan_ns > 0.0 ? sequential_ns / makespan_ns : 0.0;
+  }
+};
+
+/// Virtual machine executing task traces on P simulated processors.
+class Simulator {
+ public:
+  Simulator(CostModel model, unsigned processors);
+
+  /// Simulate the trace; deterministic for fixed (model, processors).
+  SimResult run(const TaskTrace& trace) const;
+
+  const CostModel& model() const noexcept { return model_; }
+  unsigned processors() const noexcept { return processors_; }
+
+ private:
+  CostModel model_;
+  unsigned processors_;
+};
+
+}  // namespace pls::simmachine

@@ -1,0 +1,128 @@
+// Fork-join task trees recorded from divide-and-conquer executions.
+//
+// A TaskTrace is a series-parallel DAG in tree form: every internal node is
+// a binary fork with a "descend" segment (work before the fork: splitting a
+// PowerList, the polynomial example's x := x^2, ...), two children executed
+// in parallel, and a "combine" segment (the ascending phase). Leaves carry
+// the basic-case work. Costs are abstract operation counts; the scheduler
+// prices them with a CostModel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pls::simmachine {
+
+class TaskTrace {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+  struct Node {
+    double pre_ops = 0.0;   ///< leaf work, or descend work for forks
+    double post_ops = 0.0;  ///< combine work (forks only)
+    NodeId left = kNoNode;
+    NodeId right = kNoNode;
+
+    bool is_leaf() const noexcept { return left == kNoNode; }
+  };
+
+  /// Add a leaf performing `ops` operations. Returns its id.
+  NodeId add_leaf(double ops) {
+    PLS_CHECK(ops >= 0.0, "leaf op count must be non-negative");
+    nodes_.push_back(Node{ops, 0.0, kNoNode, kNoNode});
+    return last_id();
+  }
+
+  /// Add a fork node over existing children. Returns its id.
+  NodeId add_fork(double descend_ops, double combine_ops, NodeId left,
+                  NodeId right) {
+    PLS_CHECK(descend_ops >= 0.0 && combine_ops >= 0.0,
+              "fork op counts must be non-negative");
+    PLS_CHECK(left < nodes_.size() && right < nodes_.size(),
+              "fork children must already exist");
+    nodes_.push_back(Node{descend_ops, combine_ops, left, right});
+    return last_id();
+  }
+
+  void set_root(NodeId id) {
+    PLS_CHECK(id < nodes_.size(), "root must be an existing node");
+    root_ = id;
+  }
+
+  NodeId root() const {
+    PLS_CHECK(root_ != kNoNode, "trace has no root");
+    return root_;
+  }
+
+  bool has_root() const noexcept { return root_ != kNoNode; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  const Node& node(NodeId id) const {
+    PLS_CHECK(id < nodes_.size(), "node id out of range");
+    return nodes_[id];
+  }
+
+  /// Total work (T1) in abstract operations.
+  double total_work_ops() const {
+    double sum = 0.0;
+    for (const Node& n : nodes_) sum += n.pre_ops + n.post_ops;
+    return sum;
+  }
+
+  /// Critical-path length (T-infinity) in abstract operations.
+  double span_ops() const { return span_of(root()); }
+
+  /// Build a perfectly balanced binary D&C trace with `levels` fork levels
+  /// over a problem of size `n` (n = 2^levels * leaf size is implied by the
+  /// callbacks). The callbacks receive the sublist length at that node:
+  ///   leaf_ops(len), descend_ops(len), combine_ops(len).
+  template <typename LeafFn, typename DescendFn, typename CombineFn>
+  static TaskTrace balanced(unsigned levels, std::size_t n,
+                            const LeafFn& leaf_ops,
+                            const DescendFn& descend_ops,
+                            const CombineFn& combine_ops) {
+    PLS_CHECK(n >= 1, "problem size must be positive");
+    PLS_CHECK((n >> levels) << levels == n,
+              "problem size must be divisible by 2^levels");
+    TaskTrace trace;
+    trace.set_root(trace.build_balanced(levels, n, leaf_ops, descend_ops,
+                                        combine_ops));
+    return trace;
+  }
+
+ private:
+  NodeId last_id() const {
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  template <typename LeafFn, typename DescendFn, typename CombineFn>
+  NodeId build_balanced(unsigned levels, std::size_t len,
+                        const LeafFn& leaf_ops, const DescendFn& descend_ops,
+                        const CombineFn& combine_ops) {
+    if (levels == 0) {
+      return add_leaf(leaf_ops(len));
+    }
+    const NodeId l = build_balanced(levels - 1, len / 2, leaf_ops,
+                                    descend_ops, combine_ops);
+    const NodeId r = build_balanced(levels - 1, len / 2, leaf_ops,
+                                    descend_ops, combine_ops);
+    return add_fork(descend_ops(len), combine_ops(len), l, r);
+  }
+
+  double span_of(NodeId id) const {
+    const Node& n = nodes_[id];
+    if (n.is_leaf()) return n.pre_ops;
+    return n.pre_ops + std::max(span_of(n.left), span_of(n.right)) +
+           n.post_ops;
+  }
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kNoNode;
+};
+
+}  // namespace pls::simmachine

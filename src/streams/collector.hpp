@@ -1,0 +1,121 @@
+// Collector<T, A, R>: mutable-reduction recipe (mirrors
+// java.util.stream.Collector).
+//
+// A collector bundles the three functions of the collect template method —
+// supplier (fresh result container), accumulator (fold one element into a
+// container), combiner (merge the second container into the first) — plus
+// an optional finisher mapping the accumulation type A to the result type
+// R. The paper defines PowerList functions as classes implementing this
+// interface (Section IV-B); PolynomialValueCollector in
+// src/powerlist/collector_functions.hpp is the faithful port of its central
+// example.
+//
+// Contracts (identical to Java's):
+//  - supplier must return a fresh, independent container on every call
+//    (parallel execution calls it once per leaf chunk);
+//  - accumulator and combiner must be associative and non-interfering;
+//  - combiner folds the *right* (later in encounter order) container into
+//    the left one.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace pls::streams {
+
+template <typename T, typename A, typename R = A>
+class Collector {
+ public:
+  using input_type = T;
+  using accumulation_type = A;
+  using result_type = R;
+
+  virtual ~Collector() = default;
+
+  /// Create a fresh result container.
+  virtual A supply() const = 0;
+
+  /// Fold one element into a container (the leaf phase).
+  virtual void accumulate(A& container, const T& value) const = 0;
+
+  /// Merge `right` into `left`; `right` holds elements that come later in
+  /// encounter order (the ascending/combining phase).
+  virtual void combine(A& left, A& right) const = 0;
+
+  /// Map the final accumulation to the result type. Default: identity
+  /// (requires A convertible to R; collectors with distinct R must
+  /// override). The unreachable branch aborts at runtime rather than
+  /// static_asserting because the vtable instantiates this body even when
+  /// every concrete collector overrides it.
+  virtual R finish(A&& container) const {
+    if constexpr (std::is_convertible_v<A&&, R>) {
+      return std::move(container);
+    } else {
+      pls::detail::assert_fail(
+          "Collector with R != A must override finish()", __FILE__,
+          __LINE__);
+    }
+  }
+};
+
+/// Collector assembled from three (or four) callables; the analogue of
+/// Collector.of(...).
+template <typename T, typename A, typename R, typename SupplyFn,
+          typename AccumulateFn, typename CombineFn, typename FinishFn>
+class FunctionalCollector final : public Collector<T, A, R> {
+ public:
+  FunctionalCollector(SupplyFn supply, AccumulateFn accumulate,
+                      CombineFn combine, FinishFn finish)
+      : supply_(std::move(supply)),
+        accumulate_(std::move(accumulate)),
+        combine_(std::move(combine)),
+        finish_(std::move(finish)) {}
+
+  A supply() const override { return supply_(); }
+
+  void accumulate(A& container, const T& value) const override {
+    accumulate_(container, value);
+  }
+
+  void combine(A& left, A& right) const override { combine_(left, right); }
+
+  R finish(A&& container) const override {
+    return finish_(std::move(container));
+  }
+
+ private:
+  SupplyFn supply_;
+  AccumulateFn accumulate_;
+  CombineFn combine_;
+  FinishFn finish_;
+};
+
+/// Build a collector whose result type equals its accumulation type.
+template <typename T, typename SupplyFn, typename AccumulateFn,
+          typename CombineFn>
+auto make_collector(SupplyFn supply, AccumulateFn accumulate,
+                    CombineFn combine) {
+  using A = std::invoke_result_t<SupplyFn&>;
+  auto identity = [](A&& a) -> A { return std::move(a); };
+  return FunctionalCollector<T, A, A, SupplyFn, AccumulateFn, CombineFn,
+                             decltype(identity)>(
+      std::move(supply), std::move(accumulate), std::move(combine),
+      std::move(identity));
+}
+
+/// Build a collector with an explicit finisher A -> R.
+template <typename T, typename SupplyFn, typename AccumulateFn,
+          typename CombineFn, typename FinishFn>
+auto make_collector(SupplyFn supply, AccumulateFn accumulate,
+                    CombineFn combine, FinishFn finish) {
+  using A = std::invoke_result_t<SupplyFn&>;
+  using R = std::invoke_result_t<FinishFn&, A&&>;
+  return FunctionalCollector<T, A, R, SupplyFn, AccumulateFn, CombineFn,
+                             FinishFn>(std::move(supply),
+                                       std::move(accumulate),
+                                       std::move(combine), std::move(finish));
+}
+
+}  // namespace pls::streams

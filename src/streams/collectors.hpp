@@ -1,0 +1,254 @@
+// Standard collectors library (mirrors java.util.stream.Collectors).
+//
+// Each factory returns a concrete Collector usable with Stream::collect in
+// both sequential and parallel mode; all combiners fold the right-hand
+// (later in encounter order) container into the left one, as the Collector
+// contract requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "streams/collector.hpp"
+
+namespace pls::streams::collectors {
+
+/// Collect all elements into a std::vector, in encounter order.
+template <typename T>
+auto to_vector() {
+  return make_collector<T>(
+      [] { return std::vector<T>{}; },
+      [](std::vector<T>& acc, const T& v) { acc.push_back(v); },
+      [](std::vector<T>& left, std::vector<T>& right) {
+        left.insert(left.end(), std::make_move_iterator(right.begin()),
+                    std::make_move_iterator(right.end()));
+      });
+}
+
+/// Collect into a std::set (sorted, deduplicated).
+template <typename T>
+auto to_set() {
+  return make_collector<T>(
+      [] { return std::set<T>{}; },
+      [](std::set<T>& acc, const T& v) { acc.insert(v); },
+      [](std::set<T>& left, std::set<T>& right) {
+        left.merge(right);
+      });
+}
+
+/// Count elements.
+template <typename T>
+auto counting() {
+  return make_collector<T>(
+      [] { return std::uint64_t{0}; },
+      [](std::uint64_t& acc, const T&) { ++acc; },
+      [](std::uint64_t& left, std::uint64_t& right) { left += right; });
+}
+
+/// Sum of `mapper(element)` values.
+template <typename T, typename N, typename Mapper>
+auto summing(Mapper mapper) {
+  return make_collector<T>(
+      [] { return N{}; },
+      [mapper](N& acc, const T& v) { acc += mapper(v); },
+      [](N& left, N& right) { left += right; });
+}
+
+/// Sum of the elements themselves.
+template <typename T>
+auto summing() {
+  return summing<T, T>([](const T& v) { return v; });
+}
+
+/// Arithmetic mean of mapper(element) as double; empty input gives 0.
+template <typename T, typename Mapper>
+auto averaging(Mapper mapper) {
+  struct Acc {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+  };
+  return make_collector<T>(
+      [] { return Acc{}; },
+      [mapper](Acc& acc, const T& v) {
+        acc.sum += static_cast<double>(mapper(v));
+        ++acc.n;
+      },
+      [](Acc& left, Acc& right) {
+        left.sum += right.sum;
+        left.n += right.n;
+      },
+      [](Acc&& acc) {
+        return acc.n == 0 ? 0.0 : acc.sum / static_cast<double>(acc.n);
+      });
+}
+
+/// Concatenate strings with a separator (the paper's word-joining example:
+/// the combiner inserts the separator between *partial results*, which is
+/// exactly why it only runs in parallel mode).
+inline auto joining(std::string separator = ", ", std::string prefix = "",
+                    std::string suffix = "") {
+  struct Acc {
+    std::string text;
+    bool empty = true;
+  };
+  return make_collector<std::string>(
+      [] { return Acc{}; },
+      [separator](Acc& acc, const std::string& v) {
+        if (!acc.empty) acc.text += separator;
+        acc.text += v;
+        acc.empty = false;
+      },
+      [separator](Acc& left, Acc& right) {
+        if (right.empty) return;
+        if (!left.empty) left.text += separator;
+        left.text += right.text;
+        left.empty = false;
+      },
+      [prefix, suffix](Acc&& acc) { return prefix + acc.text + suffix; });
+}
+
+/// Minimum by comparator; empty input gives nullopt.
+template <typename T, typename Cmp = std::less<T>>
+auto min_by(Cmp cmp = Cmp{}) {
+  return make_collector<T>(
+      [] { return std::optional<T>{}; },
+      [cmp](std::optional<T>& acc, const T& v) {
+        if (!acc.has_value() || cmp(v, *acc)) acc = v;
+      },
+      [cmp](std::optional<T>& left, std::optional<T>& right) {
+        if (right.has_value() && (!left.has_value() || cmp(*right, *left))) {
+          left = std::move(right);
+        }
+      });
+}
+
+/// Maximum by comparator; empty input gives nullopt.
+template <typename T, typename Cmp = std::less<T>>
+auto max_by(Cmp cmp = Cmp{}) {
+  return make_collector<T>(
+      [] { return std::optional<T>{}; },
+      [cmp](std::optional<T>& acc, const T& v) {
+        if (!acc.has_value() || cmp(*acc, v)) acc = v;
+      },
+      [cmp](std::optional<T>& left, std::optional<T>& right) {
+        if (right.has_value() && (!left.has_value() || cmp(*left, *right))) {
+          left = std::move(right);
+        }
+      });
+}
+
+/// Group elements by key: map<K, vector<T>> in key order; within a group,
+/// encounter order is preserved.
+template <typename T, typename KeyFn>
+auto grouping_by(KeyFn key) {
+  using K = std::invoke_result_t<KeyFn&, const T&>;
+  using Map = std::map<K, std::vector<T>>;
+  return make_collector<T>(
+      [] { return Map{}; },
+      [key](Map& acc, const T& v) { acc[key(v)].push_back(v); },
+      [](Map& left, Map& right) {
+        for (auto& [k, vs] : right) {
+          auto& dst = left[k];
+          dst.insert(dst.end(), std::make_move_iterator(vs.begin()),
+                     std::make_move_iterator(vs.end()));
+        }
+      });
+}
+
+/// Count / sum / min / max / mean in one pass (the analogue of Java's
+/// summarizingDouble). Empty input: count 0, sum 0, min/max unset.
+struct Summary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::optional<double> min;
+  std::optional<double> max;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+template <typename T, typename Mapper>
+auto summarizing(Mapper mapper) {
+  return make_collector<T>(
+      [] { return Summary{}; },
+      [mapper](Summary& s, const T& v) {
+        const double d = static_cast<double>(mapper(v));
+        ++s.count;
+        s.sum += d;
+        if (!s.min || d < *s.min) s.min = d;
+        if (!s.max || d > *s.max) s.max = d;
+      },
+      [](Summary& l, Summary& r) {
+        l.count += r.count;
+        l.sum += r.sum;
+        if (r.min && (!l.min || *r.min < *l.min)) l.min = r.min;
+        if (r.max && (!l.max || *r.max > *l.max)) l.max = r.max;
+      });
+}
+
+/// Run two collectors over the same elements in a single pass and merge
+/// their results (Java 12's Collectors.teeing).
+template <typename T, typename C1, typename C2, typename Merger>
+auto teeing(C1 c1, C2 c2, Merger merger) {
+  using A1 = typename C1::accumulation_type;
+  using A2 = typename C2::accumulation_type;
+  struct Acc {
+    A1 first;
+    A2 second;
+  };
+  return make_collector<T>(
+      [c1, c2] { return Acc{c1.supply(), c2.supply()}; },
+      [c1, c2](Acc& acc, const T& v) {
+        c1.accumulate(acc.first, v);
+        c2.accumulate(acc.second, v);
+      },
+      [c1, c2](Acc& l, Acc& r) {
+        c1.combine(l.first, r.first);
+        c2.combine(l.second, r.second);
+      },
+      [c1, c2, merger](Acc&& acc) {
+        return merger(c1.finish(std::move(acc.first)),
+                      c2.finish(std::move(acc.second)));
+      });
+}
+
+/// Adapt a collector to consume mapper(element) (Collectors.mapping).
+template <typename T, typename Mapper, typename C>
+auto mapping(Mapper mapper, C downstream) {
+  using A = typename C::accumulation_type;
+  return make_collector<T>(
+      [downstream] { return downstream.supply(); },
+      [downstream, mapper](A& acc, const T& v) {
+        downstream.accumulate(acc, mapper(v));
+      },
+      [downstream](A& l, A& r) { downstream.combine(l, r); },
+      [downstream](A&& acc) { return downstream.finish(std::move(acc)); });
+}
+
+/// Split elements into (matching, non-matching) by a predicate.
+template <typename T, typename Pred>
+auto partitioning_by(Pred pred) {
+  using Pair = std::pair<std::vector<T>, std::vector<T>>;
+  return make_collector<T>(
+      [] { return Pair{}; },
+      [pred](Pair& acc, const T& v) {
+        (pred(v) ? acc.first : acc.second).push_back(v);
+      },
+      [](Pair& left, Pair& right) {
+        left.first.insert(left.first.end(),
+                          std::make_move_iterator(right.first.begin()),
+                          std::make_move_iterator(right.first.end()));
+        left.second.insert(left.second.end(),
+                           std::make_move_iterator(right.second.begin()),
+                           std::make_move_iterator(right.second.end()));
+      });
+}
+
+}  // namespace pls::streams::collectors

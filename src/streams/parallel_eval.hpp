@@ -1,0 +1,196 @@
+// Terminal-operation evaluator: sequential and fork-join parallel.
+//
+// Parallel evaluation mirrors Java's: the spliterator is split recursively
+// until chunks reach a target size (estimate / (parallelism * 4) by
+// default, as in AbstractTask.suggestTargetSize), each leaf chunk is
+// reduced sequentially into a fresh container from the collector's
+// supplier, and containers are merged pairwise with the combiner on the way
+// up — the divide-and-conquer template the paper builds PowerList functions
+// on. try_split returns the *prefix*, so the left child of every fork is
+// the earlier half: combining left <- right preserves encounter order for
+// non-commutative combiners.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "forkjoin/pool.hpp"
+#include "streams/collector.hpp"
+#include "streams/spliterator.hpp"
+#include "support/assert.hpp"
+
+namespace pls::streams {
+
+/// Where and how a terminal operation executes.
+struct ExecutionConfig {
+  /// Pool for parallel evaluation; nullptr selects ForkJoinPool::common().
+  forkjoin::ForkJoinPool* pool = nullptr;
+  /// Split until chunks are at most this size; 0 selects the Java-style
+  /// default, estimate_size / (4 * parallelism).
+  std::uint64_t min_chunk = 0;
+
+  forkjoin::ForkJoinPool& effective_pool() const {
+    return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
+  }
+
+  std::uint64_t target_size(std::uint64_t estimate, unsigned parallelism) const {
+    if (min_chunk != 0) return min_chunk;
+    const std::uint64_t t = estimate / (4ull * parallelism);
+    return t > 0 ? t : 1;
+  }
+};
+
+namespace detail {
+
+template <typename T, typename C>
+typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c) {
+  auto acc = c.supply();
+  sp.for_each_remaining(
+      [&](const T& value) { c.accumulate(acc, value); });
+  return acc;
+}
+
+template <typename T, typename C>
+typename C::accumulation_type collect_tree(forkjoin::ForkJoinPool& pool,
+                                           Spliterator<T>& sp, const C& c,
+                                           std::uint64_t target) {
+  using A = typename C::accumulation_type;
+  if (sp.estimate_size() <= target) return collect_leaf(sp, c);
+  auto prefix = sp.try_split();
+  if (!prefix) return collect_leaf(sp, c);
+  std::optional<A> left;
+  std::optional<A> right;
+  pool.invoke_two(
+      [&] { left.emplace(collect_tree(pool, *prefix, c, target)); },
+      [&] { right.emplace(collect_tree(pool, sp, c, target)); });
+  c.combine(*left, *right);
+  return std::move(*left);
+}
+
+template <typename T, typename Op>
+std::optional<T> reduce_leaf(Spliterator<T>& sp, const Op& op) {
+  std::optional<T> acc;
+  sp.for_each_remaining([&](const T& value) {
+    if (acc.has_value()) {
+      *acc = op(std::move(*acc), value);
+    } else {
+      acc = value;
+    }
+  });
+  return acc;
+}
+
+template <typename T, typename Op>
+std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
+                             const Op& op, std::uint64_t target) {
+  if (sp.estimate_size() <= target) return reduce_leaf(sp, op);
+  auto prefix = sp.try_split();
+  if (!prefix) return reduce_leaf(sp, op);
+  std::optional<T> left;
+  std::optional<T> right;
+  pool.invoke_two([&] { left = reduce_tree(pool, *prefix, op, target); },
+                  [&] { right = reduce_tree(pool, sp, op, target); });
+  if (left.has_value() && right.has_value()) {
+    return op(std::move(*left), std::move(*right));
+  }
+  return left.has_value() ? std::move(left) : std::move(right);
+}
+
+template <typename T, typename Fn>
+void for_each_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
+                   const Fn& fn, std::uint64_t target) {
+  if (sp.estimate_size() <= target) {
+    sp.for_each_remaining([&](const T& value) { fn(value); });
+    return;
+  }
+  auto prefix = sp.try_split();
+  if (!prefix) {
+    sp.for_each_remaining([&](const T& value) { fn(value); });
+    return;
+  }
+  pool.invoke_two([&] { for_each_tree(pool, *prefix, fn, target); },
+                  [&] { for_each_tree(pool, sp, fn, target); });
+}
+
+template <typename T>
+std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
+                         std::uint64_t target) {
+  if (sp.estimate_size() <= target) {
+    std::uint64_t n = 0;
+    sp.for_each_remaining([&](const T&) { ++n; });
+    return n;
+  }
+  auto prefix = sp.try_split();
+  if (!prefix) {
+    std::uint64_t n = 0;
+    sp.for_each_remaining([&](const T&) { ++n; });
+    return n;
+  }
+  std::uint64_t left = 0, right = 0;
+  pool.invoke_two([&] { left = count_tree(pool, *prefix, target); },
+                  [&] { right = count_tree(pool, sp, target); });
+  return left + right;
+}
+
+}  // namespace detail
+
+/// Run a full mutable reduction over the spliterator.
+template <typename T, typename C>
+typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
+                                         bool parallel,
+                                         const ExecutionConfig& cfg = {}) {
+  if (!parallel) {
+    return c.finish(detail::collect_leaf(sp, c));
+  }
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(sp.estimate_size(), pool.parallelism());
+  auto acc = pool.run(
+      [&] { return detail::collect_tree(pool, sp, c, target); });
+  return c.finish(std::move(acc));
+}
+
+/// Reduce with an associative binary operator; empty source gives nullopt.
+template <typename T, typename Op>
+std::optional<T> evaluate_reduce(Spliterator<T>& sp, const Op& op,
+                                 bool parallel,
+                                 const ExecutionConfig& cfg = {}) {
+  if (!parallel) return detail::reduce_leaf(sp, op);
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(sp.estimate_size(), pool.parallelism());
+  return pool.run([&] { return detail::reduce_tree(pool, sp, op, target); });
+}
+
+/// Apply `fn` to every element. In parallel mode `fn` must be safe to call
+/// concurrently; no encounter-order guarantee (as in Java's forEach).
+template <typename T, typename Fn>
+void evaluate_for_each(Spliterator<T>& sp, const Fn& fn, bool parallel,
+                       const ExecutionConfig& cfg = {}) {
+  if (!parallel) {
+    sp.for_each_remaining([&](const T& value) { fn(value); });
+    return;
+  }
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(sp.estimate_size(), pool.parallelism());
+  pool.run([&] { detail::for_each_tree(pool, sp, fn, target); });
+}
+
+/// Count elements (traverses; exact regardless of SIZED).
+template <typename T>
+std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
+                             const ExecutionConfig& cfg = {}) {
+  if (!parallel) {
+    std::uint64_t n = 0;
+    sp.for_each_remaining([&](const T&) { ++n; });
+    return n;
+  }
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(sp.estimate_size(), pool.parallelism());
+  return pool.run([&] { return detail::count_tree(pool, sp, target); });
+}
+
+}  // namespace pls::streams

@@ -1,0 +1,224 @@
+// Pipeline (intermediate-op) spliterators.
+//
+// Intermediate stream operations are implemented by wrapping the upstream
+// spliterator: splitting a wrapper splits the upstream and re-wraps, so the
+// whole lazy pipeline partitions for parallel execution exactly like the
+// source does. Operation functions are held by shared_ptr because every
+// split shares them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "streams/spliterator.hpp"
+#include "support/assert.hpp"
+
+namespace pls::streams {
+
+/// map: applies Fn(T) -> U to each element.
+template <typename U, typename T, typename Fn>
+class MapSpliterator final : public Spliterator<U> {
+ public:
+  using Action = typename Spliterator<U>::Action;
+
+  MapSpliterator(std::unique_ptr<Spliterator<T>> upstream,
+                 std::shared_ptr<const Fn> fn)
+      : upstream_(std::move(upstream)), fn_(std::move(fn)) {
+    PLS_CHECK(upstream_ != nullptr && fn_ != nullptr,
+              "MapSpliterator requires upstream and function");
+  }
+
+  bool try_advance(Action action) override {
+    return upstream_->try_advance(
+        [&](const T& t) { action((*fn_)(t)); });
+  }
+
+  void for_each_remaining(Action action) override {
+    upstream_->for_each_remaining(
+        [&](const T& t) { action((*fn_)(t)); });
+  }
+
+  std::unique_ptr<Spliterator<U>> try_split() override {
+    auto prefix = upstream_->try_split();
+    if (!prefix) return nullptr;
+    return std::make_unique<MapSpliterator<U, T, Fn>>(std::move(prefix),
+                                                      fn_);
+  }
+
+  std::uint64_t estimate_size() const override {
+    return upstream_->estimate_size();
+  }
+
+  Characteristics characteristics() const override {
+    // Mapping preserves size and order but not sortedness/distinctness.
+    return upstream_->characteristics() & ~(kSorted | kDistinct);
+  }
+
+ private:
+  std::unique_ptr<Spliterator<T>> upstream_;
+  std::shared_ptr<const Fn> fn_;
+};
+
+/// filter: keeps elements satisfying Pred(T) -> bool.
+template <typename T, typename Pred>
+class FilterSpliterator final : public Spliterator<T> {
+ public:
+  using Action = typename Spliterator<T>::Action;
+
+  FilterSpliterator(std::unique_ptr<Spliterator<T>> upstream,
+                    std::shared_ptr<const Pred> pred)
+      : upstream_(std::move(upstream)), pred_(std::move(pred)) {
+    PLS_CHECK(upstream_ != nullptr && pred_ != nullptr,
+              "FilterSpliterator requires upstream and predicate");
+  }
+
+  bool try_advance(Action action) override {
+    bool delivered = false;
+    while (!delivered) {
+      const bool advanced = upstream_->try_advance([&](const T& t) {
+        if ((*pred_)(t)) {
+          action(t);
+          delivered = true;
+        }
+      });
+      if (!advanced) return false;
+    }
+    return true;
+  }
+
+  void for_each_remaining(Action action) override {
+    upstream_->for_each_remaining([&](const T& t) {
+      if ((*pred_)(t)) action(t);
+    });
+  }
+
+  std::unique_ptr<Spliterator<T>> try_split() override {
+    auto prefix = upstream_->try_split();
+    if (!prefix) return nullptr;
+    return std::make_unique<FilterSpliterator<T, Pred>>(std::move(prefix),
+                                                        pred_);
+  }
+
+  std::uint64_t estimate_size() const override {
+    // An upper-bound estimate: filtering loses SIZED (below) but the
+    // estimate still guides split depth.
+    return upstream_->estimate_size();
+  }
+
+  Characteristics characteristics() const override {
+    return upstream_->characteristics() &
+           ~(kSized | kSubsized | kPower2);
+  }
+
+ private:
+  std::unique_ptr<Spliterator<T>> upstream_;
+  std::shared_ptr<const Pred> pred_;
+};
+
+/// peek: invokes a side-effecting observer, passes elements through.
+template <typename T, typename Fn>
+class PeekSpliterator final : public Spliterator<T> {
+ public:
+  using Action = typename Spliterator<T>::Action;
+
+  PeekSpliterator(std::unique_ptr<Spliterator<T>> upstream,
+                  std::shared_ptr<const Fn> observer)
+      : upstream_(std::move(upstream)), observer_(std::move(observer)) {
+    PLS_CHECK(upstream_ != nullptr && observer_ != nullptr,
+              "PeekSpliterator requires upstream and observer");
+  }
+
+  bool try_advance(Action action) override {
+    return upstream_->try_advance([&](const T& t) {
+      (*observer_)(t);
+      action(t);
+    });
+  }
+
+  void for_each_remaining(Action action) override {
+    upstream_->for_each_remaining([&](const T& t) {
+      (*observer_)(t);
+      action(t);
+    });
+  }
+
+  std::unique_ptr<Spliterator<T>> try_split() override {
+    auto prefix = upstream_->try_split();
+    if (!prefix) return nullptr;
+    return std::make_unique<PeekSpliterator<T, Fn>>(std::move(prefix),
+                                                    observer_);
+  }
+
+  std::uint64_t estimate_size() const override {
+    return upstream_->estimate_size();
+  }
+
+  Characteristics characteristics() const override {
+    return upstream_->characteristics();
+  }
+
+ private:
+  std::unique_ptr<Spliterator<T>> upstream_;
+  std::shared_ptr<const Fn> observer_;
+};
+
+/// flat_map: Fn(T) -> std::vector<U>, concatenating the results.
+template <typename U, typename T, typename Fn>
+class FlatMapSpliterator final : public Spliterator<U> {
+ public:
+  using Action = typename Spliterator<U>::Action;
+
+  FlatMapSpliterator(std::unique_ptr<Spliterator<T>> upstream,
+                     std::shared_ptr<const Fn> fn)
+      : upstream_(std::move(upstream)), fn_(std::move(fn)) {
+    PLS_CHECK(upstream_ != nullptr && fn_ != nullptr,
+              "FlatMapSpliterator requires upstream and function");
+  }
+
+  bool try_advance(Action action) override {
+    while (cursor_ >= buffer_.size()) {
+      buffer_.clear();
+      cursor_ = 0;
+      const bool advanced = upstream_->try_advance(
+          [&](const T& t) { buffer_ = (*fn_)(t); });
+      if (!advanced) return false;
+    }
+    action(buffer_[cursor_++]);
+    return true;
+  }
+
+  void for_each_remaining(Action action) override {
+    for (; cursor_ < buffer_.size(); ++cursor_) action(buffer_[cursor_]);
+    upstream_->for_each_remaining([&](const T& t) {
+      for (const U& u : (*fn_)(t)) action(u);
+    });
+  }
+
+  std::unique_ptr<Spliterator<U>> try_split() override {
+    // A partially consumed buffer precedes the remaining upstream in
+    // encounter order, so splitting then would misorder; refuse (splits
+    // happen before traversal in pipeline evaluation anyway).
+    if (cursor_ < buffer_.size()) return nullptr;
+    auto prefix = upstream_->try_split();
+    if (!prefix) return nullptr;
+    return std::make_unique<FlatMapSpliterator<U, T, Fn>>(std::move(prefix),
+                                                          fn_);
+  }
+
+  std::uint64_t estimate_size() const override {
+    return upstream_->estimate_size();  // lower bound in general
+  }
+
+  Characteristics characteristics() const override {
+    return upstream_->characteristics() &
+           ~(kSized | kSubsized | kSorted | kDistinct | kPower2);
+  }
+
+ private:
+  std::unique_ptr<Spliterator<T>> upstream_;
+  std::shared_ptr<const Fn> fn_;
+  std::vector<U> buffer_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace pls::streams

@@ -1,0 +1,64 @@
+// Spliterator<T>: the traversal-and-partitioning abstraction of the
+// streams library (mirrors java.util.Spliterator).
+//
+// A spliterator walks the elements of a source (try_advance /
+// for_each_remaining) and can partition itself (try_split) for parallel
+// processing: try_split carves off a *prefix* of the remaining elements as
+// a new spliterator, leaving this one with the suffix — exactly Java's
+// contract, which the PowerList TieSpliterator and ZipSpliterator
+// specialise (see src/powerlist/spliterators.hpp).
+//
+// The interface is virtual by design: the paper's central mechanism is a
+// Collector-owned spliterator subclass that performs extra work during the
+// splitting phase and mutates shared collector state; that requires runtime
+// polymorphism, as in Java. Hot paths traverse whole chunks through
+// for_each_remaining, so dispatch cost is per-chunk, not per-element.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "streams/characteristics.hpp"
+#include "support/function_ref.hpp"
+
+namespace pls::streams {
+
+template <typename T>
+class Spliterator {
+ public:
+  using value_type = T;
+  /// Per-element action. Non-owning: actions never outlive the call.
+  using Action = pls::function_ref<void(const T&)>;
+
+  virtual ~Spliterator() = default;
+
+  /// If an element remains, invoke `action` on it and return true;
+  /// otherwise return false.
+  virtual bool try_advance(Action action) = 0;
+
+  /// Invoke `action` on every remaining element, sequentially, in
+  /// encounter order. Override for bulk traversal (and, per Section V of
+  /// the paper, to specialise the *basic case* computation applied to the
+  /// sublists where parallel decomposition stopped).
+  virtual void for_each_remaining(Action action) {
+    while (try_advance(action)) {
+    }
+  }
+
+  /// Partition off a prefix of the remaining elements as a new
+  /// spliterator, or return nullptr when this spliterator cannot or will
+  /// not split further.
+  virtual std::unique_ptr<Spliterator<T>> try_split() = 0;
+
+  /// Estimated number of remaining elements (exact when kSized).
+  virtual std::uint64_t estimate_size() const = 0;
+
+  /// Characteristic flags of this spliterator and its elements.
+  virtual Characteristics characteristics() const = 0;
+
+  bool has(Characteristics wanted) const {
+    return has_characteristics(characteristics(), wanted);
+  }
+};
+
+}  // namespace pls::streams

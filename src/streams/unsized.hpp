@@ -1,0 +1,106 @@
+// Unsized and generative stream sources.
+//
+// Java streams built from iterators of unknown size still parallelise:
+// the spliterator carves off *batches* into arrays (growing arithmetically
+// by 1024, as java.util.Spliterators.AbstractSpliterator does) so thieves
+// get contiguous work while the tail stays lazy. UnsizedSpliterator
+// reproduces that design over a pull function; Stream-side factories
+// (iterate) build on it.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "streams/spliterator.hpp"
+#include "streams/spliterators.hpp"
+#include "support/assert.hpp"
+
+namespace pls::streams {
+
+/// Spliterator over a pull function `std::optional<T>()` (nullopt = end).
+/// try_split materialises the next batch into an ArraySpliterator; batch
+/// sizes grow arithmetically (1024, 2048, ...) up to a cap, Java's
+/// strategy for unknown-size sources.
+template <typename T, typename Pull>
+class UnsizedSpliterator final : public Spliterator<T> {
+ public:
+  using Action = typename Spliterator<T>::Action;
+
+  static constexpr std::uint64_t kBatchUnit = 1024;
+  static constexpr std::uint64_t kMaxBatch = 1 << 20;
+
+  explicit UnsizedSpliterator(std::shared_ptr<Pull> pull)
+      : pull_(std::move(pull)) {
+    PLS_CHECK(pull_ != nullptr, "UnsizedSpliterator requires a source");
+  }
+
+  bool try_advance(Action action) override {
+    if (exhausted_) return false;
+    std::optional<T> next = (*pull_)();
+    if (!next.has_value()) {
+      exhausted_ = true;
+      return false;
+    }
+    action(*next);
+    return true;
+  }
+
+  std::unique_ptr<Spliterator<T>> try_split() override {
+    if (exhausted_) return nullptr;
+    const std::uint64_t target =
+        std::min<std::uint64_t>(kMaxBatch, batches_ * kBatchUnit);
+    auto batch = std::make_shared<std::vector<T>>();
+    batch->reserve(target);
+    while (batch->size() < target) {
+      std::optional<T> next = (*pull_)();
+      if (!next.has_value()) {
+        exhausted_ = true;
+        break;
+      }
+      batch->push_back(std::move(*next));
+    }
+    if (batch->empty()) return nullptr;
+    ++batches_;
+    return std::make_unique<ArraySpliterator<T>>(
+        std::shared_ptr<const std::vector<T>>(batch, batch.get()));
+  }
+
+  std::uint64_t estimate_size() const override {
+    // Unknown: Java reports Long.MAX_VALUE; do the same so the evaluator
+    // keeps splitting until the source dries up.
+    return exhausted_ ? 0 : std::numeric_limits<std::uint64_t>::max();
+  }
+
+  Characteristics characteristics() const override { return kOrdered; }
+
+ private:
+  std::shared_ptr<Pull> pull_;
+  std::uint64_t batches_ = 1;
+  bool exhausted_ = false;
+};
+
+/// Stream over seed, next(seed), next(next(seed)), ... — infinite; bound
+/// it with .limit(n). (The analogue of Stream.iterate.)
+template <typename T, typename Next>
+auto iterate_stream(T seed, Next next) {
+  struct Pull {
+    T current;
+    Next step;
+    bool first = true;
+    std::optional<T> operator()() {
+      if (first) {
+        first = false;
+        return current;
+      }
+      current = step(current);
+      return current;
+    }
+  };
+  auto pull = std::make_shared<Pull>(Pull{std::move(seed), std::move(next)});
+  return std::make_unique<UnsizedSpliterator<T, Pull>>(std::move(pull));
+}
+
+}  // namespace pls::streams

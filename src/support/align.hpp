@@ -1,0 +1,22 @@
+// Cache-line alignment utilities for concurrent data structures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pls {
+
+/// Destructive interference size (cache line). A fixed 64 bytes: correct
+/// for every mainstream x86/ARM core, and a stable constant keeps struct
+/// layouts independent of compiler version and -mtune flags (GCC warns that
+/// std::hardware_destructive_interference_size varies).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wrap a value so adjacent instances never share a cache line; used for
+/// per-worker counters and deque ends to avoid false sharing.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+};
+
+}  // namespace pls

@@ -1,0 +1,52 @@
+// Lightweight always-on precondition checking.
+//
+// The library validates user-facing contract violations (a PowerList whose
+// length is not a power of two, mismatched lengths passed to a pointwise
+// operator, ...) with PLS_CHECK, which throws; internal invariants that are
+// cheap to test are guarded with PLS_ASSERT, which aborts with a message.
+// Neither macro is compiled out in release builds: the checks guard O(1)
+// conditions at API boundaries, never per-element hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pls {
+
+/// Exception thrown when a documented precondition of a public API is
+/// violated (e.g. constructing a PowerList view of non-power-of-two length).
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* cond, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "plstream: internal invariant violated: %s (%s:%d)\n",
+               cond, file, line);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace pls
+
+/// Validate a public-API precondition; throws pls::precondition_error.
+#define PLS_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::pls::precondition_error(std::string("plstream: ") + msg); \
+    }                                                                   \
+  } while (false)
+
+/// Validate an internal invariant; aborts on failure.
+#define PLS_ASSERT(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::pls::detail::assert_fail(#cond, __FILE__, __LINE__);      \
+    }                                                             \
+  } while (false)

@@ -1,0 +1,72 @@
+// Bit-manipulation helpers used throughout the PowerList machinery.
+//
+// PowerLists have power-of-two lengths by definition, so nearly every module
+// needs exact log2 computations and power-of-two tests; the `inv` permutation
+// and the iterative FFT additionally need index bit reversal.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pls {
+
+/// True iff `n` is a power of two (1, 2, 4, ...). Zero is not a power of two.
+constexpr bool is_power_of_two(std::uint64_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// floor(log2(n)) for n >= 1; log2 of 0 is defined as 0 for convenience.
+constexpr unsigned floor_log2(std::uint64_t n) noexcept {
+  unsigned r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(n)) for n >= 1.
+constexpr unsigned ceil_log2(std::uint64_t n) noexcept {
+  return n <= 1 ? 0 : floor_log2(n - 1) + 1;
+}
+
+/// Exact log2; only meaningful when is_power_of_two(n).
+constexpr unsigned exact_log2(std::uint64_t n) noexcept {
+  return floor_log2(n);
+}
+
+/// Smallest power of two >= n (n == 0 yields 1).
+constexpr std::uint64_t next_power_of_two(std::uint64_t n) noexcept {
+  if (n <= 1) return 1;
+  return std::uint64_t{1} << ceil_log2(n);
+}
+
+/// Reverse the low `bits` bits of `v` (bit 0 <-> bit bits-1, ...).
+///
+/// This is the index permutation computed by the PowerList function `inv`:
+/// the element at index b moves to the index whose binary representation is
+/// the reversal of b's.
+constexpr std::uint64_t reverse_bits(std::uint64_t v, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+/// Number of set bits (population count); used by Gray-code checks.
+constexpr unsigned popcount64(std::uint64_t v) noexcept {
+  unsigned c = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++c;
+  }
+  return c;
+}
+
+/// The n-th binary-reflected Gray code.
+constexpr std::uint64_t gray_code(std::uint64_t n) noexcept {
+  return n ^ (n >> 1);
+}
+
+}  // namespace pls

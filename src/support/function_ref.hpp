@@ -1,0 +1,60 @@
+// function_ref: a non-owning, trivially copyable reference to a callable.
+//
+// The Spliterator interface (mirroring Java's) passes per-element actions
+// through a type-erased callable. std::function would allocate and copy;
+// function_ref is two words, never allocates, and is safe because spliterator
+// traversal never stores the action beyond the call (the callable always
+// outlives the traversal).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace pls {
+
+template <typename Signature>
+class function_ref;  // undefined primary template
+
+/// Non-owning callable reference with signature R(Args...).
+///
+/// Lifetime contract: the referenced callable must outlive every invocation
+/// through the function_ref. All uses inside this library pass function_ref
+/// down the stack only.
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, function_ref> &&
+                !std::is_function_v<std::remove_reference_t<F>> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  function_ref(F&& f) noexcept  // NOLINT: implicit by design, mirrors std
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_(&invoke<std::remove_reference_t<F>>) {}
+
+  /// Plain function pointers are stored directly (reinterpret_cast between
+  /// function and object pointers is conditionally supported; fine on every
+  /// POSIX platform this library targets).
+  function_ref(R (*fn)(Args...)) noexcept  // NOLINT: implicit by design
+      : obj_(reinterpret_cast<void*>(fn)), call_(&invoke_fnptr) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  static R invoke_fnptr(void* obj, Args... args) {
+    return reinterpret_cast<R (*)(Args...)>(obj)(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace pls

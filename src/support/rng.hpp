@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation.
+//
+// Benchmarks and property tests must be reproducible run to run, so all
+// randomness in the library flows through these explicitly seeded generators
+// (never std::rand or random_device-seeded engines).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pls {
+
+/// SplitMix64: tiny, fast generator; used to expand a single seed into the
+/// larger state of Xoshiro256** and as a standalone generator for cheap
+/// deterministic decisions (e.g. the simulator's victim selection).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the library's general-purpose generator.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Modulo bias is negligible for the bounds used here (bench sizes,
+    // worker counts) relative to 2^64.
+    return (*this)() % bound;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pls

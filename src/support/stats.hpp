@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers for benchmark reporting.
+//
+// The paper averages 5 runs per configuration; the bench harnesses do the
+// same and additionally report min and relative standard deviation so noisy
+// shared-host runs are visible in the output.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pls {
+
+struct SampleStats {
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+
+  /// Relative standard deviation (stddev / mean), 0 when mean == 0.
+  double rel_stddev() const noexcept {
+    return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+};
+
+/// Compute descriptive statistics of a non-empty sample.
+inline SampleStats summarize(std::vector<double> samples) {
+  PLS_CHECK(!samples.empty(), "summarize() requires a non-empty sample");
+  SampleStats s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t n = samples.size();
+  s.median = (n % 2 == 1) ? samples[n / 2]
+                          : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  double sq = 0.0;
+  for (double v : samples) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.stddev = std::sqrt(sq / static_cast<double>(n));
+  return s;
+}
+
+}  // namespace pls

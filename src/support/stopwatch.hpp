@@ -1,0 +1,37 @@
+// Wall-clock measurement helpers for benchmarks and calibration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pls {
+
+/// Monotonic stopwatch. Started on construction; `elapsed_*` reads without
+/// stopping, `restart` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_ms() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+  double elapsed_seconds() const noexcept {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pls

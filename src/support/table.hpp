@@ -1,0 +1,74 @@
+// Plain-text table formatting for the figure-reproduction harnesses.
+//
+// Each bench binary prints the rows/series of the paper figure it reproduces;
+// this helper keeps the output aligned and machine-greppable
+// (pipe-separated, one row per line).
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pls {
+
+/// Column-aligned text table. Collect rows, then `to_string`/`print`.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    PLS_CHECK(cells.size() == header_.size(),
+              "TextTable row width differs from header width");
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string to_string() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::ostringstream out;
+    format_row(out, header_, width);
+    std::size_t total = 1;
+    for (std::size_t w : width) total += w + 3;
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) format_row(out, row, width);
+    return out.str();
+  }
+
+  void print() const { std::fputs(to_string().c_str(), stdout); }
+
+  /// Format a double with fixed precision; convenience for row building.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+  }
+
+ private:
+  static void format_row(std::ostringstream& out,
+                         const std::vector<std::string>& cells,
+                         const std::vector<std::size_t>& width) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pls

@@ -1,0 +1,171 @@
+#include "forkjoin/deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "forkjoin/task.hpp"
+
+namespace {
+
+using pls::forkjoin::ChildTask;
+using pls::forkjoin::RawTask;
+using pls::forkjoin::WorkStealingDeque;
+
+// A trivial task used as an opaque pointer payload.
+struct NopBody {
+  void operator()() const {}
+};
+
+std::vector<std::unique_ptr<ChildTask<NopBody>>> make_tasks(std::size_t n,
+                                                            NopBody& body) {
+  std::vector<std::unique_ptr<ChildTask<NopBody>>> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(std::make_unique<ChildTask<NopBody>>(body));
+  }
+  return tasks;
+}
+
+TEST(Deque, PopFromEmptyIsNull) {
+  WorkStealingDeque d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Deque, StealFromEmptyIsNull) {
+  WorkStealingDeque d;
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, PushPopIsLifo) {
+  WorkStealingDeque d;
+  NopBody body;
+  auto tasks = make_tasks(3, body);
+  for (auto& t : tasks) d.push(t.get());
+  EXPECT_EQ(d.pop(), tasks[2].get());
+  EXPECT_EQ(d.pop(), tasks[1].get());
+  EXPECT_EQ(d.pop(), tasks[0].get());
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(Deque, StealIsFifo) {
+  WorkStealingDeque d;
+  NopBody body;
+  auto tasks = make_tasks(3, body);
+  for (auto& t : tasks) d.push(t.get());
+  EXPECT_EQ(d.steal(), tasks[0].get());
+  EXPECT_EQ(d.steal(), tasks[1].get());
+  EXPECT_EQ(d.steal(), tasks[2].get());
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, MixedPopAndStealMeetInTheMiddle) {
+  WorkStealingDeque d;
+  NopBody body;
+  auto tasks = make_tasks(4, body);
+  for (auto& t : tasks) d.push(t.get());
+  EXPECT_EQ(d.steal(), tasks[0].get());  // oldest
+  EXPECT_EQ(d.pop(), tasks[3].get());    // newest
+  EXPECT_EQ(d.steal(), tasks[1].get());
+  EXPECT_EQ(d.pop(), tasks[2].get());
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(Deque, SizeTracksContents) {
+  WorkStealingDeque d;
+  NopBody body;
+  auto tasks = make_tasks(5, body);
+  for (auto& t : tasks) d.push(t.get());
+  EXPECT_EQ(d.size(), 5u);
+  d.pop();
+  EXPECT_EQ(d.size(), 4u);
+  d.steal();
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  WorkStealingDeque d(2);  // capacity 4
+  NopBody body;
+  auto tasks = make_tasks(100, body);
+  for (auto& t : tasks) d.push(t.get());
+  EXPECT_EQ(d.size(), 100u);
+  // LIFO order must survive growth.
+  for (int i = 99; i >= 0; --i) {
+    EXPECT_EQ(d.pop(), tasks[static_cast<std::size_t>(i)].get());
+  }
+}
+
+TEST(Deque, ReusableAfterDraining) {
+  WorkStealingDeque d;
+  NopBody body;
+  auto tasks = make_tasks(8, body);
+  for (int round = 0; round < 3; ++round) {
+    for (auto& t : tasks) d.push(t.get());
+    std::size_t got = 0;
+    while (d.pop() != nullptr) ++got;
+    EXPECT_EQ(got, tasks.size());
+  }
+}
+
+// Concurrency: one owner pushing/popping, several thieves stealing.
+// Every task must be obtained exactly once across all parties.
+TEST(Deque, ConcurrentOwnerAndThievesPartitionTasks) {
+  constexpr std::size_t kTasks = 50000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque d(3);  // small initial capacity: exercise growth too
+  NopBody body;
+  auto tasks = make_tasks(kTasks, body);
+
+  std::unordered_map<RawTask*, std::size_t> index;
+  index.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) index.emplace(tasks[i].get(), i);
+
+  std::atomic<std::size_t> stolen{0};
+  std::atomic<bool> owner_done{false};
+  std::vector<std::atomic<int>> seen(kTasks);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      while (!owner_done.load(std::memory_order_acquire) || !d.empty()) {
+        if (RawTask* t = d.steal()) {
+          stolen.fetch_add(1, std::memory_order_relaxed);
+          seen[index.at(t)].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Owner: push all, interleaving occasional pops.
+  std::size_t popped = 0;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    d.push(tasks[i].get());
+    if (i % 7 == 0) {
+      if (RawTask* t = d.pop()) {
+        ++popped;
+        seen[index.at(t)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (RawTask* t = d.pop()) {
+    ++popped;
+    seen[index.at(t)].fetch_add(1, std::memory_order_relaxed);
+  }
+  owner_done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(popped + stolen.load(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "task " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Failure injection: exceptions thrown at every phase of parallel
+// execution must propagate cleanly and leave the pool reusable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "forkjoin/parallel.hpp"
+#include "forkjoin/pool.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/executors.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+using pls::streams::Stream;
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("boom") {}
+};
+
+TEST(Failure, PoolSurvivesRepeatedExceptions) {
+  ForkJoinPool pool(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_THROW(pool.run([]() -> int { throw Boom{}; }), Boom);
+    // The pool must still do useful work right after.
+    EXPECT_EQ(pool.run([] { return 21 * 2; }), 42);
+  }
+}
+
+TEST(Failure, NestedForkExceptionUnwindsAllJoins) {
+  ForkJoinPool pool(4);
+  std::atomic<int> leaves{0};
+  auto recurse = [&](auto&& self, int depth) -> void {
+    if (depth == 0) {
+      if (leaves.fetch_add(1) == 37) throw Boom{};
+      return;
+    }
+    pool.invoke_two([&] { self(self, depth - 1); },
+                    [&] { self(self, depth - 1); });
+  };
+  EXPECT_THROW(pool.run([&] { recurse(recurse, 7); }), Boom);
+  // All joins completed before the rethrow: the pool is healthy.
+  EXPECT_EQ(pool.run([] { return 1; }), 1);
+}
+
+TEST(Failure, ParallelForPropagates) {
+  ForkJoinPool pool(4);
+  EXPECT_THROW(pls::forkjoin::parallel_for(pool, 0, 10000, 16,
+                                           [](int i) {
+                                             if (i == 7777) throw Boom{};
+                                           }),
+               Boom);
+}
+
+TEST(Failure, ParallelReducePropagatesFromLeaf) {
+  ForkJoinPool pool(4);
+  EXPECT_THROW(
+      pls::forkjoin::parallel_reduce(
+          pool, 0, 4096, 64, 0,
+          [](int lo, int) -> int {
+            if (lo >= 2048) throw Boom{};
+            return lo;
+          },
+          [](int a, int b) { return a + b; }),
+      Boom);
+}
+
+TEST(Failure, ParallelReducePropagatesFromCombine) {
+  ForkJoinPool pool(4);
+  EXPECT_THROW(pls::forkjoin::parallel_reduce(
+                   pool, 0, 4096, 64, 0,
+                   [](int lo, int hi) { return hi - lo; },
+                   [](int, int) -> int { throw Boom{}; }),
+               Boom);
+}
+
+TEST(Failure, StreamMapExceptionInParallelCollect) {
+  ForkJoinPool pool(4);
+  EXPECT_THROW(Stream<int>::range(0, 100000)
+                   .parallel()
+                   .via(pool)
+                   .map([](int v) {
+                     if (v == 54321) throw Boom{};
+                     return v;
+                   })
+                   .to_vector(),
+               Boom);
+  // Pool healthy afterwards.
+  EXPECT_EQ(pool.run([] { return 5; }), 5);
+}
+
+TEST(Failure, CollectorAccumulatorException) {
+  auto c = pls::streams::make_collector<int>(
+      [] { return 0L; },
+      [](long& acc, const int& v) {
+        if (v == 600) throw Boom{};
+        acc += v;
+      },
+      [](long& l, long& r) { l += r; });
+  EXPECT_THROW(Stream<int>::range(0, 1000).parallel().collect(c), Boom);
+}
+
+TEST(Failure, CollectorCombinerException) {
+  auto c = pls::streams::make_collector<int>(
+      [] { return 0L; }, [](long& acc, const int& v) { acc += v; },
+      [](long&, long&) -> void { throw Boom{}; });
+  EXPECT_THROW(Stream<int>::range(0, 1000)
+                   .parallel()
+                   .with_min_chunk(10)
+                   .collect(c),
+               Boom);
+}
+
+TEST(Failure, PowerFunctionBasicCaseException) {
+  ForkJoinPool pool(4);
+  struct Thrower final : pls::powerlist::PowerFunction<int, int> {
+    int basic_case(pls::powerlist::PowerListView<const int> leaf,
+                   const pls::powerlist::NoContext&) const override {
+      if (leaf[0] > 100) throw Boom{};
+      return leaf[0];
+    }
+    int combine(int&& l, int&& r, const pls::powerlist::NoContext&,
+                std::size_t) const override {
+      return l + r;
+    }
+  } f;
+  std::vector<int> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  EXPECT_THROW(
+      pls::powerlist::execute_forkjoin(pool, f, pls::powerlist::view_of(data),
+                                       {}, 4),
+      Boom);
+  EXPECT_EQ(pool.run([] { return 3; }), 3);
+}
+
+TEST(Failure, SequentialStreamExceptionLeavesNoThreads) {
+  // No pool involved in sequential mode: the exception surfaces directly.
+  EXPECT_THROW(Stream<int>::range(0, 10)
+                   .map([](int v) {
+                     if (v == 5) throw Boom{};
+                     return v;
+                   })
+                   .to_vector(),
+               Boom);
+}
+
+TEST(Failure, BothSidesThrowLeftWins) {
+  ForkJoinPool pool(2);
+  struct Left : std::runtime_error {
+    Left() : std::runtime_error("left") {}
+  };
+  struct Right : std::runtime_error {
+    Right() : std::runtime_error("right") {}
+  };
+  EXPECT_THROW(pool.run([&] {
+    pool.invoke_two([]() { throw Left{}; }, []() { throw Right{}; });
+  }),
+               Left);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "forkjoin/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+using pls::forkjoin::parallel_for;
+using pls::forkjoin::parallel_invoke;
+using pls::forkjoin::parallel_reduce;
+
+TEST(ParallelInvoke, RunsAllClosures) {
+  ForkJoinPool pool(4);
+  std::atomic<int> mask{0};
+  parallel_invoke(
+      pool, [&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+      [&] { mask.fetch_or(4); }, [&] { mask.fetch_or(8); },
+      [&] { mask.fetch_or(16); });
+  EXPECT_EQ(mask.load(), 31);
+}
+
+TEST(ParallelInvoke, SingleClosure) {
+  ForkJoinPool pool(2);
+  int x = 0;
+  parallel_invoke(pool, [&] { x = 5; });
+  EXPECT_EQ(x, 5);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ForkJoinPool pool(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(pool, std::size_t{0}, n, std::size_t{64},
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ForkJoinPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 1, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsSequentially) {
+  ForkJoinPool pool(2);
+  std::vector<int> order;
+  // grain >= n means a single sequential leaf: order is deterministic.
+  parallel_for(pool, 0, 8, 100, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelFor, InvalidGrainThrows) {
+  ForkJoinPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 0, [](int) {}),
+               pls::precondition_error);
+}
+
+TEST(ParallelReduce, SumsRange) {
+  ForkJoinPool pool(4);
+  const long n = 100000;
+  const long sum = parallel_reduce(
+      pool, 0L, n, 128L, 0L,
+      [](long lo, long hi) {
+        long s = 0;
+        for (long i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](long a, long b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, EmptyRangeGivesIdentity) {
+  ForkJoinPool pool(2);
+  const int v = parallel_reduce(
+      pool, 3, 3, 1, -1, [](int, int) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, -1);
+}
+
+TEST(ParallelReduce, NonCommutativeCombinePreservesOrder) {
+  // String concatenation is associative but not commutative; the reduction
+  // must still produce the in-order result.
+  ForkJoinPool pool(4);
+  const int n = 200;
+  const std::string joined = parallel_reduce(
+      pool, 0, n, 8, std::string{},
+      [](int lo, int hi) {
+        std::string s;
+        for (int i = lo; i < hi; ++i) s += static_cast<char>('a' + i % 26);
+        return s;
+      },
+      [](std::string a, std::string b) { return a + b; });
+  std::string expected;
+  for (int i = 0; i < n; ++i) expected += static_cast<char>('a' + i % 26);
+  EXPECT_EQ(joined, expected);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ForkJoinPool pool(4);
+  std::vector<int> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>((i * 2654435761u) % 100000);
+  }
+  const int expected = *std::max_element(data.begin(), data.end());
+  const int got = parallel_reduce(
+      pool, std::size_t{0}, data.size(), std::size_t{64},
+      std::numeric_limits<int>::min(),
+      [&](std::size_t lo, std::size_t hi) {
+        int m = std::numeric_limits<int>::min();
+        for (std::size_t i = lo; i < hi; ++i) m = std::max(m, data[i]);
+        return m;
+      },
+      [](int a, int b) { return std::max(a, b); });
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Stress tests: irregular task trees, concurrent external submitters,
+// and pool lifecycle churn — the failure modes a work-stealing runtime
+// actually faces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+
+// Irregular recursion: split points chosen pseudo-randomly per node, so
+// the tree is deeply unbalanced — the worst case for naive scheduling.
+long irregular_sum(ForkJoinPool& pool, std::uint64_t seed, long lo,
+                   long hi) {
+  if (hi - lo <= 8) {
+    long s = 0;
+    for (long i = lo; i < hi; ++i) s += i;
+    return s;
+  }
+  pls::SplitMix64 rng(seed ^ static_cast<std::uint64_t>(lo * 31 + hi));
+  // Split anywhere in the middle 80% of the range.
+  const long span = hi - lo;
+  const long offset =
+      span / 10 + static_cast<long>(rng.next() % std::max<long>(
+                                                     1, span * 8 / 10));
+  const long mid = lo + std::max<long>(1, std::min(span - 1, offset));
+  long left = 0, right = 0;
+  pool.invoke_two(
+      [&] { left = irregular_sum(pool, seed * 3, lo, mid); },
+      [&] { right = irregular_sum(pool, seed * 5, mid, hi); });
+  return left + right;
+}
+
+TEST(Stress, IrregularTreeSumsCorrectly) {
+  ForkJoinPool pool(4);
+  const long n = 200000;
+  const long got = pool.run([&] { return irregular_sum(pool, 42, 0, n); });
+  EXPECT_EQ(got, n * (n - 1) / 2);
+}
+
+TEST(Stress, ManyExternalSubmitters) {
+  // 6 OS threads hammer the same 3-worker pool concurrently.
+  ForkJoinPool pool(3);
+  constexpr int kThreads = 6;
+  constexpr int kJobsPerThread = 40;
+  std::atomic<long> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < kJobsPerThread; ++j) {
+        const long v = pool.run([&, t, j] {
+          long acc = 0;
+          pool.invoke_two(
+              [&] {
+                for (int i = 0; i < 100; ++i) acc += t;
+              },
+              [&] {
+                for (int i = 0; i < 100; ++i) acc += j;
+              });
+          return acc;
+        });
+        total.fetch_add(v, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  long expected = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int j = 0; j < kJobsPerThread; ++j) expected += 100 * (t + j);
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(Stress, PoolChurn) {
+  // Construct/destroy pools rapidly with real work in between: checks
+  // clean shutdown with no leaked or wedged workers.
+  for (int round = 0; round < 25; ++round) {
+    ForkJoinPool pool(1 + round % 4);
+    const int v = pool.run([&] {
+      int a = 0, b = 0;
+      pool.invoke_two([&] { a = round; }, [&] { b = round * 2; });
+      return a + b;
+    });
+    EXPECT_EQ(v, round * 3);
+  }
+}
+
+TEST(Stress, DeepNarrowRecursion) {
+  // A right-leaning chain: the left closure returns immediately, the
+  // right recurses. Exercises join-helping along a long spine; depth is
+  // kept within default thread-stack budgets (the recursion is linear).
+  ForkJoinPool pool(2);
+  struct Chain {
+    ForkJoinPool& pool;
+    long walk(long remaining) {
+      if (remaining == 0) return 0;
+      long tail = 0;
+      pool.invoke_two([] {}, [&] { tail = walk(remaining - 1); });
+      return tail + 1;
+    }
+  } chain{pool};
+  const long depth = 4000;
+  EXPECT_EQ(pool.run([&] { return chain.walk(depth); }), depth);
+}
+
+TEST(Stress, RepeatedLargeParallelRuns) {
+  ForkJoinPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> leaves{0};
+    pool.run([&] {
+      struct Rec {
+        ForkJoinPool& pool;
+        std::atomic<int>& leaves;
+        void go(int depth) {
+          if (depth == 0) {
+            leaves.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          pool.invoke_two([&] { go(depth - 1); }, [&] { go(depth - 1); });
+        }
+      } rec{pool, leaves};
+      rec.go(10);
+    });
+    EXPECT_EQ(leaves.load(), 1024);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Cross-module integration: each computation the library implements via
+// several independent paths (skeleton executors, stream collectors,
+// facade, JPLF layer, simulated machine, message-passing simulation)
+// must produce identical results. These are the tests that catch
+// mismatched conventions between layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "pls.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+using pls::streams::Stream;
+
+ForkJoinPool& pool() {
+  static ForkJoinPool p(4);
+  return p;
+}
+
+// ---- polynomial evaluation: six independent paths ----------------------
+
+TEST(Integration, PolynomialSixWays) {
+  pls::Xoshiro256 rng(101);
+  std::vector<double> asc(1024);  // ascending coefficients
+  for (auto& c : asc) c = rng.next_double() - 0.5;
+  const double x = 0.998;
+
+  const double reference = horner_ascending(view_of(asc), x);
+
+  // 1. PowerFunction (equation 4), sequential executor.
+  PolynomialFunction<double> vp;
+  EXPECT_NEAR(execute_sequential(vp, view_of(asc), x, 8), reference, 1e-9);
+
+  // 2. Same function, fork-join executor.
+  EXPECT_NEAR(execute_forkjoin(pool(), vp, view_of(asc), x, 8), reference,
+              1e-9);
+
+  // 3. Tupled transformation (tie decomposition).
+  EXPECT_NEAR(polynomial_value_tupled(view_of(asc), x, 8), reference, 1e-9);
+
+  // 4. Stream Collector adaptation (descending convention: reverse).
+  std::vector<double> desc(asc.rbegin(), asc.rend());
+  auto shared = std::make_shared<const std::vector<double>>(desc);
+  EXPECT_NEAR(evaluate_polynomial_stream(shared, x, true), reference, 1e-9);
+
+  // 5. JPLF-compatibility layer.
+  jplf::ZipPowerList<double> list(view_of(asc));
+  class JplfVp final : public jplf::JplfPowerFunction<double, double> {
+   public:
+    JplfVp(double point, std::size_t threshold)
+        : x_(point), threshold_(threshold) {}
+    double basic_case(const jplf::BasePowerList<double>& l) override {
+      return horner_ascending(l.view(), x_);
+    }
+    double combine(double l, double r) override { return l + x_ * r; }
+    std::unique_ptr<jplf::JplfPowerFunction<double, double>>
+    create_left_function() const override {
+      return std::make_unique<JplfVp>(x_ * x_, threshold_);
+    }
+    std::unique_ptr<jplf::JplfPowerFunction<double, double>>
+    create_right_function() const override {
+      return std::make_unique<JplfVp>(x_ * x_, threshold_);
+    }
+    std::size_t basic_threshold() const override { return threshold_; }
+
+   private:
+    double x_;
+    std::size_t threshold_;
+  };
+  JplfVp jplf_vp(x, 8);
+  const double via_jplf = jplf_vp.compute(list);
+  EXPECT_NEAR(via_jplf, reference, 1e-9);
+
+  // 6. Message-passing simulation, 8 ranks.
+  pls::mpisim::World world(8);
+  world.run([&](pls::mpisim::Comm& comm) {
+    EXPECT_NEAR(pls::mpisim::mpi_polynomial_eval(comm, asc, x), reference,
+                1e-9);
+  });
+
+  // 7. Simulated-machine executor (result side).
+  const auto sim_ex = execute_simulated(
+      pls::simmachine::Simulator({}, 8), vp, view_of(asc), x, 8);
+  EXPECT_NEAR(sim_ex.result, reference, 1e-9);
+}
+
+// ---- reduction: six paths ----------------------------------------------
+
+TEST(Integration, SumSixWays) {
+  std::vector<long> data(4096);
+  std::iota(data.begin(), data.end(), 1);
+  const long reference = 4096L * 4097 / 2;
+
+  ReduceFunction<long, std::plus<long>> f{std::plus<long>{}};
+  EXPECT_EQ(execute_sequential(f, view_of(data), {}, 64), reference);
+  EXPECT_EQ(execute_forkjoin(pool(), f, view_of(data), {}, 64), reference);
+  EXPECT_EQ(Stream<long>::of(data).parallel().via(pool()).sum(), reference);
+  EXPECT_EQ(PowerStream<long>::of(data).via(pool()).reduce(
+                std::plus<long>{}),
+            reference);
+  {
+    pls::plist::NWayReduce<long, std::plus<long>> nway{std::plus<long>{}, 4};
+    EXPECT_EQ(pls::plist::execute_sequential(
+                  nway, pls::plist::PListView<const long>::over(data)),
+              reference);
+  }
+  {
+    pls::mpisim::World world(4);
+    world.run([&](pls::mpisim::Comm& comm) {
+      EXPECT_EQ(pls::mpisim::mpi_reduce(comm, data, std::plus<long>{}),
+                reference);
+    });
+  }
+}
+
+// ---- FFT: four paths -----------------------------------------------------
+
+TEST(Integration, FftFourWays) {
+  pls::Xoshiro256 rng(202);
+  std::vector<Complex> signal(256);
+  for (auto& c : signal) {
+    c = Complex{rng.next_double() - 0.5, rng.next_double() - 0.5};
+  }
+  const auto reference = dft(view_of(signal));
+  auto near = [&](const std::vector<Complex>& got) {
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(std::abs(got[i] - reference[i]), 0.0, 1e-8) << i;
+    }
+  };
+
+  FftFunction fft;
+  near(execute_sequential(fft, view_of(signal), {}, 4));
+  near(execute_forkjoin(pool(), fft, view_of(signal), {}, 4));
+  {
+    auto iterative = signal;
+    fft_in_place(iterative);
+    near(iterative);
+  }
+  near(PowerStream<Complex>::of(signal).with_leaf(4).fft());
+  {
+    pls::mpisim::World world(8);
+    world.run([&](pls::mpisim::Comm& comm) {
+      const auto got = pls::mpisim::mpi_fft(comm, signal);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(std::abs(got[i] - reference[i]), 0.0, 1e-8);
+      }
+    });
+  }
+}
+
+// ---- sorting: five paths ---------------------------------------------------
+
+TEST(Integration, SortFiveWays) {
+  pls::Xoshiro256 rng(303);
+  std::vector<int> data(1024);
+  for (auto& v : data) v = static_cast<int>(rng.next_below(1u << 20));
+  auto reference = data;
+  std::sort(reference.begin(), reference.end());
+
+  BatcherSortFunction<int> batcher;
+  EXPECT_EQ(execute_sequential(batcher, view_of(data), {}, 32), reference);
+  EXPECT_EQ(execute_forkjoin(pool(), batcher, view_of(data), {}, 32),
+            reference);
+  {
+    auto v = data;
+    bitonic_sort(v);
+    EXPECT_EQ(v, reference);
+  }
+  EXPECT_EQ(PowerStream<int>::of(data).via(pool()).sorted(), reference);
+  {
+    pls::plist::MultiwayMergeSort<int> mms(4);
+    EXPECT_EQ(pls::plist::execute_sequential(
+                  mms, pls::plist::PListView<const int>::over(data), {}, 16),
+              reference);
+  }
+}
+
+// ---- scan: four paths -------------------------------------------------------
+
+TEST(Integration, ScanFourWays) {
+  pls::Xoshiro256 rng(404);
+  std::vector<long> data(512);
+  for (auto& v : data) v = static_cast<long>(rng.next_below(1000));
+  const auto reference = scan_sequential(view_of(data), std::plus<long>{});
+
+  SklanskyScanFunction<long, std::plus<long>> sk{std::plus<long>{}};
+  EXPECT_EQ(execute_sequential(sk, view_of(data), {}, 16).values(),
+            reference);
+  EXPECT_EQ(execute_forkjoin(pool(), sk, view_of(data), {}, 16).values(),
+            reference);
+  EXPECT_EQ(scan_ladner_fischer(view_of(data), std::plus<long>{}),
+            reference);
+  EXPECT_EQ(PowerStream<long>::of(data).via(pool()).scan(std::plus<long>{}),
+            reference);
+}
+
+// ---- identity through the stream machinery, both operators ------------------
+
+TEST(Integration, IdentityRoundTripsEverywhere) {
+  std::vector<double> data(128);
+  std::iota(data.begin(), data.end(), 0.0);
+  auto shared = std::make_shared<const std::vector<double>>(data);
+
+  // Zip spliterator + zip_all.
+  {
+    auto sp = std::make_unique<ZipSpliterator<double>>(shared);
+    auto out = pls::streams::stream_support::from_spliterator<double>(
+                   std::move(sp), true)
+                   .via(pool())
+                   .with_min_chunk(4)
+                   .collect(to_power_array_zip<double>());
+    EXPECT_EQ(out.values(), data);
+  }
+  // Tie spliterator + tie_all.
+  {
+    auto sp = std::make_unique<TieSpliterator<double>>(shared);
+    auto out = pls::streams::stream_support::from_spliterator<double>(
+                   std::move(sp), true)
+                   .via(pool())
+                   .with_min_chunk(4)
+                   .collect(to_power_array_tie<double>());
+    EXPECT_EQ(out.values(), data);
+  }
+  // inv twice through the facade.
+  {
+    const auto once = PowerStream<double>::of(data).inv();
+    EXPECT_EQ(PowerStream<double>::of(once).inv(), data);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include "mpisim/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using namespace pls::mpisim;
+
+class CollectivesSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesSweep, BroadcastReachesAllRanks) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const int value = comm.rank() == 2 % comm.size() ? 77 : -1;
+    const int got = broadcast(comm, value, 2 % comm.size());
+    EXPECT_EQ(got, 77);
+  });
+}
+
+TEST_P(CollectivesSweep, ReduceSumsAtRoot) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const int got = reduce(comm, comm.rank() + 1, std::plus<int>{}, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(got, comm.size() * (comm.size() + 1) / 2);
+    }
+  });
+}
+
+TEST_P(CollectivesSweep, GatherCollectsInRankOrder) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const auto all = gather(comm, comm.rank() * 10, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+      for (int r = 0; r < comm.size(); ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesSweep, ScatterDeliversOwnPart) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    std::vector<std::string> parts;
+    if (comm.rank() == 0) {
+      for (int r = 0; r < comm.size(); ++r) {
+        parts.push_back("part-" + std::to_string(r));
+      }
+    }
+    const auto mine = scatter(comm, std::move(parts), 0);
+    EXPECT_EQ(mine, "part-" + std::to_string(comm.rank()));
+  });
+}
+
+TEST_P(CollectivesSweep, AllgatherEverywhere) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const auto all = allgather(comm, comm.rank() + 100);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 100);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+TEST(Collectives, AllreducePowerOfTwoRanks) {
+  for (int p : {1, 2, 4, 8}) {
+    World world(p);
+    world.run([](Comm& comm) {
+      const int got = allreduce(comm, comm.rank() + 1, std::plus<int>{});
+      EXPECT_EQ(got, comm.size() * (comm.size() + 1) / 2);
+    });
+  }
+}
+
+TEST(Collectives, AllreduceNonCommutativeKeepsRankOrder) {
+  World world(8);
+  world.run([](Comm& comm) {
+    const auto got = allreduce(comm, std::to_string(comm.rank()),
+                               std::plus<std::string>{});
+    EXPECT_EQ(got, "01234567");
+  });
+}
+
+TEST(Collectives, BroadcastFromNonZeroRoot) {
+  World world(6);
+  world.run([](Comm& comm) {
+    const int got = broadcast(comm, comm.rank() == 4 ? 99 : 0, 4);
+    EXPECT_EQ(got, 99);
+  });
+}
+
+TEST(Collectives, ReduceNonCommutativeKeepsRankOrder) {
+  World world(7);
+  world.run([](Comm& comm) {
+    const auto got = reduce(comm, std::to_string(comm.rank()),
+                            std::plus<std::string>{}, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(got, "0123456");
+    }
+  });
+}
+
+TEST_P(CollectivesSweep, InclusiveScanPrefix) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const int got = scan(comm, comm.rank() + 1, std::plus<int>{});
+    const int r = comm.rank();
+    EXPECT_EQ(got, (r + 1) * (r + 2) / 2);
+  });
+}
+
+TEST_P(CollectivesSweep, ExclusiveScanPrefix) {
+  World world(GetParam());
+  world.run([](Comm& comm) {
+    const int got = exscan(comm, comm.rank() + 1, std::plus<int>{}, 0);
+    const int r = comm.rank();
+    EXPECT_EQ(got, r * (r + 1) / 2);
+  });
+}
+
+TEST(Collectives, ScanNonCommutativeKeepsRankOrder) {
+  World world(8);
+  world.run([](Comm& comm) {
+    const auto got = scan(comm, std::to_string(comm.rank()),
+                          std::plus<std::string>{});
+    std::string expected;
+    for (int r = 0; r <= comm.rank(); ++r) expected += std::to_string(r);
+    EXPECT_EQ(got, expected);
+  });
+}
+
+TEST(Collectives, BroadcastChargesCommunicationTime) {
+  World world(4);
+  const auto stats = world.run([](Comm& comm) {
+    (void)broadcast(comm, 1234, 0);
+  });
+  EXPECT_GT(world.simulated_time_ns(), 0.0);
+  // Leaf ranks received at least one message worth of latency.
+  EXPECT_GT(stats[3].clock_ns, 0.0);
+}
+
+}  // namespace

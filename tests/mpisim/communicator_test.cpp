@@ -1,0 +1,199 @@
+#include "mpisim/communicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace {
+
+using pls::mpisim::Comm;
+using pls::mpisim::NetworkModel;
+using pls::mpisim::World;
+
+TEST(World, SingleRankRuns) {
+  World world(1);
+  int visits = 0;
+  world.run([&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(World, AllRanksRunOnce) {
+  World world(5);
+  std::vector<std::atomic<int>> visits(5);
+  for (auto& v : visits) v.store(0);
+  world.run([&](Comm& comm) { visits[comm.rank()].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(World, PingPong) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, 42);
+      EXPECT_EQ(comm.recv<int>(1, 8), 43);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 7), 42);
+      comm.send(0, 8, 43);
+    }
+  });
+}
+
+TEST(World, VectorPayload) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> v{1.0, 2.5, 3.0};
+      comm.send(1, 0, v);
+    } else {
+      const auto v = comm.recv<std::vector<double>>(0, 0);
+      EXPECT_EQ(v, (std::vector<double>{1.0, 2.5, 3.0}));
+    }
+  });
+}
+
+TEST(World, TagMatchingOutOfOrder) {
+  // Receiver asks for tag 2 first although tag 1 was sent first.
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::string("first"));
+      comm.send(1, 2, std::string("second"));
+    } else {
+      EXPECT_EQ(comm.recv<std::string>(0, 2), "second");
+      EXPECT_EQ(comm.recv<std::string>(0, 1), "first");
+    }
+  });
+}
+
+TEST(World, FifoOrderWithinTag) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send(1, 0, i);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(comm.recv<int>(0, 0), i);
+    }
+  });
+}
+
+TEST(World, ExchangeIsDeadlockFree) {
+  World world(2);
+  world.run([](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const int got = comm.exchange(peer, 5, comm.rank() * 100);
+    EXPECT_EQ(got, peer * 100);
+  });
+}
+
+TEST(World, WrongPayloadTypeThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, 1.5);  // double
+    } else {
+      (void)comm.recv<int>(0, 0);  // asks for int
+    }
+  }),
+               pls::precondition_error);
+}
+
+TEST(World, SelfSendRejected) {
+  World world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(0, 0, 1);
+    // rank 1 does nothing
+  }),
+               pls::precondition_error);
+}
+
+TEST(World, BarrierSynchronisesClocks) {
+  World world(4);
+  const auto stats = world.run([](Comm& comm) {
+    comm.charge_compute(1000.0 * (comm.rank() + 1));  // skewed clocks
+    comm.barrier();
+  });
+  // After the barrier every clock equals max(4000) + barrier cost.
+  const double expected = 4000.0 + world.network().barrier_ns;
+  for (const auto& s : stats) EXPECT_DOUBLE_EQ(s.clock_ns, expected);
+}
+
+TEST(World, RepeatedBarriers) {
+  World world(3);
+  world.run([](Comm& comm) {
+    for (int i = 0; i < 50; ++i) comm.barrier();
+  });
+  SUCCEED();  // no deadlock, no crash
+}
+
+TEST(World, ComputeChargesAccumulate) {
+  World world(1);
+  const auto stats = world.run([](Comm& comm) {
+    comm.charge_compute(10.0);
+    comm.charge_compute(15.0);
+  });
+  EXPECT_DOUBLE_EQ(stats[0].compute_ns, 25.0);
+  EXPECT_DOUBLE_EQ(stats[0].clock_ns, 25.0);
+}
+
+TEST(World, MessageCostAdvancesReceiverClock) {
+  NetworkModel net;
+  net.alpha_ns = 100.0;
+  net.beta_ns_per_byte = 1.0;
+  World world(2, net);
+  const auto stats = world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, std::int64_t{7});  // 8 bytes
+    } else {
+      (void)comm.recv<std::int64_t>(0, 0);
+    }
+  });
+  // Receiver clock: message available at 0 + 100 + 8*1 = 108.
+  EXPECT_DOUBLE_EQ(stats[1].clock_ns, 108.0);
+  // Sender clock: send overhead alpha only.
+  EXPECT_DOUBLE_EQ(stats[0].clock_ns, 100.0);
+  EXPECT_EQ(stats[0].messages, 1u);
+  EXPECT_EQ(stats[0].bytes, 8u);
+}
+
+TEST(World, SimulatedTimeIsMaxClock) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 1) comm.charge_compute(5000.0);
+  });
+  EXPECT_DOUBLE_EQ(world.simulated_time_ns(), 5000.0);
+}
+
+TEST(World, ExceptionInOneRankPropagates) {
+  World world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+    if (comm.rank() == 2) throw std::runtime_error("rank failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(World, ManyRanksRingPass) {
+  // Token passes around a ring of 8 ranks and accumulates ranks.
+  World world(8);
+  world.run([](Comm& comm) {
+    const int n = comm.size();
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    if (comm.rank() == 0) {
+      comm.send(next, 0, 0);
+      const int total = comm.recv<int>(prev, 0);
+      EXPECT_EQ(total, n * (n - 1) / 2);
+    } else {
+      const int acc = comm.recv<int>(prev, 0);
+      comm.send(next, 0, acc + comm.rank());
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+#include "mpisim/power_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "powerlist/algorithms/polynomial.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::mpisim;
+
+TEST(LocalPart, BlockDistribution) {
+  const std::vector<int> full{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(local_part(full, 0, 4, Distribution::kBlock),
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(local_part(full, 3, 4, Distribution::kBlock),
+            (std::vector<int>{6, 7}));
+}
+
+TEST(LocalPart, CyclicDistribution) {
+  const std::vector<int> full{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(local_part(full, 0, 4, Distribution::kCyclic),
+            (std::vector<int>{0, 4}));
+  EXPECT_EQ(local_part(full, 3, 4, Distribution::kCyclic),
+            (std::vector<int>{3, 7}));
+}
+
+TEST(LocalPart, PartsPartitionTheList) {
+  std::vector<int> full(32);
+  std::iota(full.begin(), full.end(), 0);
+  for (auto dist : {Distribution::kBlock, Distribution::kCyclic}) {
+    std::vector<int> seen;
+    for (int r = 0; r < 8; ++r) {
+      for (int v : local_part(full, r, 8, dist)) seen.push_back(v);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, full);
+  }
+}
+
+TEST(LocalPart, RejectsNonPowerOfTwoRanks) {
+  const std::vector<int> full{1, 2, 3, 4, 5, 6};
+  EXPECT_THROW(local_part(full, 0, 3, Distribution::kBlock),
+               pls::precondition_error);
+}
+
+TEST(HypercubeCombine, NonCommutativeOrderAcrossLevels) {
+  // Concatenation with level tags shows both the ordering and the
+  // deepest-level-first schedule.
+  World world(4);
+  world.run([](Comm& comm) {
+    const auto result = hypercube_allcombine(
+        comm, std::to_string(comm.rank()),
+        [](unsigned level, std::string low, std::string high) {
+          return "(" + low + "+" + high + ")@" + std::to_string(level);
+        });
+    // Level 1 joins ranks differing in bit 1 -> (0+2), (1+3); level 0
+    // joins the results -> ((0+2)@1 + (1+3)@1)@0.
+    EXPECT_EQ(result, "((0+2)@1+(1+3)@1)@0");
+  });
+}
+
+class MpiReduceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiReduceSweep, SumMatchesSequentialBothDistributions) {
+  std::vector<long> data(256);
+  std::iota(data.begin(), data.end(), 1);
+  const long expected = 256 * 257 / 2;
+  for (auto dist : {Distribution::kBlock, Distribution::kCyclic}) {
+    World world(GetParam());
+    world.run([&](Comm& comm) {
+      EXPECT_EQ(mpi_reduce(comm, data, std::plus<long>{}, dist), expected);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiReduceSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(MpiReduce, BlockDistributionNonCommutative) {
+  // Block distribution keeps encounter order, so string concatenation
+  // must reproduce the sequential fold.
+  std::vector<std::string> data;
+  for (int i = 0; i < 16; ++i) data.push_back(std::to_string(i % 10));
+  std::string expected;
+  for (const auto& s : data) expected += s;
+  World world(4);
+  world.run([&](Comm& comm) {
+    EXPECT_EQ(
+        mpi_reduce(comm, data, std::plus<std::string>{}, Distribution::kBlock),
+        expected);
+  });
+}
+
+class MpiPolynomialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiPolynomialSweep, MatchesHornerAscending) {
+  pls::Xoshiro256 rng(42);
+  std::vector<double> coeffs(512);
+  for (auto& c : coeffs) c = rng.next_double() * 2.0 - 1.0;
+  const double x = 0.9876;
+  const double expected = pls::powerlist::horner_ascending(
+      pls::powerlist::view_of(coeffs), x);
+  World world(GetParam());
+  world.run([&](Comm& comm) {
+    EXPECT_NEAR(mpi_polynomial_eval(comm, coeffs, x), expected, 1e-9);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiPolynomialSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(MpiPolynomial, DeltaCoefficientProbe) {
+  // coeffs = delta at k: value must be x^k whatever the rank count.
+  const double x = 1.05;
+  for (std::size_t k : {0u, 1u, 7u, 12u}) {
+    std::vector<double> coeffs(16, 0.0);
+    coeffs[k] = 1.0;
+    World world(8);
+    world.run([&](Comm& comm) {
+      EXPECT_NEAR(mpi_polynomial_eval(comm, coeffs, x),
+                  std::pow(x, static_cast<double>(k)), 1e-12)
+          << "k=" << k;
+    });
+  }
+}
+
+TEST(MpiPolynomial, SimulatedTimeShrinksWithMoreRanks) {
+  // Large polynomial, default network: compute dominates, so the
+  // simulated completion time must drop as ranks are added.
+  std::vector<double> coeffs(1u << 14, 0.5);
+  const double x = 0.999;
+  double prev = 0.0;
+  for (int p : {1, 2, 4, 8}) {
+    World world(p);
+    world.run([&](Comm& comm) {
+      (void)mpi_polynomial_eval(comm, coeffs, x, /*ns_per_op=*/3.0);
+    });
+    const double t = world.simulated_time_ns();
+    if (p > 1) {
+      EXPECT_LT(t, prev) << "p=" << p;
+    }
+    prev = t;
+  }
+}
+
+class MpiMapSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiMapSweep, RootGetsFullMappedList) {
+  std::vector<int> data(120);
+  std::iota(data.begin(), data.end(), 0);
+  World world(GetParam());
+  world.run([&](Comm& comm) {
+    const auto out = mpi_map<int, int>(comm, data,
+                                       [](const int& v) { return v * v; });
+    if (comm.rank() == 0) {
+      ASSERT_EQ(out.size(), data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(out[i], data[i] * data[i]);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiMapSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+class MpiFftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiFftSweep, MatchesSingleNodeFft) {
+  pls::Xoshiro256 rng(77);
+  std::vector<pls::powerlist::Complex> signal;
+  for (int i = 0; i < 256; ++i) {
+    signal.emplace_back(rng.next_double() - 0.5, rng.next_double() - 0.5);
+  }
+  auto reference = signal;
+  pls::powerlist::fft_in_place(reference);
+  World world(GetParam());
+  world.run([&](Comm& comm) {
+    const auto spectrum = mpi_fft(comm, signal);
+    ASSERT_EQ(spectrum.size(), reference.size());
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      EXPECT_NEAR(std::abs(spectrum[i] - reference[i]), 0.0, 1e-8)
+          << "bin " << i << " ranks " << comm.size();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiFftSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+class MpiScanSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpiScanSweep, DistributedScanMatchesSequential) {
+  std::vector<long> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<long>((i * 31) % 17) - 8;
+  }
+  std::vector<long> expected(data.size());
+  std::partial_sum(data.begin(), data.end(), expected.begin());
+  World world(GetParam());
+  world.run([&](Comm& comm) {
+    const auto local =
+        mpi_scan_list(comm, data, std::plus<long>{}, 0L);
+    const std::size_t part = data.size() / static_cast<std::size_t>(comm.size());
+    const std::size_t lo = part * static_cast<std::size_t>(comm.rank());
+    ASSERT_EQ(local.size(), part);
+    for (std::size_t i = 0; i < part; ++i) {
+      EXPECT_EQ(local[i], expected[lo + i]) << "rank " << comm.rank();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MpiScanSweep,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(MpiScan, NonCommutativeOperator) {
+  std::vector<std::string> data;
+  for (int i = 0; i < 16; ++i) data.push_back(std::string(1, 'a' + i % 26));
+  World world(4);
+  world.run([&](Comm& comm) {
+    const auto local = mpi_scan_list(comm, data, std::plus<std::string>{},
+                                     std::string{});
+    // Last rank's last element is the full concatenation.
+    if (comm.rank() == comm.size() - 1) {
+      std::string full;
+      for (const auto& s : data) full += s;
+      EXPECT_EQ(local.back(), full);
+    }
+  });
+}
+
+TEST(MpiFft, DeltaSignalFlatSpectrumAcrossRanks) {
+  std::vector<pls::powerlist::Complex> delta(64, {0.0, 0.0});
+  delta[0] = {1.0, 0.0};
+  World world(8);
+  world.run([&](Comm& comm) {
+    const auto spectrum = mpi_fft(comm, delta);
+    for (const auto& c : spectrum) {
+      EXPECT_NEAR(c.real(), 1.0, 1e-9);
+      EXPECT_NEAR(c.imag(), 0.0, 1e-9);
+    }
+  });
+}
+
+TEST(MpiPolynomial, CommunicationIsChargedOnMultiRankRuns) {
+  std::vector<double> coeffs(64, 1.0);
+  World world(4);
+  const auto stats = world.run([&](Comm& comm) {
+    (void)mpi_polynomial_eval(comm, coeffs, 0.5);
+  });
+  for (const auto& s : stats) {
+    EXPECT_GT(s.comm_ns, 0.0);
+    EXPECT_GT(s.compute_ns, 0.0);
+    EXPECT_EQ(s.messages, 2u);  // one exchange per hypercube dimension
+  }
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Adder circuits (reference [4] of the paper) and Misra's permutation
+// functions (shift, rotate, shuffle).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "powerlist/algorithms/adder.hpp"
+#include "powerlist/algorithms/shuffle.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+// ---- adders -------------------------------------------------------------
+
+TEST(Adder, BitConversionRoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 37ull, 255ull, 256ull, 65535ull}) {
+    EXPECT_EQ(from_bits(to_bits(v, 32)), v);
+  }
+}
+
+TEST(Adder, RippleCarryKnownCases) {
+  // 5 + 3 = 8 in 4 bits.
+  const auto r = ripple_carry_add(to_bits(5, 4), to_bits(3, 4));
+  EXPECT_EQ(from_bits(r.sum), 8u);
+  EXPECT_FALSE(r.carry_out);
+  // 15 + 1 = 0 carry 1 in 4 bits.
+  const auto o = ripple_carry_add(to_bits(15, 4), to_bits(1, 4));
+  EXPECT_EQ(from_bits(o.sum), 0u);
+  EXPECT_TRUE(o.carry_out);
+}
+
+TEST(Adder, CarryMonoidLaws) {
+  using S = CarryStatus;
+  const S all[] = {S::kKill, S::kGenerate, S::kPropagate};
+  // kPropagate is the identity.
+  for (S s : all) {
+    EXPECT_EQ(carry_then(S::kPropagate, s) , s == S::kPropagate ? S::kPropagate : s);
+    EXPECT_EQ(carry_then(s, S::kPropagate), s);
+  }
+  // Associativity, exhaustively.
+  for (S a : all) {
+    for (S b : all) {
+      for (S c : all) {
+        EXPECT_EQ(carry_then(carry_then(a, b), c),
+                  carry_then(a, carry_then(b, c)));
+      }
+    }
+  }
+}
+
+class AdderSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdderSweep, LookaheadMatchesRippleOnRandomInputs) {
+  const unsigned width = GetParam();
+  pls::Xoshiro256 rng(width * 1000 + 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t mask =
+        width >= 64 ? ~0ull : (1ull << width) - 1;
+    const std::uint64_t a = rng() & mask;
+    const std::uint64_t b = rng() & mask;
+    const auto ripple = ripple_carry_add(to_bits(a, width), to_bits(b, width));
+    const auto look = carry_lookahead_add(to_bits(a, width), to_bits(b, width));
+    EXPECT_EQ(look.sum, ripple.sum) << "a=" << a << " b=" << b;
+    EXPECT_EQ(look.carry_out, ripple.carry_out);
+    if (width < 63) {
+      EXPECT_EQ(from_bits(look.sum) +
+                    ((look.carry_out ? 1ull : 0ull) << width),
+                a + b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(Adder, RejectsNonBitInputs) {
+  EXPECT_THROW(ripple_carry_add({2, 0}, {0, 0}), pls::precondition_error);
+  EXPECT_THROW(carry_lookahead_add({0, 3}, {0, 0}), pls::precondition_error);
+}
+
+TEST(Adder, RejectsDissimilarWidths) {
+  EXPECT_THROW(ripple_carry_add({0, 1}, {1}), pls::precondition_error);
+}
+
+// ---- permutations ---------------------------------------------------------
+
+TEST(Shuffle, ShiftRight) {
+  const std::vector<int> p{1, 2, 3, 4};
+  EXPECT_EQ(shift_right(view_of(p), 0), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Shuffle, RotateRightAndLeftAreInverses) {
+  const std::vector<int> p{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(rotate_right(view_of(p)),
+            (std::vector<int>{8, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(rotate_left(view_of(p)),
+            (std::vector<int>{2, 3, 4, 5, 6, 7, 8, 1}));
+  const auto rr = rotate_right(view_of(p));
+  EXPECT_EQ(rotate_left(view_of(rr)), p);
+}
+
+TEST(Shuffle, RotatePowerListLaw) {
+  // rr(p zip q) == rr(q) zip p.
+  const std::vector<int> data{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto [p, q] = view_of(data).zip();
+  const auto lhs = rotate_right(view_of(data));
+  const auto rrq = rotate_right(q);
+  std::vector<int> rhs;
+  for (std::size_t i = 0; i < rrq.size(); ++i) {
+    rhs.push_back(rrq[i]);
+    rhs.push_back(p[i]);
+  }
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Shuffle, PerfectShuffleDefinition) {
+  // shuffle(p | q) == p zip q.
+  const std::vector<int> data{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(shuffle(view_of(data)),
+            (std::vector<int>{0, 4, 1, 5, 2, 6, 3, 7}));
+}
+
+TEST(Shuffle, UnshuffleInvertsShuffle) {
+  std::vector<int> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  const auto shuffled = shuffle(view_of(data));
+  EXPECT_EQ(unshuffle(view_of(shuffled)), data);
+  const auto unshuffled = unshuffle(view_of(data));
+  EXPECT_EQ(shuffle(view_of(unshuffled)), data);
+}
+
+TEST(Shuffle, RepeatedShuffleIsIdentityAfterLog2N) {
+  // The perfect shuffle on 2^k elements has order k... for the riffle on
+  // 2^k cards the order divides the multiplicative order of 2 mod (n-1);
+  // for n=8 that order is 3 (2^3 = 8 ≡ 1 mod 7).
+  std::vector<int> data{0, 1, 2, 3, 4, 5, 6, 7};
+  auto v = data;
+  for (int i = 0; i < 3; ++i) v = shuffle(view_of(v));
+  EXPECT_EQ(v, data);
+}
+
+}  // namespace

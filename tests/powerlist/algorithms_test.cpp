@@ -1,0 +1,237 @@
+// Unit tests for the PowerList algorithm library: pointwise operators,
+// map/reduce, inv/rev, scan, Gray codes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "powerlist/algorithms/gray.hpp"
+#include "powerlist/algorithms/inv_rev.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/pointwise.hpp"
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/executors.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+
+std::vector<int> iota(std::size_t n, int start = 0) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+// ---- pointwise ------------------------------------------------------
+
+TEST(Pointwise, AddAndMul) {
+  const auto a = iota(4, 1);       // 1 2 3 4
+  const auto b = iota(4, 10);      // 10 11 12 13
+  EXPECT_EQ(add<int>(view_of(a), view_of(b)),
+            (std::vector<int>{11, 13, 15, 17}));
+  EXPECT_EQ(mul<int>(view_of(a), view_of(b)),
+            (std::vector<int>{10, 22, 36, 52}));
+}
+
+TEST(Pointwise, DissimilarRejected) {
+  const auto a = iota(4);
+  const auto b = iota(8);
+  EXPECT_THROW(add<int>(view_of(a), view_of(b)), pls::precondition_error);
+}
+
+TEST(Pointwise, IntoWritesDestination) {
+  const auto a = iota(4, 1);
+  const auto b = iota(4, 1);
+  std::vector<int> dst(4);
+  pointwise_into(view_of(a), view_of(b), view_of(dst),
+                 [](int x, int y) { return x * y; });
+  EXPECT_EQ(dst, (std::vector<int>{1, 4, 9, 16}));
+}
+
+TEST(Pointwise, BroadcastScalar) {
+  const auto p = iota(4, 1);
+  const auto out =
+      broadcast(3, view_of(p), [](int s, int v) { return s * v; });
+  EXPECT_EQ(out, (std::vector<int>{3, 6, 9, 12}));
+}
+
+TEST(Pointwise, WorksOnStridedViews) {
+  const auto data = iota(8);  // 0..7
+  const auto [evens, odds] = view_of(data).zip();
+  EXPECT_EQ(add<int>(evens, odds), (std::vector<int>{1, 5, 9, 13}));
+}
+
+// ---- map / reduce ----------------------------------------------------
+
+TEST(MapFunction, TieProducesMappedList) {
+  const auto data = iota(8);
+  MapFunction<int, int, int (*)(const int&)> doubler(
+      [](const int& v) { return v * 2; }, DecompositionOp::kTie);
+  const auto out = execute_sequential(doubler, view_of(data), {}, 2);
+  EXPECT_EQ(out.values(), (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+}
+
+TEST(MapFunction, ZipProducesSameOrder) {
+  const auto data = iota(8);
+  MapFunction<int, int, int (*)(const int&)> doubler(
+      [](const int& v) { return v * 2; }, DecompositionOp::kZip);
+  const auto out = execute_sequential(doubler, view_of(data), {}, 1);
+  EXPECT_EQ(out.values(), (std::vector<int>{0, 2, 4, 6, 8, 10, 12, 14}));
+}
+
+TEST(MapFunction, TypeChangingMap) {
+  const std::vector<int> data{1, 22, 333, 4444};
+  MapFunction<int, std::string, std::string (*)(const int&)> stringify(
+      [](const int& v) { return std::to_string(v); }, DecompositionOp::kTie);
+  const auto out = execute_sequential(stringify, view_of(data));
+  EXPECT_EQ(out.values(),
+            (std::vector<std::string>{"1", "22", "333", "4444"}));
+}
+
+TEST(MapInto, NoAllocationPath) {
+  const auto src = iota(16);
+  std::vector<int> dst(16, -1);
+  map_into(view_of(src), view_of(dst), [](int v) { return v + 100; },
+           DecompositionOp::kZip);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(dst[static_cast<std::size_t>(i)], i + 100);
+}
+
+TEST(ReduceFunction, MaxViaReduce) {
+  std::vector<int> data{5, 17, 3, 9, 11, 2, 8, 1};
+  ReduceFunction<int, const int& (*)(const int&, const int&)> maxer(
+      [](const int& a, const int& b) -> const int& {
+        return a > b ? a : b;
+      });
+  EXPECT_EQ(execute_sequential(maxer, view_of(std::as_const(data))), 17);
+}
+
+// ---- inv / rev -------------------------------------------------------
+
+TEST(Inv, MatchesBitReversalPermutation) {
+  const auto data = iota(16);
+  InvFunction<int> inv;
+  const auto via_function =
+      execute_sequential(inv, view_of(data)).values();
+  const auto direct = inv_permutation(view_of(data));
+  EXPECT_EQ(via_function, direct);
+}
+
+TEST(Inv, KnownSmallCase) {
+  const auto data = iota(8);
+  const auto out = inv_permutation(view_of(data));
+  // index b -> position rev(b): [0,4,2,6,1,5,3,7]
+  EXPECT_EQ(out, (std::vector<int>{0, 4, 2, 6, 1, 5, 3, 7}));
+}
+
+TEST(Inv, IsInvolution) {
+  const auto data = iota(64);
+  const auto once = inv_permutation(view_of(data));
+  const auto twice = inv_permutation(view_of(once));
+  EXPECT_EQ(twice, data);
+}
+
+TEST(Inv, FunctionAgreesAcrossLeafSizes) {
+  const auto data = iota(32);
+  InvFunction<int> inv;
+  const auto reference = inv_permutation(view_of(data));
+  for (std::size_t leaf : {1u, 2u, 4u, 8u, 32u}) {
+    EXPECT_EQ(execute_sequential(inv, view_of(data), {}, leaf).values(),
+              reference)
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(Inv, InPlaceMatchesOutOfPlace) {
+  auto data = iota(128);
+  const auto expected = inv_permutation(view_of(std::as_const(data)));
+  inv_permute_in_place(data);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(Rev, ReversesList) {
+  const auto data = iota(8);
+  RevFunction<int> rev;
+  const auto out = execute_sequential(rev, view_of(data)).values();
+  EXPECT_EQ(out, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(Rev, AgreesAcrossLeafSizes) {
+  const auto data = iota(64);
+  RevFunction<int> rev;
+  auto expected = data;
+  std::reverse(expected.begin(), expected.end());
+  for (std::size_t leaf : {1u, 4u, 16u, 64u}) {
+    EXPECT_EQ(execute_sequential(rev, view_of(data), {}, leaf).values(),
+              expected);
+  }
+}
+
+// ---- scan ------------------------------------------------------------
+
+TEST(Scan, SequentialReference) {
+  const std::vector<int> data{1, 2, 3, 4};
+  EXPECT_EQ(scan_sequential(view_of(data), std::plus<int>{}),
+            (std::vector<int>{1, 3, 6, 10}));
+}
+
+TEST(Scan, SklanskyMatchesSequential) {
+  const auto data = iota(64, 1);
+  SklanskyScanFunction<int, std::plus<int>> scan{std::plus<int>{}};
+  const auto expected = scan_sequential(view_of(data), std::plus<int>{});
+  for (std::size_t leaf : {1u, 4u, 16u}) {
+    EXPECT_EQ(execute_sequential(scan, view_of(data), {}, leaf).values(),
+              expected)
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(Scan, LadnerFischerMatchesSequential) {
+  const auto data = iota(128, 1);
+  EXPECT_EQ(scan_ladner_fischer(view_of(data), std::plus<int>{}),
+            scan_sequential(view_of(data), std::plus<int>{}));
+}
+
+TEST(Scan, NonCommutativeOperator) {
+  // Scan with string concatenation: associativity suffices for both
+  // constructions; order must be preserved.
+  const std::vector<std::string> data{"a", "b", "c", "d"};
+  const auto expected =
+      scan_sequential(view_of(data), std::plus<std::string>{});
+  EXPECT_EQ(expected, (std::vector<std::string>{"a", "ab", "abc", "abcd"}));
+  SklanskyScanFunction<std::string, std::plus<std::string>> scan{
+      std::plus<std::string>{}};
+  EXPECT_EQ(execute_sequential(scan, view_of(data)).values(), expected);
+  EXPECT_EQ(scan_ladner_fischer(view_of(data), std::plus<std::string>{}),
+            expected);
+}
+
+TEST(Scan, SingletonScan) {
+  const std::vector<int> data{7};
+  EXPECT_EQ(scan_ladner_fischer(view_of(data), std::plus<int>{}),
+            (std::vector<int>{7}));
+}
+
+// ---- gray ------------------------------------------------------------
+
+TEST(Gray, SequenceMatchesClosedForm) {
+  const auto g = gray_sequence(8);
+  ASSERT_EQ(g.size(), 256u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g[i], pls::gray_code(i));
+  }
+}
+
+TEST(Gray, ZeroBits) {
+  EXPECT_EQ(gray_sequence(0), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(Gray, AdjacencyProperty) {
+  const auto g = gray_sequence(6);
+  for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+    EXPECT_EQ(pls::popcount64(g[i] ^ g[i + 1]), 1u) << "at " << i;
+  }
+  // And the cycle closes: last and first also differ by one bit.
+  EXPECT_EQ(pls::popcount64(g.front() ^ g.back()), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// The PowerFunction skeleton under all three executors: sequential,
+// fork-join, and simulated. One simple function (sum via reduce shape) and
+// one context-carrying function exercise every hook.
+#include "powerlist/executors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+using pls::powerlist::execute_forkjoin;
+using pls::powerlist::execute_sequential;
+using pls::powerlist::execute_simulated;
+using pls::powerlist::PowerListView;
+using pls::powerlist::ReduceFunction;
+using pls::simmachine::CostModel;
+using pls::simmachine::Simulator;
+
+std::vector<long> iota(std::size_t n) {
+  std::vector<long> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+TEST(Executors, SequentialReduce) {
+  auto data = iota(64);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const long r = execute_sequential(sum, pls::powerlist::view_of(
+                                             std::as_const(data)));
+  EXPECT_EQ(r, 64 * 65 / 2);
+}
+
+TEST(Executors, SequentialSingleton) {
+  std::vector<long> data{42};
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  EXPECT_EQ(execute_sequential(sum,
+                               pls::powerlist::view_of(std::as_const(data))),
+            42);
+}
+
+TEST(Executors, LeafSizeSweepGivesSameResult) {
+  auto data = iota(256);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  const long expected = 256 * 257 / 2;
+  for (std::size_t leaf : {1u, 2u, 4u, 16u, 64u, 256u, 1024u}) {
+    EXPECT_EQ(execute_sequential(sum, view, {}, leaf), expected)
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(Executors, InvalidLeafSizeThrows) {
+  auto data = iota(8);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  EXPECT_THROW(execute_sequential(
+                   sum, pls::powerlist::view_of(std::as_const(data)), {}, 0),
+               pls::precondition_error);
+}
+
+TEST(Executors, ForkJoinMatchesSequential) {
+  ForkJoinPool pool(4);
+  auto data = iota(1024);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  EXPECT_EQ(execute_forkjoin(pool, sum, view, {}, 16),
+            execute_sequential(sum, view, {}, 16));
+}
+
+TEST(Executors, ForkJoinPolynomialWithContext) {
+  ForkJoinPool pool(4);
+  // Ascending coefficients: value = sum coeffs[i] * x^i.
+  std::vector<double> coeffs(64);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = static_cast<double>(i % 5) - 2.0;
+  }
+  const double x = 0.97;
+  pls::powerlist::PolynomialFunction<double> vp;
+  const auto view = pls::powerlist::view_of(std::as_const(coeffs));
+  const double seq = execute_sequential(vp, view, x, 4);
+  const double par = execute_forkjoin(pool, vp, view, x, 4);
+  const double reference = pls::powerlist::horner_ascending(view, x);
+  EXPECT_NEAR(seq, reference, 1e-9);
+  EXPECT_NEAR(par, reference, 1e-9);
+}
+
+TEST(Executors, SimulatedProducesSameResultPlusSchedule) {
+  auto data = iota(256);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  CostModel m;
+  m.ns_per_op = 2.0;
+  Simulator sim(m, 8);
+  const auto ex = execute_simulated(sim, sum, view, {}, 4);
+  EXPECT_EQ(ex.result, 256 * 257 / 2);
+  EXPECT_GT(ex.sim.makespan_ns, 0.0);
+  EXPECT_EQ(ex.sim.processors, 8u);
+  // 64 leaves of cost 4 ops + 63 forks: pure work = 64*4 + 63*1 ops.
+  EXPECT_DOUBLE_EQ(ex.sim.pure_work_ns, (64 * 4 + 63) * 2.0);
+}
+
+TEST(Executors, SimulatedSpeedupGrowsWithProcessors) {
+  auto data = iota(1u << 14);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  CostModel m;  // default overheads
+  double prev_makespan = 0.0;
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    const auto ex = execute_simulated(Simulator(m, p), sum, view, {}, 64);
+    if (p > 1) {
+      EXPECT_LT(ex.sim.makespan_ns, prev_makespan);
+    }
+    prev_makespan = ex.sim.makespan_ns;
+  }
+}
+
+TEST(Executors, InstrumentedCountsMatchTreeShape) {
+  auto data = iota(256);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  // leaf 32 over 256: 8 leaves, 7 forks, depth 3.
+  const auto ex = pls::powerlist::execute_instrumented(sum, view, {}, 32);
+  EXPECT_EQ(ex.result, 256 * 257 / 2);
+  EXPECT_EQ(ex.stats.basic_cases, 8u);
+  EXPECT_EQ(ex.stats.combines, 7u);
+  EXPECT_EQ(ex.stats.descends, 7u);
+  EXPECT_EQ(ex.stats.max_depth, 3u);
+  EXPECT_EQ(ex.stats.min_leaf_length, 32u);
+  EXPECT_EQ(ex.stats.max_leaf_length, 32u);
+}
+
+TEST(Executors, InstrumentedSingleLeaf) {
+  auto data = iota(64);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  const auto ex = pls::powerlist::execute_instrumented(sum, view, {}, 64);
+  EXPECT_EQ(ex.stats.basic_cases, 1u);
+  EXPECT_EQ(ex.stats.combines, 0u);
+  EXPECT_EQ(ex.stats.max_depth, 0u);
+}
+
+TEST(Executors, InstrumentedUniformLeafDepths) {
+  // Power-of-two halving always produces uniform leaves — the property
+  // the paper's PolynomialValue mechanism depends on.
+  auto data = iota(1 << 10);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  for (std::size_t leaf : {3u, 5u, 100u}) {  // non-power-of-two thresholds
+    const auto ex = pls::powerlist::execute_instrumented(sum, view, {}, leaf);
+    EXPECT_EQ(ex.stats.min_leaf_length, ex.stats.max_leaf_length)
+        << "leaf=" << leaf;
+  }
+}
+
+TEST(Executors, ZipReduceSameAsTieForCommutativeOp) {
+  auto data = iota(128);
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  ReduceFunction<long, std::plus<long>> tie_sum{
+      std::plus<long>{}, pls::powerlist::DecompositionOp::kTie};
+  ReduceFunction<long, std::plus<long>> zip_sum{
+      std::plus<long>{}, pls::powerlist::DecompositionOp::kZip};
+  EXPECT_EQ(execute_sequential(tie_sum, view, {}, 2),
+            execute_sequential(zip_sum, view, {}, 2));
+}
+
+}  // namespace

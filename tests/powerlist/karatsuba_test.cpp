@@ -1,0 +1,103 @@
+#include "powerlist/algorithms/karatsuba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+
+std::vector<double> random_poly(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<double> p(n);
+  for (auto& c : p) c = rng.next_double() * 2.0 - 1.0;
+  return p;
+}
+
+void expect_matches_naive(const std::vector<double>& a,
+                          const std::vector<double>& b, std::size_t cutoff,
+                          ForkJoinPool* pool = nullptr) {
+  const auto fast = karatsuba_multiply(a, b, cutoff, pool);
+  const auto naive = convolve_naive(a, b);  // 2n-1 coefficients
+  ASSERT_EQ(fast.size(), 2 * a.size());
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(fast[i], naive[i], 1e-9) << "coeff " << i;
+  }
+  EXPECT_NEAR(fast.back(), 0.0, 1e-12);  // zero-padded top coefficient
+}
+
+TEST(Karatsuba, SingleCoefficient) {
+  expect_matches_naive({3.0}, {4.0}, 1);
+}
+
+TEST(Karatsuba, SizeTwoKnownCase) {
+  // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2.
+  const auto out = karatsuba_multiply<double>({1, 2}, {3, 4}, 1);
+  EXPECT_NEAR(out[0], 3, 1e-12);
+  EXPECT_NEAR(out[1], 10, 1e-12);
+  EXPECT_NEAR(out[2], 8, 1e-12);
+  EXPECT_NEAR(out[3], 0, 1e-12);
+}
+
+class KaratsubaSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KaratsubaSweep, MatchesNaiveAcrossCutoffs) {
+  const auto a = random_poly(GetParam(), GetParam());
+  const auto b = random_poly(GetParam(), GetParam() + 1);
+  for (std::size_t cutoff : {std::size_t{1}, std::size_t{4}, GetParam()}) {
+    expect_matches_naive(a, b, cutoff);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KaratsubaSweep,
+                         ::testing::Values(1, 2, 4, 16, 64, 256));
+
+TEST(Karatsuba, ForkJoinMatchesSequential) {
+  ForkJoinPool pool(4);
+  const auto a = random_poly(512, 7);
+  const auto b = random_poly(512, 9);
+  const auto seq = karatsuba_multiply(a, b, 16);
+  const auto par = karatsuba_multiply(a, b, 16, &pool);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_NEAR(par[i], seq[i], 1e-9);
+  }
+}
+
+TEST(Karatsuba, AgreesWithFftConvolution) {
+  const auto a = random_poly(256, 11);
+  const auto b = random_poly(256, 13);
+  const auto kara = karatsuba_multiply(a, b, 8);
+  const auto fft = convolve_fft(a, b);  // 2n-1 coefficients
+  for (std::size_t i = 0; i < fft.size(); ++i) {
+    EXPECT_NEAR(kara[i], fft[i], 1e-6) << i;
+  }
+}
+
+TEST(Karatsuba, RejectsDissimilarOrNonPowerOfTwo) {
+  EXPECT_THROW(karatsuba_multiply<double>({1, 2}, {1}, 1),
+               pls::precondition_error);
+  EXPECT_THROW(karatsuba_multiply<double>({1, 2, 3}, {1, 2, 3}, 1),
+               pls::precondition_error);
+}
+
+TEST(Karatsuba, IntegerExactness) {
+  // With integer coefficients the result is exact (no FFT rounding).
+  std::vector<long> a(64), b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<long>(i % 7) - 3;
+    b[i] = static_cast<long>((i * 5) % 11) - 5;
+  }
+  const auto fast = karatsuba_multiply(a, b, 4);
+  std::vector<long> naive(127, 0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 64; ++j) naive[i + j] += a[i] * b[j];
+  }
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(fast[i], naive[i]) << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Property-based tests of the PowerList algebra and the stream laws,
+// parameterised over sizes (TEST_P sweeps, as the theory's induction
+// principle suggests: check singletons and both constructors).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "powerlist/algorithms/inv_rev.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/algorithms/polynomial.hpp"
+#include "powerlist/algorithms/scan.hpp"
+#include "powerlist/collector_functions.hpp"
+#include "powerlist/executors.hpp"
+#include "streams/stream.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::streams::Stream;
+
+std::vector<long> random_longs(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<long> v(n);
+  for (auto& x : v) x = static_cast<long>(rng.next_below(1000)) - 500;
+  return v;
+}
+
+class AlgebraLaws : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  std::size_t n() const { return GetParam(); }
+};
+
+// p = tie(p).first | tie(p).second and p = zip interleave — deconstruction
+// followed by the matching construction is the identity.
+TEST_P(AlgebraLaws, DeconstructionConstructionIdentity) {
+  if (n() < 2) return;
+  const auto data = random_longs(n(), 1);
+  const auto v = view_of(data);
+  {
+    const auto [p, q] = v.tie();
+    auto rebuilt = p.to_vector();
+    const auto right = q.to_vector();
+    rebuilt.insert(rebuilt.end(), right.begin(), right.end());
+    EXPECT_EQ(rebuilt, data);
+  }
+  {
+    const auto [p, q] = v.zip();
+    std::vector<long> rebuilt;
+    for (std::size_t i = 0; i < p.length(); ++i) {
+      rebuilt.push_back(p[i]);
+      rebuilt.push_back(q[i]);
+    }
+    EXPECT_EQ(rebuilt, data);
+  }
+}
+
+// tie and zip commute: zip halves of tie halves equal tie halves of zip
+// halves (the "commutativity of the two deconstructions" that makes the
+// two-operator algebra coherent).
+TEST_P(AlgebraLaws, TieZipCommute) {
+  if (n() < 4) return;
+  const auto data = random_longs(n(), 2);
+  const auto v = view_of(data);
+  const auto [t1, t2] = v.tie();
+  const auto [z1, z2] = v.zip();
+  // zip of first tie half == first tie half of zip halves.
+  const auto [t1z1, t1z2] = t1.zip();
+  const auto [z1t1, z1t2] = z1.tie();
+  const auto [z2t1, z2t2] = z2.tie();
+  EXPECT_EQ(t1z1.to_vector(), z1t1.to_vector());
+  EXPECT_EQ(t1z2.to_vector(), z2t1.to_vector());
+  const auto [t2z1, t2z2] = t2.zip();
+  EXPECT_EQ(t2z1.to_vector(), z1t2.to_vector());
+  EXPECT_EQ(t2z2.to_vector(), z2t2.to_vector());
+  (void)t1z2;
+  (void)z1t2;
+}
+
+TEST_P(AlgebraLaws, InvIsInvolution) {
+  const auto data = random_longs(n(), 3);
+  const auto once = inv_permutation(view_of(data));
+  EXPECT_EQ(inv_permutation(view_of(once)), data);
+}
+
+TEST_P(AlgebraLaws, RevIsInvolution) {
+  const auto data = random_longs(n(), 4);
+  RevFunction<long> rev;
+  const auto once = execute_sequential(rev, view_of(data)).values();
+  EXPECT_EQ(execute_sequential(rev, view_of(once)).values(), data);
+}
+
+TEST_P(AlgebraLaws, InvCommutesWithMap) {
+  // map(f) ∘ inv == inv ∘ map(f): permutations commute with pointwise maps.
+  const auto data = random_longs(n(), 5);
+  auto f = [](long v) { return v * 3 + 1; };
+  auto mapped = data;
+  for (auto& v : mapped) v = f(v);
+  const auto inv_then_map = [&] {
+    auto p = inv_permutation(view_of(data));
+    for (auto& v : p) v = f(v);
+    return p;
+  }();
+  EXPECT_EQ(inv_then_map, inv_permutation(view_of(mapped)));
+}
+
+TEST_P(AlgebraLaws, MapFusion) {
+  // map(f) . map(g) == map(f . g) through the stream pipeline.
+  const auto data = random_longs(n(), 6);
+  const auto twice = Stream<long>::of(data)
+                         .map([](long v) { return v + 7; })
+                         .map([](long v) { return v * 2; })
+                         .to_vector();
+  const auto fused = Stream<long>::of(data)
+                         .map([](long v) { return (v + 7) * 2; })
+                         .to_vector();
+  EXPECT_EQ(twice, fused);
+}
+
+TEST_P(AlgebraLaws, ReduceIsDecompositionInvariant) {
+  // For an associative+commutative op, tie- and zip-based reduce agree
+  // (and match the sequential fold).
+  const auto data = random_longs(n(), 7);
+  const long expected =
+      std::accumulate(data.begin(), data.end(), 0L, std::plus<long>{});
+  ReduceFunction<long, std::plus<long>> tie_sum{std::plus<long>{},
+                                                DecompositionOp::kTie};
+  ReduceFunction<long, std::plus<long>> zip_sum{std::plus<long>{},
+                                                DecompositionOp::kZip};
+  EXPECT_EQ(execute_sequential(tie_sum, view_of(data)), expected);
+  EXPECT_EQ(execute_sequential(zip_sum, view_of(data)), expected);
+}
+
+TEST_P(AlgebraLaws, ReduceIsHomomorphismOnTie) {
+  // reduce(p | q) == op(reduce(p), reduce(q)): the list-homomorphism law.
+  if (n() < 2) return;
+  const auto data = random_longs(n(), 8);
+  const auto [p, q] = view_of(data).tie();
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  EXPECT_EQ(execute_sequential(sum, view_of(data)),
+            execute_sequential(sum, p) + execute_sequential(sum, q));
+}
+
+TEST_P(AlgebraLaws, ScanLastEqualsReduce) {
+  const auto data = random_longs(n(), 9);
+  const auto scanned = scan_ladner_fischer(view_of(data), std::plus<long>{});
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  EXPECT_EQ(scanned.back(), execute_sequential(sum, view_of(data)));
+}
+
+TEST_P(AlgebraLaws, ScanConstructionsAgree) {
+  const auto data = random_longs(n(), 10);
+  SklanskyScanFunction<long, std::plus<long>> sklansky{std::plus<long>{}};
+  EXPECT_EQ(execute_sequential(sklansky, view_of(data)).values(),
+            scan_ladner_fischer(view_of(data), std::plus<long>{}));
+}
+
+TEST_P(AlgebraLaws, PolynomialIsLinearInCoefficients) {
+  // vp(a + b, x) == vp(a, x) + vp(b, x).
+  const auto a = random_longs(n(), 11);
+  const auto b = random_longs(n(), 12);
+  std::vector<double> da(a.begin(), a.end()), db(b.begin(), b.end());
+  std::vector<double> sum(n());
+  for (std::size_t i = 0; i < n(); ++i) sum[i] = da[i] + db[i];
+  PolynomialFunction<double> vp;
+  const double x = 0.87;
+  EXPECT_NEAR(execute_sequential(vp, view_of(sum), x),
+              execute_sequential(vp, view_of(da), x) +
+                  execute_sequential(vp, view_of(db), x),
+              1e-6);
+}
+
+TEST_P(AlgebraLaws, IdentityCollectRoundTripBothOperators) {
+  // The paper's identity check, swept: any PowerList survives a split
+  // with either spliterator and recombination with the matching
+  // constructor.
+  std::vector<double> data(n());
+  std::iota(data.begin(), data.end(), 0.0);
+  auto shared = std::make_shared<const std::vector<double>>(data);
+  {
+    auto sp = std::make_unique<ZipSpliterator<double>>(shared);
+    auto out = pls::streams::stream_support::from_spliterator<double>(
+                   std::move(sp), true)
+                   .with_min_chunk(1)
+                   .collect(to_power_array_zip<double>());
+    EXPECT_EQ(out.values(), data);
+  }
+  {
+    auto sp = std::make_unique<TieSpliterator<double>>(shared);
+    auto out = pls::streams::stream_support::from_spliterator<double>(
+                   std::move(sp), true)
+                   .with_min_chunk(1)
+                   .collect(to_power_array_tie<double>());
+    EXPECT_EQ(out.values(), data);
+  }
+}
+
+TEST_P(AlgebraLaws, StreamFilterComposition) {
+  const auto data = random_longs(n(), 13);
+  auto p = [](long v) { return v % 2 == 0; };
+  auto q = [](long v) { return v > 0; };
+  const auto chained =
+      Stream<long>::of(data).filter(p).filter(q).to_vector();
+  const auto combined = Stream<long>::of(data)
+                            .filter([&](long v) { return p(v) && q(v); })
+                            .to_vector();
+  EXPECT_EQ(chained, combined);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, AlgebraLaws,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                           1024));
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include "powerlist/algorithms/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+
+Matrix random_matrix(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m.at(i, j) = rng.next_double() * 2.0 - 1.0;
+    }
+  }
+  return m;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double() * 2.0 - 1.0;
+  return v;
+}
+
+TEST(Matrix, OrderMustBePowerOfTwo) {
+  EXPECT_THROW(Matrix(3), pls::precondition_error);
+  Matrix ok(4);
+  EXPECT_EQ(ok.order(), 4u);
+}
+
+TEST(Matrix, IdentityBehaviour) {
+  const auto id = Matrix::identity(8);
+  const auto a = random_matrix(8, 1);
+  EXPECT_LT(matmul_naive(a, id).max_abs_diff(a), 1e-12);
+  EXPECT_LT(matmul_naive(id, a).max_abs_diff(a), 1e-12);
+}
+
+TEST(MatrixView, QuadrantAddressing) {
+  Matrix m(4);
+  int v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) m.at(i, j) = v++;
+  }
+  MatrixView<const Matrix> view(m);
+  EXPECT_EQ(view.quadrant(0, 0).at(0, 0), 0.0);
+  EXPECT_EQ(view.quadrant(0, 1).at(0, 0), 2.0);
+  EXPECT_EQ(view.quadrant(1, 0).at(0, 0), 8.0);
+  EXPECT_EQ(view.quadrant(1, 1).at(1, 1), 15.0);
+}
+
+TEST(MatrixView, NestedQuadrants) {
+  Matrix m(8);
+  m.at(6, 7) = 42.0;
+  MatrixView<const Matrix> view(m);
+  // (6,7) lives in quadrant (1,1), sub-quadrant (1,1), cell (0,1).
+  EXPECT_EQ(view.quadrant(1, 1).quadrant(1, 1).at(0, 1), 42.0);
+}
+
+class MatmulSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulSweep, DcMatchesNaive) {
+  const auto a = random_matrix(GetParam(), GetParam());
+  const auto b = random_matrix(GetParam(), GetParam() + 1);
+  const auto reference = matmul_naive(a, b);
+  for (std::size_t leaf : {std::size_t{1}, std::size_t{4}, GetParam()}) {
+    EXPECT_LT(matmul_dc(a, b, leaf).max_abs_diff(reference), 1e-9)
+        << "leaf=" << leaf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatmulSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+TEST(Matmul, ParallelMatchesSequential) {
+  ForkJoinPool pool(4);
+  const auto a = random_matrix(64, 7);
+  const auto b = random_matrix(64, 9);
+  const auto seq = matmul_dc(a, b, 8);
+  const auto par = matmul_dc(a, b, 8, &pool);
+  EXPECT_LT(par.max_abs_diff(seq), 1e-12);
+}
+
+TEST(Matmul, AssociativityNumericalCheck) {
+  const auto a = random_matrix(16, 11);
+  const auto b = random_matrix(16, 13);
+  const auto c = random_matrix(16, 17);
+  const auto left = matmul_dc(matmul_dc(a, b, 4), c, 4);
+  const auto right = matmul_dc(a, matmul_dc(b, c, 4), 4);
+  EXPECT_LT(left.max_abs_diff(right), 1e-9);
+}
+
+TEST(Transpose, MatchesElementwise) {
+  const auto a = random_matrix(32, 19);
+  const auto t = transpose_dc(a, 4);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_EQ(t.at(j, i), a.at(i, j));
+    }
+  }
+}
+
+TEST(Transpose, IsInvolution) {
+  const auto a = random_matrix(64, 23);
+  EXPECT_LT(transpose_dc(transpose_dc(a, 8), 8).max_abs_diff(a), 1e-15);
+}
+
+TEST(Transpose, ProductRule) {
+  // (AB)^T == B^T A^T.
+  const auto a = random_matrix(16, 29);
+  const auto b = random_matrix(16, 31);
+  const auto lhs = transpose_dc(matmul_dc(a, b, 4), 4);
+  const auto rhs = matmul_dc(transpose_dc(b, 4), transpose_dc(a, 4), 4);
+  EXPECT_LT(lhs.max_abs_diff(rhs), 1e-9);
+}
+
+class MatvecSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatvecSweep, DcMatchesNaive) {
+  const auto a = random_matrix(GetParam(), GetParam() * 3);
+  const auto x = random_vector(GetParam(), GetParam() * 5);
+  const auto reference = matvec_naive(a, x);
+  const auto got = matvec_dc(a, x, 4);
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], reference[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatvecSweep,
+                         ::testing::Values(1, 2, 8, 64, 256));
+
+TEST(Matvec, ParallelMatchesSequential) {
+  ForkJoinPool pool(4);
+  const auto a = random_matrix(256, 37);
+  const auto x = random_vector(256, 41);
+  const auto seq = matvec_dc(a, x, 16);
+  const auto par = matvec_dc(a, x, 16, &pool);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(par[i], seq[i]);
+  }
+}
+
+TEST(Matvec, LinearityInVector) {
+  const auto a = random_matrix(32, 43);
+  const auto x = random_vector(32, 47);
+  const auto y = random_vector(32, 53);
+  std::vector<double> xy(32);
+  for (std::size_t i = 0; i < 32; ++i) xy[i] = x[i] + y[i];
+  const auto axy = matvec_dc(a, xy, 8);
+  const auto ax = matvec_dc(a, x, 8);
+  const auto ay = matvec_dc(a, y, 8);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(axy[i], ax[i] + ay[i], 1e-9);
+  }
+}
+
+}  // namespace

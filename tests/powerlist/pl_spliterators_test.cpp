@@ -1,0 +1,133 @@
+#include "powerlist/spliterators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using pls::powerlist::SpliteratorPower2;
+using pls::powerlist::TieSpliterator;
+using pls::powerlist::ZipSpliterator;
+using pls::streams::Spliterator;
+
+std::shared_ptr<const std::vector<int>> shared_iota(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return std::make_shared<const std::vector<int>>(std::move(v));
+}
+
+template <typename T>
+std::vector<T> drain(Spliterator<T>& sp) {
+  std::vector<T> out;
+  sp.for_each_remaining([&](const T& v) { out.push_back(v); });
+  return out;
+}
+
+TEST(TieSpliterator, TraversesInOrder) {
+  TieSpliterator<int> sp(shared_iota(8));
+  EXPECT_EQ(drain(sp), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TieSpliterator, SplitIsSegmented) {
+  TieSpliterator<int> sp(shared_iota(8));
+  auto prefix = sp.try_split();
+  ASSERT_NE(prefix, nullptr);
+  EXPECT_EQ(drain(*prefix), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(drain(sp), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(ZipSpliterator, SplitIsInterleaved) {
+  ZipSpliterator<int> sp(shared_iota(8));
+  auto prefix = sp.try_split();
+  ASSERT_NE(prefix, nullptr);
+  EXPECT_EQ(drain(*prefix), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(drain(sp), (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(ZipSpliterator, DoubleSplitQuartersByResidue) {
+  ZipSpliterator<int> sp(shared_iota(16));
+  auto evens = sp.try_split();       // residue 0 mod 2
+  auto evens2 = evens->try_split();  // residue 0 mod 4
+  auto odds2 = sp.try_split();       // residue 1 mod 4
+  EXPECT_EQ(drain(*evens2), (std::vector<int>{0, 4, 8, 12}));
+  EXPECT_EQ(drain(*evens), (std::vector<int>{2, 6, 10, 14}));
+  EXPECT_EQ(drain(*odds2), (std::vector<int>{1, 5, 9, 13}));
+  EXPECT_EQ(drain(sp), (std::vector<int>{3, 7, 11, 15}));
+}
+
+TEST(ZipSpliterator, RefusesOddCount) {
+  // A strided window of odd length cannot zip-deconstruct.
+  auto data = shared_iota(3);
+  ZipSpliterator<int> sp(data, 0, 1, 3);
+  EXPECT_EQ(sp.try_split(), nullptr);
+}
+
+TEST(SpliteratorPower2, Power2CharacteristicTracksCount) {
+  auto data = shared_iota(8);
+  TieSpliterator<int> sp8(data, 0, 1, 8);
+  EXPECT_TRUE(sp8.has(pls::streams::kPower2));
+  TieSpliterator<int> sp6(data, 0, 1, 6);
+  EXPECT_FALSE(sp6.has(pls::streams::kPower2));
+}
+
+TEST(SpliteratorPower2, SplitsOfPowerOfTwoKeepPower2) {
+  ZipSpliterator<int> sp(shared_iota(16));
+  auto prefix = sp.try_split();
+  EXPECT_TRUE(prefix->has(pls::streams::kPower2));
+  EXPECT_TRUE(sp.has(pls::streams::kPower2));
+}
+
+TEST(SpliteratorPower2, EstimateSizeIsExact) {
+  ZipSpliterator<int> sp(shared_iota(32));
+  EXPECT_EQ(sp.estimate_size(), 32u);
+  auto prefix = sp.try_split();
+  EXPECT_EQ(prefix->estimate_size(), 16u);
+  EXPECT_EQ(sp.estimate_size(), 16u);
+}
+
+TEST(SpliteratorPower2, WindowValidation) {
+  auto data = shared_iota(8);
+  // start 4, stride 2, count 3 touches index 4+2*2=8 -> out of range.
+  EXPECT_THROW(TieSpliterator<int>(data, 4, 2, 3), pls::precondition_error);
+  // count 2 touches 4 and 6: fine.
+  TieSpliterator<int> ok(data, 4, 2, 2);
+  EXPECT_EQ(drain(ok), (std::vector<int>{4, 6}));
+}
+
+TEST(SpliteratorPower2, TryAdvanceThenSplitConsistent) {
+  ZipSpliterator<int> sp(shared_iota(8));
+  int first = -1;
+  sp.try_advance([&](const int& v) { first = v; });
+  EXPECT_EQ(first, 0);
+  // 7 elements remain: odd count, zip refuses to split.
+  EXPECT_EQ(sp.try_split(), nullptr);
+  EXPECT_EQ(drain(sp), (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(TieZipSpliterators, FullRecursiveSplitPartitionsSource) {
+  // Split a zip spliterator down to singletons; union must be the source.
+  constexpr int n = 32;
+  std::vector<std::unique_ptr<Spliterator<int>>> parts;
+  parts.push_back(std::make_unique<ZipSpliterator<int>>(shared_iota(n)));
+  for (std::size_t i = 0; i < parts.size();) {
+    if (auto p = parts[i]->try_split()) {
+      parts.push_back(std::move(p));
+    } else {
+      ++i;
+    }
+  }
+  EXPECT_EQ(parts.size(), static_cast<std::size_t>(n));
+  std::vector<int> all;
+  for (auto& p : parts) {
+    for (int v : drain(*p)) all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<int> expect(n);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(all, expect);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "powerlist/algorithms/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forkjoin/pool.hpp"
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+
+std::vector<double> random_coeffs(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<double> c(n);
+  for (auto& v : c) v = rng.next_double() * 2.0 - 1.0;
+  return c;
+}
+
+double naive_ascending(const std::vector<double>& c, double x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    sum += c[i] * std::pow(x, static_cast<double>(i));
+  }
+  return sum;
+}
+
+double naive_descending(const std::vector<double>& c, double x) {
+  double sum = 0.0;
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += c[i] * std::pow(x, static_cast<double>(n - 1 - i));
+  }
+  return sum;
+}
+
+TEST(Horner, AscendingMatchesNaive) {
+  const auto c = random_coeffs(16, 3);
+  for (double x : {0.0, 1.0, -1.0, 0.5, 1.3}) {
+    EXPECT_NEAR(horner_ascending(view_of(c), x), naive_ascending(c, x),
+                1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(Horner, DescendingMatchesNaive) {
+  const auto c = random_coeffs(16, 5);
+  for (double x : {0.0, 1.0, -1.0, 0.5, 1.3}) {
+    EXPECT_NEAR(horner_descending(view_of(c), x), naive_descending(c, x),
+                1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(Horner, ConventionsAgreeOnReversedCoefficients) {
+  const auto c = random_coeffs(32, 7);
+  auto reversed = c;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_NEAR(horner_ascending(view_of(c), 0.9),
+              horner_descending(view_of(reversed), 0.9), 1e-9);
+}
+
+TEST(PolynomialFunction, SingletonIsCoefficient) {
+  const std::vector<double> c{3.5};
+  PolynomialFunction<double> vp;
+  EXPECT_DOUBLE_EQ(execute_sequential(vp, view_of(c), 2.0), 3.5);
+}
+
+TEST(PolynomialFunction, SizeTwo) {
+  // c0 + c1 x at x=3: 1 + 2*3 = 7.
+  const std::vector<double> c{1.0, 2.0};
+  PolynomialFunction<double> vp;
+  EXPECT_DOUBLE_EQ(execute_sequential(vp, view_of(c), 3.0), 7.0);
+}
+
+TEST(PolynomialFunction, MatchesHornerAcrossSizesAndLeafSizes) {
+  PolynomialFunction<double> vp;
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    const auto c = random_coeffs(n, n);
+    const double x = 0.99;
+    const double expected = horner_ascending(view_of(c), x);
+    for (std::size_t leaf : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                             n}) {
+      EXPECT_NEAR(execute_sequential(vp, view_of(c), x, leaf), expected,
+                  1e-9 * static_cast<double>(n))
+          << "n=" << n << " leaf=" << leaf;
+    }
+  }
+}
+
+TEST(PolynomialFunction, ForkJoinMatchesSequential) {
+  ForkJoinPool pool(4);
+  PolynomialFunction<double> vp;
+  const auto c = random_coeffs(1024, 17);
+  const double x = 1.001;
+  const double seq = execute_sequential(vp, view_of(c), x, 16);
+  const double par = execute_forkjoin(pool, vp, view_of(c), x, 16);
+  EXPECT_NEAR(par, seq, 1e-9);
+}
+
+TEST(PolynomialFunction, ContextSquaringDepthIsCorrect) {
+  // With coefficients = delta at position k, vp(c, x) = x^k: a direct
+  // probe that every leaf sees the correctly squared point.
+  PolynomialFunction<double> vp;
+  const double x = 1.1;
+  for (std::size_t k : {0u, 1u, 5u, 12u, 15u}) {
+    std::vector<double> c(16, 0.0);
+    c[k] = 1.0;
+    EXPECT_NEAR(execute_sequential(vp, view_of(c), x, 2),
+                std::pow(x, static_cast<double>(k)), 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(PolynomialFunction, SimulatedExecutorEvaluatesCorrectly) {
+  PolynomialFunction<double> vp;
+  const auto c = random_coeffs(512, 23);
+  const double x = 0.97;
+  pls::simmachine::CostModel m;
+  const auto ex = execute_simulated(pls::simmachine::Simulator(m, 8), vp,
+                                    view_of(c), x, 8);
+  EXPECT_NEAR(ex.result, horner_ascending(view_of(c), x), 1e-9);
+  EXPECT_GT(ex.sim.steals, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "powerlist/power_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using pls::powerlist::PowerArray;
+
+TEST(PowerArray, StartsEmpty) {
+  PowerArray<int> a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(PowerArray, AddAppends) {
+  PowerArray<int> a;
+  a.add(1);
+  a.add(2);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 2);
+}
+
+TEST(PowerArray, TieAllConcatenates) {
+  PowerArray<int> a{1, 2};
+  PowerArray<int> b{3, 4};
+  a.tie_all(b);
+  EXPECT_EQ(a, (PowerArray<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(b.empty());  // contents moved out
+}
+
+TEST(PowerArray, ZipAllInterleaves) {
+  PowerArray<int> a{1, 3};
+  PowerArray<int> b{2, 4};
+  a.zip_all(b);
+  EXPECT_EQ(a, (PowerArray<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(PowerArray, ZipAllRequiresSimilar) {
+  PowerArray<int> a{1, 2};
+  PowerArray<int> b{3};
+  EXPECT_THROW(a.zip_all(b), pls::precondition_error);
+}
+
+TEST(PowerArray, TieAllAllowsDissimilarIntermediates) {
+  // During a collect over a non-power-of-two source, tie combines of
+  // unequal partial containers are legal.
+  PowerArray<int> a{1, 2, 3};
+  PowerArray<int> b{4};
+  a.tie_all(b);
+  EXPECT_EQ(a, (PowerArray<int>{1, 2, 3, 4}));
+}
+
+TEST(PowerArray, HierarchicalZipReconstruction) {
+  // Combining bottom-up with zip_all inverts recursive zip splitting:
+  // leaves in bit-reversed order recombine to identity.
+  PowerArray<int> l0{0}, l1{4}, l2{2}, l3{6}, l4{1}, l5{5}, l6{3}, l7{7};
+  l0.zip_all(l1);  // [0,4]
+  l2.zip_all(l3);  // [2,6]
+  l4.zip_all(l5);  // [1,5]
+  l6.zip_all(l7);  // [3,7]
+  l0.zip_all(l2);  // [0,2,4,6]
+  l4.zip_all(l6);  // [1,3,5,7]
+  l0.zip_all(l4);
+  EXPECT_EQ(l0, (PowerArray<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PowerArray, IsPowerListPredicate) {
+  PowerArray<int> a{1, 2, 3};
+  EXPECT_FALSE(a.is_power_list());
+  a.add(4);
+  EXPECT_TRUE(a.is_power_list());
+}
+
+TEST(PowerArray, ViewRequiresPowerOfTwo) {
+  PowerArray<int> a{1, 2, 3};
+  EXPECT_THROW(a.view(), pls::precondition_error);
+  a.add(4);
+  EXPECT_EQ(a.view().to_vector(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(PowerArray, TakeMovesStorage) {
+  PowerArray<std::string> a{"x", "y"};
+  auto v = std::move(a).take();
+  EXPECT_EQ(v, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(PowerArray, WorksWithMoveOnlyFriendlyTypes) {
+  PowerArray<std::string> a;
+  a.add(std::string("hello"));
+  PowerArray<std::string> b;
+  b.add(std::string("world"));
+  a.zip_all(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], "hello");
+  EXPECT_EQ(a[1], "world");
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include "powerlist/power_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<double> v(n);
+  for (auto& d : v) d = rng.next_double() * 2.0 - 1.0;
+  return v;
+}
+
+TEST(PowerStream, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(PowerStream<int>::of({1, 2, 3}), pls::precondition_error);
+}
+
+TEST(PowerStream, ReduceSequential) {
+  auto ps = PowerStream<long>::of({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(ps.reduce(std::plus<long>{}), 36);
+}
+
+TEST(PowerStream, ReduceForkJoinMatches) {
+  ForkJoinPool pool(4);
+  std::vector<long> data(1024);
+  std::iota(data.begin(), data.end(), 1);
+  const long expected = 1024 * 1025 / 2;
+  auto ps = PowerStream<long>::of(data).via(pool).with_leaf(32);
+  EXPECT_EQ(ps.reduce(std::plus<long>{}), expected);
+}
+
+TEST(PowerStream, MapThenReduceChains) {
+  ForkJoinPool pool(2);
+  std::vector<int> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  const long result = PowerStream<int>::of(data)
+                          .via(pool)
+                          .map([](const int& v) { return long{v} * 2; })
+                          .reduce(std::plus<long>{});
+  EXPECT_EQ(result, 2L * 255 * 256 / 2);
+}
+
+TEST(PowerStream, MapChangesElementType) {
+  const auto out = PowerStream<int>::of({1, 2, 3, 4})
+                       .map([](const int& v) { return v + 0.5; })
+                       .take();
+  EXPECT_EQ(out, (std::vector<double>{1.5, 2.5, 3.5, 4.5}));
+}
+
+TEST(PowerStream, ZipMapPreservesOrder) {
+  std::vector<int> data(64);
+  std::iota(data.begin(), data.end(), 0);
+  const auto out = PowerStream<int>::of(data)
+                       .map([](const int& v) { return v * 3; },
+                            DecompositionOp::kZip)
+                       .take();
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+  }
+}
+
+TEST(PowerStream, ScanMatchesSequential) {
+  const auto data = random_doubles(128, 3);
+  auto ps = PowerStream<double>::of(data);
+  const auto scanned = ps.scan(std::plus<double>{});
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += data[i];
+    EXPECT_NEAR(scanned[i], acc, 1e-9);
+  }
+}
+
+TEST(PowerStream, InvAndRev) {
+  std::vector<int> data{0, 1, 2, 3, 4, 5, 6, 7};
+  auto ps = PowerStream<int>::of(data);
+  EXPECT_EQ(ps.inv(), (std::vector<int>{0, 4, 2, 6, 1, 5, 3, 7}));
+  EXPECT_EQ(ps.rev(), (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(PowerStream, SortedMatchesStdSort) {
+  ForkJoinPool pool(4);
+  auto data = random_doubles(512, 9);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  const auto sorted =
+      PowerStream<double>::of(data).via(pool).with_leaf(32).sorted();
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(PowerStream, PolynomialValueMatchesHorner) {
+  const auto coeffs = random_doubles(256, 11);
+  const double x = 0.93;
+  auto ps = PowerStream<double>::of(coeffs);
+  EXPECT_NEAR(ps.polynomial_value(x), horner_ascending(view_of(coeffs), x),
+              1e-9);
+}
+
+TEST(PowerStream, FftMatchesIterative) {
+  std::vector<Complex> signal;
+  pls::Xoshiro256 rng(13);
+  for (int i = 0; i < 128; ++i) {
+    signal.emplace_back(rng.next_double(), rng.next_double());
+  }
+  auto spectrum = PowerStream<Complex>::of(signal).with_leaf(8).fft();
+  auto reference = signal;
+  fft_in_place(reference);
+  ASSERT_EQ(spectrum.size(), reference.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    EXPECT_NEAR(std::abs(spectrum[i] - reference[i]), 0.0, 1e-8);
+  }
+}
+
+TEST(PowerStream, SequentialAndForkJoinAgree) {
+  ForkJoinPool pool(3);
+  const auto data = random_doubles(1024, 17);
+  auto seq = PowerStream<double>::of(data).sequential();
+  auto par = PowerStream<double>::of(data).via(pool);
+  EXPECT_DOUBLE_EQ(
+      seq.reduce([](double a, double b) { return std::max(a, b); }),
+      par.reduce([](double a, double b) { return std::max(a, b); }));
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "powerlist/algorithms/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "powerlist/executors.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pls::powerlist;
+using pls::forkjoin::ForkJoinPool;
+
+std::vector<int> random_ints(std::size_t n, std::uint64_t seed) {
+  pls::Xoshiro256 rng(seed);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(1000000));
+  return v;
+}
+
+TEST(OddEvenMerge, MergesTwoSortedSingletons) {
+  EXPECT_EQ(odd_even_merge<int>({2}, {1}), (std::vector<int>{1, 2}));
+  EXPECT_EQ(odd_even_merge<int>({1}, {2}), (std::vector<int>{1, 2}));
+}
+
+TEST(OddEvenMerge, MergesSortedRuns) {
+  const std::vector<int> a{1, 4, 6, 9};
+  const std::vector<int> b{2, 3, 7, 10};
+  EXPECT_EQ(odd_even_merge(a, b),
+            (std::vector<int>{1, 2, 3, 4, 6, 7, 9, 10}));
+}
+
+TEST(OddEvenMerge, HandlesDuplicates) {
+  const std::vector<int> a{1, 1, 2, 2};
+  const std::vector<int> b{1, 2, 2, 3};
+  EXPECT_EQ(odd_even_merge(a, b),
+            (std::vector<int>{1, 1, 1, 2, 2, 2, 2, 3}));
+}
+
+TEST(OddEvenMerge, RejectsDissimilarInputs) {
+  EXPECT_THROW(odd_even_merge<int>({1, 2}, {3}), pls::precondition_error);
+}
+
+class BatcherSortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatcherSortSweep, SortsRandomData) {
+  const auto data = random_ints(GetParam(), GetParam() * 31 + 7);
+  BatcherSortFunction<int> sorter;
+  const auto out =
+      execute_sequential(sorter, view_of(std::as_const(data)), {}, 4);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(out, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatcherSortSweep,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 1024));
+
+TEST(BatcherSort, DescendingComparator) {
+  const auto data = random_ints(64, 3);
+  BatcherSortFunction<int, std::greater<int>> sorter{std::greater<int>{}};
+  const auto out =
+      execute_sequential(sorter, view_of(std::as_const(data)), {}, 8);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end(), std::greater<int>{});
+  EXPECT_EQ(out, expected);
+}
+
+TEST(BatcherSort, ForkJoinMatchesSequential) {
+  ForkJoinPool pool(4);
+  const auto data = random_ints(512, 5);
+  BatcherSortFunction<int> sorter;
+  const auto view = view_of(std::as_const(data));
+  EXPECT_EQ(execute_forkjoin(pool, sorter, view, {}, 16),
+            execute_sequential(sorter, view, {}, 16));
+}
+
+TEST(BatcherSort, AlreadySortedAndReversed) {
+  std::vector<int> asc(128);
+  std::iota(asc.begin(), asc.end(), 0);
+  auto desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  BatcherSortFunction<int> sorter;
+  EXPECT_EQ(execute_sequential(sorter, view_of(std::as_const(asc)), {}, 8),
+            asc);
+  EXPECT_EQ(execute_sequential(sorter, view_of(std::as_const(desc)), {}, 8),
+            asc);
+}
+
+class BitonicSortSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicSortSweep, SortsRandomData) {
+  auto data = random_ints(GetParam(), GetParam() * 17 + 1);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  bitonic_sort(data);
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitonicSortSweep,
+                         ::testing::Values(1, 2, 4, 16, 128, 1024, 4096));
+
+TEST(BitonicSort, RejectsNonPowerOfTwo) {
+  std::vector<int> v{3, 1, 2};
+  EXPECT_THROW(bitonic_sort(v), pls::precondition_error);
+}
+
+TEST(BitonicSort, ParallelMatchesSequential) {
+  ForkJoinPool pool(4);
+  auto a = random_ints(2048, 9);
+  auto b = a;
+  bitonic_sort(a);
+  bitonic_sort_parallel(pool, b, 128);
+  EXPECT_EQ(a, b);
+}
+
+class TranspositionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TranspositionSweep, SortsRandomData) {
+  auto data = random_ints(GetParam(), GetParam() + 77);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  odd_even_transposition_sort(data);
+  EXPECT_EQ(data, expected);
+}
+
+// Works on any length (not just powers of two): the network degrades
+// gracefully to general lists.
+INSTANTIATE_TEST_SUITE_P(Sizes, TranspositionSweep,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 100, 255));
+
+TEST(TranspositionSort, DescendingComparator) {
+  std::vector<int> v{3, 1, 4, 1, 5, 9, 2, 6};
+  odd_even_transposition_sort(v, std::greater<int>{});
+  EXPECT_EQ(v, (std::vector<int>{9, 6, 5, 4, 3, 2, 1, 1}));
+}
+
+TEST(BitonicSort, AllEqualElements) {
+  std::vector<int> v(256, 42);
+  bitonic_sort(v);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x == 42; }));
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include "powerlist/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using pls::powerlist::DecompositionOp;
+using pls::powerlist::PowerListView;
+using pls::powerlist::view_of;
+
+std::vector<int> iota(std::size_t n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(View, BasicProperties) {
+  auto data = iota(8);
+  auto v = view_of(data);
+  EXPECT_EQ(v.length(), 8u);
+  EXPECT_EQ(v.levels(), 3u);
+  EXPECT_FALSE(v.is_singleton());
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[7], 7);
+}
+
+TEST(View, NonPowerOfTwoRejected) {
+  auto data = iota(6);
+  EXPECT_THROW(view_of(data), pls::precondition_error);
+}
+
+TEST(View, EmptyRejected) {
+  std::vector<int> data;
+  EXPECT_THROW(view_of(data), pls::precondition_error);
+}
+
+TEST(View, SingletonCannotSplit) {
+  auto data = iota(1);
+  auto v = view_of(data);
+  EXPECT_TRUE(v.is_singleton());
+  EXPECT_THROW(v.tie(), pls::precondition_error);
+  EXPECT_THROW(v.zip(), pls::precondition_error);
+}
+
+TEST(View, TieSplitsHalves) {
+  auto data = iota(8);
+  const auto [p, q] = view_of(data).tie();
+  EXPECT_EQ(p.to_vector(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.to_vector(), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(View, ZipSplitsEvenOdd) {
+  auto data = iota(8);
+  const auto [p, q] = view_of(data).zip();
+  EXPECT_EQ(p.to_vector(), (std::vector<int>{0, 2, 4, 6}));
+  EXPECT_EQ(q.to_vector(), (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(View, NestedTieThenZip) {
+  auto data = iota(8);
+  const auto [first_half, second_half] = view_of(data).tie();
+  const auto [evens, odds] = first_half.zip();
+  EXPECT_EQ(evens.to_vector(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(odds.to_vector(), (std::vector<int>{1, 3}));
+  const auto [e2, o2] = second_half.zip();
+  EXPECT_EQ(e2.to_vector(), (std::vector<int>{4, 6}));
+  EXPECT_EQ(o2.to_vector(), (std::vector<int>{5, 7}));
+}
+
+TEST(View, NestedZipThenZip) {
+  auto data = iota(8);
+  const auto [evens, odds] = view_of(data).zip();
+  const auto [ee, eo] = evens.zip();
+  EXPECT_EQ(ee.to_vector(), (std::vector<int>{0, 4}));
+  EXPECT_EQ(eo.to_vector(), (std::vector<int>{2, 6}));
+  (void)odds;
+}
+
+TEST(View, SplitByOperatorTag) {
+  auto data = iota(4);
+  const auto [tl, tr] = view_of(data).split(DecompositionOp::kTie);
+  EXPECT_EQ(tl.to_vector(), (std::vector<int>{0, 1}));
+  const auto [zl, zr] = view_of(data).split(DecompositionOp::kZip);
+  EXPECT_EQ(zl.to_vector(), (std::vector<int>{0, 2}));
+  (void)tr;
+  (void)zr;
+}
+
+TEST(View, MutableViewWritesThrough) {
+  auto data = iota(4);
+  auto v = view_of(data);
+  const auto [p, q] = v.zip();
+  p[0] = 100;
+  q[1] = 200;
+  EXPECT_EQ(data, (std::vector<int>{100, 1, 2, 200}));
+}
+
+TEST(View, ConstConversion) {
+  auto data = iota(4);
+  PowerListView<int> mv = view_of(data);
+  PowerListView<const int> cv = mv;
+  EXPECT_EQ(cv.to_vector(), data);
+}
+
+TEST(View, SimilarChecksLengthOnly) {
+  auto a = iota(4);
+  auto b = iota(8);
+  EXPECT_FALSE(view_of(a).similar(view_of(b)));
+  const auto [p, q] = view_of(b).tie();
+  EXPECT_TRUE(view_of(a).similar(p));
+  EXPECT_TRUE(p.similar(q));
+}
+
+TEST(View, RecursiveZipReachesStridedSingletons) {
+  auto data = iota(8);
+  // zip three times: singleton containing element with bit-reversed index.
+  auto v = view_of(data);
+  std::vector<PowerListView<int>> current{v};
+  for (int level = 0; level < 3; ++level) {
+    std::vector<PowerListView<int>> next;
+    for (auto& view : current) {
+      auto [p, q] = view.zip();
+      next.push_back(p);
+      next.push_back(q);
+    }
+    current = next;
+  }
+  ASSERT_EQ(current.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(current[i].is_singleton());
+    // Descending via zip in order yields elements by bit-reversal of the
+    // path; position i in the leaf sequence holds element with reversed
+    // bits of i.
+    EXPECT_EQ(current[i][0],
+              static_cast<int>(pls::reverse_bits(i, 3)));
+  }
+}
+
+TEST(View, TieZipReconstructionIdentity) {
+  // Interleaving the zip halves reconstructs; concatenating the tie halves
+  // reconstructs.
+  auto data = iota(16);
+  const auto [ze, zo] = view_of(data).zip();
+  std::vector<int> rebuilt;
+  for (std::size_t i = 0; i < ze.length(); ++i) {
+    rebuilt.push_back(ze[i]);
+    rebuilt.push_back(zo[i]);
+  }
+  EXPECT_EQ(rebuilt, data);
+}
+
+}  // namespace

@@ -1,0 +1,44 @@
+#include "simmachine/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pls::simmachine::TaskTrace;
+using pls::simmachine::to_dot;
+
+TEST(Dot, SingleLeaf) {
+  TaskTrace t;
+  t.set_root(t.add_leaf(5.0));
+  const auto dot = to_dot(t);
+  EXPECT_NE(dot.find("digraph task_trace {"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("5 ops"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+}
+
+TEST(Dot, ForkHasTwoEdges) {
+  TaskTrace t;
+  const auto l = t.add_leaf(1.0);
+  const auto r = t.add_leaf(2.0);
+  t.set_root(t.add_fork(3.0, 4.0, l, r));
+  const auto dot = to_dot(t, "g");
+  EXPECT_NE(dot.find("n2 -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("3 / 4"), std::string::npos);
+}
+
+TEST(Dot, NodeCountMatchesLines) {
+  const auto t = TaskTrace::balanced(
+      3, 8, [](std::size_t) { return 1.0; }, [](std::size_t) { return 0.0; },
+      [](std::size_t) { return 0.0; });
+  const auto dot = to_dot(t);
+  std::size_t boxes = 0, pos = 0;
+  while ((pos = dot.find("shape=box", pos)) != std::string::npos) {
+    ++boxes;
+    pos += 1;
+  }
+  EXPECT_EQ(boxes, 8u);  // one per leaf
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+#include "simmachine/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace pls::simmachine;
+
+CostModel unit_model() {
+  CostModel m;
+  m.spawn_overhead_ns = 0.0;
+  m.steal_overhead_ns = 0.0;
+  m.join_overhead_ns = 0.0;
+  return m;
+}
+
+TaskTrace wide_trace(unsigned levels, double leaf_ops) {
+  return TaskTrace::balanced(
+      levels, std::size_t{1} << levels,
+      [leaf_ops](std::size_t) { return leaf_ops; },
+      [](std::size_t) { return 0.0; }, [](std::size_t) { return 0.0; });
+}
+
+TEST(Scaling, CurveHasOnePointPerProcessorCount) {
+  const auto curve =
+      scaling_curve(wide_trace(6, 100.0), unit_model(), {1, 2, 4, 8});
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_EQ(curve.points[0].processors, 1u);
+  EXPECT_EQ(curve.points[3].processors, 8u);
+}
+
+TEST(Scaling, PerfectWorkScalesLinearly) {
+  const auto curve =
+      scaling_curve(wide_trace(8, 500.0), unit_model(), {1, 2, 4, 8, 16});
+  for (const auto& p : curve.points) {
+    EXPECT_NEAR(p.speedup, static_cast<double>(p.processors), 0.05)
+        << "P=" << p.processors;
+    EXPECT_GT(p.efficiency, 0.95);
+  }
+}
+
+TEST(Scaling, EfficiencyDropsPastTheLeafCount) {
+  // 8 leaves: beyond 8 processors there is nothing to run.
+  const auto curve =
+      scaling_curve(wide_trace(3, 1000.0), unit_model(), {4, 8, 16, 32});
+  EXPECT_NEAR(curve.points[1].speedup, 8.0, 0.01);
+  EXPECT_NEAR(curve.points[2].speedup, 8.0, 0.01);  // saturated
+  EXPECT_LT(curve.points[3].efficiency, 0.3);
+}
+
+TEST(Scaling, KneeFindsLastEfficientPoint) {
+  const auto curve =
+      scaling_curve(wide_trace(4, 1000.0), unit_model(), {1, 2, 4, 8, 16, 32});
+  // 16 leaves: efficiency 1.0 up to P=16, then halves.
+  EXPECT_EQ(curve.knee(0.9), 16u);
+}
+
+TEST(Scaling, MaxSpeedupIsMonotoneSummary) {
+  const auto curve =
+      scaling_curve(wide_trace(6, 300.0), unit_model(), {1, 2, 4});
+  EXPECT_NEAR(curve.max_speedup(), 4.0, 0.05);
+}
+
+TEST(Scaling, EmptySweepRejected) {
+  EXPECT_THROW(scaling_curve(wide_trace(2, 1.0), unit_model(), {}),
+               pls::precondition_error);
+}
+
+}  // namespace

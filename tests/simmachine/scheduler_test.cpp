@@ -1,0 +1,160 @@
+#include "simmachine/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pls::simmachine::CostModel;
+using pls::simmachine::SimResult;
+using pls::simmachine::Simulator;
+using pls::simmachine::TaskTrace;
+
+CostModel zero_overhead() {
+  CostModel m;
+  m.ns_per_op = 1.0;
+  m.spawn_overhead_ns = 0.0;
+  m.steal_overhead_ns = 0.0;
+  m.join_overhead_ns = 0.0;
+  return m;
+}
+
+TaskTrace balanced_trace(unsigned levels, double leaf_ops) {
+  return TaskTrace::balanced(
+      levels, std::size_t{1} << levels,
+      [leaf_ops](std::size_t) { return leaf_ops; },
+      [](std::size_t) { return 0.0; }, [](std::size_t) { return 0.0; });
+}
+
+TEST(Scheduler, SingleLeafSingleProcessor) {
+  TaskTrace t;
+  t.set_root(t.add_leaf(500.0));
+  Simulator sim(zero_overhead(), 1);
+  const SimResult r = sim.run(t);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, 500.0);
+  EXPECT_EQ(r.steals, 0u);
+  EXPECT_EQ(r.segments, 1u);
+}
+
+TEST(Scheduler, OneProcessorMakespanEqualsWork) {
+  const auto t = balanced_trace(4, 100.0);
+  Simulator sim(zero_overhead(), 1);
+  const SimResult r = sim.run(t);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, t.total_work_ops());
+  EXPECT_EQ(r.steals, 0u);
+}
+
+TEST(Scheduler, TwoProcessorsHalveBalancedWork) {
+  // 16 equal leaves, zero overheads: two processors finish in half the
+  // sequential time.
+  const auto t = balanced_trace(4, 100.0);
+  Simulator sim(zero_overhead(), 2);
+  const SimResult r = sim.run(t);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, t.total_work_ops() / 2.0);
+}
+
+TEST(Scheduler, ManyProcessorsApproachSpan) {
+  const auto t = balanced_trace(6, 100.0);  // 64 leaves
+  Simulator sim(zero_overhead(), 64);
+  const SimResult r = sim.run(t);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, t.span_ops());
+}
+
+TEST(Scheduler, SpeedupMonotonicInProcessors) {
+  const auto t = balanced_trace(8, 1000.0);
+  const CostModel m = zero_overhead();
+  double prev = 0.0;
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+    const SimResult r = Simulator(m, p).run(t);
+    const double speedup = t.total_work_ops() / r.makespan_ns;
+    EXPECT_GT(speedup, prev);
+    prev = speedup;
+  }
+}
+
+TEST(Scheduler, BrentBoundHolds) {
+  // Greedy scheduling guarantees T_P <= T1/P + Tinf; with overheads zero
+  // the simulator must respect it.
+  const auto t = TaskTrace::balanced(
+      7, std::size_t{1} << 7,
+      [](std::size_t) { return 64.0; }, [](std::size_t len) {
+        return static_cast<double>(len) * 0.1;
+      },
+      [](std::size_t len) { return static_cast<double>(len) * 0.2; });
+  const CostModel m = zero_overhead();
+  for (unsigned p : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    const SimResult r = Simulator(m, p).run(t);
+    EXPECT_LE(r.makespan_ns,
+              t.total_work_ops() / p + t.span_ops() + 1e-9)
+        << "P=" << p;
+    // And no schedule beats the trivial lower bounds.
+    EXPECT_GE(r.makespan_ns, t.total_work_ops() / p - 1e-9);
+    EXPECT_GE(r.makespan_ns, t.span_ops() - 1e-9);
+  }
+}
+
+TEST(Scheduler, OverheadsReduceSpeedup) {
+  const auto t = balanced_trace(8, 50.0);  // small leaves: overhead-bound
+  CostModel cheap = zero_overhead();
+  CostModel costly = zero_overhead();
+  costly.spawn_overhead_ns = 200.0;
+  costly.steal_overhead_ns = 500.0;
+  costly.join_overhead_ns = 100.0;
+  const SimResult fast = Simulator(cheap, 8).run(t);
+  const SimResult slow = Simulator(costly, 8).run(t);
+  EXPECT_GT(slow.makespan_ns, fast.makespan_ns);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  const auto t = balanced_trace(9, 77.0);
+  CostModel m = zero_overhead();
+  m.spawn_overhead_ns = 10.0;
+  m.steal_overhead_ns = 25.0;
+  const SimResult a = Simulator(m, 7).run(t);
+  const SimResult b = Simulator(m, 7).run(t);
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.segments, b.segments);
+}
+
+TEST(Scheduler, StealsHappenWithMultipleProcessors) {
+  const auto t = balanced_trace(6, 100.0);
+  const SimResult r = Simulator(zero_overhead(), 4).run(t);
+  EXPECT_GT(r.steals, 0u);
+}
+
+TEST(Scheduler, SegmentCountMatchesTraceStructure) {
+  // Each leaf is 1 segment; each fork contributes descend + combine.
+  const auto t = balanced_trace(5, 10.0);  // 32 leaves, 31 forks
+  const SimResult r = Simulator(zero_overhead(), 3).run(t);
+  EXPECT_EQ(r.segments, 32u + 2u * 31u);
+}
+
+TEST(Scheduler, UtilizationAtMostOne) {
+  const auto t = balanced_trace(7, 120.0);
+  for (unsigned p : {1u, 4u, 16u}) {
+    const SimResult r = Simulator(zero_overhead(), p).run(t);
+    EXPECT_LE(r.utilization(), 1.0 + 1e-12);
+    EXPECT_GT(r.utilization(), 0.0);
+  }
+}
+
+TEST(Scheduler, SpeedupVsHelper) {
+  SimResult r;
+  r.makespan_ns = 50.0;
+  EXPECT_DOUBLE_EQ(r.speedup_vs(400.0), 8.0);
+}
+
+TEST(Scheduler, CalibratedModelScalesTime) {
+  const auto t = balanced_trace(3, 100.0);
+  CostModel m = CostModel::calibrated(/*measured_ns=*/8000.0,
+                                      /*total_ops=*/1000.0, zero_overhead());
+  EXPECT_DOUBLE_EQ(m.ns_per_op, 8.0);
+  const SimResult r = Simulator(m, 1).run(t);
+  EXPECT_DOUBLE_EQ(r.makespan_ns, t.total_work_ops() * 8.0);
+}
+
+TEST(Scheduler, ZeroProcessorsRejected) {
+  EXPECT_THROW(Simulator(zero_overhead(), 0), pls::precondition_error);
+}
+
+}  // namespace

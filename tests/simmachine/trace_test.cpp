@@ -1,0 +1,101 @@
+#include "simmachine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pls::simmachine::TaskTrace;
+
+TEST(Trace, SingleLeaf) {
+  TaskTrace t;
+  const auto id = t.add_leaf(100.0);
+  t.set_root(id);
+  EXPECT_EQ(t.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.total_work_ops(), 100.0);
+  EXPECT_DOUBLE_EQ(t.span_ops(), 100.0);
+}
+
+TEST(Trace, ForkWorkIsSumSpanIsMax) {
+  TaskTrace t;
+  const auto l = t.add_leaf(10.0);
+  const auto r = t.add_leaf(30.0);
+  const auto f = t.add_fork(2.0, 5.0, l, r);
+  t.set_root(f);
+  EXPECT_DOUBLE_EQ(t.total_work_ops(), 10 + 30 + 2 + 5);
+  EXPECT_DOUBLE_EQ(t.span_ops(), 2 + 30 + 5);
+}
+
+TEST(Trace, NestedSpan) {
+  TaskTrace t;
+  const auto a = t.add_leaf(8.0);
+  const auto b = t.add_leaf(4.0);
+  const auto inner = t.add_fork(1.0, 1.0, a, b);  // span 1+8+1 = 10
+  const auto c = t.add_leaf(50.0);
+  const auto root = t.add_fork(0.0, 2.0, inner, c);
+  t.set_root(root);
+  EXPECT_DOUBLE_EQ(t.span_ops(), 0 + 50 + 2);
+  EXPECT_DOUBLE_EQ(t.total_work_ops(), 8 + 4 + 1 + 1 + 50 + 0 + 2);
+}
+
+TEST(Trace, RootRequiredForQueries) {
+  TaskTrace t;
+  t.add_leaf(1.0);
+  EXPECT_FALSE(t.has_root());
+  EXPECT_THROW(t.root(), pls::precondition_error);
+}
+
+TEST(Trace, ForkChildrenMustExist) {
+  TaskTrace t;
+  const auto l = t.add_leaf(1.0);
+  EXPECT_THROW(t.add_fork(0.0, 0.0, l, 99), pls::precondition_error);
+}
+
+TEST(Trace, NegativeCostsRejected) {
+  TaskTrace t;
+  EXPECT_THROW(t.add_leaf(-1.0), pls::precondition_error);
+}
+
+TEST(Trace, BalancedBuilderShape) {
+  // 3 levels over n=8: 8 leaves + 7 forks.
+  const auto t = TaskTrace::balanced(
+      3, 8, [](std::size_t len) { return static_cast<double>(len); },
+      [](std::size_t) { return 1.0; }, [](std::size_t) { return 2.0; });
+  EXPECT_EQ(t.node_count(), 15u);
+  // Work: leaves contribute 8*1 (len 1 each), forks 7*(1+2).
+  EXPECT_DOUBLE_EQ(t.total_work_ops(), 8 * 1.0 + 7 * 3.0);
+  // Span: 3 levels of (1 descend + 2 combine) + leaf 1.
+  EXPECT_DOUBLE_EQ(t.span_ops(), 3 * 3.0 + 1.0);
+}
+
+TEST(Trace, BalancedBuilderLeafLengths) {
+  // 2 levels over n=16 -> leaves of length 4; leaf op fn sees that length.
+  const auto t = TaskTrace::balanced(
+      2, 16, [](std::size_t len) { return static_cast<double>(len * 10); },
+      [](std::size_t) { return 0.0; }, [](std::size_t) { return 0.0; });
+  EXPECT_DOUBLE_EQ(t.total_work_ops(), 4 * 40.0);
+}
+
+TEST(Trace, BalancedBuilderRejectsIndivisibleSize) {
+  EXPECT_THROW(TaskTrace::balanced(
+                   3, 6, [](std::size_t) { return 1.0; },
+                   [](std::size_t) { return 0.0; },
+                   [](std::size_t) { return 0.0; }),
+               pls::precondition_error);
+}
+
+TEST(Trace, DescendCostsSeeFullSublistLength) {
+  std::vector<std::size_t> seen;
+  (void)TaskTrace::balanced(
+      2, 8, [](std::size_t) { return 0.0; },
+      [&](std::size_t len) {
+        seen.push_back(len);
+        return 0.0;
+      },
+      [](std::size_t) { return 0.0; });
+  // Two fork levels: one node of length 8, two of length 4.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 8u), 1);
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 4u), 2);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Collector-contract property harness.
+//
+// The Collector contract (identical to Java's) demands that for ANY way
+// of partitioning the input into consecutive chunks, accumulating each
+// chunk into a fresh container and folding the containers left-to-right
+// with the combiner yields the same result as one sequential
+// accumulation. This harness checks that invariance over randomised
+// partitions for every collector in the library — the property that
+// makes parallel collect correct.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "streams/collectors.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+namespace collectors = pls::streams::collectors;
+
+/// Evaluate `collector` over `data` split into chunks at `cuts`
+/// (ascending positions), folding containers pairwise left-to-right.
+template <typename C, typename T>
+auto collect_partitioned(const C& collector, const std::vector<T>& data,
+                         const std::vector<std::size_t>& cuts) {
+  using A = typename C::accumulation_type;
+  std::vector<A> containers;
+  std::size_t begin = 0;
+  auto flush = [&](std::size_t end) {
+    A acc = collector.supply();
+    for (std::size_t i = begin; i < end; ++i) {
+      collector.accumulate(acc, data[i]);
+    }
+    containers.push_back(std::move(acc));
+    begin = end;
+  };
+  for (std::size_t cut : cuts) flush(cut);
+  flush(data.size());
+  A result = std::move(containers.front());
+  for (std::size_t k = 1; k < containers.size(); ++k) {
+    collector.combine(result, containers[k]);
+  }
+  return collector.finish(std::move(result));
+}
+
+/// Reference: one container, straight accumulation.
+template <typename C, typename T>
+auto collect_sequential(const C& collector, const std::vector<T>& data) {
+  auto acc = collector.supply();
+  for (const T& v : data) collector.accumulate(acc, v);
+  return collector.finish(std::move(acc));
+}
+
+/// Random ascending cut positions within [1, n-1].
+std::vector<std::size_t> random_cuts(std::size_t n, std::size_t how_many,
+                                     pls::Xoshiro256& rng) {
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < how_many; ++i) {
+    cuts.push_back(1 + rng.next_below(n - 1));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+template <typename C, typename T>
+void check_contract(const C& collector, const std::vector<T>& data,
+                    std::uint64_t seed) {
+  const auto reference = collect_sequential(collector, data);
+  pls::Xoshiro256 rng(seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cuts =
+        random_cuts(data.size(), 1 + rng.next_below(7), rng);
+    EXPECT_EQ(collect_partitioned(collector, data, cuts), reference)
+        << "trial " << trial;
+  }
+}
+
+std::vector<int> int_data(std::size_t n) {
+  pls::Xoshiro256 rng(n);
+  std::vector<int> v(n);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(100));
+  return v;
+}
+
+TEST(CollectorContract, ToVector) {
+  check_contract(collectors::to_vector<int>(), int_data(137), 1);
+}
+
+TEST(CollectorContract, ToSet) {
+  check_contract(collectors::to_set<int>(), int_data(137), 2);
+}
+
+TEST(CollectorContract, Counting) {
+  check_contract(collectors::counting<int>(), int_data(200), 3);
+}
+
+TEST(CollectorContract, Summing) {
+  check_contract(collectors::summing<int>(), int_data(200), 4);
+}
+
+TEST(CollectorContract, Joining) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 90; ++i) words.push_back("w" + std::to_string(i));
+  check_contract(collectors::joining(","), words, 5);
+}
+
+TEST(CollectorContract, MinMax) {
+  check_contract(collectors::min_by<int>(), int_data(150), 6);
+  check_contract(collectors::max_by<int>(), int_data(150), 7);
+}
+
+TEST(CollectorContract, GroupingBy) {
+  check_contract(
+      collectors::grouping_by<int>([](int v) { return v % 7; }),
+      int_data(160), 8);
+}
+
+TEST(CollectorContract, PartitioningBy) {
+  check_contract(
+      collectors::partitioning_by<int>([](int v) { return v % 2 == 0; }),
+      int_data(160), 9);
+}
+
+TEST(CollectorContract, AveragingViaNear) {
+  // Averaging returns double: compare with tolerance instead of EXPECT_EQ.
+  const auto data = int_data(123);
+  const auto c = collectors::averaging<int>([](int v) { return v; });
+  const double reference = collect_sequential(c, data);
+  pls::Xoshiro256 rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cuts = random_cuts(data.size(), 1 + rng.next_below(7), rng);
+    EXPECT_NEAR(collect_partitioned(c, data, cuts), reference, 1e-9);
+  }
+}
+
+TEST(CollectorContract, SummarizingFields) {
+  const auto data = int_data(140);
+  const auto c = collectors::summarizing<int>([](int v) { return v; });
+  const auto reference = collect_sequential(c, data);
+  pls::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cuts = random_cuts(data.size(), 1 + rng.next_below(5), rng);
+    const auto got = collect_partitioned(c, data, cuts);
+    EXPECT_EQ(got.count, reference.count);
+    EXPECT_DOUBLE_EQ(got.sum, reference.sum);
+    EXPECT_EQ(got.min, reference.min);
+    EXPECT_EQ(got.max, reference.max);
+  }
+}
+
+}  // namespace

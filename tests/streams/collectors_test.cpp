@@ -1,0 +1,122 @@
+#include "streams/collectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::streams::Stream;
+namespace collectors = pls::streams::collectors;
+
+TEST(Collectors, ToVector) {
+  auto out = Stream<int>::range(0, 5).collect(collectors::to_vector<int>());
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Collectors, ToSetDeduplicates) {
+  auto out =
+      Stream<int>::of({2, 1, 2, 3, 1}).collect(collectors::to_set<int>());
+  EXPECT_EQ(out, (std::set<int>{1, 2, 3}));
+}
+
+TEST(Collectors, Counting) {
+  EXPECT_EQ(Stream<int>::range(0, 42).collect(collectors::counting<int>()),
+            42u);
+  EXPECT_EQ(Stream<int>::range(0, 0).collect(collectors::counting<int>()),
+            0u);
+}
+
+TEST(Collectors, SummingValues) {
+  EXPECT_EQ(Stream<int>::range(1, 11).collect(collectors::summing<int>()),
+            55);
+}
+
+TEST(Collectors, SummingMapped) {
+  const auto total = Stream<std::string>::of({"a", "bb", "ccc"})
+                         .collect(collectors::summing<std::string, long>(
+                             [](const std::string& s) {
+                               return static_cast<long>(s.size());
+                             }));
+  EXPECT_EQ(total, 6);
+}
+
+TEST(Collectors, Averaging) {
+  const double avg = Stream<int>::of({2, 4, 6}).collect(
+      collectors::averaging<int>([](int v) { return v; }));
+  EXPECT_DOUBLE_EQ(avg, 4.0);
+}
+
+TEST(Collectors, AveragingEmptyIsZero) {
+  const double avg = Stream<int>::range(0, 0).collect(
+      collectors::averaging<int>([](int v) { return v; }));
+  EXPECT_DOUBLE_EQ(avg, 0.0);
+}
+
+TEST(Collectors, JoiningSequential) {
+  const auto s = Stream<std::string>::of({"x", "y", "z"})
+                     .collect(collectors::joining(", "));
+  EXPECT_EQ(s, "x, y, z");
+}
+
+TEST(Collectors, JoiningWithPrefixSuffix) {
+  const auto s = Stream<std::string>::of({"a", "b"})
+                     .collect(collectors::joining("-", "[", "]"));
+  EXPECT_EQ(s, "[a-b]");
+}
+
+TEST(Collectors, JoiningEmptyStream) {
+  const auto s = Stream<std::string>::of({}).collect(
+      collectors::joining(",", "<", ">"));
+  EXPECT_EQ(s, "<>");
+}
+
+TEST(Collectors, JoiningParallelMatchesSequential) {
+  std::vector<std::string> words;
+  for (int i = 0; i < 64; ++i) words.push_back("w" + std::to_string(i));
+  const auto seq = Stream<std::string>::of(words).collect(
+      collectors::joining(", "));
+  const auto par = Stream<std::string>::of(words).parallel().collect(
+      collectors::joining(", "));
+  EXPECT_EQ(par, seq);
+}
+
+TEST(Collectors, MinByMaxBy) {
+  auto min = Stream<int>::of({5, 2, 8}).collect(collectors::min_by<int>());
+  auto max = Stream<int>::of({5, 2, 8}).collect(collectors::max_by<int>());
+  ASSERT_TRUE(min.has_value());
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(*min, 2);
+  EXPECT_EQ(*max, 8);
+}
+
+TEST(Collectors, MinByEmptyIsNullopt) {
+  auto min = Stream<int>::range(0, 0).collect(collectors::min_by<int>());
+  EXPECT_FALSE(min.has_value());
+}
+
+TEST(Collectors, GroupingBy) {
+  auto groups = Stream<int>::range(0, 10).collect(
+      collectors::grouping_by<int>([](int v) { return v % 3; }));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<int>{0, 3, 6, 9}));
+  EXPECT_EQ(groups[1], (std::vector<int>{1, 4, 7}));
+  EXPECT_EQ(groups[2], (std::vector<int>{2, 5, 8}));
+}
+
+TEST(Collectors, GroupingByParallelPreservesGroupOrder) {
+  auto seq = Stream<int>::range(0, 200).collect(
+      collectors::grouping_by<int>([](int v) { return v % 5; }));
+  auto par = Stream<int>::range(0, 200).parallel().collect(
+      collectors::grouping_by<int>([](int v) { return v % 5; }));
+  EXPECT_EQ(seq, par);
+}
+
+TEST(Collectors, PartitioningBy) {
+  auto [evens, odds] = Stream<int>::range(0, 6).collect(
+      collectors::partitioning_by<int>([](int v) { return v % 2 == 0; }));
+  EXPECT_EQ(evens, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(odds, (std::vector<int>{1, 3, 5}));
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Tests for the stream library extensions: concat, summarizing, teeing,
+// mapping adapter.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "streams/collectors.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::streams::Stream;
+namespace collectors = pls::streams::collectors;
+
+TEST(Concat, SequentialOrder) {
+  auto out = Stream<int>::concat(Stream<int>::range(0, 3),
+                                 Stream<int>::range(10, 13))
+                 .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(Concat, ParallelPreservesEncounterOrder) {
+  auto out = Stream<int>::concat(Stream<int>::range(0, 500).parallel(),
+                                 Stream<int>::range(500, 1000))
+                 .to_vector();
+  std::vector<int> expect(1000);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(Concat, EmptyParts) {
+  auto left_empty = Stream<int>::concat(Stream<int>::range(0, 0),
+                                        Stream<int>::range(5, 8))
+                        .to_vector();
+  EXPECT_EQ(left_empty, (std::vector<int>{5, 6, 7}));
+  auto right_empty = Stream<int>::concat(Stream<int>::range(5, 8),
+                                         Stream<int>::range(0, 0))
+                         .to_vector();
+  EXPECT_EQ(right_empty, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(Concat, CountAndPipelineOps) {
+  const auto n = Stream<int>::concat(Stream<int>::range(0, 100),
+                                     Stream<int>::range(0, 100))
+                     .filter([](int v) { return v % 2 == 0; })
+                     .count();
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(Concat, NestedConcat) {
+  auto abc = Stream<int>::concat(
+      Stream<int>::concat(Stream<int>::of({1}), Stream<int>::of({2})),
+      Stream<int>::of({3}));
+  EXPECT_EQ(std::move(abc).to_vector(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Summarizing, BasicStatistics) {
+  const auto s = Stream<int>::of({4, 1, 7, 2}).collect(
+      collectors::summarizing<int>([](int v) { return v; }));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 14.0);
+  EXPECT_DOUBLE_EQ(*s.min, 1.0);
+  EXPECT_DOUBLE_EQ(*s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Summarizing, EmptyStream) {
+  const auto s = Stream<int>::range(0, 0).collect(
+      collectors::summarizing<int>([](int v) { return v; }));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_FALSE(s.min.has_value());
+  EXPECT_FALSE(s.max.has_value());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Summarizing, ParallelMatchesSequential) {
+  auto seq = Stream<int>::range(0, 10000).collect(
+      collectors::summarizing<int>([](int v) { return v % 97; }));
+  auto par = Stream<int>::range(0, 10000).parallel().collect(
+      collectors::summarizing<int>([](int v) { return v % 97; }));
+  EXPECT_EQ(par.count, seq.count);
+  EXPECT_DOUBLE_EQ(par.sum, seq.sum);
+  EXPECT_EQ(par.min, seq.min);
+  EXPECT_EQ(par.max, seq.max);
+}
+
+TEST(Teeing, CombinesTwoCollectors) {
+  const auto avg = Stream<int>::range(1, 101).collect(collectors::teeing<int>(
+      collectors::summing<int>(), collectors::counting<int>(),
+      [](int total, std::uint64_t count) {
+        return static_cast<double>(total) / static_cast<double>(count);
+      }));
+  EXPECT_DOUBLE_EQ(avg, 50.5);
+}
+
+TEST(Teeing, ParallelMatchesSequential) {
+  auto run = [](bool parallel) {
+    auto s = Stream<int>::range(0, 5000);
+    if (parallel) s = std::move(s).parallel();
+    return std::move(s).collect(collectors::teeing<int>(
+        collectors::min_by<int>(), collectors::max_by<int>(),
+        [](std::optional<int> lo, std::optional<int> hi) {
+          return std::pair{*lo, *hi};
+        }));
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Mapping, AdaptsDownstreamCollector) {
+  const auto lengths = Stream<std::string>::of({"a", "bb", "ccc"})
+                           .collect(collectors::mapping<std::string>(
+                               [](const std::string& s) {
+                                 return static_cast<int>(s.size());
+                               },
+                               collectors::to_vector<int>()));
+  EXPECT_EQ(lengths, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TakeWhile, StopsAtFirstFailure) {
+  const auto out = Stream<int>::of({1, 2, 3, 10, 4, 5})
+                       .take_while([](int v) { return v < 5; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TakeWhile, AllPass) {
+  const auto out = Stream<int>::range(0, 5)
+                       .take_while([](int v) { return v < 100; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TakeWhile, NonePass) {
+  const auto out = Stream<int>::range(5, 10)
+                       .take_while([](int v) { return v < 5; })
+                       .to_vector();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TakeWhile, OnInfiniteIterate) {
+  const auto out = Stream<long>::iterate(1L, [](long v) { return v * 3; })
+                       .take_while([](long v) { return v < 100; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<long>{1, 3, 9, 27, 81}));
+}
+
+TEST(DropWhile, DropsFailingPrefixOnly) {
+  const auto out = Stream<int>::of({1, 2, 3, 10, 4, 5})
+                       .drop_while([](int v) { return v < 5; })
+                       .to_vector();
+  // Drops 1,2,3; keeps 10 and EVERYTHING after (4 < 5 but prefix ended).
+  EXPECT_EQ(out, (std::vector<int>{10, 4, 5}));
+}
+
+TEST(DropWhile, NoneDropped) {
+  const auto out = Stream<int>::range(5, 8)
+                       .drop_while([](int v) { return v < 5; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{5, 6, 7}));
+}
+
+TEST(DropWhile, AllDropped) {
+  const auto out = Stream<int>::range(0, 5)
+                       .drop_while([](int) { return true; })
+                       .to_vector();
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TakeDropWhile, Complementary) {
+  const std::vector<int> data{2, 4, 6, 7, 8, 9};
+  auto pred = [](int v) { return v % 2 == 0; };
+  auto taken = Stream<int>::of(data).take_while(pred).to_vector();
+  auto dropped = Stream<int>::of(data).drop_while(pred).to_vector();
+  taken.insert(taken.end(), dropped.begin(), dropped.end());
+  EXPECT_EQ(taken, data);
+}
+
+TEST(Mapping, ComposesWithGrouping) {
+  const auto joined = Stream<int>::range(0, 10).collect(
+      collectors::mapping<int>(
+          [](int v) { return std::to_string(v); },
+          collectors::joining("+")));
+  EXPECT_EQ(joined, "0+1+2+3+4+5+6+7+8+9");
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include "streams/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using pls::streams::Stream;
+
+TEST(StreamOps, MapTransforms) {
+  const auto out = Stream<int>::of({1, 2, 3})
+                       .map([](int v) { return v * 10; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(StreamOps, MapChangesElementType) {
+  const auto out = Stream<int>::of({1, 22, 333})
+                       .map([](int v) { return std::to_string(v); })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<std::string>{"1", "22", "333"}));
+}
+
+TEST(StreamOps, FilterKeepsMatching) {
+  const auto out = Stream<int>::range(0, 10)
+                       .filter([](int v) { return v % 3 == 0; })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(StreamOps, MapFilterChain) {
+  const auto out = Stream<int>::range(0, 20)
+                       .map([](int v) { return v * v; })
+                       .filter([](int v) { return v % 2 == 0; })
+                       .map([](int v) { return v + 1; })
+                       .to_vector();
+  std::vector<int> expect;
+  for (int v = 0; v < 20; ++v) {
+    const int sq = v * v;
+    if (sq % 2 == 0) expect.push_back(sq + 1);
+  }
+  EXPECT_EQ(out, expect);
+}
+
+TEST(StreamOps, PeekObservesWithoutChanging) {
+  std::vector<int> observed;
+  const auto out = Stream<int>::of({4, 5, 6})
+                       .peek([&](int v) { observed.push_back(v); })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(observed, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(StreamOps, FlatMapConcatenates) {
+  const auto out = Stream<int>::of({1, 2, 3})
+                       .flat_map([](int v) {
+                         return std::vector<int>(static_cast<std::size_t>(v),
+                                                 v);
+                       })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+}
+
+TEST(StreamOps, FlatMapWithEmptyResults) {
+  const auto out = Stream<int>::range(0, 6)
+                       .flat_map([](int v) {
+                         return v % 2 == 0 ? std::vector<int>{v}
+                                           : std::vector<int>{};
+                       })
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(StreamOps, LimitTruncates) {
+  const auto out = Stream<int>::range(0, 1000).limit(4).to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(StreamOps, LimitLargerThanStream) {
+  const auto out = Stream<int>::range(0, 3).limit(100).to_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(StreamOps, SkipDrops) {
+  const auto out = Stream<int>::range(0, 6).skip(4).to_vector();
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));
+}
+
+TEST(StreamOps, SkipThenLimit) {
+  const auto out = Stream<int>::range(0, 100).skip(10).limit(3).to_vector();
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(StreamOps, SortedOrders) {
+  const auto out = Stream<int>::of({5, 1, 4, 2, 3}).sorted().to_vector();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(StreamOps, SortedWithComparator) {
+  const auto out = Stream<int>::of({5, 1, 4})
+                       .sorted(std::greater<int>{})
+                       .to_vector();
+  EXPECT_EQ(out, (std::vector<int>{5, 4, 1}));
+}
+
+TEST(StreamOps, DistinctKeepsFirstOccurrence) {
+  const auto out = Stream<int>::of({3, 1, 3, 2, 1, 3}).distinct().to_vector();
+  EXPECT_EQ(out, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(StreamOps, CountAfterFilter) {
+  const auto n = Stream<int>::range(0, 100)
+                     .filter([](int v) { return v % 7 == 0; })
+                     .count();
+  EXPECT_EQ(n, 15u);  // 0,7,...,98
+}
+
+TEST(StreamOps, ReduceSum) {
+  const auto sum =
+      Stream<int>::range(1, 101).reduce([](int a, int b) { return a + b; });
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(*sum, 5050);
+}
+
+TEST(StreamOps, ReduceEmptyIsNullopt) {
+  const auto r =
+      Stream<int>::range(0, 0).reduce([](int a, int b) { return a + b; });
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(StreamOps, ReduceWithIdentityOnEmpty) {
+  const int r = Stream<int>::range(0, 0).reduce(
+      -7, [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, -7);
+}
+
+TEST(StreamOps, SumMinMax) {
+  EXPECT_EQ(Stream<int>::of({3, 9, 1}).sum(), 13);
+  EXPECT_EQ(*Stream<int>::of({3, 9, 1}).min(), 1);
+  EXPECT_EQ(*Stream<int>::of({3, 9, 1}).max(), 9);
+  EXPECT_FALSE(Stream<int>::range(0, 0).min().has_value());
+}
+
+TEST(StreamOps, ForEachVisitsAll) {
+  int sum = 0;
+  Stream<int>::range(0, 10).for_each([&](int v) { sum += v; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(StreamOps, Matchers) {
+  EXPECT_TRUE(
+      Stream<int>::range(0, 10).any_match([](int v) { return v == 7; }));
+  EXPECT_FALSE(
+      Stream<int>::range(0, 10).any_match([](int v) { return v == 42; }));
+  EXPECT_TRUE(
+      Stream<int>::range(0, 10).all_match([](int v) { return v < 10; }));
+  EXPECT_FALSE(
+      Stream<int>::range(0, 10).all_match([](int v) { return v < 9; }));
+  EXPECT_TRUE(
+      Stream<int>::range(0, 10).none_match([](int v) { return v > 20; }));
+}
+
+TEST(StreamOps, AnyMatchShortCircuits) {
+  int inspected = 0;
+  const bool found = Stream<int>::range(0, 1000000)
+                         .peek([&](int) { ++inspected; })
+                         .any_match([](int v) { return v == 3; });
+  EXPECT_TRUE(found);
+  EXPECT_EQ(inspected, 4);
+}
+
+TEST(StreamOps, FindFirst) {
+  const auto v = Stream<int>::range(5, 100).find_first();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+  EXPECT_FALSE(Stream<int>::range(0, 0).find_first().has_value());
+}
+
+TEST(StreamOps, GenerateFactory) {
+  const auto out =
+      Stream<double>::generate(
+          [](std::uint64_t i) { return static_cast<double>(i) / 2.0; }, 4)
+          .to_vector();
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.5, 1.0, 1.5}));
+}
+
+TEST(StreamOps, ThreeArgCollectJoinsWords) {
+  // The paper's word-concatenation example (sequential: no combiner runs).
+  const auto words =
+      Stream<std::string>::of({"alpha", "beta", "gamma"});
+  (void)words;
+  const auto joined =
+      Stream<std::string>::of({"alpha", "beta", "gamma"})
+          .collect([] { return std::string{}; },
+                   [](std::string& acc, const std::string& w) {
+                     if (!acc.empty()) acc += ", ";
+                     acc += w;
+                   },
+                   [](std::string& left, std::string& right) {
+                     if (!left.empty() && !right.empty()) left += ", ";
+                     left += right;
+                   });
+  EXPECT_EQ(joined, "alpha, beta, gamma");
+}
+
+TEST(StreamOps, CharacteristicsExposedThroughPipeline) {
+  const auto s = Stream<int>::range(0, 8);
+  EXPECT_TRUE(pls::streams::has_characteristics(s.characteristics(),
+                                                pls::streams::kSized));
+  const auto filtered =
+      Stream<int>::range(0, 8).filter([](int) { return true; });
+  EXPECT_FALSE(pls::streams::has_characteristics(filtered.characteristics(),
+                                                 pls::streams::kSized));
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "streams/unsized.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::streams::Stream;
+
+TEST(Iterate, ProducesIteratedSequence) {
+  const auto powers = Stream<long>::iterate(1L, [](long v) { return v * 2; })
+                          .limit(10)
+                          .to_vector();
+  EXPECT_EQ(powers,
+            (std::vector<long>{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}));
+}
+
+TEST(Iterate, WithPipelineOps) {
+  const auto collatz_from_27 =
+      Stream<long>::iterate(27L,
+                            [](long v) { return v % 2 == 0 ? v / 2 : 3 * v + 1; })
+          .limit(112)
+          .to_vector();
+  EXPECT_EQ(collatz_from_27.front(), 27);
+  EXPECT_EQ(collatz_from_27.back(), 1);  // classic: 27 reaches 1 in 111 steps
+}
+
+TEST(Iterate, FilterOnInfiniteStreamWithLimitFirst) {
+  const auto evens = Stream<long>::iterate(0L, [](long v) { return v + 1; })
+                         .limit(100)
+                         .filter([](long v) { return v % 2 == 0; })
+                         .count();
+  EXPECT_EQ(evens, 50u);
+}
+
+TEST(UnsizedSpliterator, BatchSplittingCoversEverything) {
+  // Pull 5000 elements through an unsized source and parallel-collect:
+  // batches must partition the sequence in order.
+  long counter = 0;
+  struct Pull {
+    long* counter;
+    std::optional<long> operator()() {
+      if (*counter >= 5000) return std::nullopt;
+      return (*counter)++;
+    }
+  };
+  auto pull = std::make_shared<Pull>(Pull{&counter});
+  auto sp = std::make_unique<pls::streams::UnsizedSpliterator<long, Pull>>(
+      std::move(pull));
+  auto out = pls::streams::stream_support::from_spliterator<long>(
+                 std::move(sp), true)
+                 .to_vector();
+  std::vector<long> expect(5000);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(UnsizedSpliterator, SequentialTraversalWorksWithoutSplitting) {
+  int remaining = 3;
+  struct Pull {
+    int* remaining;
+    std::optional<int> operator()() {
+      if (*remaining == 0) return std::nullopt;
+      return 10 - (*remaining)--;
+    }
+  };
+  auto pull = std::make_shared<Pull>(Pull{&remaining});
+  pls::streams::UnsizedSpliterator<int, Pull> sp(std::move(pull));
+  std::vector<int> seen;
+  sp.for_each_remaining([&](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{7, 8, 9}));
+  EXPECT_EQ(sp.estimate_size(), 0u);
+}
+
+TEST(UnsizedSpliterator, EstimateIsUnboundedUntilExhausted) {
+  auto pull = std::make_shared<std::function<std::optional<int>()>>(
+      []() -> std::optional<int> { return std::nullopt; });
+  pls::streams::UnsizedSpliterator<int, std::function<std::optional<int>()>>
+      sp(std::move(pull));
+  EXPECT_EQ(sp.estimate_size(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(sp.try_advance([](const int&) {}));
+  EXPECT_EQ(sp.estimate_size(), 0u);
+}
+
+}  // namespace

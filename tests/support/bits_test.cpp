@@ -1,0 +1,113 @@
+#include "support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace {
+
+using pls::ceil_log2;
+using pls::exact_log2;
+using pls::floor_log2;
+using pls::gray_code;
+using pls::is_power_of_two;
+using pls::next_power_of_two;
+using pls::popcount64;
+using pls::reverse_bits;
+
+TEST(Bits, PowerOfTwoDetection) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(4));
+  EXPECT_FALSE(is_power_of_two(6));
+  EXPECT_TRUE(is_power_of_two(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_power_of_two((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Bits, ExactLog2RoundTripsWithShift) {
+  for (unsigned k = 0; k < 40; ++k) {
+    EXPECT_EQ(exact_log2(std::uint64_t{1} << k), k);
+  }
+}
+
+TEST(Bits, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(4), 4u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+}
+
+TEST(Bits, ReverseBitsSmall) {
+  EXPECT_EQ(reverse_bits(0b000, 3), 0b000u);
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b011, 3), 0b110u);
+  EXPECT_EQ(reverse_bits(0b101, 3), 0b101u);  // palindrome
+}
+
+TEST(Bits, ReverseBitsIsInvolution) {
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 8), 8), v);
+  }
+}
+
+TEST(Bits, ReverseBitsPermutesRange) {
+  // reverse_bits(., k) must be a bijection on [0, 2^k).
+  constexpr unsigned k = 6;
+  bool seen[1u << k] = {};
+  for (std::uint64_t v = 0; v < (1u << k); ++v) {
+    const auto r = reverse_bits(v, k);
+    ASSERT_LT(r, 1u << k);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0u);
+  EXPECT_EQ(popcount64(1), 1u);
+  EXPECT_EQ(popcount64(0b1011), 3u);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64u);
+}
+
+TEST(Bits, GrayCodeAdjacentDifferByOneBit) {
+  for (std::uint64_t n = 0; n < 1024; ++n) {
+    EXPECT_EQ(popcount64(gray_code(n) ^ gray_code(n + 1)), 1u);
+  }
+}
+
+TEST(Bits, GrayCodeIsBijectionOnRange) {
+  constexpr std::uint64_t n = 1u << 10;
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto g = gray_code(i);
+    ASSERT_LT(g, n);
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+#include "support/function_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+int free_function(int x) { return x * 2; }
+
+TEST(FunctionRef, CallsLambda) {
+  int calls = 0;
+  auto lambda = [&calls](int v) {
+    calls += v;
+    return calls;
+  };
+  pls::function_ref<int(int)> ref = lambda;
+  EXPECT_EQ(ref(3), 3);
+  EXPECT_EQ(ref(4), 7);
+  EXPECT_EQ(calls, 7);
+}
+
+TEST(FunctionRef, CallsFreeFunction) {
+  pls::function_ref<int(int)> ref = free_function;
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRef, MutatesCapturedState) {
+  std::string log;
+  auto appender = [&log](const std::string& s) { log += s; };
+  pls::function_ref<void(const std::string&)> ref = appender;
+  ref("a");
+  ref("b");
+  EXPECT_EQ(log, "ab");
+}
+
+TEST(FunctionRef, IsTriviallyCopyable) {
+  static_assert(
+      std::is_trivially_copyable_v<pls::function_ref<void(int)>>);
+  SUCCEED();
+}
+
+TEST(FunctionRef, CopyAliasesSameCallable) {
+  int count = 0;
+  auto inc = [&count] { ++count; };
+  pls::function_ref<void()> a = inc;
+  pls::function_ref<void()> b = a;
+  a();
+  b();
+  EXPECT_EQ(count, 2);
+}
+
+struct Functor {
+  int base;
+  int operator()(int x) const { return base + x; }
+};
+
+TEST(FunctionRef, CallsConstFunctor) {
+  const Functor f{10};
+  pls::function_ref<int(int)> ref = f;
+  EXPECT_EQ(ref(5), 15);
+}
+
+}  // namespace

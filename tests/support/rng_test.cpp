@@ -1,0 +1,70 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  pls::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  pls::SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  pls::Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  pls::Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleRoughlyUniform) {
+  pls::Xoshiro256 rng(99);
+  int buckets[10] = {};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++buckets[static_cast<int>(rng.next_double() * 10.0)];
+  }
+  for (int b : buckets) {
+    EXPECT_GT(b, kSamples / 10 * 0.9);
+    EXPECT_LT(b, kSamples / 10 * 1.1);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  pls::Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowHitsAllResidues) {
+  pls::Xoshiro256 rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<pls::Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,47 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Stats, SingleSample) {
+  const auto s = pls::summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const auto s = pls::summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(Stats, MedianOddCount) {
+  const auto s = pls::summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, OrderInsensitive) {
+  const auto a = pls::summarize({1.0, 2.0, 3.0, 4.0});
+  const auto b = pls::summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(Stats, RelStddevZeroMean) {
+  const auto s = pls::summarize({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.rel_stddev(), 0.0);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  EXPECT_THROW(pls::summarize({}), pls::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,35 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  pls::TextTable t({"n", "time"});
+  t.add_row({"1", "10.5"});
+  t.add_row({"1048576", "3.2"});
+  const std::string s = t.to_string();
+  // Every data line starts with '|' and the header contains both titles.
+  EXPECT_NE(s.find("| n "), std::string::npos);
+  EXPECT_NE(s.find("| 1048576 |"), std::string::npos);
+  // All lines have equal length (alignment invariant).
+  std::size_t expected = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  pls::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), pls::precondition_error);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(pls::TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(pls::TextTable::num(2.0, 3), "2.000");
+}
+
+}  // namespace

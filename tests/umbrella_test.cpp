@@ -1,0 +1,46 @@
+// Compile-and-smoke test of the umbrella header: one symbol from every
+// module, in one translation unit.
+#include "pls.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EveryModuleIsReachable) {
+  // support
+  EXPECT_TRUE(pls::is_power_of_two(64));
+  pls::Xoshiro256 rng(1);
+  EXPECT_LT(rng.next_double(), 1.0);
+
+  // forkjoin
+  pls::forkjoin::ForkJoinPool pool(2);
+  EXPECT_EQ(pool.run([] { return 7; }), 7);
+
+  // simmachine
+  pls::simmachine::TaskTrace trace;
+  trace.set_root(trace.add_leaf(10.0));
+  const auto sim = pls::simmachine::Simulator({}, 2).run(trace);
+  EXPECT_GT(sim.makespan_ns, 0.0);
+
+  // streams
+  const auto sum = pls::streams::Stream<int>::range(0, 10).sum();
+  EXPECT_EQ(sum, 45);
+
+  // powerlist
+  std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  pls::powerlist::ReduceFunction<double, std::plus<double>> f{
+      std::plus<double>{}};
+  EXPECT_DOUBLE_EQ(
+      pls::powerlist::execute_sequential(f, pls::powerlist::view_of(data)),
+      10.0);
+
+  // plist
+  const auto parts =
+      pls::plist::PListView<const double>::over(data).tie_n(2);
+  EXPECT_EQ(parts.size(), 2u);
+
+  // mpisim
+  pls::mpisim::World world(2);
+  world.run([](pls::mpisim::Comm& comm) {
+    const int v = pls::mpisim::broadcast(comm, comm.rank() == 0 ? 5 : 0, 0);
+    EXPECT_EQ(v, 5);
+  });
+}
