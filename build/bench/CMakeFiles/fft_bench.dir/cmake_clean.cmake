@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_bench.dir/fft_bench.cpp.o"
+  "CMakeFiles/fft_bench.dir/fft_bench.cpp.o.d"
+  "fft_bench"
+  "fft_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

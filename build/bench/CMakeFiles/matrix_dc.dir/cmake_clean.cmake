@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_dc.dir/matrix_dc.cpp.o"
+  "CMakeFiles/matrix_dc.dir/matrix_dc.cpp.o.d"
+  "matrix_dc"
+  "matrix_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_scaling.dir/mpisim_scaling.cpp.o"
+  "CMakeFiles/mpisim_scaling.dir/mpisim_scaling.cpp.o.d"
+  "mpisim_scaling"
+  "mpisim_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plist_multiway.dir/plist_multiway.cpp.o"
+  "CMakeFiles/plist_multiway.dir/plist_multiway.cpp.o.d"
+  "plist_multiway"
+  "plist_multiway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plist_multiway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_bench.dir/scan_bench.cpp.o"
+  "CMakeFiles/scan_bench.dir/scan_bench.cpp.o.d"
+  "scan_bench"
+  "scan_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

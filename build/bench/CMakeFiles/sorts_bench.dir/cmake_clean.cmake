@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorts_bench.dir/sorts_bench.cpp.o"
+  "CMakeFiles/sorts_bench.dir/sorts_bench.cpp.o.d"
+  "sorts_bench"
+  "sorts_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorts_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams_vs_skeleton.dir/streams_vs_skeleton.cpp.o"
+  "CMakeFiles/streams_vs_skeleton.dir/streams_vs_skeleton.cpp.o.d"
+  "streams_vs_skeleton"
+  "streams_vs_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams_vs_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

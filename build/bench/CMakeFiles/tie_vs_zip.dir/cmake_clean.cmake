@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tie_vs_zip.dir/tie_vs_zip.cpp.o"
+  "CMakeFiles/tie_vs_zip.dir/tie_vs_zip.cpp.o.d"
+  "tie_vs_zip"
+  "tie_vs_zip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tie_vs_zip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tupling.dir/tupling.cpp.o"
+  "CMakeFiles/tupling.dir/tupling.cpp.o.d"
+  "tupling"
+  "tupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

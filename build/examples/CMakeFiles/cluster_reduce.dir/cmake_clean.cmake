@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_reduce.dir/cluster_reduce.cpp.o"
+  "CMakeFiles/cluster_reduce.dir/cluster_reduce.cpp.o.d"
+  "cluster_reduce"
+  "cluster_reduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_signal.dir/fft_signal.cpp.o"
+  "CMakeFiles/fft_signal.dir/fft_signal.cpp.o.d"
+  "fft_signal"
+  "fft_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

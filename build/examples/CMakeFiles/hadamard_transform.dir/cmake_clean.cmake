@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadamard_transform.dir/hadamard_transform.cpp.o"
+  "CMakeFiles/hadamard_transform.dir/hadamard_transform.cpp.o.d"
+  "hadamard_transform"
+  "hadamard_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadamard_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

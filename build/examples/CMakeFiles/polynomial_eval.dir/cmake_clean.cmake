@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_eval.dir/polynomial_eval.cpp.o"
+  "CMakeFiles/polynomial_eval.dir/polynomial_eval.cpp.o.d"
+  "polynomial_eval"
+  "polynomial_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_stats.dir/word_stats.cpp.o"
+  "CMakeFiles/word_stats.dir/word_stats.cpp.o.d"
+  "word_stats"
+  "word_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

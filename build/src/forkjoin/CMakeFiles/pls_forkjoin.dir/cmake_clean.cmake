@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_forkjoin.dir/pool.cpp.o"
+  "CMakeFiles/pls_forkjoin.dir/pool.cpp.o.d"
+  "libpls_forkjoin.a"
+  "libpls_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

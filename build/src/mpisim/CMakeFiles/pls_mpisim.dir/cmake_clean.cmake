@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_mpisim.dir/communicator.cpp.o"
+  "CMakeFiles/pls_mpisim.dir/communicator.cpp.o.d"
+  "libpls_mpisim.a"
+  "libpls_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

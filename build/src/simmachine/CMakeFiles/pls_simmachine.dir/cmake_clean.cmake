@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pls_simmachine.dir/scheduler.cpp.o"
+  "CMakeFiles/pls_simmachine.dir/scheduler.cpp.o.d"
+  "libpls_simmachine.a"
+  "libpls_simmachine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pls_simmachine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

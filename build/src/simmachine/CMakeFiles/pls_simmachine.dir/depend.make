@@ -1,0 +1,2 @@
+# Empty dependencies file for pls_simmachine.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_shuffle_test.dir/powerlist/adder_shuffle_test.cpp.o"
+  "CMakeFiles/adder_shuffle_test.dir/powerlist/adder_shuffle_test.cpp.o.d"
+  "adder_shuffle_test"
+  "adder_shuffle_test.pdb"
+  "adder_shuffle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_shuffle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

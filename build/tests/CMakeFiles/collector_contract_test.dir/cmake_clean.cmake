@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_contract_test.dir/streams/collector_contract_test.cpp.o"
+  "CMakeFiles/collector_contract_test.dir/streams/collector_contract_test.cpp.o.d"
+  "collector_contract_test"
+  "collector_contract_test.pdb"
+  "collector_contract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

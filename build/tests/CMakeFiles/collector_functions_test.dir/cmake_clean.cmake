@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_functions_test.dir/powerlist/collector_functions_test.cpp.o"
+  "CMakeFiles/collector_functions_test.dir/powerlist/collector_functions_test.cpp.o.d"
+  "collector_functions_test"
+  "collector_functions_test.pdb"
+  "collector_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_ref_test.dir/support/function_ref_test.cpp.o"
+  "CMakeFiles/function_ref_test.dir/support/function_ref_test.cpp.o.d"
+  "function_ref_test"
+  "function_ref_test.pdb"
+  "function_ref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_ref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

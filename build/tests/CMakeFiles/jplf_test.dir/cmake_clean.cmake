@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jplf_test.dir/powerlist/jplf_test.cpp.o"
+  "CMakeFiles/jplf_test.dir/powerlist/jplf_test.cpp.o.d"
+  "jplf_test"
+  "jplf_test.pdb"
+  "jplf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jplf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karatsuba_test.dir/powerlist/karatsuba_test.cpp.o"
+  "CMakeFiles/karatsuba_test.dir/powerlist/karatsuba_test.cpp.o.d"
+  "karatsuba_test"
+  "karatsuba_test.pdb"
+  "karatsuba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karatsuba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

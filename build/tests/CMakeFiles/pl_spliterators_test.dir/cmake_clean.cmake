@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pl_spliterators_test.dir/powerlist/pl_spliterators_test.cpp.o"
+  "CMakeFiles/pl_spliterators_test.dir/powerlist/pl_spliterators_test.cpp.o.d"
+  "pl_spliterators_test"
+  "pl_spliterators_test.pdb"
+  "pl_spliterators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pl_spliterators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plist_test.dir/plist/plist_test.cpp.o"
+  "CMakeFiles/plist_test.dir/plist/plist_test.cpp.o.d"
+  "plist_test"
+  "plist_test.pdb"
+  "plist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power2_pipeline_test.dir/streams/power2_pipeline_test.cpp.o"
+  "CMakeFiles/power2_pipeline_test.dir/streams/power2_pipeline_test.cpp.o.d"
+  "power2_pipeline_test"
+  "power2_pipeline_test.pdb"
+  "power2_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power2_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_array_test.dir/powerlist/power_array_test.cpp.o"
+  "CMakeFiles/power_array_test.dir/powerlist/power_array_test.cpp.o.d"
+  "power_array_test"
+  "power_array_test.pdb"
+  "power_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

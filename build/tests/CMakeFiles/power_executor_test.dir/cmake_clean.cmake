@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_executor_test.dir/mpisim/power_executor_test.cpp.o"
+  "CMakeFiles/power_executor_test.dir/mpisim/power_executor_test.cpp.o.d"
+  "power_executor_test"
+  "power_executor_test.pdb"
+  "power_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

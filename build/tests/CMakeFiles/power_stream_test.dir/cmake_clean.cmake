@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_stream_test.dir/powerlist/power_stream_test.cpp.o"
+  "CMakeFiles/power_stream_test.dir/powerlist/power_stream_test.cpp.o.d"
+  "power_stream_test"
+  "power_stream_test.pdb"
+  "power_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spliterators_test.dir/streams/spliterators_test.cpp.o"
+  "CMakeFiles/spliterators_test.dir/streams/spliterators_test.cpp.o.d"
+  "spliterators_test"
+  "spliterators_test.pdb"
+  "spliterators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spliterators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_extras_test.dir/streams/stream_extras_test.cpp.o"
+  "CMakeFiles/stream_extras_test.dir/streams/stream_extras_test.cpp.o.d"
+  "stream_extras_test"
+  "stream_extras_test.pdb"
+  "stream_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

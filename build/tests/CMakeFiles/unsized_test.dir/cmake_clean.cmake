@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsized_test.dir/streams/unsized_test.cpp.o"
+  "CMakeFiles/unsized_test.dir/streams/unsized_test.cpp.o.d"
+  "unsized_test"
+  "unsized_test.pdb"
+  "unsized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

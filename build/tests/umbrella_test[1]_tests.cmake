@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EveryModuleIsReachable]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=Umbrella.EveryModuleIsReachable]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EveryModuleIsReachable]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS Umbrella.EveryModuleIsReachable)
