@@ -7,10 +7,16 @@
 //                       paper's maximum; lower it for quick runs)
 //   PLS_BENCH_CORES     simulated processor count (default 8, the paper's
 //                       machine)
+//   PLS_BENCH_JSON_DIR  directory for the per-run metric files
+//                       (BENCH_<name>.json, default: current directory)
 #pragma once
 
+#include <cfloat>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -56,6 +62,125 @@ SampleStats time_ms(Fn&& fn, int reps) {
 inline void keep(double v) {
   static volatile double sink = 0.0;
   sink = sink + v;
+}
+
+// ---------------------------------------------------------------------------
+// Per-run metric files.
+//
+// Every figure harness emits, next to its human-readable table, a machine-
+// readable BENCH_<name>.json: one object with a "rows" array whose entries
+// carry the table columns plus the observability metrics (per-worker steal
+// counts, split-tree shape, counter totals). The encoder below is the
+// minimal JSON subset the benches need — objects, arrays, numbers, strings.
+
+/// Scalar encoders.
+struct Json {
+  static std::string num(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+  }
+  static std::string num(std::uint64_t v) { return std::to_string(v); }
+  static std::string num(long v) { return std::to_string(v); }
+  static std::string num(unsigned v) { return std::to_string(v); }
+
+  static std::string str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  /// Array of already-encoded values.
+  static std::string arr(const std::vector<std::string>& encoded) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (i != 0) out += ',';
+      out += encoded[i];
+    }
+    out += ']';
+    return out;
+  }
+
+  template <typename T>
+  static std::string num_arr(const std::vector<T>& xs) {
+    std::vector<std::string> encoded;
+    encoded.reserve(xs.size());
+    for (const T& x : xs) encoded.push_back(num(x));
+    return arr(encoded);
+  }
+};
+
+/// Order-preserving JSON object builder.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v) {
+    return raw(key, Json::num(v));
+  }
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    return raw(key, Json::num(v));
+  }
+  JsonObject& field(const std::string& key, long v) {
+    return raw(key, Json::num(v));
+  }
+  JsonObject& field(const std::string& key, unsigned v) {
+    return raw(key, Json::num(v));
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return raw(key, Json::str(v));
+  }
+  JsonObject& field(const std::string& key, const char* v) {
+    return raw(key, Json::str(v));
+  }
+
+  /// Insert an already-encoded JSON value (array, nested object, ...).
+  JsonObject& raw(const std::string& key, std::string encoded) {
+    if (!body_.empty()) body_ += ',';
+    body_ += Json::str(key);
+    body_ += ':';
+    body_ += std::move(encoded);
+    return *this;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Destination for BENCH_<name>.json (honours PLS_BENCH_JSON_DIR).
+inline std::string bench_json_path(const std::string& bench_name) {
+  std::string dir = ".";
+  if (const char* v = std::getenv("PLS_BENCH_JSON_DIR")) dir = v;
+  return dir + "/BENCH_" + bench_name + ".json";
+}
+
+/// Write `json` to `path`; reports (but does not throw) on failure so a
+/// read-only working directory never kills a bench run.
+inline void write_json_file(const std::string& path,
+                            const std::string& json) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json << '\n';
 }
 
 }  // namespace pls::bench

@@ -23,12 +23,19 @@
 // all sizes, with a dropout at 2^24 the authors attribute to a JVM
 // sequential-optimisation artifact (a managed-runtime effect we do not
 // model; see EXPERIMENTS.md).
+// Besides the table, the run emits BENCH_fig3.json (per-size rows with
+// counter totals, per-worker steal counts and the split-tree shape) and,
+// for the smallest size, a chrome://tracing timeline (fig3_trace.json)
+// containing both the real parallel run (pid 0) and the simulated
+// schedule (pid 1). Set PLS_BENCH_JSON_DIR to redirect both files.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
 #include "powerlist/collector_functions.hpp"
 #include "simmachine/costmodel.hpp"
 #include "simmachine/scheduler.hpp"
@@ -84,7 +91,10 @@ int main() {
   pls::forkjoin::ForkJoinPool one_worker(1);
   pls::TextTable table({"log2(n)", "n", "seq_ms", "par1_ms", "sim_meas_ms",
                         "speedup_meas", "speedup_unif", "par_wall_ms",
-                        "speedup_wall"});
+                        "speedup_wall", "steals", "steal_fails"});
+
+  std::vector<std::string> json_rows;
+  bool trace_written = false;
 
   for (unsigned lg = 20; lg <= max_log2; ++lg) {
     const std::size_t n = std::size_t{1} << lg;
@@ -101,8 +111,12 @@ int main() {
         reps);
 
     // Parallel, wall clock, P OS threads (honest number for this host).
+    // The pool's counter delta over these runs gives the steal rate and
+    // decomposition shape for the JSON report.
     pls::streams::ExecutionConfig cfg;
     cfg.pool = &pool;
+    const auto counters_before = pool.counter_totals();
+    const auto workers_before = pool.per_worker_counters();
     const auto par_wall = pls::bench::time_ms(
         [&] {
           pls::bench::keep(
@@ -110,6 +124,14 @@ int main() {
                                                          cfg));
         },
         reps);
+    const auto counters = pool.counter_totals() - counters_before;
+    const auto workers_after = pool.per_worker_counters();
+    std::vector<std::uint64_t> worker_steals;
+    for (std::size_t w = 0; w < workers_after.size(); ++w) {
+      const std::uint64_t prior =
+          w < workers_before.size() ? workers_before[w].steals : 0;
+      worker_steals.push_back(workers_after[w].steals - prior);
+    }
 
     // The parallel code path on ONE worker: same splitting, same leaf
     // machinery, no physical parallelism — wall-clockable on this host
@@ -138,6 +160,30 @@ int main() {
                   cores)
             .run(trace);
 
+    // For the smallest size, capture one real parallel run and one
+    // simulated schedule into a shared chrome://tracing timeline: the
+    // real run appears as pid 0, the simulated machine as pid 1.
+    if (!trace_written && pls::observe::kEnabled) {
+      auto& recorder = pls::observe::TraceRecorder::global();
+      recorder.clear();
+      recorder.enable();
+      pls::bench::keep(
+          pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
+      (void)Simulator(CostModel::calibrated(par1.mean * 1e6,
+                                            2.0 * static_cast<double>(n)),
+                      cores)
+          .run(trace);
+      recorder.disable();
+      std::string dir = ".";
+      if (const char* v = std::getenv("PLS_BENCH_JSON_DIR")) dir = v;
+      const std::string trace_path = dir + "/fig3_trace.json";
+      pls::bench::write_json_file(trace_path, recorder.chrome_json());
+      recorder.clear();
+      std::printf("chrome trace (2^%u, real pid 0 + simulated pid 1): %s\n\n",
+                  lg, trace_path.c_str());
+      trace_written = true;
+    }
+
     table.add_row({std::to_string(lg), std::to_string(n),
                    pls::TextTable::num(seq.mean),
                    pls::TextTable::num(par1.mean),
@@ -147,10 +193,61 @@ int main() {
                    pls::TextTable::num(
                        seq.mean / (sim_unif.makespan_ns / 1e6), 2),
                    pls::TextTable::num(par_wall.mean),
-                   pls::TextTable::num(seq.mean / par_wall.mean, 2)});
+                   pls::TextTable::num(seq.mean / par_wall.mean, 2),
+                   std::to_string(counters.steals),
+                   std::to_string(counters.steal_failures)});
+
+    // Machine-readable row: timing columns, counter totals, per-worker
+    // steal counts, and the split-tree shape of the parallel run.
+    const std::size_t target = std::max<std::size_t>(1, n / (4ull * cores));
+    unsigned levels = 0;
+    std::size_t leaf = n;
+    while (leaf > target && leaf % 2 == 0) {
+      leaf /= 2;
+      ++levels;
+    }
+    pls::bench::JsonObject row;
+    row.field("log2_n", lg)
+        .field("n", n)
+        .field("seq_ms", seq.mean)
+        .field("par1_ms", par1.mean)
+        .field("sim_meas_ms", sim_meas.makespan_ns / 1e6)
+        .field("speedup_meas", seq.mean / (sim_meas.makespan_ns / 1e6))
+        .field("speedup_unif", seq.mean / (sim_unif.makespan_ns / 1e6))
+        .field("par_wall_ms", par_wall.mean)
+        .field("speedup_wall", seq.mean / par_wall.mean)
+        .field("tasks_executed", counters.tasks_executed)
+        .field("steals", counters.steals)
+        .field("steal_failures", counters.steal_failures)
+        .field("steal_rate",
+               counters.tasks_executed == 0
+                   ? 0.0
+                   : static_cast<double>(counters.steals) /
+                         static_cast<double>(counters.tasks_executed))
+        .raw("per_worker_steals", pls::bench::Json::num_arr(worker_steals))
+        .field("splits", counters.splits)
+        .field("combines", counters.combines)
+        .field("max_split_depth", counters.max_split_depth)
+        .field("leaf_chunks", counters.leaf_chunks)
+        .field("elements_accumulated", counters.elements_accumulated)
+        .field("split_levels", levels)
+        .field("split_leaves", std::size_t{1} << levels)
+        .field("split_leaf_size", leaf)
+        .field("sim_steals", sim_meas.steals);
+    json_rows.push_back(row.str());
   }
 
   table.print();
+
+  pls::bench::JsonObject doc;
+  doc.field("bench", "fig3")
+      .field("cores", cores)
+      .field("repetitions", static_cast<unsigned>(reps))
+      .field("observe", pls::observe::kEnabled ? 1u : 0u)
+      .raw("rows", pls::bench::Json::arr(json_rows));
+  const std::string json_path = pls::bench::bench_json_path("fig3");
+  pls::bench::write_json_file(json_path, doc.str());
+  std::printf("\nper-run metrics: %s\n", json_path.c_str());
   std::printf(
       "\npaper reference (Fig 3, 8 cores): speedups ~5.5-7.9 across\n"
       "2^20..2^26 with a dip at 2^24 caused by a JVM sequential-side\n"

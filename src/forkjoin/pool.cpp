@@ -49,12 +49,24 @@ ForkJoinPool& ForkJoinPool::common() {
 
 void ForkJoinPool::worker_loop(unsigned index) {
   Worker& self = *workers_[index];
+  // Claim the observability block before publishing the worker via TLS, so
+  // every counting site below (and in invoke_two/join) sees it non-null.
+  self.counters = &observe::local_counters();
+  observe::CounterRegistry::global().set_local_label(
+      "fj-worker-" + std::to_string(index));
   tls_worker_ = &self;
   tls_pool_ = this;
   while (true) {
     RawTask* task = find_task(self);
     if (task != nullptr) {
-      task->execute();
+      // Counted at dispatch: execute() publishes completion (promise /
+      // done flag), so counting afterwards would let a waiter observe the
+      // result before the counter moved.
+      self.counters->on_task_executed();
+      {
+        observe::Span task_span(observe::EventKind::kTask);
+        task->execute();
+      }
       continue;
     }
     if (shutdown_.load(std::memory_order_acquire)) break;
@@ -71,7 +83,11 @@ void ForkJoinPool::worker_loop(unsigned index) {
     RawTask* late = find_task(self);
     if (late != nullptr) {
       sleepers_.fetch_sub(1, std::memory_order_seq_cst);
-      late->execute();
+      self.counters->on_task_executed();
+      {
+        observe::Span task_span(observe::EventKind::kTask);
+        late->execute();
+      }
       continue;
     }
     {
@@ -104,9 +120,16 @@ RawTask* ForkJoinPool::try_steal(Worker& self) {
     if (victim == self.index) continue;
     if (RawTask* stolen = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      self.counters->on_steal(true);
+      observe::instant(observe::EventKind::kSteal, victim);
       return stolen;
     }
   }
+  // One failed attempt = one full sweep over all victims. Hot while a
+  // worker is starved, so both the pool tally and the per-worker block use
+  // relaxed, thread-local increments.
+  steal_failures_.fetch_add(1, std::memory_order_relaxed);
+  self.counters->on_steal(false);
   return nullptr;
 }
 

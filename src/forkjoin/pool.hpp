@@ -29,6 +29,8 @@
 
 #include "forkjoin/deque.hpp"
 #include "forkjoin/task.hpp"
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -96,6 +98,8 @@ class ForkJoinPool {
     using RightFn = std::remove_reference_t<FR>;
     ChildTask<RightFn> child(right);
     self->deque.push(&child);
+    self->counters->on_fork();
+    observe::instant(observe::EventKind::kFork);
     wake_one_if_sleeping();
     // The child lives on this frame: even if `left` throws we must join it
     // before unwinding, or a thief could execute a destroyed task.
@@ -105,7 +109,10 @@ class ForkJoinPool {
     } catch (...) {
       left_error = std::current_exception();
     }
-    join(*self, child);
+    {
+      observe::Span join_span(observe::EventKind::kJoin);
+      join(*self, child);
+    }
     if (left_error) std::rethrow_exception(left_error);
     child.rethrow_if_failed();
   }
@@ -115,6 +122,34 @@ class ForkJoinPool {
     return steals_.load(std::memory_order_relaxed);
   }
 
+  /// Full steal sweeps that found no task (failed attempts). Together with
+  /// steal_count() this separates productive migrations from idle probing —
+  /// the distinction the single pre-observe counter conflated.
+  std::uint64_t steal_failure_count() const noexcept {
+    return steal_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregated observability counters over this pool's workers (zeros
+  /// when PLS_OBSERVE=0; see src/observe/counters.hpp).
+  observe::CounterTotals counter_totals() const {
+    observe::CounterTotals t;
+    for (const auto& w : workers_) {
+      if (w->counters != nullptr) t += w->counters->snapshot();
+    }
+    return t;
+  }
+
+  /// Per-worker counter snapshots, indexed by worker ordinal.
+  std::vector<observe::CounterTotals> per_worker_counters() const {
+    std::vector<observe::CounterTotals> out;
+    out.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      out.push_back(w->counters != nullptr ? w->counters->snapshot()
+                                           : observe::CounterTotals{});
+    }
+    return out;
+  }
+
  private:
   struct Worker {
     explicit Worker(unsigned index_, std::uint64_t seed)
@@ -122,6 +157,9 @@ class ForkJoinPool {
     unsigned index;
     WorkStealingDeque deque;
     Xoshiro256 rng;
+    /// This worker's observability block (set at thread start, before any
+    /// task can run on the worker; stable for the pool's lifetime).
+    observe::CounterBlock* counters = nullptr;
   };
 
   void worker_loop(unsigned index);
@@ -143,12 +181,16 @@ class ForkJoinPool {
     if (!target.is_done()) {
       RawTask* popped = self.deque.pop();
       if (popped == &target) {
+        // Counted before execute(): completion is published inside
+        // execute(), and waiters must not see it before the counter moved.
+        self.counters->on_task_executed();
         popped->execute();
         return;
       }
       if (popped != nullptr) {
         // Defensive: structured fork-join keeps the deque balanced, but if
         // user code escaped the discipline, still make progress.
+        self.counters->on_task_executed();
         popped->execute();
       }
     }
@@ -157,6 +199,8 @@ class ForkJoinPool {
     while (!target.is_done()) {
       RawTask* t = find_task(self);
       if (t != nullptr) {
+        self.counters->on_task_executed();
+        observe::Span task_span(observe::EventKind::kTask);
         t->execute();
         idle_spins = 0;
       } else if (++idle_spins > 64) {
@@ -177,6 +221,7 @@ class ForkJoinPool {
   std::atomic<int> sleepers_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_failures_{0};
 
   static thread_local Worker* tls_worker_;
   static thread_local ForkJoinPool* tls_pool_;

@@ -1,0 +1,281 @@
+// Cache-line-padded per-worker execution counters.
+//
+// Every thread that participates in an execution (fork-join workers,
+// external submitters, the thread driving a sequential leaf) owns one
+// CounterBlock, obtained via local_counters(). Blocks are single-writer
+// (the owning thread) and many-reader (aggregation), so all updates are
+// relaxed atomic RMWs on a line nobody else writes — the increment costs
+// one uncontended `lock add` and never bounces a cache line between
+// workers. Aggregation walks the registry and sums snapshots on demand.
+//
+// What is counted (see docs/observability.md for the full schema):
+//   tasks_executed        fork-join tasks run by this worker (incl. helping)
+//   steals                successful task migrations *into* this worker
+//   steal_failures        full victim sweeps that found nothing (idle probes)
+//   forks                 invoke_two child pushes by this worker
+//   splits                spliterator / PowerList splits performed
+//   max_split_depth       deepest split level this worker descended to
+//   elements_accumulated  elements consumed by leaf accumulation chunks
+//   leaf_chunks           leaf accumulation chunks processed
+//   combines              combiner invocations (ascending phase)
+//
+// With PLS_OBSERVE=0 every type collapses to an empty shell and every
+// member function to a no-op; call sites compile to nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "observe/config.hpp"
+#include "support/align.hpp"
+
+namespace pls::observe {
+
+/// Plain aggregated totals — always a real struct, in both build modes, so
+/// reporting code (benches, ExecutionReport, the pls:: facade) never needs
+/// to be conditional.
+struct CounterTotals {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_failures = 0;
+  std::uint64_t forks = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t max_split_depth = 0;
+  std::uint64_t elements_accumulated = 0;
+  std::uint64_t leaf_chunks = 0;
+  std::uint64_t combines = 0;
+
+  CounterTotals& operator+=(const CounterTotals& o) {
+    tasks_executed += o.tasks_executed;
+    steals += o.steals;
+    steal_failures += o.steal_failures;
+    forks += o.forks;
+    splits += o.splits;
+    max_split_depth = max_split_depth > o.max_split_depth
+                          ? max_split_depth
+                          : o.max_split_depth;
+    elements_accumulated += o.elements_accumulated;
+    leaf_chunks += o.leaf_chunks;
+    combines += o.combines;
+    return *this;
+  }
+
+  /// Delta of two snapshots taken from the same (monotonic) source.
+  /// max_split_depth is not a counter; the later snapshot's value is kept.
+  friend CounterTotals operator-(CounterTotals a, const CounterTotals& b) {
+    a.tasks_executed -= b.tasks_executed;
+    a.steals -= b.steals;
+    a.steal_failures -= b.steal_failures;
+    a.forks -= b.forks;
+    a.splits -= b.splits;
+    a.elements_accumulated -= b.elements_accumulated;
+    a.leaf_chunks -= b.leaf_chunks;
+    a.combines -= b.combines;
+    return a;
+  }
+};
+
+/// One worker's labelled totals, as returned by CounterRegistry::per_worker.
+struct WorkerCounters {
+  std::string label;
+  CounterTotals totals;
+};
+
+#if PLS_OBSERVE
+
+/// One thread's counters: exactly one cache line, never shared for writing.
+struct alignas(kCacheLineSize) CounterBlock {
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> steal_failures{0};
+  std::atomic<std::uint64_t> forks{0};
+  std::atomic<std::uint64_t> splits{0};
+  std::atomic<std::uint64_t> max_split_depth{0};
+  std::atomic<std::uint64_t> elements_accumulated{0};
+  std::atomic<std::uint64_t> leaf_chunks{0};
+  std::atomic<std::uint64_t> combines{0};
+
+  void on_task_executed() noexcept { bump(tasks_executed); }
+  void on_steal(bool success) noexcept {
+    bump(success ? steals : steal_failures);
+  }
+  void on_fork() noexcept { bump(forks); }
+  void on_split(std::uint64_t depth) noexcept {
+    bump(splits);
+    raise_to(max_split_depth, depth);
+  }
+  void on_leaf(std::uint64_t elements) noexcept {
+    bump(leaf_chunks);
+    elements_accumulated.fetch_add(elements, std::memory_order_relaxed);
+  }
+  void on_combine() noexcept { bump(combines); }
+
+  CounterTotals snapshot() const noexcept {
+    CounterTotals t;
+    t.tasks_executed = tasks_executed.load(std::memory_order_relaxed);
+    t.steals = steals.load(std::memory_order_relaxed);
+    t.steal_failures = steal_failures.load(std::memory_order_relaxed);
+    t.forks = forks.load(std::memory_order_relaxed);
+    t.splits = splits.load(std::memory_order_relaxed);
+    t.max_split_depth = max_split_depth.load(std::memory_order_relaxed);
+    t.elements_accumulated =
+        elements_accumulated.load(std::memory_order_relaxed);
+    t.leaf_chunks = leaf_chunks.load(std::memory_order_relaxed);
+    t.combines = combines.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  void reset() noexcept {
+    tasks_executed.store(0, std::memory_order_relaxed);
+    steals.store(0, std::memory_order_relaxed);
+    steal_failures.store(0, std::memory_order_relaxed);
+    forks.store(0, std::memory_order_relaxed);
+    splits.store(0, std::memory_order_relaxed);
+    max_split_depth.store(0, std::memory_order_relaxed);
+    elements_accumulated.store(0, std::memory_order_relaxed);
+    leaf_chunks.store(0, std::memory_order_relaxed);
+    combines.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void raise_to(std::atomic<std::uint64_t>& c,
+                       std::uint64_t v) noexcept {
+    std::uint64_t cur = c.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !c.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Process-wide registry of per-thread counter blocks. Threads claim a
+/// slot on first use and keep it for their lifetime; slots are never
+/// recycled, so totals survive worker shutdown (a pool can be aggregated
+/// after join). If more than kMaxSlots threads ever register, the
+/// overflow threads share slot 0 — still correct (the block is atomic),
+/// merely coarser attribution.
+class CounterRegistry {
+ public:
+  static constexpr std::size_t kMaxSlots = 1024;
+
+  static CounterRegistry& global() {
+    static CounterRegistry r;
+    return r;
+  }
+
+  /// The calling thread's block (claims a slot on first call).
+  CounterBlock& local() {
+    if (tls_block_ == nullptr) tls_block_ = &claim_slot();
+    return *tls_block_;
+  }
+
+  /// Attach a human-readable label ("fj-worker-3", ...) to the calling
+  /// thread's slot. Off the hot path; guarded by a mutex.
+  void set_local_label(std::string label) {
+    CounterBlock& block = local();
+    const std::size_t slot =
+        static_cast<std::size_t>(&block - slots_);
+    std::lock_guard<std::mutex> lock(label_mutex_);
+    labels_[slot] = std::move(label);
+  }
+
+  /// Sum of every registered block.
+  CounterTotals aggregate() const {
+    CounterTotals t;
+    const std::size_t n = used_slots();
+    for (std::size_t i = 0; i < n; ++i) t += slots_[i].snapshot();
+    return t;
+  }
+
+  /// Per-slot snapshots with labels, skipping blocks that never counted
+  /// anything (threads register lazily, so idle slots do not appear).
+  std::vector<WorkerCounters> per_worker() const {
+    std::vector<WorkerCounters> out;
+    const std::size_t n = used_slots();
+    std::lock_guard<std::mutex> lock(label_mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      WorkerCounters w{labels_[i], slots_[i].snapshot()};
+      if (w.label.empty()) w.label = "thread-" + std::to_string(i);
+      out.push_back(std::move(w));
+    }
+    return out;
+  }
+
+  /// Zero every block. Only meaningful while the system is quiescent;
+  /// prefer snapshot deltas (operator-) for scoped measurements.
+  void reset() {
+    const std::size_t n = used_slots();
+    for (std::size_t i = 0; i < n; ++i) slots_[i].reset();
+  }
+
+ private:
+  CounterRegistry() = default;
+
+  std::size_t used_slots() const noexcept {
+    const std::size_t n = next_slot_.load(std::memory_order_acquire);
+    return n < kMaxSlots ? n : kMaxSlots;
+  }
+
+  CounterBlock& claim_slot() {
+    const std::size_t i = next_slot_.fetch_add(1, std::memory_order_acq_rel);
+    return i < kMaxSlots ? slots_[i] : slots_[0];
+  }
+
+  CounterBlock slots_[kMaxSlots];
+  std::atomic<std::size_t> next_slot_{0};
+  mutable std::mutex label_mutex_;
+  std::string labels_[kMaxSlots];
+
+  static thread_local CounterBlock* tls_block_;
+};
+
+inline thread_local CounterBlock* CounterRegistry::tls_block_ = nullptr;
+
+#else  // !PLS_OBSERVE — the whole layer is a no-op shell.
+
+struct CounterBlock {
+  void on_task_executed() noexcept {}
+  void on_steal(bool) noexcept {}
+  void on_fork() noexcept {}
+  void on_split(std::uint64_t) noexcept {}
+  void on_leaf(std::uint64_t) noexcept {}
+  void on_combine() noexcept {}
+  CounterTotals snapshot() const noexcept { return {}; }
+  void reset() noexcept {}
+};
+
+class CounterRegistry {
+ public:
+  static constexpr std::size_t kMaxSlots = 0;
+  static CounterRegistry& global() {
+    static CounterRegistry r;
+    return r;
+  }
+  CounterBlock& local() noexcept { return block_; }
+  void set_local_label(std::string) {}
+  CounterTotals aggregate() const { return {}; }
+  std::vector<WorkerCounters> per_worker() const { return {}; }
+  void reset() {}
+
+ private:
+  CounterBlock block_;
+};
+
+#endif  // PLS_OBSERVE
+
+/// The calling thread's counter block.
+inline CounterBlock& local_counters() {
+  return CounterRegistry::global().local();
+}
+
+/// Snapshot of the process-wide totals (zero when compiled out).
+inline CounterTotals aggregate_counters() {
+  return CounterRegistry::global().aggregate();
+}
+
+}  // namespace pls::observe

@@ -1,11 +1,14 @@
 // plstream — PowerList computation inside a Streams API.
 //
-// Umbrella header: pulls in the whole public API. Fine-grained headers
-// remain available for build-time-conscious users; this is the one-stop
-// include for applications and examples.
+// Umbrella header: pulls in the whole public API and defines the pls::
+// facade (pls::config / pls::session / pls::run) — the single documented
+// entry point that hands out pools, executors and observability from one
+// configuration instead of having callers construct them ad hoc.
+// Fine-grained headers remain available for build-time-conscious users.
 //
 // Module map (see DESIGN.md for the full inventory):
 //   support/    bits, RNG, stopwatch, stats, function_ref, tables
+//   observe/    per-worker counters + span tracing (PLS_OBSERVE switch)
 //   forkjoin/   work-stealing ForkJoinPool, parallel_for/reduce/invoke
 //   simmachine/ task-trace recorder + virtual-multicore scheduler
 //   streams/    Spliterator, Stream, Collector, collectors, unsized
@@ -67,3 +70,132 @@
 #include "mpisim/collectives.hpp"
 #include "mpisim/communicator.hpp"
 #include "mpisim/power_executor.hpp"
+
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace pls {
+
+/// One configuration object for a whole computation: how parallel, how
+/// fine-grained, and whether to measure. The facade below derives pools,
+/// executors and observability from it — the pre-facade spellings (raw
+/// ForkJoinPool, ExecutionConfig, executor free functions) stay available
+/// underneath.
+struct config {
+  /// Worker threads; 0 selects the process-wide common pool sized by
+  /// ForkJoinPool::default_parallelism() (PLS_PARALLELISM env override).
+  unsigned parallelism = 0;
+  /// Decomposition grain: leaf size for skeleton executors, minimum chunk
+  /// for stream terminal operations. 0 selects each layer's default
+  /// (Java-style n/(4P) for streams, 1 for skeletons).
+  std::size_t grain = 0;
+  /// Enable span tracing for the session and report counter deltas.
+  /// Counters are always collected when compiled in (PLS_OBSERVE=1);
+  /// this additionally turns the trace recorder on for the session.
+  bool observe = false;
+};
+
+/// A configured execution scope: owns (or borrows) the pool, carries the
+/// grain, and scopes observability. Create one directly or through
+/// pls::run(). Sessions are cheap when parallelism==0 (they borrow the
+/// common pool).
+class session {
+ public:
+  explicit session(const config& cfg) : cfg_(cfg) {
+    if (cfg_.parallelism != 0) owned_pool_.emplace(cfg_.parallelism);
+    counters_at_start_ = pool().counter_totals();
+    if (cfg_.observe) {
+      tracing_ = !observe::TraceRecorder::global().enabled();
+      if (tracing_) observe::TraceRecorder::global().enable();
+    }
+  }
+
+  /// Disables tracing again if this session turned it on.
+  ~session() {
+    if (tracing_) observe::TraceRecorder::global().disable();
+  }
+
+  session(const session&) = delete;
+  session& operator=(const session&) = delete;
+
+  const config& options() const noexcept { return cfg_; }
+
+  /// The pool this session executes on.
+  forkjoin::ForkJoinPool& pool() {
+    return owned_pool_ ? *owned_pool_ : forkjoin::ForkJoinPool::common();
+  }
+
+  /// Stream execution config bound to this session's pool and grain; pass
+  /// to any streams terminal operation (or Stream::collect overloads).
+  streams::ExecutionConfig stream_config() {
+    streams::ExecutionConfig ec;
+    ec.pool = &pool();
+    ec.min_chunk = cfg_.grain;
+    return ec;
+  }
+
+  /// The skeleton leaf size for this session (config grain, or `fallback`
+  /// when the grain is auto).
+  std::size_t grain_or(std::size_t fallback) const noexcept {
+    return cfg_.grain != 0 ? cfg_.grain : fallback;
+  }
+
+  /// Run a PowerFunction on the session pool; equivalent to
+  /// execute_forkjoin(pool(), f, input, ctx, grain).
+  template <typename TV, typename R, typename Ctx>
+  R execute(const powerlist::PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+            powerlist::PowerListView<TV> input, Ctx ctx = Ctx{}) {
+    return powerlist::execute_forkjoin(pool(), f, input, ctx, grain_or(1));
+  }
+
+  /// Same, returning the unified ExecutionReport (shape + counter delta).
+  template <typename TV, typename R, typename Ctx>
+  powerlist::ExecutionReport<R> execute_reported(
+      const powerlist::PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+      powerlist::PowerListView<TV> input, Ctx ctx = Ctx{}) {
+    return powerlist::execute_forkjoin_reported(pool(), f, input, ctx,
+                                                grain_or(1));
+  }
+
+  /// Counter delta accumulated by this session's pool since the session
+  /// started (zeros when PLS_OBSERVE=0).
+  observe::CounterTotals counters() {
+    return pool().counter_totals() - counters_at_start_;
+  }
+
+  /// Chrome-trace JSON of everything recorded while the session traced;
+  /// meaningful when config.observe was set.
+  std::string trace_json() const {
+    return observe::TraceRecorder::global().chrome_json();
+  }
+
+ private:
+  config cfg_;
+  std::optional<forkjoin::ForkJoinPool> owned_pool_;
+  observe::CounterTotals counters_at_start_{};
+  bool tracing_ = false;
+};
+
+/// The single entry point: configure, run, return the callable's result.
+/// The callable either takes the session (to reach the pool, stream
+/// config, executors and metrics) or takes no arguments, in which case it
+/// simply runs on the session's pool:
+///
+///   auto sum = pls::run({.parallelism = 8}, [&](pls::session& s) {
+///     return pls::streams::evaluate_reduce(sp, op, true, s.stream_config());
+///   });
+template <typename Fn>
+auto run(const config& cfg, Fn&& fn) {
+  session s(cfg);
+  if constexpr (std::is_invocable_v<Fn&, session&>) {
+    return fn(s);
+  } else {
+    return s.pool().run(std::forward<Fn>(fn));
+  }
+}
+
+}  // namespace pls

@@ -21,6 +21,8 @@
 #include <utility>
 
 #include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
 #include "powerlist/function.hpp"
 #include "powerlist/view.hpp"
 #include "simmachine/scheduler.hpp"
@@ -46,21 +48,28 @@ R run_sequential(const PowerFunction<T, R, Ctx>& f,
 template <typename T, typename R, typename Ctx>
 R run_forkjoin(forkjoin::ForkJoinPool& pool, const PowerFunction<T, R, Ctx>& f,
                PowerListView<const T> input, const Ctx& ctx,
-               std::size_t leaf_size) {
-  if (input.length() <= leaf_size) return f.basic_case(input, ctx);
+               std::size_t leaf_size, unsigned depth = 0) {
+  if (input.length() <= leaf_size) {
+    observe::Span span(observe::EventKind::kAccumulate, input.length());
+    observe::local_counters().on_leaf(input.length());
+    return f.basic_case(input, ctx);
+  }
   const auto [left_view, right_view] = input.split(f.decomposition());
   auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  observe::local_counters().on_split(depth);
   std::optional<R> left;
   std::optional<R> right;
   pool.invoke_two(
       [&] {
         left.emplace(
-            run_forkjoin(pool, f, left_view, left_ctx, leaf_size));
+            run_forkjoin(pool, f, left_view, left_ctx, leaf_size, depth + 1));
       },
       [&] {
-        right.emplace(
-            run_forkjoin(pool, f, right_view, right_ctx, leaf_size));
+        right.emplace(run_forkjoin(pool, f, right_view, right_ctx, leaf_size,
+                                   depth + 1));
       });
+  observe::Span span(observe::EventKind::kCombine, depth);
+  observe::local_counters().on_combine();
   return f.combine(std::move(*left), std::move(*right), ctx, input.length());
 }
 
@@ -115,16 +124,8 @@ R execute_forkjoin(forkjoin::ForkJoinPool& pool,
       [&] { return detail::run_forkjoin(pool, f, view, ctx, leaf_size); });
 }
 
-/// Result of a simulated execution: the (real) function value plus the
-/// simulated schedule of its task tree.
-template <typename R>
-struct SimulatedExecution {
-  R result;
-  simmachine::SimResult sim;
-};
-
-/// Structural statistics of one execution (gathered by
-/// execute_instrumented): how the skeleton actually decomposed the input.
+/// Structural statistics of one execution: how the skeleton actually
+/// decomposed the input.
 struct ExecutionStats {
   std::size_t basic_cases = 0;   ///< leaf-phase invocations
   std::size_t combines = 0;      ///< ascending-phase invocations
@@ -134,14 +135,55 @@ struct ExecutionStats {
   std::size_t max_leaf_length = 0;
 };
 
-/// Instrumented execution result.
+/// Unified result of any reporting executor — the single type the
+/// instrumented, simulated, and fork-join-reported paths all return
+/// (previously three ad-hoc structs: InstrumentedExecution,
+/// SimulatedExecution, and bare ExecutionStats). Fields not produced by a
+/// given path stay default-initialised:
+///   execute_instrumented       fills result + stats;
+///   execute_simulated          fills result + stats + sim (simulated=true);
+///   execute_forkjoin_reported  fills result + stats + counters.
 template <typename R>
-struct InstrumentedExecution {
+struct ExecutionReport {
   R result;
-  ExecutionStats stats;
+  ExecutionStats stats{};
+  simmachine::SimResult sim{};        ///< meaningful when `simulated`
+  bool simulated = false;
+  observe::CounterTotals counters{};  ///< pool-worker delta for the run
 };
 
+/// Deprecated pre-unification spellings, kept as thin aliases.
+template <typename R>
+using SimulatedExecution [[deprecated("use ExecutionReport")]] =
+    ExecutionReport<R>;
+template <typename R>
+using InstrumentedExecution [[deprecated("use ExecutionReport")]] =
+    ExecutionReport<R>;
+
 namespace detail {
+
+/// Closed-form decomposition shape of a power-of-two recursion: both
+/// decomposition operators halve, so the tree is uniform and fully
+/// determined by (length, leaf_size) — no need to instrument the parallel
+/// recursion to know how it unfolded.
+inline ExecutionStats uniform_shape(std::size_t length,
+                                    std::size_t leaf_size) {
+  ExecutionStats s;
+  unsigned depth = 0;
+  std::size_t len = length;
+  while (len > leaf_size && len % 2 == 0) {
+    len /= 2;
+    ++depth;
+  }
+  const std::size_t leaves = std::size_t{1} << depth;
+  s.basic_cases = leaves;
+  s.descends = leaves - 1;
+  s.combines = leaves - 1;
+  s.max_depth = depth;
+  s.min_leaf_length = len;
+  s.max_leaf_length = len;
+  return s;
+}
 
 template <typename T, typename R, typename Ctx>
 R run_instrumented(const PowerFunction<T, R, Ctx>& f,
@@ -176,7 +218,7 @@ R run_instrumented(const PowerFunction<T, R, Ctx>& f,
 /// don't have control over the level at which parallel decomposition
 /// stops" (here we do, and the stats prove where it stopped).
 template <typename TV, typename R, typename Ctx>
-InstrumentedExecution<R> execute_instrumented(
+ExecutionReport<R> execute_instrumented(
     const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
     PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
   detail::checked_leaf_size(leaf_size);
@@ -184,13 +226,16 @@ InstrumentedExecution<R> execute_instrumented(
   R result = detail::run_instrumented(
       f, PowerListView<const std::remove_const_t<TV>>(input), ctx,
       leaf_size, 0, stats);
-  return InstrumentedExecution<R>{std::move(result), stats};
+  ExecutionReport<R> report{std::move(result)};
+  report.stats = stats;
+  return report;
 }
 
 /// Execute sequentially while recording the task tree, then schedule it on
-/// the simulator's virtual processors.
+/// the simulator's virtual processors. The report carries both the
+/// decomposition shape and the simulated schedule.
 template <typename TV, typename R, typename Ctx>
-SimulatedExecution<R> execute_simulated(
+ExecutionReport<R> execute_simulated(
     const simmachine::Simulator& sim,
     const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
     PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
@@ -201,7 +246,30 @@ SimulatedExecution<R> execute_simulated(
       f, PowerListView<const std::remove_const_t<TV>>(input), ctx, leaf_size,
       trace, root);
   trace.set_root(root);
-  return SimulatedExecution<R>{std::move(result), sim.run(trace)};
+  ExecutionReport<R> report{std::move(result)};
+  report.stats = detail::uniform_shape(input.length(), leaf_size);
+  report.sim = sim.run(trace);
+  report.simulated = true;
+  return report;
+}
+
+/// Parallel execution on a fork-join pool that additionally reports the
+/// decomposition shape (closed form — the halving recursion is uniform)
+/// and the pool's observability-counter delta for the run (zeros when
+/// PLS_OBSERVE=0). The delta is pool-wide: concurrent unrelated work on
+/// the same pool is attributed to this report.
+template <typename TV, typename R, typename Ctx>
+ExecutionReport<R> execute_forkjoin_reported(
+    forkjoin::ForkJoinPool& pool,
+    const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+    PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  const observe::CounterTotals before = pool.counter_totals();
+  R result = execute_forkjoin(pool, f, input, ctx, leaf_size);
+  ExecutionReport<R> report{std::move(result)};
+  report.stats = detail::uniform_shape(input.length(), leaf_size);
+  report.counters = pool.counter_totals() - before;
+  return report;
 }
 
 }  // namespace pls::powerlist

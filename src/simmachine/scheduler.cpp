@@ -4,6 +4,8 @@
 #include <queue>
 #include <tuple>
 
+#include "observe/trace.hpp"
+
 namespace pls::simmachine {
 
 namespace {
@@ -77,6 +79,20 @@ SimResult Simulator::run(const TaskTrace& trace) const {
     return 0.0;  // unreachable
   };
 
+  // When tracing is enabled, simulated segments are recorded through the
+  // same recorder as real executions (pid 1, virtual-nanosecond clock,
+  // tid = virtual processor), so both produce one chrome-trace schema:
+  // descend → split, leaf → accumulate, combine → combine.
+  auto& recorder = observe::TraceRecorder::global();
+  const auto observe_kind = [](SegmentKind k) {
+    switch (k) {
+      case SegmentKind::kDescend: return observe::EventKind::kSplit;
+      case SegmentKind::kLeaf: return observe::EventKind::kAccumulate;
+      case SegmentKind::kCombine: return observe::EventKind::kCombine;
+    }
+    return observe::EventKind::kTask;  // unreachable
+  };
+
   const auto start_segment = [&](unsigned w, Segment seg, double start) {
     WorkerState& ws = workers[w];
     ws.busy = true;
@@ -86,6 +102,10 @@ SimResult Simulator::run(const TaskTrace& trace) const {
     ws.clock = start + dur;
     events.push({ws.clock, w});
     ++result.segments;
+    if (recorder.enabled()) {
+      recorder.record_virtual(observe_kind(seg.kind), w, start, dur,
+                              seg.node);
+    }
   };
 
   // Give a free worker something to do at time `t`. Returns false if the
@@ -106,6 +126,10 @@ SimResult Simulator::run(const TaskTrace& trace) const {
         Segment seg = workers[victim].stack.front();
         workers[victim].stack.pop_front();
         ++result.steals;
+        if (recorder.enabled()) {
+          recorder.record_virtual(observe::EventKind::kSteal, w, t,
+                                  model_.steal_overhead_ns, victim);
+        }
         start_segment(w, seg, t + model_.steal_overhead_ns);
         return true;
       }

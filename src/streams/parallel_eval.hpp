@@ -16,6 +16,8 @@
 #include <utility>
 
 #include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
 #include "streams/collector.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
@@ -43,8 +45,18 @@ struct ExecutionConfig {
 
 namespace detail {
 
+/// Exact remaining-element count for SIZED sources, 0 (uncounted) for
+/// unsized ones — keeps the observe hooks free of per-element work.
+template <typename T>
+std::uint64_t countable_size(const Spliterator<T>& sp) {
+  return sp.has(kSized) ? sp.estimate_size() : 0;
+}
+
 template <typename T, typename C>
 typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c) {
+  const std::uint64_t elems = countable_size(sp);
+  observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::local_counters().on_leaf(elems);
   auto acc = c.supply();
   sp.for_each_remaining(
       [&](const T& value) { c.accumulate(acc, value); });
@@ -54,17 +66,26 @@ typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c) {
 template <typename T, typename C>
 typename C::accumulation_type collect_tree(forkjoin::ForkJoinPool& pool,
                                            Spliterator<T>& sp, const C& c,
-                                           std::uint64_t target) {
+                                           std::uint64_t target,
+                                           unsigned depth = 0) {
   using A = typename C::accumulation_type;
   if (sp.estimate_size() <= target) return collect_leaf(sp, c);
-  auto prefix = sp.try_split();
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    return sp.try_split();
+  }();
   if (!prefix) return collect_leaf(sp, c);
+  observe::local_counters().on_split(depth);
   std::optional<A> left;
   std::optional<A> right;
   pool.invoke_two(
-      [&] { left.emplace(collect_tree(pool, *prefix, c, target)); },
-      [&] { right.emplace(collect_tree(pool, sp, c, target)); });
-  c.combine(*left, *right);
+      [&] { left.emplace(collect_tree(pool, *prefix, c, target, depth + 1)); },
+      [&] { right.emplace(collect_tree(pool, sp, c, target, depth + 1)); });
+  {
+    observe::Span span(observe::EventKind::kCombine, depth);
+    c.combine(*left, *right);
+  }
+  observe::local_counters().on_combine();
   return std::move(*left);
 }
 
@@ -83,15 +104,25 @@ std::optional<T> reduce_leaf(Spliterator<T>& sp, const Op& op) {
 
 template <typename T, typename Op>
 std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
-                             const Op& op, std::uint64_t target) {
-  if (sp.estimate_size() <= target) return reduce_leaf(sp, op);
+                             const Op& op, std::uint64_t target,
+                             unsigned depth = 0) {
+  if (sp.estimate_size() <= target) {
+    observe::local_counters().on_leaf(countable_size(sp));
+    return reduce_leaf(sp, op);
+  }
   auto prefix = sp.try_split();
-  if (!prefix) return reduce_leaf(sp, op);
+  if (!prefix) {
+    observe::local_counters().on_leaf(countable_size(sp));
+    return reduce_leaf(sp, op);
+  }
+  observe::local_counters().on_split(depth);
   std::optional<T> left;
   std::optional<T> right;
-  pool.invoke_two([&] { left = reduce_tree(pool, *prefix, op, target); },
-                  [&] { right = reduce_tree(pool, sp, op, target); });
+  pool.invoke_two(
+      [&] { left = reduce_tree(pool, *prefix, op, target, depth + 1); },
+      [&] { right = reduce_tree(pool, sp, op, target, depth + 1); });
   if (left.has_value() && right.has_value()) {
+    observe::local_counters().on_combine();
     return op(std::move(*left), std::move(*right));
   }
   return left.has_value() ? std::move(left) : std::move(right);
@@ -99,37 +130,43 @@ std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
 
 template <typename T, typename Fn>
 void for_each_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
-                   const Fn& fn, std::uint64_t target) {
+                   const Fn& fn, std::uint64_t target, unsigned depth = 0) {
   if (sp.estimate_size() <= target) {
+    observe::local_counters().on_leaf(countable_size(sp));
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
   auto prefix = sp.try_split();
   if (!prefix) {
+    observe::local_counters().on_leaf(countable_size(sp));
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
-  pool.invoke_two([&] { for_each_tree(pool, *prefix, fn, target); },
-                  [&] { for_each_tree(pool, sp, fn, target); });
+  observe::local_counters().on_split(depth);
+  pool.invoke_two([&] { for_each_tree(pool, *prefix, fn, target, depth + 1); },
+                  [&] { for_each_tree(pool, sp, fn, target, depth + 1); });
 }
 
 template <typename T>
 std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
-                         std::uint64_t target) {
+                         std::uint64_t target, unsigned depth = 0) {
   if (sp.estimate_size() <= target) {
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
+    observe::local_counters().on_leaf(n);
     return n;
   }
   auto prefix = sp.try_split();
   if (!prefix) {
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
+    observe::local_counters().on_leaf(n);
     return n;
   }
+  observe::local_counters().on_split(depth);
   std::uint64_t left = 0, right = 0;
-  pool.invoke_two([&] { left = count_tree(pool, *prefix, target); },
-                  [&] { right = count_tree(pool, sp, target); });
+  pool.invoke_two([&] { left = count_tree(pool, *prefix, target, depth + 1); },
+                  [&] { right = count_tree(pool, sp, target, depth + 1); });
   return left + right;
 }
 

@@ -236,6 +236,13 @@ class Stream {
     parallel_ = true;
     return std::move(*this);
   }
+  /// Parallel with an explicit execution config (pool + chunk target),
+  /// e.g. the one handed out by pls::session::stream_config().
+  Stream<T>&& parallel(const ExecutionConfig& cfg) && {
+    parallel_ = true;
+    config_ = cfg;
+    return std::move(*this);
+  }
   Stream<T>& sequential() & {
     parallel_ = false;
     return *this;

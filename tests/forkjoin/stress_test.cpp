@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -109,6 +110,33 @@ TEST(Stress, DeepNarrowRecursion) {
   } chain{pool};
   const long depth = 4000;
   EXPECT_EQ(pool.run([&] { return chain.walk(depth); }), depth);
+}
+
+TEST(Stress, CounterAggregationUnderStress) {
+  // Per-worker counter blocks stay consistent while an irregular tree and
+  // external submitters churn the pool: every fork is matched by a task
+  // execution, and the per-worker breakdown sums to the aggregate.
+  if (!pls::observe::kEnabled) GTEST_SKIP() << "observability compiled out";
+  ForkJoinPool pool(4);
+  const auto before = pool.counter_totals();
+  const long n = 100000;
+  const long got = pool.run([&] { return irregular_sum(pool, 7, 0, n); });
+  EXPECT_EQ(got, n * (n - 1) / 2);
+  const auto delta = pool.counter_totals() - before;
+  EXPECT_GT(delta.forks, 0u);
+  // Each fork pushes exactly one deque task; each is executed exactly once
+  // (locally popped, stolen, or join-helped). The +1 is the submitted root.
+  EXPECT_EQ(delta.tasks_executed, delta.forks + 1);
+  // Steal bookkeeping stays consistent with the pool-level atomics.
+  EXPECT_EQ(delta.steals + before.steals, pool.steal_count());
+  EXPECT_EQ(delta.steal_failures + before.steal_failures,
+            pool.steal_failure_count());
+  // Per-worker breakdown re-sums to the aggregate.
+  pls::observe::CounterTotals resummed;
+  for (const auto& w : pool.per_worker_counters()) resummed += w;
+  EXPECT_EQ(resummed.tasks_executed, pool.counter_totals().tasks_executed);
+  EXPECT_EQ(resummed.steals, pool.counter_totals().steals);
+  EXPECT_EQ(resummed.forks, pool.counter_totals().forks);
 }
 
 TEST(Stress, RepeatedLargeParallelRuns) {

@@ -1,0 +1,134 @@
+// Counter blocks and registry: single-thread semantics, cross-thread
+// aggregation, and the fork-join pool's per-worker steal accounting.
+#include "observe/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+
+namespace {
+
+using pls::observe::CounterTotals;
+using pls::observe::kEnabled;
+using pls::observe::local_counters;
+
+TEST(Counters, TotalsArithmetic) {
+  CounterTotals a;
+  a.tasks_executed = 10;
+  a.steals = 3;
+  a.max_split_depth = 4;
+  CounterTotals b;
+  b.tasks_executed = 1;
+  b.steals = 2;
+  b.max_split_depth = 7;
+  CounterTotals sum = a;
+  sum += b;
+  EXPECT_EQ(sum.tasks_executed, 11u);
+  EXPECT_EQ(sum.steals, 5u);
+  EXPECT_EQ(sum.max_split_depth, 7u);  // max, not sum
+
+  const CounterTotals delta = sum - a;
+  EXPECT_EQ(delta.tasks_executed, 1u);
+  EXPECT_EQ(delta.steals, 2u);
+  EXPECT_EQ(delta.max_split_depth, 7u);  // later snapshot's value kept
+}
+
+TEST(Counters, BlockCountsAndResets) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  auto& block = local_counters();
+  const CounterTotals before = block.snapshot();
+  block.on_task_executed();
+  block.on_steal(true);
+  block.on_steal(false);
+  block.on_steal(false);
+  block.on_fork();
+  block.on_split(5);
+  block.on_split(2);
+  block.on_leaf(128);
+  block.on_combine();
+  const CounterTotals delta = block.snapshot() - before;
+  EXPECT_EQ(delta.tasks_executed, 1u);
+  EXPECT_EQ(delta.steals, 1u);
+  EXPECT_EQ(delta.steal_failures, 2u);
+  EXPECT_EQ(delta.forks, 1u);
+  EXPECT_EQ(delta.splits, 2u);
+  EXPECT_GE(delta.max_split_depth, 5u);
+  EXPECT_EQ(delta.elements_accumulated, 128u);
+  EXPECT_EQ(delta.leaf_chunks, 1u);
+  EXPECT_EQ(delta.combines, 1u);
+}
+
+TEST(Counters, LocalBlockIsPerThread) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  auto* mine = &local_counters();
+  pls::observe::CounterBlock* theirs = nullptr;
+  std::thread t([&] { theirs = &local_counters(); });
+  t.join();
+  EXPECT_NE(mine, theirs);
+  // Stable across calls on the same thread.
+  EXPECT_EQ(mine, &local_counters());
+}
+
+TEST(Counters, AggregateSeesOtherThreads) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  const CounterTotals before = pls::observe::aggregate_counters();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int k = 0; k < 100; ++k) local_counters().on_combine();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const CounterTotals delta = pls::observe::aggregate_counters() - before;
+  EXPECT_EQ(delta.combines, 100u * kThreads);
+}
+
+TEST(Counters, PoolPerWorkerStealAccounting) {
+  pls::forkjoin::ForkJoinPool pool(4);
+  // Irregular fan-out forces real stealing between the four workers.
+  struct Rec {
+    pls::forkjoin::ForkJoinPool& pool;
+    long go(int depth) {
+      if (depth == 0) return 1;
+      long a = 0, b = 0;
+      pool.invoke_two([&] { a = go(depth - 1); }, [&] { b = go(depth - 1); });
+      return a + b;
+    }
+  } rec{pool};
+  const long leaves = pool.run([&] { return rec.go(12); });
+  EXPECT_EQ(leaves, 1 << 12);
+
+  // Pool-level tallies and per-worker blocks must agree.
+  const auto totals = pool.counter_totals();
+  const auto per_worker = pool.per_worker_counters();
+  EXPECT_EQ(per_worker.size(), 4u);
+  if (!kEnabled) {
+    EXPECT_EQ(totals.tasks_executed, 0u);
+    return;
+  }
+  EXPECT_EQ(totals.steals, pool.steal_count());
+  EXPECT_EQ(totals.steal_failures, pool.steal_failure_count());
+  // Every forked child is executed exactly once, plus the one external run.
+  EXPECT_EQ(totals.tasks_executed, totals.forks + 1);
+  CounterTotals recomputed;
+  for (const auto& w : per_worker) recomputed += w;
+  EXPECT_EQ(recomputed.tasks_executed, totals.tasks_executed);
+  EXPECT_EQ(recomputed.steals, totals.steals);
+}
+
+TEST(Counters, RegistryLabelsWorkers) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  pls::forkjoin::ForkJoinPool pool(2);
+  pool.run([] { return 0; });
+  bool found_worker_label = false;
+  for (const auto& w : pls::observe::CounterRegistry::global().per_worker()) {
+    if (w.label.rfind("fj-worker-", 0) == 0) found_worker_label = true;
+  }
+  EXPECT_TRUE(found_worker_label);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// PLS_OBSERVE=0 contract: this TU pins the kill switch off regardless of
+// how the rest of the build was configured (the observe headers are
+// self-contained, so a per-TU setting is safe) and asserts that the whole
+// layer compiles down to no-ops — empty spans, stateless counters, an
+// exporter that produces an empty-but-valid trace. Together with the
+// `observe-off` CMake preset (which builds *everything* with the switch
+// off) this keeps both sides of the #if compiling in every build.
+#undef PLS_OBSERVE
+#define PLS_OBSERVE 0
+
+#include "observe/counters.hpp"
+#include "observe/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+namespace {
+
+using pls::observe::CounterTotals;
+using pls::observe::EventKind;
+using pls::observe::Span;
+using pls::observe::TraceRecorder;
+
+// The no-op-codegen contract, checked at compile time: a killed Span
+// carries no state (nothing for the optimizer to keep alive), and the
+// layer reports itself as disabled.
+static_assert(!pls::observe::kEnabled);
+static_assert(std::is_empty_v<Span>);
+static_assert(std::is_empty_v<pls::observe::CounterBlock>);
+
+TEST(KillSwitch, CountersAreInert) {
+  auto& block = pls::observe::local_counters();
+  block.on_task_executed();
+  block.on_steal(true);
+  block.on_split(9);
+  block.on_leaf(1000);
+  block.on_combine();
+  const CounterTotals t = block.snapshot();
+  EXPECT_EQ(t.tasks_executed, 0u);
+  EXPECT_EQ(t.steals, 0u);
+  EXPECT_EQ(t.splits, 0u);
+  EXPECT_EQ(t.elements_accumulated, 0u);
+  EXPECT_EQ(t.combines, 0u);
+
+  const CounterTotals agg = pls::observe::aggregate_counters();
+  EXPECT_EQ(agg.tasks_executed, 0u);
+  EXPECT_TRUE(pls::observe::CounterRegistry::global().per_worker().empty());
+}
+
+TEST(KillSwitch, RecorderCannotBeEnabled) {
+  auto& rec = TraceRecorder::global();
+  rec.enable();
+  EXPECT_FALSE(rec.enabled());
+  {
+    Span s(EventKind::kSplit, 1);
+    s.set_arg(2);
+  }
+  pls::observe::instant(EventKind::kSteal);
+  rec.record(EventKind::kTask, 0, 100);
+  rec.record_virtual(EventKind::kCombine, 0, 0.0, 1.0);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(KillSwitch, ExportIsEmptyButValid) {
+  const std::string json = TraceRecorder::global().chrome_json();
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(KillSwitch, TotalsStillUsableForReporting) {
+  // CounterTotals stays a real struct in both modes so reporting code
+  // (ExecutionReport, bench JSON) needs no #if.
+  CounterTotals a;
+  a.steals = 2;
+  CounterTotals b;
+  b.steals = 3;
+  a += b;
+  EXPECT_EQ(a.steals, 5u);
+}
+
+}  // namespace

@@ -156,6 +156,66 @@ TEST(Executors, InstrumentedUniformLeafDepths) {
   }
 }
 
+TEST(Executors, UnifiedReportFromSimulatedRun) {
+  // One ExecutionReport now serves both the real and simmachine paths:
+  // the simulated run carries the decomposition shape alongside the
+  // schedule.
+  auto data = iota(256);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  CostModel m;
+  m.ns_per_op = 2.0;
+  const pls::powerlist::ExecutionReport<long> ex =
+      execute_simulated(Simulator(m, 8), sum, view, {}, 4);
+  EXPECT_TRUE(ex.simulated);
+  EXPECT_EQ(ex.stats.basic_cases, 64u);  // 256 / 4
+  EXPECT_EQ(ex.stats.descends, 63u);
+  EXPECT_EQ(ex.stats.max_depth, 6u);
+  EXPECT_EQ(ex.stats.min_leaf_length, 4u);
+}
+
+TEST(Executors, ForkJoinReportedMatchesSequential) {
+  ForkJoinPool pool(4);
+  auto data = iota(1024);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+  const auto report =
+      pls::powerlist::execute_forkjoin_reported(pool, sum, view, {}, 16);
+  EXPECT_EQ(report.result, execute_sequential(sum, view, {}, 16));
+  EXPECT_FALSE(report.simulated);
+  // Closed-form shape equals what the instrumented sequential run counts.
+  const auto instrumented =
+      pls::powerlist::execute_instrumented(sum, view, {}, 16);
+  EXPECT_EQ(report.stats.basic_cases, instrumented.stats.basic_cases);
+  EXPECT_EQ(report.stats.descends, instrumented.stats.descends);
+  EXPECT_EQ(report.stats.combines, instrumented.stats.combines);
+  EXPECT_EQ(report.stats.max_depth, instrumented.stats.max_depth);
+  EXPECT_EQ(report.stats.min_leaf_length, instrumented.stats.min_leaf_length);
+  EXPECT_EQ(report.stats.max_leaf_length, instrumented.stats.max_leaf_length);
+  if (pls::observe::kEnabled) {
+    // The counter delta sees the run's decomposition: 64 leaves, 63 forks.
+    EXPECT_EQ(report.counters.leaf_chunks, 64u);
+    EXPECT_EQ(report.counters.forks, 63u);
+    EXPECT_EQ(report.counters.elements_accumulated, 1024u);
+  }
+}
+
+TEST(Executors, DeprecatedAliasesStillCompile) {
+  auto data = iota(64);
+  ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(std::as_const(data));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const pls::powerlist::InstrumentedExecution<long> a =
+      pls::powerlist::execute_instrumented(sum, view, {}, 8);
+  const pls::powerlist::SimulatedExecution<long> b =
+      execute_simulated(Simulator(CostModel{}, 2), sum, view, {}, 8);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.stats.basic_cases, 8u);
+  EXPECT_GT(b.sim.makespan_ns, 0.0);
+}
+
 TEST(Executors, ZipReduceSameAsTieForCommutativeOp) {
   auto data = iota(128);
   const auto view = pls::powerlist::view_of(std::as_const(data));
