@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "observe/counters.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 
@@ -163,6 +164,26 @@ class JsonObject {
  private:
   std::string body_;
 };
+
+/// Append one run's counter totals to a row under `<prefix>` names. The
+/// full schema (docs/observability.md) including the data-movement pair —
+/// `bytes_moved` / `allocations` — so every bench that records a counter
+/// delta reports the movement cost of its collect path, not just the
+/// scheduling shape. With PLS_OBSERVE=0 the fields are emitted as zeros.
+inline void counter_fields(JsonObject& row, const std::string& prefix,
+                           const observe::CounterTotals& t) {
+  row.field(prefix + "tasks_executed", t.tasks_executed)
+      .field(prefix + "steals", t.steals)
+      .field(prefix + "steal_failures", t.steal_failures)
+      .field(prefix + "forks", t.forks)
+      .field(prefix + "splits", t.splits)
+      .field(prefix + "max_split_depth", t.max_split_depth)
+      .field(prefix + "elements_accumulated", t.elements_accumulated)
+      .field(prefix + "leaf_chunks", t.leaf_chunks)
+      .field(prefix + "combines", t.combines)
+      .field(prefix + "bytes_moved", t.bytes_moved)
+      .field(prefix + "allocations", t.allocations);
+}
 
 /// Destination for BENCH_<name>.json (honours PLS_BENCH_JSON_DIR).
 inline std::string bench_json_path(const std::string& bench_name) {

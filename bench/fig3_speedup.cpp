@@ -23,6 +23,10 @@
 // all sizes, with a dropout at 2^24 the authors attribute to a JVM
 // sequential-optimisation artifact (a managed-runtime effect we do not
 // model; see EXPERIMENTS.md).
+// The run also times a materialising collect of the coefficients on the
+// same pool both ways — destination-passing (collect_dps_ms) vs
+// supplier/combiner (collect_sc_ms) — with per-run bytes_moved /
+// allocations deltas for each path (see docs/execution.md).
 // Besides the table, the run emits BENCH_fig3.json (per-size rows with
 // counter totals, per-worker steal counts and the split-tree shape) and,
 // for the smallest size, a chrome://tracing timeline (fig3_trace.json)
@@ -37,6 +41,7 @@
 #include "observe/counters.hpp"
 #include "observe/trace.hpp"
 #include "powerlist/collector_functions.hpp"
+#include "streams/stream.hpp"
 #include "simmachine/costmodel.hpp"
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
@@ -91,7 +96,8 @@ int main() {
   pls::forkjoin::ForkJoinPool one_worker(1);
   pls::TextTable table({"log2(n)", "n", "seq_ms", "par1_ms", "sim_meas_ms",
                         "speedup_meas", "speedup_unif", "par_wall_ms",
-                        "speedup_wall", "steals", "steal_fails"});
+                        "speedup_wall", "steals", "steal_fails",
+                        "collect_dps_ms", "collect_sc_ms"});
 
   std::vector<std::string> json_rows;
   bool trace_written = false;
@@ -147,6 +153,32 @@ int main() {
         },
         reps);
 
+    // Materialising collect over the same coefficients on the same pool:
+    // destination-passing (leaves write the final buffer, no combine)
+    // versus the classic supplier/combiner path (per-leaf containers
+    // folded pairwise). The counter delta of one instrumented run shows
+    // the movement cost each path pays — bytes_moved is O(n log n) for
+    // supplier/combiner and zero for destination-passing.
+    auto measure_collect = [&](bool sized_sink) {
+      pls::streams::ExecutionConfig ccfg = cfg;
+      ccfg.sized_sink = sized_sink;
+      auto run_once = [&] {
+        auto sp = std::make_unique<pls::streams::ArraySpliterator<double>>(
+            coeffs);
+        auto stream = pls::streams::stream_support::from_spliterator<double>(
+            std::move(sp), /*parallel=*/true);
+        const auto out = std::move(stream).parallel(ccfg).to_vector();
+        pls::bench::keep(out.empty() ? 0.0 : out.back());
+      };
+      const auto stats = pls::bench::time_ms(run_once, reps);
+      const auto before = pls::observe::aggregate_counters();
+      run_once();
+      const auto delta = pls::observe::aggregate_counters() - before;
+      return std::make_pair(stats, delta);
+    };
+    const auto [collect_dps, dps_counters] = measure_collect(true);
+    const auto [collect_sc, sc_counters] = measure_collect(false);
+
     // Simulated P cores under the two calibrations.
     const TaskTrace trace = build_collect_trace(n, cores);
     const auto sim_meas =
@@ -195,7 +227,9 @@ int main() {
                    pls::TextTable::num(par_wall.mean),
                    pls::TextTable::num(seq.mean / par_wall.mean, 2),
                    std::to_string(counters.steals),
-                   std::to_string(counters.steal_failures)});
+                   std::to_string(counters.steal_failures),
+                   pls::TextTable::num(collect_dps.mean),
+                   pls::TextTable::num(collect_sc.mean)});
 
     // Machine-readable row: timing columns, counter totals, per-worker
     // steal counts, and the split-tree shape of the parallel run.
@@ -230,10 +264,20 @@ int main() {
         .field("max_split_depth", counters.max_split_depth)
         .field("leaf_chunks", counters.leaf_chunks)
         .field("elements_accumulated", counters.elements_accumulated)
+        .field("bytes_moved", counters.bytes_moved)
+        .field("allocations", counters.allocations)
         .field("split_levels", levels)
         .field("split_leaves", std::size_t{1} << levels)
         .field("split_leaf_size", leaf)
-        .field("sim_steals", sim_meas.steals);
+        .field("sim_steals", sim_meas.steals)
+        .field("collect_dps_ms", collect_dps.mean)
+        .field("collect_sc_ms", collect_sc.mean)
+        .field("collect_speedup_dps", collect_sc.mean / collect_dps.mean);
+    // Per-run counter deltas for the two materialising-collect paths
+    // (one instrumented run each): the sized-sink path must show
+    // collect_dps_bytes_moved == 0 and collect_dps_allocations == 1.
+    pls::bench::counter_fields(row, "collect_dps_", dps_counters);
+    pls::bench::counter_fields(row, "collect_sc_", sc_counters);
     json_rows.push_back(row.str());
   }
 

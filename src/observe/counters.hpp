@@ -18,6 +18,12 @@
 //   elements_accumulated  elements consumed by leaf accumulation chunks
 //   leaf_chunks           leaf accumulation chunks processed
 //   combines              combiner invocations (ascending phase)
+//   bytes_moved           element bytes physically moved between result
+//                         containers (combine-phase data movement; zero on
+//                         the destination-passing collect path)
+//   allocations           result-container acquisitions (collector supply
+//                         calls, sized-sink buffers, combiner scratch
+//                         growth)
 //
 // With PLS_OBSERVE=0 every type collapses to an empty shell and every
 // member function to a no-op; call sites compile to nothing.
@@ -47,6 +53,8 @@ struct CounterTotals {
   std::uint64_t elements_accumulated = 0;
   std::uint64_t leaf_chunks = 0;
   std::uint64_t combines = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t allocations = 0;
 
   CounterTotals& operator+=(const CounterTotals& o) {
     tasks_executed += o.tasks_executed;
@@ -60,6 +68,8 @@ struct CounterTotals {
     elements_accumulated += o.elements_accumulated;
     leaf_chunks += o.leaf_chunks;
     combines += o.combines;
+    bytes_moved += o.bytes_moved;
+    allocations += o.allocations;
     return *this;
   }
 
@@ -74,6 +84,8 @@ struct CounterTotals {
     a.elements_accumulated -= b.elements_accumulated;
     a.leaf_chunks -= b.leaf_chunks;
     a.combines -= b.combines;
+    a.bytes_moved -= b.bytes_moved;
+    a.allocations -= b.allocations;
     return a;
   }
 };
@@ -86,7 +98,8 @@ struct WorkerCounters {
 
 #if PLS_OBSERVE
 
-/// One thread's counters: exactly one cache line, never shared for writing.
+/// One thread's counters: cache-line aligned (two lines since the
+/// bytes_moved/allocations fields), never shared for writing.
 struct alignas(kCacheLineSize) CounterBlock {
   std::atomic<std::uint64_t> tasks_executed{0};
   std::atomic<std::uint64_t> steals{0};
@@ -97,6 +110,8 @@ struct alignas(kCacheLineSize) CounterBlock {
   std::atomic<std::uint64_t> elements_accumulated{0};
   std::atomic<std::uint64_t> leaf_chunks{0};
   std::atomic<std::uint64_t> combines{0};
+  std::atomic<std::uint64_t> bytes_moved{0};
+  std::atomic<std::uint64_t> allocations{0};
 
   void on_task_executed() noexcept { bump(tasks_executed); }
   void on_steal(bool success) noexcept {
@@ -112,6 +127,10 @@ struct alignas(kCacheLineSize) CounterBlock {
     elements_accumulated.fetch_add(elements, std::memory_order_relaxed);
   }
   void on_combine() noexcept { bump(combines); }
+  void on_bytes_moved(std::uint64_t bytes) noexcept {
+    bytes_moved.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void on_allocation() noexcept { bump(allocations); }
 
   CounterTotals snapshot() const noexcept {
     CounterTotals t;
@@ -125,6 +144,8 @@ struct alignas(kCacheLineSize) CounterBlock {
         elements_accumulated.load(std::memory_order_relaxed);
     t.leaf_chunks = leaf_chunks.load(std::memory_order_relaxed);
     t.combines = combines.load(std::memory_order_relaxed);
+    t.bytes_moved = bytes_moved.load(std::memory_order_relaxed);
+    t.allocations = allocations.load(std::memory_order_relaxed);
     return t;
   }
 
@@ -138,6 +159,8 @@ struct alignas(kCacheLineSize) CounterBlock {
     elements_accumulated.store(0, std::memory_order_relaxed);
     leaf_chunks.store(0, std::memory_order_relaxed);
     combines.store(0, std::memory_order_relaxed);
+    bytes_moved.store(0, std::memory_order_relaxed);
+    allocations.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -245,6 +268,8 @@ struct CounterBlock {
   void on_split(std::uint64_t) noexcept {}
   void on_leaf(std::uint64_t) noexcept {}
   void on_combine() noexcept {}
+  void on_bytes_moved(std::uint64_t) noexcept {}
+  void on_allocation() noexcept {}
   CounterTotals snapshot() const noexcept { return {}; }
   void reset() noexcept {}
 };

@@ -50,8 +50,14 @@ class MultiwaySpliterator : public streams::Spliterator<T> {
 namespace detail {
 
 /// Shared strided-window plumbing for the two concrete multiway sources.
+/// Like SpliteratorPower2, the (start, incr, count) triple doubles as the
+/// destination window of the destination-passing collect: both n-way
+/// split rules partition the parent's window (n-way tie keeps the stride,
+/// n-way zip multiplies it by n), so the multi-way contract extends the
+/// WindowedSource one — every part of try_split_n is itself windowed.
 template <typename T>
-class StridedMultiwayBase : public MultiwaySpliterator<T> {
+class StridedMultiwayBase : public MultiwaySpliterator<T>,
+                            public streams::WindowedSource {
  public:
   using Action = typename streams::Spliterator<T>::Action;
 
@@ -85,6 +91,10 @@ class StridedMultiwayBase : public MultiwaySpliterator<T> {
   streams::Characteristics characteristics() const override {
     return streams::kOrdered | streams::kSized | streams::kSubsized |
            streams::kImmutable;
+  }
+
+  std::optional<streams::OutputWindow> try_output_window() const override {
+    return streams::OutputWindow{start_, incr_, count_};
   }
 
  protected:
@@ -203,9 +213,68 @@ typename C::accumulation_type collect_multiway_tree(
   // Fold left in encounter order with the collector's combiner.
   A acc = std::move(*results[0]);
   for (std::size_t k = 1; k < parts; ++k) {
+    observe::local_counters().on_combine();
     c.combine(acc, *results[k]);
   }
   return acc;
+}
+
+/// Destination-passing multiway collect: every part writes into its own
+/// window of the shared sink, so no fold runs at all — which is what
+/// makes n-way *zip* reconstruction expressible here (the windows encode
+/// the n-way interleaving that no pairwise combiner can).
+template <typename T, typename C>
+  requires streams::SizedSinkCollector<C, T>
+void collect_into_multiway_tree(forkjoin::ForkJoinPool& pool,
+                                streams::Spliterator<T>& sp, const C& c,
+                                typename C::sized_accumulation_type& sink,
+                                const streams::OutputWindow& root,
+                                std::size_t arity, std::uint64_t target,
+                                unsigned depth = 0) {
+  if (sp.estimate_size() <= target) {
+    streams::detail::collect_into_leaf(sp, c, sink, root);
+    return;
+  }
+  auto* multiway = dynamic_cast<MultiwaySpliterator<T>*>(&sp);
+  std::vector<std::unique_ptr<streams::Spliterator<T>>> prefixes;
+  if (multiway != nullptr && arity > 2) {
+    prefixes = multiway->try_split_n(arity);
+  }
+  if (prefixes.empty()) {
+    auto prefix = sp.try_split();
+    if (!prefix) {
+      streams::detail::collect_into_leaf(sp, c, sink, root);
+      return;
+    }
+    prefixes.push_back(std::move(prefix));
+  }
+  observe::local_counters().on_split(depth);
+  const std::size_t parts = prefixes.size() + 1;
+  std::vector<std::function<void()>> thunks;
+  thunks.reserve(parts);
+  for (std::size_t k = 0; k < prefixes.size(); ++k) {
+    thunks.push_back([&, k] {
+      collect_into_multiway_tree(pool, *prefixes[k], c, sink, root, arity,
+                                 target, depth + 1);
+    });
+  }
+  thunks.push_back([&] {
+    collect_into_multiway_tree(pool, sp, c, sink, root, arity, target,
+                               depth + 1);
+  });
+  struct Runner {
+    forkjoin::ForkJoinPool& pool;
+    std::vector<std::function<void()>>& thunks;
+    void run(std::size_t lo, std::size_t hi) {  // [lo, hi)
+      if (hi - lo == 1) {
+        thunks[lo]();
+        return;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      pool.invoke_two([&] { run(lo, mid); }, [&] { run(mid, hi); });
+    }
+  } runner{pool, thunks};
+  runner.run(0, parts);
 }
 
 }  // namespace detail
@@ -213,16 +282,40 @@ typename C::accumulation_type collect_multiway_tree(
 /// Run a mutable reduction over a multiway source, splitting `arity` ways
 /// at each level (binary fallback where the source refuses).
 ///
-/// The parts fold pairwise left-to-right with the collector's combiner,
-/// which is correct for tie-structured/associative collectors (concat,
-/// sums, ...). n-way *zip* reconstruction is NOT pairwise-expressible
-/// (zip_join(a,b,c) != zip_all(zip_all(a,b),c)); functions needing it
-/// must use PListFunction::combine_n (see plist/functions.hpp).
+/// On the supplier/combiner path the parts fold pairwise left-to-right
+/// with the collector's combiner, which is correct for tie-structured/
+/// associative collectors (concat, sums, ...) but cannot express n-way
+/// *zip* reconstruction (zip_join(a,b,c) != zip_all(zip_all(a,b),c)).
+/// The destination-passing path lifts that restriction: when the
+/// collector is a sized sink and the source is windowed, every part
+/// writes straight into its interleaved window and no combiner runs —
+/// so an NZipSpliterator source reconstructs correctly at any arity.
+/// Supplier/combiner functions needing n-way zip must still use
+/// PListFunction::combine_n (see plist/functions.hpp).
 template <typename T, typename C>
 typename C::result_type evaluate_collect_multiway(
     streams::Spliterator<T>& sp, const C& c, std::size_t arity, bool parallel,
     const streams::ExecutionConfig& cfg = {}) {
   PLS_CHECK(arity >= 2, "multiway evaluation needs arity >= 2");
+  if constexpr (streams::SizedSinkCollector<C, T>) {
+    if (cfg.sized_sink) {
+      if (auto root = streams::detail::sized_sink_window(sp)) {
+        auto sink = c.supply_sized(root->count);
+        if (!parallel) {
+          streams::detail::collect_into_leaf(sp, c, sink, *root);
+        } else {
+          auto& pool = cfg.effective_pool();
+          const std::uint64_t target =
+              cfg.target_size(root->count, pool.parallelism());
+          pool.run([&] {
+            detail::collect_into_multiway_tree(pool, sp, c, sink, *root,
+                                               arity, target);
+          });
+        }
+        return c.finish_sized(std::move(sink));
+      }
+    }
+  }
   if (!parallel) {
     return c.finish(streams::detail::collect_leaf(sp, c));
   }

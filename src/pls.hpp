@@ -23,6 +23,7 @@
 #include "support/bits.hpp"
 #include "support/function_ref.hpp"
 #include "support/rng.hpp"
+#include "support/sized_buffer.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -37,6 +38,7 @@
 
 #include "streams/collector.hpp"
 #include "streams/collectors.hpp"
+#include "streams/sized_sink.hpp"
 #include "streams/stream.hpp"
 #include "streams/unsized.hpp"
 

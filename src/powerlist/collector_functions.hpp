@@ -34,30 +34,86 @@
 #include "powerlist/power_array.hpp"
 #include "powerlist/spliterators.hpp"
 #include "streams/collector.hpp"
+#include "streams/sized_sink.hpp"
 #include "streams/stream.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 
 namespace pls::powerlist {
 
+/// Collector rebuilding a PowerArray, applying `fn` to each element, with
+/// the combiner matching the source's decomposition operator. Implements
+/// both collect protocols: the classic supplier/add/tie_all-or-zip_all
+/// triple, and the sized-sink protocol of the destination-passing path —
+/// under which the recombination operator is irrelevant, because the
+/// source windows already encode every element's final position and no
+/// combiner ever runs (docs/execution.md).
+template <typename T, typename U, typename Fn>
+class PowerMapCollector final
+    : public streams::Collector<T, PowerArray<U>> {
+ public:
+  PowerMapCollector(Fn fn, DecompositionOp op)
+      : fn_(std::move(fn)), op_(op) {}
+
+  PowerArray<U> supply() const override { return {}; }
+
+  void accumulate(PowerArray<U>& acc, const T& v) const override {
+    acc.add(fn_(v));
+  }
+
+  void combine(PowerArray<U>& left, PowerArray<U>& right) const override {
+    if (op_ == DecompositionOp::kTie) {
+      left.tie_all(right);
+    } else {
+      left.zip_all(right);
+    }
+  }
+
+  // ---- sized-sink protocol -------------------------------------------
+
+  using sized_accumulation_type = streams::SizedVectorSink<U>;
+
+  streams::SizedVectorSink<U> supply_sized(std::uint64_t n) const {
+    return streams::SizedVectorSink<U>(n);
+  }
+
+  void accumulate_at(streams::SizedVectorSink<U>& sink, std::uint64_t index,
+                     const T& value) const {
+    sink.write(index, fn_(value));
+  }
+
+  PowerArray<U> finish_sized(streams::SizedVectorSink<U>&& sink) const {
+    return PowerArray<U>::adopt(std::move(sink).take());
+  }
+
+ private:
+  Fn fn_;
+  DecompositionOp op_;
+};
+
+namespace detail {
+struct IdentityFn {
+  template <typename T>
+  const T& operator()(const T& v) const noexcept {
+    return v;
+  }
+};
+}  // namespace detail
+
 /// Collector rebuilding a PowerArray with tie recombination (use with
 /// TieSpliterator sources).
 template <typename T>
 auto to_power_array_tie() {
-  return streams::make_collector<T>(
-      [] { return PowerArray<T>{}; },
-      [](PowerArray<T>& acc, const T& v) { acc.add(v); },
-      [](PowerArray<T>& left, PowerArray<T>& right) { left.tie_all(right); });
+  return PowerMapCollector<T, T, detail::IdentityFn>(detail::IdentityFn{},
+                                                     DecompositionOp::kTie);
 }
 
 /// Collector rebuilding a PowerArray with zip recombination (use with
 /// ZipSpliterator sources — the paper's identity example).
 template <typename T>
 auto to_power_array_zip() {
-  return streams::make_collector<T>(
-      [] { return PowerArray<T>{}; },
-      [](PowerArray<T>& acc, const T& v) { acc.add(v); },
-      [](PowerArray<T>& left, PowerArray<T>& right) { left.zip_all(right); });
+  return PowerMapCollector<T, T, detail::IdentityFn>(detail::IdentityFn{},
+                                                     DecompositionOp::kZip);
 }
 
 /// map through the collect template method: the accumulator first applies
@@ -66,16 +122,7 @@ auto to_power_array_zip() {
 template <typename T, typename Fn>
 auto power_map_collector(Fn fn, DecompositionOp op) {
   using U = std::remove_cvref_t<std::invoke_result_t<Fn&, const T&>>;
-  return streams::make_collector<T>(
-      [] { return PowerArray<U>{}; },
-      [fn](PowerArray<U>& acc, const T& v) { acc.add(fn(v)); },
-      [op](PowerArray<U>& left, PowerArray<U>& right) {
-        if (op == DecompositionOp::kTie) {
-          left.tie_all(right);
-        } else {
-          left.zip_all(right);
-        }
-      });
+  return PowerMapCollector<T, U, Fn>(std::move(fn), op);
 }
 
 /// The mutable result container of PolynomialValueCollector: the current
@@ -221,8 +268,13 @@ inline double evaluate_polynomial_stream(
 /// The storage is mutable and shared, but every split owns a disjoint
 /// window, so no synchronisation is needed (unlike the polynomial's global
 /// state — the contrast Section V draws).
+/// Contiguous windows (stride 1): the transform rewrites in place, so an
+/// element's final position is simply its storage position — letting the
+/// destination-passing collect gather the transformed list with no
+/// combine phase.
 template <typename T, typename Plus, typename Times>
-class DescendOpSpliterator final : public streams::Spliterator<T> {
+class DescendOpSpliterator final : public streams::Spliterator<T>,
+                                   public streams::WindowedSource {
  public:
   using Action = typename streams::Spliterator<T>::Action;
 
@@ -280,6 +332,10 @@ class DescendOpSpliterator final : public streams::Spliterator<T> {
         streams::kOrdered | streams::kSized | streams::kSubsized;
     if (is_power_of_two(count_)) c |= streams::kPower2;
     return c;
+  }
+
+  std::optional<streams::OutputWindow> try_output_window() const override {
+    return streams::OutputWindow{start_, 1, count_};
   }
 
  private:

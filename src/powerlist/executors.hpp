@@ -97,6 +97,49 @@ inline std::size_t checked_leaf_size(std::size_t leaf_size) {
   return leaf_size;
 }
 
+template <typename T, typename U, typename Ctx>
+void run_sequential_into(const InplacePowerFunction<T, U, Ctx>& f,
+                         PowerListView<const T> input, PowerListView<U> out,
+                         const Ctx& ctx, std::size_t leaf_size) {
+  if (input.length() <= leaf_size) {
+    f.basic_case_into(input, out, ctx);
+    return;
+  }
+  const auto [left_in, right_in] = input.split(f.decomposition());
+  const auto [left_out, right_out] = out.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  run_sequential_into(f, left_in, left_out, left_ctx, leaf_size);
+  run_sequential_into(f, right_in, right_out, right_ctx, leaf_size);
+}
+
+template <typename T, typename U, typename Ctx>
+void run_forkjoin_into(forkjoin::ForkJoinPool& pool,
+                       const InplacePowerFunction<T, U, Ctx>& f,
+                       PowerListView<const T> input, PowerListView<U> out,
+                       const Ctx& ctx, std::size_t leaf_size,
+                       unsigned depth = 0) {
+  if (input.length() <= leaf_size) {
+    observe::Span span(observe::EventKind::kAccumulate, input.length());
+    observe::local_counters().on_leaf(input.length());
+    f.basic_case_into(input, out, ctx);
+    return;
+  }
+  const auto [left_in, right_in] = input.split(f.decomposition());
+  const auto [left_out, right_out] = out.split(f.decomposition());
+  auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  observe::local_counters().on_split(depth);
+  pool.invoke_two(
+      [&] {
+        run_forkjoin_into(pool, f, left_in, left_out, left_ctx, leaf_size,
+                          depth + 1);
+      },
+      [&] {
+        run_forkjoin_into(pool, f, right_in, right_out, right_ctx, leaf_size,
+                          depth + 1);
+      });
+  // No combine phase: both halves wrote disjoint windows of `out`.
+}
+
 }  // namespace detail
 
 /// Depth-first sequential execution. The view parameter is deduced from
@@ -122,6 +165,40 @@ R execute_forkjoin(forkjoin::ForkJoinPool& pool,
   PowerListView<const std::remove_const_t<TV>> view(input);
   return pool.run(
       [&] { return detail::run_forkjoin(pool, f, view, ctx, leaf_size); });
+}
+
+/// Depth-first sequential destination-passing execution: split input and
+/// destination together, let every leaf write its final window. `out`
+/// must be similar to `input` and not alias it.
+template <typename TV, typename U, typename Ctx>
+void execute_sequential_into(
+    const InplacePowerFunction<std::remove_const_t<TV>, U, Ctx>& f,
+    PowerListView<TV> input, PowerListView<U> out, Ctx ctx = Ctx{},
+    std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  PLS_CHECK(input.similar(out),
+            "destination must be similar to the input PowerList");
+  detail::run_sequential_into(
+      f, PowerListView<const std::remove_const_t<TV>>(input), out, ctx,
+      leaf_size);
+}
+
+/// Parallel destination-passing execution on a fork-join pool: the
+/// executor-side analogue of the sized-sink collect — leaves write
+/// concurrently into disjoint windows of `out`, and there is no combine
+/// phase at all. `out` must be similar to `input` and not alias it.
+template <typename TV, typename U, typename Ctx>
+void execute_forkjoin_into(
+    forkjoin::ForkJoinPool& pool,
+    const InplacePowerFunction<std::remove_const_t<TV>, U, Ctx>& f,
+    PowerListView<TV> input, PowerListView<U> out, Ctx ctx = Ctx{},
+    std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  PLS_CHECK(input.similar(out),
+            "destination must be similar to the input PowerList");
+  PowerListView<const std::remove_const_t<TV>> view(input);
+  pool.run(
+      [&] { detail::run_forkjoin_into(pool, f, view, out, ctx, leaf_size); });
 }
 
 /// Structural statistics of one execution: how the skeleton actually

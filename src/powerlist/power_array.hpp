@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "observe/counters.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 #include "powerlist/view.hpp"
@@ -31,12 +32,22 @@ class PowerArray {
   explicit PowerArray(std::vector<T> values) : values_(std::move(values)) {}
   PowerArray(std::initializer_list<T> values) : values_(values) {}
 
+  /// Adopt a fully materialised buffer (the destination-passing collect
+  /// builds the whole vector in place and hands it over here — no
+  /// per-element adds and no tie_all/zip_all combines).
+  static PowerArray adopt(std::vector<T> values) {
+    return PowerArray(std::move(values));
+  }
+
   /// Append one element (the accumulator of the collect template method).
   void add(const T& value) { values_.push_back(value); }
   void add(T&& value) { values_.push_back(std::move(value)); }
 
   /// tie construction: append all of `other` after this (p | q).
   void tie_all(PowerArray& other) {
+    observe::local_counters().on_bytes_moved(other.values_.size() *
+                                             sizeof(T));
+    values_.reserve(values_.size() + other.values_.size());
     values_.insert(values_.end(),
                    std::make_move_iterator(other.values_.begin()),
                    std::make_move_iterator(other.values_.end()));
@@ -45,16 +56,26 @@ class PowerArray {
 
   /// zip construction: interleave `other` with this (p ⋈ q). Requires
   /// similar (equal-length) arguments, as the PowerList algebra does.
+  /// Interleaves into a scratch buffer that persists across calls: in a
+  /// combine tree the left accumulator zips once per level, so after the
+  /// first few levels the scratch is grown rather than freshly allocated.
   void zip_all(PowerArray& other) {
     PLS_CHECK(values_.size() == other.values_.size(),
               "zip_all requires similar PowerLists");
-    std::vector<T> zipped;
-    zipped.reserve(values_.size() * 2);
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-      zipped.push_back(std::move(values_[i]));
-      zipped.push_back(std::move(other.values_[i]));
+    const std::size_t n = values_.size();
+    observe::local_counters().on_bytes_moved(2 * n * sizeof(T));
+    if (scratch_.capacity() < 2 * n) {
+      observe::local_counters().on_allocation();
+      scratch_.reserve(2 * n);
     }
-    values_ = std::move(zipped);
+    scratch_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch_.push_back(std::move(values_[i]));
+      scratch_.push_back(std::move(other.values_[i]));
+    }
+    // Swap rather than assign: the old element buffer becomes the next
+    // scratch, so successive zips recycle storage in both directions.
+    values_.swap(scratch_);
     other.values_.clear();
   }
 
@@ -81,6 +102,8 @@ class PowerArray {
 
  private:
   std::vector<T> values_;
+  /// Reused interleave buffer for zip_all (see the method comment).
+  std::vector<T> scratch_;
 };
 
 }  // namespace pls::powerlist

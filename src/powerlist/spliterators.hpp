@@ -29,8 +29,16 @@ namespace pls::powerlist {
 
 /// Base for PowerList spliterators: a strided view (start, incr, count)
 /// over shared storage, plus the POWER2 characteristic.
+///
+/// The (start, incr, count) triple doubles as the destination window of
+/// the destination-passing collect (streams::WindowedSource): the root's
+/// encounter order is storage order, and both split rules transform the
+/// triple exactly the way the result positions partition — tie keeps the
+/// stride and halves the count, zip doubles the stride — so a leaf's
+/// source window *is* its output window.
 template <typename T>
-class SpliteratorPower2 : public streams::Spliterator<T> {
+class SpliteratorPower2 : public streams::Spliterator<T>,
+                          public streams::WindowedSource {
  public:
   using Action = typename streams::Spliterator<T>::Action;
 
@@ -66,6 +74,10 @@ class SpliteratorPower2 : public streams::Spliterator<T> {
                                  streams::kSubsized | streams::kImmutable;
     if (is_power_of_two(count_)) c |= streams::kPower2;
     return c;
+  }
+
+  std::optional<streams::OutputWindow> try_output_window() const override {
+    return streams::OutputWindow{start_, incr_, count_};
   }
 
   std::size_t start() const noexcept { return start_; }

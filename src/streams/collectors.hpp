@@ -16,19 +16,16 @@
 #include <vector>
 
 #include "streams/collector.hpp"
+#include "streams/sized_sink.hpp"
 
 namespace pls::streams::collectors {
 
-/// Collect all elements into a std::vector, in encounter order.
+/// Collect all elements into a std::vector, in encounter order. The
+/// returned collector implements the sized-sink protocol, so it takes the
+/// destination-passing path whenever the source qualifies.
 template <typename T>
 auto to_vector() {
-  return make_collector<T>(
-      [] { return std::vector<T>{}; },
-      [](std::vector<T>& acc, const T& v) { acc.push_back(v); },
-      [](std::vector<T>& left, std::vector<T>& right) {
-        left.insert(left.end(), std::make_move_iterator(right.begin()),
-                    std::make_move_iterator(right.end()));
-      });
+  return VectorCollector<T>{};
 }
 
 /// Collect into a std::set (sorted, deduplicated).

@@ -9,6 +9,16 @@
 // on. try_split returns the *prefix*, so the left child of every fork is
 // the earlier half: combining left <- right preserves encounter order for
 // non-commutative combiners.
+//
+// collect has a second execution model, destination-passing style (DPS):
+// when the collector is a sized sink (streams/sized_sink.hpp) and the
+// source is SIZED|SUBSIZED, windowed (WindowedSource) and power-of-two
+// sized, evaluate_collect allocates the result exactly once, threads each
+// chunk's destination window down the split tree, and every leaf writes
+// its elements straight to their final positions — the combine phase
+// becomes a no-op join, dropping combine-phase data movement from
+// O(n log n) to zero (docs/execution.md). Sources or collectors that do
+// not qualify take the supplier/combiner path unchanged.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +29,10 @@
 #include "observe/counters.hpp"
 #include "observe/trace.hpp"
 #include "streams/collector.hpp"
+#include "streams/sized_sink.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
+#include "support/bits.hpp"
 
 namespace pls::streams {
 
@@ -31,6 +43,10 @@ struct ExecutionConfig {
   /// Split until chunks are at most this size; 0 selects the Java-style
   /// default, estimate_size / (4 * parallelism).
   std::uint64_t min_chunk = 0;
+  /// Permit the destination-passing (sized-sink) collect path when source
+  /// and collector qualify. Off forces the supplier/combiner path — used
+  /// by the fallback-equivalence tests and the A/B benches.
+  bool sized_sink = true;
 
   forkjoin::ForkJoinPool& effective_pool() const {
     return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
@@ -58,6 +74,7 @@ typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c) {
   observe::Span span(observe::EventKind::kAccumulate, elems);
   observe::local_counters().on_leaf(elems);
   auto acc = c.supply();
+  observe::local_counters().on_allocation();
   sp.for_each_remaining(
       [&](const T& value) { c.accumulate(acc, value); });
   return acc;
@@ -89,6 +106,73 @@ typename C::accumulation_type collect_tree(forkjoin::ForkJoinPool& pool,
   return std::move(*left);
 }
 
+/// Admission check for the destination-passing collect: the source must be
+/// exactly sized, keep exact sizes through splits, name a destination
+/// window consistent with its size, and hold a power of two elements (the
+/// shape whose tie/zip splits the window arithmetic mirrors; anything else
+/// collects through the supplier/combiner path).
+template <typename T>
+std::optional<OutputWindow> sized_sink_window(const Spliterator<T>& sp) {
+  if (!sp.has(kSized | kSubsized)) return std::nullopt;
+  auto w = output_window_of(sp);
+  if (!w.has_value()) return std::nullopt;
+  if (w->count != sp.estimate_size()) return std::nullopt;
+  if (!is_power_of_two(w->count)) return std::nullopt;
+  return w;
+}
+
+template <typename T, typename C>
+  requires SizedSinkCollector<C, T>
+void collect_into_leaf(Spliterator<T>& sp, const C& c,
+                       typename C::sized_accumulation_type& sink,
+                       const OutputWindow& root) {
+  const auto w = output_window_of(sp);
+  PLS_CHECK(w.has_value(),
+            "windowed SUBSIZED source split into a non-windowed chunk");
+  // Rebase this chunk's window against the root's: the source may itself
+  // be a strided sub-window (e.g. a zip-split product), but the result
+  // buffer is indexed 0..root.count in root strides.
+  const std::uint64_t base = (w->start - root.start) / root.incr;
+  const std::uint64_t step = w->incr / root.incr;
+  PLS_CHECK(w->count == 0 || base + (w->count - 1) * step < root.count,
+            "destination window exceeds the result buffer");
+  const std::uint64_t elems = countable_size(sp);
+  observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::local_counters().on_leaf(elems);
+  std::uint64_t k = 0;
+  sp.for_each_remaining([&](const T& value) {
+    c.accumulate_at(sink, base + k * step, value);
+    ++k;
+  });
+  PLS_CHECK(k == w->count, "chunk yielded a different count than its window");
+}
+
+template <typename T, typename C>
+  requires SizedSinkCollector<C, T>
+void collect_into_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
+                       const C& c, typename C::sized_accumulation_type& sink,
+                       const OutputWindow& root, std::uint64_t target,
+                       unsigned depth = 0) {
+  if (sp.estimate_size() <= target) {
+    collect_into_leaf(sp, c, sink, root);
+    return;
+  }
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    return sp.try_split();
+  }();
+  if (!prefix) {
+    collect_into_leaf(sp, c, sink, root);
+    return;
+  }
+  observe::local_counters().on_split(depth);
+  pool.invoke_two(
+      [&] { collect_into_tree(pool, *prefix, c, sink, root, target, depth + 1); },
+      [&] { collect_into_tree(pool, sp, c, sink, root, target, depth + 1); });
+  // The join is a true no-op: both children wrote disjoint windows of
+  // `sink`, so nothing is combined, counted, or moved on the way up.
+}
+
 template <typename T, typename Op>
 std::optional<T> reduce_leaf(Spliterator<T>& sp, const Op& op) {
   std::optional<T> acc;
@@ -110,7 +194,10 @@ std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
     observe::local_counters().on_leaf(countable_size(sp));
     return reduce_leaf(sp, op);
   }
-  auto prefix = sp.try_split();
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    return sp.try_split();
+  }();
   if (!prefix) {
     observe::local_counters().on_leaf(countable_size(sp));
     return reduce_leaf(sp, op);
@@ -136,7 +223,10 @@ void for_each_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
-  auto prefix = sp.try_split();
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    return sp.try_split();
+  }();
   if (!prefix) {
     observe::local_counters().on_leaf(countable_size(sp));
     sp.for_each_remaining([&](const T& value) { fn(value); });
@@ -156,7 +246,10 @@ std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
     observe::local_counters().on_leaf(n);
     return n;
   }
-  auto prefix = sp.try_split();
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    return sp.try_split();
+  }();
   if (!prefix) {
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
@@ -172,11 +265,46 @@ std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
 
 }  // namespace detail
 
-/// Run a full mutable reduction over the spliterator.
+/// Run a mutable reduction in destination-passing style: acquire the sized
+/// sink exactly once, walk the split tree threading each chunk's output
+/// window, and let every leaf write its elements to their final positions.
+/// `root` must be the window the source reported for the whole input
+/// (evaluate_collect performs the admission checks and calls this; invoke
+/// directly only when both are already known to hold). In parallel mode
+/// the sink is written concurrently — always at distinct positions.
+template <typename T, typename C>
+  requires SizedSinkCollector<C, T>
+typename C::result_type evaluate_collect_into(Spliterator<T>& sp, const C& c,
+                                              const OutputWindow& root,
+                                              bool parallel,
+                                              const ExecutionConfig& cfg = {}) {
+  auto sink = c.supply_sized(root.count);
+  if (!parallel) {
+    detail::collect_into_leaf(sp, c, sink, root);
+  } else {
+    auto& pool = cfg.effective_pool();
+    const std::uint64_t target =
+        cfg.target_size(root.count, pool.parallelism());
+    pool.run([&] { detail::collect_into_tree(pool, sp, c, sink, root, target); });
+  }
+  return c.finish_sized(std::move(sink));
+}
+
+/// Run a full mutable reduction over the spliterator. Prefers the
+/// destination-passing path when the collector is a sized sink and the
+/// source qualifies (see detail::sized_sink_window); otherwise — or when
+/// cfg.sized_sink is off — runs the classic supplier/combiner reduction.
 template <typename T, typename C>
 typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
                                          bool parallel,
                                          const ExecutionConfig& cfg = {}) {
+  if constexpr (SizedSinkCollector<C, T>) {
+    if (cfg.sized_sink) {
+      if (auto root = detail::sized_sink_window(sp)) {
+        return evaluate_collect_into(sp, c, *root, parallel, cfg);
+      }
+    }
+  }
   if (!parallel) {
     return c.finish(detail::collect_leaf(sp, c));
   }

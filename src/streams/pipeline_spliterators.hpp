@@ -15,9 +15,10 @@
 
 namespace pls::streams {
 
-/// map: applies Fn(T) -> U to each element.
+/// map: applies Fn(T) -> U to each element. Maps 1:1 in encounter order,
+/// so it passes the upstream's destination window straight through.
 template <typename U, typename T, typename Fn>
-class MapSpliterator final : public Spliterator<U> {
+class MapSpliterator final : public Spliterator<U>, public WindowedSource {
  public:
   using Action = typename Spliterator<U>::Action;
 
@@ -52,6 +53,10 @@ class MapSpliterator final : public Spliterator<U> {
   Characteristics characteristics() const override {
     // Mapping preserves size and order but not sortedness/distinctness.
     return upstream_->characteristics() & ~(kSorted | kDistinct);
+  }
+
+  std::optional<OutputWindow> try_output_window() const override {
+    return output_window_of(*upstream_);
   }
 
  private:
@@ -115,9 +120,10 @@ class FilterSpliterator final : public Spliterator<T> {
   std::shared_ptr<const Pred> pred_;
 };
 
-/// peek: invokes a side-effecting observer, passes elements through.
+/// peek: invokes a side-effecting observer, passes elements through
+/// (including the upstream's destination window).
 template <typename T, typename Fn>
-class PeekSpliterator final : public Spliterator<T> {
+class PeekSpliterator final : public Spliterator<T>, public WindowedSource {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -155,6 +161,10 @@ class PeekSpliterator final : public Spliterator<T> {
 
   Characteristics characteristics() const override {
     return upstream_->characteristics();
+  }
+
+  std::optional<OutputWindow> try_output_window() const override {
+    return output_window_of(*upstream_);
   }
 
  private:

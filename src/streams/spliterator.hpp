@@ -17,11 +17,44 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "streams/characteristics.hpp"
 #include "support/function_ref.hpp"
 
 namespace pls::streams {
+
+/// A strided destination window: element j of a chunk (in the chunk's
+/// encounter order) belongs at result position start + j * incr. Windows
+/// are reported in the coordinates of the *source* spliterator's own
+/// window; the destination-passing evaluator rebases them against the
+/// root's window before writing (streams/parallel_eval.hpp).
+struct OutputWindow {
+  std::uint64_t start = 0;
+  std::uint64_t incr = 1;
+  std::uint64_t count = 0;
+};
+
+/// Mixin interface for spliterators that can name where their elements
+/// land in the final result — the enabling contract of the
+/// destination-passing collect (docs/execution.md). A SIZED|SUBSIZED
+/// windowed spliterator must produce windowed split products whose windows
+/// partition the parent's: tie splits hand the prefix the first half of
+/// the window (same stride), zip splits hand it the even positions
+/// (stride doubled), exactly mirroring how SpliteratorPower2 transforms
+/// its (start, incr, count) triple. Wrappers that merely map values 1:1
+/// (e.g. MapSpliterator) delegate to their upstream; sources that cannot
+/// name a window return nullopt and collect through the legacy
+/// supplier/combiner path.
+class WindowedSource {
+ public:
+  virtual ~WindowedSource() = default;
+
+  /// This spliterator's current destination window, or nullopt when the
+  /// source cannot provide one (e.g. a wrapper over a non-windowed
+  /// upstream).
+  virtual std::optional<OutputWindow> try_output_window() const = 0;
+};
 
 template <typename T>
 class Spliterator {
@@ -60,5 +93,15 @@ class Spliterator {
     return has_characteristics(characteristics(), wanted);
   }
 };
+
+/// The destination window of an arbitrary spliterator, or nullopt when it
+/// is not a WindowedSource (or cannot currently name one). Used both by
+/// the destination-passing evaluator and by 1:1 wrappers delegating to
+/// their upstream.
+template <typename T>
+std::optional<OutputWindow> output_window_of(const Spliterator<T>& sp) {
+  const auto* w = dynamic_cast<const WindowedSource*>(&sp);
+  return w != nullptr ? w->try_output_window() : std::nullopt;
+}
 
 }  // namespace pls::streams

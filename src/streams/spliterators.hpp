@@ -18,7 +18,7 @@ namespace pls::streams {
 /// Spliterator over a contiguous [begin, end) window of a shared vector.
 /// try_split carves off the first half ("segment" splitting, Section IV-A).
 template <typename T>
-class ArraySpliterator final : public Spliterator<T> {
+class ArraySpliterator final : public Spliterator<T>, public WindowedSource {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -64,6 +64,10 @@ class ArraySpliterator final : public Spliterator<T> {
     return kOrdered | kSized | kSubsized | kImmutable;
   }
 
+  std::optional<OutputWindow> try_output_window() const override {
+    return OutputWindow{begin_, 1, end_ - begin_};
+  }
+
  private:
   std::shared_ptr<const std::vector<T>> data_;
   std::size_t begin_;
@@ -72,7 +76,7 @@ class ArraySpliterator final : public Spliterator<T> {
 
 /// Spliterator over the integer range [begin, end).
 template <typename I>
-class RangeSpliterator final : public Spliterator<I> {
+class RangeSpliterator final : public Spliterator<I>, public WindowedSource {
  public:
   using Action = typename Spliterator<I>::Action;
 
@@ -108,6 +112,13 @@ class RangeSpliterator final : public Spliterator<I> {
     return kOrdered | kSized | kSubsized | kImmutable | kDistinct | kSorted;
   }
 
+  std::optional<OutputWindow> try_output_window() const override {
+    // Window coordinates are the range values themselves; unsigned
+    // wrap-around for negative I cancels in the evaluator's rebasing.
+    return OutputWindow{static_cast<std::uint64_t>(begin_), 1,
+                        static_cast<std::uint64_t>(end_ - begin_)};
+  }
+
  private:
   I begin_;
   I end_;
@@ -116,7 +127,8 @@ class RangeSpliterator final : public Spliterator<I> {
 /// Spliterator producing f(i) for i in [begin, end) — a sized generator
 /// (the analogue of IntStream.range(...).mapToObj(f) fused at the source).
 template <typename T, typename Fn>
-class GenerateSpliterator final : public Spliterator<T> {
+class GenerateSpliterator final : public Spliterator<T>,
+                                  public WindowedSource {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -152,6 +164,10 @@ class GenerateSpliterator final : public Spliterator<T> {
 
   Characteristics characteristics() const override {
     return kOrdered | kSized | kSubsized | kImmutable;
+  }
+
+  std::optional<OutputWindow> try_output_window() const override {
+    return OutputWindow{begin_, 1, end_ - begin_};
   }
 
  private:

@@ -265,6 +265,14 @@ class Stream {
     return std::move(*this);
   }
 
+  /// Allow or forbid the destination-passing collect path (on by
+  /// default; see docs/execution.md). Off forces every collect through
+  /// the supplier/combiner reduction.
+  Stream<T>&& with_sized_sink(bool enabled) && {
+    config_.sized_sink = enabled;
+    return std::move(*this);
+  }
+
   // ---- intermediate operations (consume the stream) ------------------
 
   template <typename Fn>
@@ -394,7 +402,7 @@ class Stream {
   }
 
   std::vector<T> to_vector() && {
-    return evaluate_collect(*source_, collectors_to_vector(), parallel_,
+    return evaluate_collect(*source_, VectorCollector<T>{}, parallel_,
                             config_);
   }
 
@@ -464,17 +472,6 @@ class Stream {
     Stream<U> out(std::move(source), parallel_);
     out.config_ = config_;
     return out;
-  }
-
-  // collectors::to_vector without including collectors.hpp (cycle-free).
-  static auto collectors_to_vector() {
-    return make_collector<T>(
-        [] { return std::vector<T>{}; },
-        [](std::vector<T>& acc, const T& v) { acc.push_back(v); },
-        [](std::vector<T>& left, std::vector<T>& right) {
-          left.insert(left.end(), std::make_move_iterator(right.begin()),
-                      std::make_move_iterator(right.end()));
-        });
   }
 
   template <typename U>

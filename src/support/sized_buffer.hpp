@@ -1,0 +1,150 @@
+// SizedBuffer<T>: uninitialized, exactly-sized element storage for
+// destination-passing collects (docs/execution.md).
+//
+// The destination-passing (DPS) execution path allocates the result buffer
+// once, up front, and lets every leaf of the split tree construct its
+// elements directly into its output window. std::vector cannot express
+// that ("sized but uninitialized" is not a vector state), so this class
+// provides the missing primitive:
+//   - one allocation of raw storage for exactly n elements;
+//   - placement-new construction per slot (construct(i, args...)), safe to
+//     call concurrently for distinct slots;
+//   - exception-safe teardown: the destructor destroys exactly the slots
+//     that were constructed, even if an accumulator threw half-way through
+//     a leaf while other leaves completed theirs.
+// For trivially destructible T the bookkeeping collapses to nothing; for
+// other types each slot carries a one-byte constructed flag (its own
+// allocation, made once alongside the storage).
+//
+// take_vector() moves the fully constructed contents into a std::vector —
+// the escape hatch for result types that must be vectors when T is not
+// default-constructible (default-constructible sinks use a vector
+// directly and skip this class; see streams/sized_sink.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace pls {
+
+template <typename T>
+class SizedBuffer {
+ public:
+  explicit SizedBuffer(std::size_t n)
+      : storage_(n == 0
+                     ? nullptr
+                     : static_cast<T*>(::operator new(
+                           n * sizeof(T), std::align_val_t{alignof(T)}))),
+        size_(n) {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      if (n != 0) {
+        flags_ = std::make_unique<std::atomic<unsigned char>[]>(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          flags_[i].store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  SizedBuffer(SizedBuffer&& other) noexcept
+      : storage_(std::exchange(other.storage_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        constructed_(other.constructed_.exchange(0)),
+        flags_(std::move(other.flags_)) {}
+
+  SizedBuffer& operator=(SizedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy_and_free();
+      storage_ = std::exchange(other.storage_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      constructed_.store(other.constructed_.exchange(0));
+      flags_ = std::move(other.flags_);
+    }
+    return *this;
+  }
+
+  SizedBuffer(const SizedBuffer&) = delete;
+  SizedBuffer& operator=(const SizedBuffer&) = delete;
+
+  ~SizedBuffer() { destroy_and_free(); }
+
+  std::size_t size() const noexcept { return size_; }
+  T* data() noexcept { return storage_; }
+  const T* data() const noexcept { return storage_; }
+
+  /// Construct the element of slot `i` in place. Each slot must be
+  /// constructed at most once; distinct slots may be constructed from
+  /// different threads concurrently.
+  template <typename... Args>
+  void construct(std::size_t i, Args&&... args) {
+    PLS_ASSERT(i < size_);
+    ::new (static_cast<void*>(storage_ + i)) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      PLS_ASSERT(flags_[i].load(std::memory_order_relaxed) == 0);
+      flags_[i].store(1, std::memory_order_release);
+    }
+    constructed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// The constructed element of slot `i` (only valid after construct(i)).
+  T& operator[](std::size_t i) noexcept { return storage_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return storage_[i]; }
+
+  /// Number of slots constructed so far.
+  std::size_t constructed() const noexcept {
+    return constructed_.load(std::memory_order_acquire);
+  }
+
+  bool fully_constructed() const noexcept { return constructed() == size_; }
+
+  /// Move the fully constructed contents out into a vector, leaving this
+  /// buffer empty. One allocation plus one O(n) move pass.
+  std::vector<T> take_vector() && {
+    PLS_CHECK(fully_constructed(),
+              "take_vector requires every slot constructed");
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(std::move(storage_[i]));
+    }
+    destroy_and_free();
+    return out;
+  }
+
+ private:
+  void destroy_and_free() noexcept {
+    if (storage_ == nullptr) return;
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      const std::size_t alive = constructed_.load(std::memory_order_acquire);
+      if (alive == size_) {
+        for (std::size_t i = 0; i < size_; ++i) storage_[i].~T();
+      } else if (alive != 0) {
+        for (std::size_t i = 0; i < size_; ++i) {
+          if (flags_[i].load(std::memory_order_acquire) != 0) {
+            storage_[i].~T();
+          }
+        }
+      }
+    }
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+    storage_ = nullptr;
+    size_ = 0;
+    constructed_.store(0, std::memory_order_relaxed);
+    flags_.reset();
+  }
+
+  T* storage_ = nullptr;
+  std::size_t size_ = 0;
+  std::atomic<std::size_t> constructed_{0};
+  /// Per-slot constructed flags; allocated only when ~T is non-trivial.
+  std::unique_ptr<std::atomic<unsigned char>[]> flags_;
+};
+
+}  // namespace pls

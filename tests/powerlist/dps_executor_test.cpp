@@ -1,0 +1,200 @@
+// Destination-passing execution in the PowerList layer: the _into
+// executors over InplacePowerFunction, the sized-sink PowerArray
+// collectors, PowerArray::adopt, and the zip_all scratch reuse.
+#include "powerlist/executors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "powerlist/collector_functions.hpp"
+#include "powerlist/function.hpp"
+#include "powerlist/power_array.hpp"
+#include "powerlist/spliterators.hpp"
+#include "powerlist/view.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::forkjoin::ForkJoinPool;
+using pls::observe::aggregate_counters;
+using pls::observe::CounterTotals;
+using pls::observe::kEnabled;
+using pls::powerlist::DecompositionOp;
+using pls::powerlist::execute_forkjoin_into;
+using pls::powerlist::execute_sequential_into;
+using pls::powerlist::InplacePowerFunction;
+using pls::powerlist::NoContext;
+using pls::powerlist::PowerArray;
+using pls::powerlist::PowerListView;
+using pls::powerlist::TieSpliterator;
+using pls::powerlist::ZipSpliterator;
+
+std::vector<int> test_data(std::size_t n) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int>((i * 2654435761u) % 1000);
+  }
+  return v;
+}
+
+// ---- InplacePowerFunction + the _into executors ----------------------
+
+/// Elementwise affine map written in destination-passing style.
+class AffineInto final : public InplacePowerFunction<int> {
+ public:
+  AffineInto(DecompositionOp op, int scale, int shift)
+      : op_(op), scale_(scale), shift_(shift) {}
+
+  DecompositionOp decomposition() const override { return op_; }
+
+  void basic_case_into(PowerListView<const int> leaf, PowerListView<int> out,
+                       const NoContext&) const override {
+    for (std::size_t i = 0; i < leaf.length(); ++i) {
+      out[i] = leaf[i] * scale_ + shift_;
+    }
+  }
+
+ private:
+  DecompositionOp op_;
+  int scale_;
+  int shift_;
+};
+
+class IntoExecutors : public ::testing::TestWithParam<DecompositionOp> {};
+
+TEST_P(IntoExecutors, SequentialWritesFinalPositions) {
+  const auto input = test_data(64);
+  std::vector<int> output(64, -1);
+  AffineInto f(GetParam(), 3, 7);
+  execute_sequential_into(f, pls::powerlist::view_of(input),
+                          pls::powerlist::view_of(output), NoContext{},
+                          /*leaf_size=*/4);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(output[i], input[i] * 3 + 7);
+  }
+}
+
+TEST_P(IntoExecutors, ForkJoinMatchesSequential) {
+  const auto input = test_data(1 << 10);
+  std::vector<int> seq(input.size(), 0);
+  std::vector<int> par(input.size(), 0);
+  AffineInto f(GetParam(), 5, -2);
+  execute_sequential_into(f, pls::powerlist::view_of(input),
+                          pls::powerlist::view_of(seq), NoContext{}, 8);
+  ForkJoinPool pool(2);
+  const CounterTotals before = aggregate_counters();
+  execute_forkjoin_into(pool, f, pls::powerlist::view_of(input),
+                        pls::powerlist::view_of(par), NoContext{}, 8);
+  const CounterTotals delta = aggregate_counters() - before;
+  EXPECT_EQ(par, seq);
+  if (kEnabled) {
+    EXPECT_EQ(delta.combines, 0u)
+        << "destination-passing execution has no combine phase";
+    EXPECT_GT(delta.splits, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOps, IntoExecutors,
+                         ::testing::Values(DecompositionOp::kTie,
+                                           DecompositionOp::kZip));
+
+// ---- sized-sink PowerArray collectors --------------------------------
+
+TEST(PowerArrayDps, ZipIdentityReconstructsWithoutCombines) {
+  auto data =
+      std::make_shared<const std::vector<int>>(test_data(1 << 8));
+  auto sp = std::make_unique<ZipSpliterator<int>>(data);
+  auto stream = pls::streams::stream_support::from_spliterator<int>(
+      std::move(sp), /*parallel=*/true);
+  const CounterTotals before = aggregate_counters();
+  auto pa = std::move(stream).with_min_chunk(16).collect(
+      pls::powerlist::to_power_array_zip<int>());
+  const CounterTotals delta = aggregate_counters() - before;
+  ASSERT_EQ(pa.size(), data->size());
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    EXPECT_EQ(pa[i], (*data)[i]);
+  }
+  if (kEnabled) {
+    EXPECT_EQ(delta.combines, 0u);
+    EXPECT_EQ(delta.bytes_moved, 0u);
+    EXPECT_EQ(delta.allocations, 1u);
+  }
+}
+
+TEST(PowerArrayDps, TieIdentityMatchesLegacyPath) {
+  auto data =
+      std::make_shared<const std::vector<int>>(test_data(1 << 8));
+  auto collect_with = [&](bool sized_sink) {
+    auto sp = std::make_unique<TieSpliterator<int>>(data);
+    auto stream = pls::streams::stream_support::from_spliterator<int>(
+        std::move(sp), /*parallel=*/true);
+    return std::move(stream)
+        .with_min_chunk(16)
+        .with_sized_sink(sized_sink)
+        .collect(pls::powerlist::to_power_array_tie<int>());
+  };
+  const auto dps = collect_with(true);
+  const auto legacy = collect_with(false);
+  EXPECT_EQ(dps, legacy);
+  EXPECT_EQ(dps.values(), *data);
+}
+
+TEST(PowerArrayDps, MapCollectorAppliesFunctionInPlace) {
+  auto data =
+      std::make_shared<const std::vector<int>>(test_data(1 << 8));
+  auto sp = std::make_unique<ZipSpliterator<int>>(data);
+  auto stream = pls::streams::stream_support::from_spliterator<int>(
+      std::move(sp), /*parallel=*/true);
+  auto pa = std::move(stream).collect(
+      pls::powerlist::power_map_collector<int>(
+          [](int v) { return v * v; }, DecompositionOp::kZip));
+  ASSERT_EQ(pa.size(), data->size());
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    EXPECT_EQ(pa[i], (*data)[i] * (*data)[i]);
+  }
+}
+
+// ---- PowerArray mechanics --------------------------------------------
+
+TEST(PowerArrayDps, AdoptTakesBufferVerbatim) {
+  auto pa = PowerArray<int>::adopt({1, 2, 3, 4});
+  EXPECT_EQ(pa.size(), 4u);
+  EXPECT_TRUE(pa.is_power_list());
+  EXPECT_EQ(pa.values(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(PowerArrayDps, RepeatedZipAllStaysCorrectWithScratchReuse) {
+  // Build 1..16 by three successive zips on the same accumulator, the
+  // pattern a combine tree produces — exercises the recycled scratch.
+  PowerArray<int> acc{1, 3};
+  PowerArray<int> b{2, 4};
+  acc.zip_all(b);
+  EXPECT_EQ(acc.values(), (std::vector<int>{1, 2, 3, 4}));
+  PowerArray<int> c{10, 20, 30, 40};
+  acc.zip_all(c);
+  EXPECT_EQ(acc.values(),
+            (std::vector<int>{1, 10, 2, 20, 3, 30, 4, 40}));
+  PowerArray<int> d{5, 6, 7, 8, 9, 11, 12, 13};
+  acc.zip_all(d);
+  ASSERT_EQ(acc.size(), 16u);
+  EXPECT_EQ(acc[0], 1);
+  EXPECT_EQ(acc[1], 5);
+  EXPECT_EQ(acc[2], 10);
+  EXPECT_EQ(acc[15], 13);
+}
+
+TEST(PowerArrayDps, WalshHadamardDpsMatchesLegacy) {
+  std::vector<double> values{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto par =
+      pls::powerlist::walsh_hadamard_stream<double>(values, true);
+  const auto seq =
+      pls::powerlist::walsh_hadamard_stream<double>(values, false);
+  EXPECT_EQ(par, seq);
+}
+
+}  // namespace

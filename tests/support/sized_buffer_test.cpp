@@ -1,0 +1,101 @@
+// SizedBuffer: uninitialized exactly-sized storage for the
+// destination-passing collect — construction, adoption into vectors, and
+// exception-safe teardown of partially filled buffers.
+#include "support/sized_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using pls::SizedBuffer;
+
+TEST(SizedBuffer, TrivialTypeFillAndTake) {
+  SizedBuffer<int> buf(8);
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_FALSE(buf.fully_constructed());
+  for (std::size_t i = 0; i < 8; ++i) buf.construct(i, static_cast<int>(i));
+  EXPECT_TRUE(buf.fully_constructed());
+  const std::vector<int> out = std::move(buf).take_vector();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(buf.size(), 0u);  // emptied by take_vector
+}
+
+TEST(SizedBuffer, NonTrivialTypeFillAndTake) {
+  SizedBuffer<std::string> buf(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf.construct(i, std::string(3, static_cast<char>('a' + i)));
+  }
+  EXPECT_EQ(buf[2], "ccc");
+  const std::vector<std::string> out = std::move(buf).take_vector();
+  EXPECT_EQ(out, (std::vector<std::string>{"aaa", "bbb", "ccc", "ddd"}));
+}
+
+TEST(SizedBuffer, OutOfOrderConstruction) {
+  SizedBuffer<std::string> buf(4);
+  buf.construct(3, "d");
+  buf.construct(1, "b");
+  buf.construct(0, "a");
+  buf.construct(2, "c");
+  EXPECT_EQ(std::move(buf).take_vector(),
+            (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+// Destroying a partially constructed buffer must run destructors for
+// exactly the constructed slots — tracked with shared_ptr use counts.
+TEST(SizedBuffer, PartialDestructionRunsOnlyConstructedSlots) {
+  auto token = std::make_shared<int>(42);
+  {
+    SizedBuffer<std::shared_ptr<int>> buf(8);
+    buf.construct(1, token);
+    buf.construct(6, token);
+    EXPECT_EQ(token.use_count(), 3);
+    // Buffer destroyed here with 6 slots never constructed.
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SizedBuffer, MoveTransfersOwnership) {
+  SizedBuffer<std::string> a(2);
+  a.construct(0, "x");
+  a.construct(1, "y");
+  SizedBuffer<std::string> b(std::move(a));
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_TRUE(b.fully_constructed());
+  EXPECT_EQ(std::move(b).take_vector(),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(SizedBuffer, ConcurrentConstructionOfDistinctSlots) {
+  constexpr std::size_t kN = 1 << 12;
+  SizedBuffer<std::string> buf(kN);
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&buf, t] {
+      for (std::size_t i = t; i < kN; i += kThreads) {
+        buf.construct(i, std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_TRUE(buf.fully_constructed());
+  const auto out = std::move(buf).take_vector();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(out[i], std::to_string(i));
+  }
+}
+
+TEST(SizedBuffer, ZeroSized) {
+  SizedBuffer<std::string> buf(0);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.fully_constructed());
+  EXPECT_TRUE(std::move(buf).take_vector().empty());
+}
+
+}  // namespace
