@@ -21,6 +21,23 @@
 #include "support/assert.hpp"
 #include "support/bits.hpp"
 
+// ThreadSanitizer does not model std::atomic_thread_fence, so the
+// fence-based slot publication below (push: release fence + relaxed store;
+// steal: seq_cst fence + relaxed load) is invisible to it and every stolen
+// task would be reported as racing with its own construction. Under TSan
+// the slot accesses are strengthened to release/acquire — strictly
+// stronger than the PPoPP'13 orderings, so it cannot mask a real race.
+#if defined(__SANITIZE_THREAD__)
+#define PLS_DEQUE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PLS_DEQUE_TSAN 1
+#endif
+#endif
+#ifndef PLS_DEQUE_TSAN
+#define PLS_DEQUE_TSAN 0
+#endif
+
 namespace pls::forkjoin {
 
 class RawTask;
@@ -115,14 +132,19 @@ class WorkStealingDeque {
 
     std::size_t capacity() const { return mask_ + 1; }
 
+    static constexpr std::memory_order kPutOrder =
+        PLS_DEQUE_TSAN ? std::memory_order_release
+                       : std::memory_order_relaxed;
+    static constexpr std::memory_order kGetOrder =
+        PLS_DEQUE_TSAN ? std::memory_order_acquire
+                       : std::memory_order_relaxed;
+
     void put(std::int64_t index, RawTask* task) {
-      slots_[static_cast<std::size_t>(index) & mask_].store(
-          task, std::memory_order_relaxed);
+      slots_[static_cast<std::size_t>(index) & mask_].store(task, kPutOrder);
     }
 
     RawTask* get(std::int64_t index) const {
-      return slots_[static_cast<std::size_t>(index) & mask_].load(
-          std::memory_order_relaxed);
+      return slots_[static_cast<std::size_t>(index) & mask_].load(kGetOrder);
     }
 
    private:

@@ -51,7 +51,7 @@ void ForkJoinPool::worker_loop(unsigned index) {
   Worker& self = *workers_[index];
   // Claim the observability block before publishing the worker via TLS, so
   // every counting site below (and in invoke_two/join) sees it non-null.
-  self.counters = &observe::local_counters();
+  self.counters.store(&observe::local_counters(), std::memory_order_release);
   observe::CounterRegistry::global().set_local_label(
       "fj-worker-" + std::to_string(index));
   tls_worker_ = &self;
@@ -62,7 +62,7 @@ void ForkJoinPool::worker_loop(unsigned index) {
       // Counted at dispatch: execute() publishes completion (promise /
       // done flag), so counting afterwards would let a waiter observe the
       // result before the counter moved.
-      self.counters->on_task_executed();
+      self.own_counters()->on_task_executed();
       {
         observe::Span task_span(observe::EventKind::kTask);
         task->execute();
@@ -83,7 +83,7 @@ void ForkJoinPool::worker_loop(unsigned index) {
     RawTask* late = find_task(self);
     if (late != nullptr) {
       sleepers_.fetch_sub(1, std::memory_order_seq_cst);
-      self.counters->on_task_executed();
+      self.own_counters()->on_task_executed();
       {
         observe::Span task_span(observe::EventKind::kTask);
         late->execute();
@@ -120,7 +120,7 @@ RawTask* ForkJoinPool::try_steal(Worker& self) {
     if (victim == self.index) continue;
     if (RawTask* stolen = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
-      self.counters->on_steal(true);
+      self.own_counters()->on_steal(true);
       observe::instant(observe::EventKind::kSteal, victim);
       return stolen;
     }
@@ -129,7 +129,7 @@ RawTask* ForkJoinPool::try_steal(Worker& self) {
   // worker is starved, so both the pool tally and the per-worker block use
   // relaxed, thread-local increments.
   steal_failures_.fetch_add(1, std::memory_order_relaxed);
-  self.counters->on_steal(false);
+  self.own_counters()->on_steal(false);
   return nullptr;
 }
 

@@ -36,6 +36,24 @@
 
 namespace pls::forkjoin {
 
+/// Deterministic-schedule hook (testing): while installed on a pool,
+/// invoke_two bypasses the deques and runs both closures serially on the
+/// calling thread, in the order the hook chooses per fork. A seeded hook
+/// therefore replays one exact interleaving per seed, and a sweep of seeds
+/// explores distinct steal/run orders — the schedule-fuzzing substrate of
+/// src/proptest/deterministic_pool.hpp. Install with set_schedule_hook()
+/// while no tasks are in flight; the hook must outlive the installation.
+class ForkScheduleHook {
+ public:
+  virtual ~ForkScheduleHook() = default;
+
+  /// Decide the next fork's execution order. Returning true runs the
+  /// forked (right) closure before the left one — the serial analogue of
+  /// the child being stolen and completed before the parent continues;
+  /// false is the undisturbed pop-own-task order.
+  virtual bool run_forked_first() = 0;
+};
+
 class ForkJoinPool {
  public:
   /// Create a pool with the given number of worker threads (>= 1).
@@ -88,6 +106,10 @@ class ForkJoinPool {
   /// composition semantics closely enough for this library).
   template <typename FL, typename FR>
   void invoke_two(FL&& left, FR&& right) {
+    if (ForkScheduleHook* hook = schedule_hook_) {
+      invoke_two_serialized(*hook, left, right);
+      return;
+    }
     Worker* self = (tls_pool_ == this) ? tls_worker_ : nullptr;
     if (self == nullptr) {
       // Not on this pool: degrade gracefully to sequential execution.
@@ -98,7 +120,7 @@ class ForkJoinPool {
     using RightFn = std::remove_reference_t<FR>;
     ChildTask<RightFn> child(right);
     self->deque.push(&child);
-    self->counters->on_fork();
+    self->own_counters()->on_fork();
     observe::instant(observe::EventKind::kFork);
     wake_one_if_sleeping();
     // The child lives on this frame: even if `left` throws we must join it
@@ -117,6 +139,17 @@ class ForkJoinPool {
     child.rethrow_if_failed();
   }
 
+  /// Install (or clear, with nullptr) a deterministic-schedule hook. The
+  /// caller must ensure no tasks are in flight when the hook changes and
+  /// that the hook outlives its installation; a plain (non-atomic) member
+  /// suffices because external_push's queue mutex orders the write against
+  /// the worker that dequeues and executes the submitted task.
+  void set_schedule_hook(ForkScheduleHook* hook) noexcept {
+    schedule_hook_ = hook;
+  }
+
+  ForkScheduleHook* schedule_hook() const noexcept { return schedule_hook_; }
+
   /// Total number of successful steals since construction (diagnostic).
   std::uint64_t steal_count() const noexcept {
     return steals_.load(std::memory_order_relaxed);
@@ -134,7 +167,8 @@ class ForkJoinPool {
   observe::CounterTotals counter_totals() const {
     observe::CounterTotals t;
     for (const auto& w : workers_) {
-      if (w->counters != nullptr) t += w->counters->snapshot();
+      const auto* cb = w->counters.load(std::memory_order_acquire);
+      if (cb != nullptr) t += cb->snapshot();
     }
     return t;
   }
@@ -144,8 +178,9 @@ class ForkJoinPool {
     std::vector<observe::CounterTotals> out;
     out.reserve(workers_.size());
     for (const auto& w : workers_) {
-      out.push_back(w->counters != nullptr ? w->counters->snapshot()
-                                           : observe::CounterTotals{});
+      const auto* cb = w->counters.load(std::memory_order_acquire);
+      out.push_back(cb != nullptr ? cb->snapshot()
+                                  : observe::CounterTotals{});
     }
     return out;
   }
@@ -157,10 +192,52 @@ class ForkJoinPool {
     unsigned index;
     WorkStealingDeque deque;
     Xoshiro256 rng;
-    /// This worker's observability block (set at thread start, before any
-    /// task can run on the worker; stable for the pool's lifetime).
-    observe::CounterBlock* counters = nullptr;
+    /// This worker's observability block (published at thread start,
+    /// before any task can run on the worker; stable for the pool's
+    /// lifetime). Atomic because counter_totals() reads it from other
+    /// threads while the worker may still be starting up. The owning
+    /// worker reads its own store, so relaxed suffices on counting paths.
+    std::atomic<observe::CounterBlock*> counters{nullptr};
+
+    observe::CounterBlock* own_counters() const noexcept {
+      return counters.load(std::memory_order_relaxed);
+    }
   };
+
+  /// Serialized fork under a schedule hook: both closures run on the
+  /// calling thread, in hook-chosen order; no deque traffic, so a seed's
+  /// decision sequence fully determines the interleaving. Exception
+  /// precedence matches the concurrent path: the left closure's error
+  /// wins when both throw, regardless of execution order.
+  template <typename FL, typename FR>
+  void invoke_two_serialized(ForkScheduleHook& hook, FL& left, FR& right) {
+    observe::instant(observe::EventKind::kFork);
+    std::exception_ptr left_error;
+    std::exception_ptr right_error;
+    auto guarded_left = [&] {
+      try {
+        left();
+      } catch (...) {
+        left_error = std::current_exception();
+      }
+    };
+    auto guarded_right = [&] {
+      try {
+        right();
+      } catch (...) {
+        right_error = std::current_exception();
+      }
+    };
+    if (hook.run_forked_first()) {
+      guarded_right();
+      guarded_left();
+    } else {
+      guarded_left();
+      guarded_right();
+    }
+    if (left_error) std::rethrow_exception(left_error);
+    if (right_error) std::rethrow_exception(right_error);
+  }
 
   void worker_loop(unsigned index);
 
@@ -183,14 +260,14 @@ class ForkJoinPool {
       if (popped == &target) {
         // Counted before execute(): completion is published inside
         // execute(), and waiters must not see it before the counter moved.
-        self.counters->on_task_executed();
+        self.own_counters()->on_task_executed();
         popped->execute();
         return;
       }
       if (popped != nullptr) {
         // Defensive: structured fork-join keeps the deque balanced, but if
         // user code escaped the discipline, still make progress.
-        self.counters->on_task_executed();
+        self.own_counters()->on_task_executed();
         popped->execute();
       }
     }
@@ -199,7 +276,7 @@ class ForkJoinPool {
     while (!target.is_done()) {
       RawTask* t = find_task(self);
       if (t != nullptr) {
-        self.counters->on_task_executed();
+        self.own_counters()->on_task_executed();
         observe::Span task_span(observe::EventKind::kTask);
         t->execute();
         idle_spins = 0;
@@ -222,6 +299,7 @@ class ForkJoinPool {
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> steal_failures_{0};
+  ForkScheduleHook* schedule_hook_ = nullptr;
 
   static thread_local Worker* tls_worker_;
   static thread_local ForkJoinPool* tls_pool_;

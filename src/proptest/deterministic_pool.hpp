@@ -1,0 +1,87 @@
+// DeterministicPool: seeded schedule fuzzing for the fork-join pool.
+//
+// A real ForkJoinPool run is nondeterministic: which child of each fork is
+// stolen, and by whom, depends on timing. That nondeterminism is exactly
+// where stream-pipeline bugs hide (non-associative combiners, encounter-
+// order violations, shared-sink races) — and exactly what a failing test
+// cannot replay. DeterministicPool removes the timing: it installs a
+// seeded ForkScheduleHook (forkjoin/pool.hpp) that serializes every fork
+// onto one thread and decides, per fork, whether the forked child runs
+// first ("it was stolen and finished before the parent continued") or
+// second (the undisturbed LIFO pop). One seed = one exact interleaving; a
+// sweep of seeds explores distinct schedules; and because the decision
+// sequence is recorded, a test can assert that a replay took the identical
+// schedule, not just produced the same answer.
+//
+// The pool is a drop-in: pass `det.pool()` anywhere a ForkJoinPool& (or
+// ExecutionConfig::pool) is expected.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "support/rng.hpp"
+
+namespace pls::proptest {
+
+/// Seeded schedule: each fork decision is one bit of a SplitMix64 stream,
+/// recorded for replay verification. Decisions are made on the single
+/// worker executing the serialized task tree; the trace is safe to read
+/// once the submitting run() returned (the result handoff synchronizes).
+class SeededSchedule final : public forkjoin::ForkScheduleHook {
+ public:
+  explicit SeededSchedule(std::uint64_t seed) : rng_(seed) {}
+
+  bool run_forked_first() override {
+    const bool forked_first = (rng_.next() & 1) != 0;
+    trace_.push_back(forked_first);
+    return forked_first;
+  }
+
+  /// The decision sequence taken so far (true = forked child ran first).
+  const std::vector<bool>& trace() const noexcept { return trace_; }
+
+  std::uint64_t decisions() const noexcept { return trace_.size(); }
+
+ private:
+  SplitMix64 rng_;
+  std::vector<bool> trace_;
+};
+
+/// A single-worker ForkJoinPool with a SeededSchedule installed for its
+/// whole lifetime. parallelism() == 1 plus the serialized invoke_two makes
+/// every run a pure function of (submitted task, seed).
+class DeterministicPool {
+ public:
+  explicit DeterministicPool(std::uint64_t seed)
+      : seed_(seed), schedule_(seed), pool_(1) {
+    pool_.set_schedule_hook(&schedule_);
+  }
+
+  // schedule_ is declared before pool_, so the pool (and its worker, the
+  // only caller of the hook) is destroyed first.
+
+  forkjoin::ForkJoinPool& pool() noexcept { return pool_; }
+
+  template <typename F>
+  auto run(F&& f) {
+    return pool_.run(std::forward<F>(f));
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// The interleaving this pool executed: one entry per fork, in fork
+  /// order. Two runs agree iff they took the identical schedule.
+  const std::vector<bool>& schedule_trace() const noexcept {
+    return schedule_.trace();
+  }
+
+ private:
+  std::uint64_t seed_;
+  SeededSchedule schedule_;
+  forkjoin::ForkJoinPool pool_;
+};
+
+}  // namespace pls::proptest

@@ -1,0 +1,53 @@
+// Reusable generators for the property suites: sizes (arbitrary and
+// power-of-two), value vectors, and split-decision streams.
+//
+// Generators are plain callables Rand& -> T, composed ad hoc; nothing here
+// allocates global state, so every generated value is a pure function of
+// the Rand it consumed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proptest/prop.hpp"
+
+namespace pls::proptest {
+
+/// Power-of-two size 2^k with k uniform in [min_log2, max_log2].
+inline std::uint64_t gen_pow2_size(Rand& r, unsigned min_log2,
+                                   unsigned max_log2) {
+  const unsigned k = static_cast<unsigned>(
+      r.in_range(static_cast<std::int64_t>(min_log2),
+                 static_cast<std::int64_t>(max_log2)));
+  return std::uint64_t{1} << k;
+}
+
+/// Size in [lo, hi], biased toward small values (half the draws come from
+/// the bottom eighth of the range) — boundary sizes find most bugs.
+inline std::uint64_t gen_size(Rand& r, std::uint64_t lo, std::uint64_t hi) {
+  const std::uint64_t span = hi - lo + 1;
+  if (span > 8 && r.coin()) {
+    return lo + r.below(span / 8 + 1);
+  }
+  return lo + r.below(span);
+}
+
+/// Vector of n integers in [lo, hi].
+inline std::vector<std::int64_t> gen_values(Rand& r, std::uint64_t n,
+                                            std::int64_t lo,
+                                            std::int64_t hi) {
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.in_range(lo, hi));
+  return out;
+}
+
+/// Deterministic value for index i under a seed — the pure-function twin
+/// of gen_values for Generate-style sources, where the producing closure
+/// must be re-evaluable at any index.
+inline std::int64_t value_at(std::uint64_t seed, std::uint64_t i) {
+  SplitMix64 sm(seed ^ (i * 0x9E3779B97F4A7C15ULL + 0x71CE));
+  return static_cast<std::int64_t>(sm.next() >> 16);
+}
+
+}  // namespace pls::proptest

@@ -1,0 +1,316 @@
+// Property-based testing core: seeded random source, property runner with
+// automatic shrinking, and reproducible failure reports.
+//
+// Design goals (docs/testing.md):
+//   - dependency-free: everything derives from support/rng.hpp;
+//   - replayable: every run is a pure function of one 64-bit seed
+//     (PLS_TEST_SEED), and every failure report prints the exact
+//     environment line that reproduces the identical counterexample,
+//     shrink path, and — for schedule-fuzzed properties — interleaving;
+//   - shrinking by value: a shrinker maps a failing value to simpler
+//     candidates; the runner greedily descends to a local minimum, so the
+//     reported counterexample is the smallest the shrinker can reach.
+//
+// A property is any callable taking the generated value and returning
+// either bool or PropStatus (which carries a message); thrown exceptions
+// count as failures with the exception text as the message.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pls::proptest {
+
+/// Seeded random source handed to generators. Thin convenience layer over
+/// Xoshiro256 so generator code reads declaratively.
+class Rand {
+ public:
+  explicit Rand(std::uint64_t seed) : rng_(seed) {}
+
+  std::uint64_t bits() { return rng_(); }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return rng_.next_below(bound); }
+
+  /// Uniform in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t in_range(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     rng_.next_below(span));
+  }
+
+  bool coin() { return (rng_() & 1) != 0; }
+
+  /// Bernoulli with probability num/denom.
+  bool chance(std::uint64_t num, std::uint64_t denom) {
+    return rng_.next_below(denom) < num;
+  }
+
+  template <typename Seq>
+  const auto& pick(const Seq& options) {
+    return options[static_cast<std::size_t>(below(options.size()))];
+  }
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Outcome of one property application.
+struct PropStatus {
+  bool ok = true;
+  std::string message;
+
+  static PropStatus pass() { return {true, {}}; }
+  static PropStatus fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Runner configuration. The default seed is the process-wide
+/// PLS_TEST_SEED (support/rng.hpp), so exporting a printed seed replays
+/// every check in the binary identically.
+struct Config {
+  std::uint64_t seed = test_seed();
+  int iterations = 100;
+  int max_shrink_steps = 1000;
+};
+
+namespace detail {
+
+template <typename T>
+concept Describable = requires(const T& t) {
+  { t.debug_string() } -> std::convertible_to<std::string>;
+};
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& t) { os << t; };
+
+}  // namespace detail
+
+/// Human-readable rendering of a generated value for failure reports:
+/// uses T::debug_string() when present, ranges render element-wise
+/// (capped), everything ostream-printable falls back to operator<<.
+template <typename T>
+std::string describe(const T& value) {
+  if constexpr (detail::Describable<T>) {
+    return value.debug_string();
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return value ? "true" : "false";
+  } else if constexpr (std::is_arithmetic_v<T>) {
+    return std::to_string(value);
+  } else if constexpr (requires(const T& t) {
+                         t.begin();
+                         t.end();
+                         t.size();
+                       }) {
+    std::ostringstream os;
+    os << "[";
+    std::size_t shown = 0;
+    for (const auto& e : value) {
+      if (shown == 32) {
+        os << ", …";
+        break;
+      }
+      if (shown != 0) os << ", ";
+      os << describe(e);
+      ++shown;
+    }
+    os << "] (" << value.size() << " elements)";
+    return os.str();
+  } else if constexpr (detail::Streamable<T>) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<opaque value>";
+  }
+}
+
+template <typename A, typename B>
+std::string describe(const std::pair<A, B>& p) {
+  return "(" + describe(p.first) + ", " + describe(p.second) + ")";
+}
+
+/// Result of one check() run. `report` is ready to stream into a gtest
+/// assertion message; `ok` is the overall verdict.
+template <typename T>
+struct CheckResult {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  int iterations_run = 0;
+  /// Iteration index (0-based) whose generated value falsified the
+  /// property, or -1 when all passed.
+  int failing_iteration = -1;
+  /// Accepted shrink steps taken from the original failing value.
+  int shrink_steps = 0;
+  std::optional<T> counterexample;
+  std::string message;
+  std::string report;
+};
+
+namespace detail {
+
+template <typename Prop, typename T>
+PropStatus apply_property(Prop& prop, const T& value) {
+  try {
+    if constexpr (std::is_same_v<std::invoke_result_t<Prop&, const T&>,
+                                 PropStatus>) {
+      return prop(value);
+    } else {
+      return prop(value) ? PropStatus::pass()
+                         : PropStatus::fail("property returned false");
+    }
+  } catch (const std::exception& e) {
+    return PropStatus::fail(std::string("exception: ") + e.what());
+  } catch (...) {
+    return PropStatus::fail("non-standard exception");
+  }
+}
+
+}  // namespace detail
+
+/// Run `prop` against `iterations` values drawn from `gen`, shrinking the
+/// first failure with `shrinker` (failing value -> simpler candidates;
+/// return an empty vector to disable shrinking for a value).
+///
+/// Determinism contract: for a fixed (cfg.seed, gen, shrinker, prop) the
+/// entire run — iteration order, failing value, shrink path, final
+/// counterexample — is identical across processes. Iteration i draws from
+/// a Rand seeded by the i-th output of a SplitMix64 stream over cfg.seed,
+/// so failures replay even when the iteration count changes above i.
+template <typename Gen, typename Shrink, typename Prop>
+auto check(std::string_view name, const Config& cfg, Gen&& gen,
+           Shrink&& shrinker, Prop&& prop)
+    -> CheckResult<std::decay_t<std::invoke_result_t<Gen&, Rand&>>> {
+  using T = std::decay_t<std::invoke_result_t<Gen&, Rand&>>;
+  CheckResult<T> result;
+  result.seed = cfg.seed;
+  SplitMix64 iteration_seeds(cfg.seed);
+  for (int i = 0; i < cfg.iterations; ++i) {
+    Rand rand(iteration_seeds.next());
+    T value = gen(rand);
+    PropStatus status = detail::apply_property(prop, value);
+    ++result.iterations_run;
+    if (status.ok) continue;
+
+    // Greedy shrink: take the first simpler candidate that still fails,
+    // repeat until none does (or the step budget runs out).
+    result.failing_iteration = i;
+    int steps = 0;
+    bool made_progress = true;
+    while (made_progress && steps < cfg.max_shrink_steps) {
+      made_progress = false;
+      for (T& candidate : shrinker(value)) {
+        PropStatus candidate_status = detail::apply_property(prop, candidate);
+        ++steps;
+        if (!candidate_status.ok) {
+          value = std::move(candidate);
+          status = std::move(candidate_status);
+          made_progress = true;
+          break;
+        }
+        if (steps >= cfg.max_shrink_steps) break;
+      }
+      if (made_progress) ++result.shrink_steps;
+    }
+
+    result.ok = false;
+    result.message = status.message;
+    std::ostringstream report;
+    report << "[proptest] FALSIFIED: " << name << "\n"
+           << "[proptest]   failing iteration: " << i << " of "
+           << cfg.iterations << "\n"
+           << "[proptest]   counterexample (after " << result.shrink_steps
+           << " shrink steps): " << describe(value) << "\n"
+           << "[proptest]   reason: " << status.message << "\n"
+           << "[proptest]   replay: PLS_TEST_SEED=0x" << std::hex << cfg.seed
+           << std::dec << "\n";
+    result.report = report.str();
+    result.counterexample = std::move(value);
+    return result;
+  }
+  return result;
+}
+
+/// check() without shrinking.
+template <typename Gen, typename Prop>
+auto check(std::string_view name, const Config& cfg, Gen&& gen, Prop&& prop) {
+  using T = std::decay_t<std::invoke_result_t<Gen&, Rand&>>;
+  return check(
+      name, cfg, std::forward<Gen>(gen),
+      [](const T&) { return std::vector<T>{}; }, std::forward<Prop>(prop));
+}
+
+// ---- standard shrinkers --------------------------------------------------
+
+/// Integer shrink candidates, ordered most-aggressive first: 0, halves
+/// toward the value, value - 1. Greedy descent over these converges to the
+/// smallest failing integer.
+inline std::vector<std::uint64_t> shrink_integer(std::uint64_t v) {
+  std::vector<std::uint64_t> out;
+  if (v == 0) return out;
+  out.push_back(0);
+  if (v / 2 != 0) out.push_back(v / 2);
+  if (v - 1 != v / 2) out.push_back(v - 1);
+  return out;
+}
+
+/// Power-of-two shrink: halve toward 1.
+inline std::vector<std::uint64_t> shrink_pow2(std::uint64_t v) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t c = v / 2; c >= 1; c /= 2) out.push_back(c);
+  return out;
+}
+
+/// Vector shrink candidates: empty, first/second half, drop-one-element
+/// (for short vectors), plus shrinking one element toward zero.
+template <typename T>
+std::vector<std::vector<T>> shrink_vector(const std::vector<T>& v) {
+  std::vector<std::vector<T>> out;
+  if (v.empty()) return out;
+  out.emplace_back();
+  const std::size_t n = v.size();
+  if (n >= 2) {
+    out.emplace_back(v.begin(), v.begin() + n / 2);
+    out.emplace_back(v.begin() + n / 2, v.end());
+  }
+  if (n <= 8) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<T> dropped;
+      dropped.reserve(n - 1);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) dropped.push_back(v[j]);
+      }
+      out.push_back(std::move(dropped));
+    }
+  }
+  if constexpr (std::is_integral_v<T>) {
+    for (std::size_t i = 0; i < n && i < 8; ++i) {
+      if (v[i] != T{0}) {
+        std::vector<T> zeroed = v;
+        zeroed[i] = T{0};
+        out.push_back(std::move(zeroed));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pls::proptest
+
+/// Assert that a CheckResult passed, streaming its full report on failure.
+/// A macro (not a function) so gtest records the caller's file and line.
+#define PLS_EXPECT_PROP(result_expr)                       \
+  do {                                                     \
+    const auto& pls_prop_result_ = (result_expr);          \
+    EXPECT_TRUE(pls_prop_result_.ok) << pls_prop_result_.report; \
+  } while (false)

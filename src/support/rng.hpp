@@ -6,9 +6,26 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 
 namespace pls {
+
+/// Process-wide seed for randomized tests: the PLS_TEST_SEED environment
+/// variable (decimal or 0x-prefixed hex) when set, otherwise a fixed
+/// default — so plain runs are reproducible and any failing run can be
+/// replayed by exporting the seed it printed. Read once per process.
+inline std::uint64_t test_seed() noexcept {
+  static const std::uint64_t seed = [] {
+    if (const char* env = std::getenv("PLS_TEST_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 0);
+      if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+    }
+    return std::uint64_t{0x5EED0FDEFA017ULL};
+  }();
+  return seed;
+}
 
 /// SplitMix64: tiny, fast generator; used to expand a single seed into the
 /// larger state of Xoshiro256** and as a standalone generator for cheap

@@ -1,11 +1,22 @@
 // Stress tests: irregular task trees, concurrent external submitters,
 // and pool lifecycle churn — the failure modes a work-stealing runtime
 // actually faces.
+//
+// Every potentially-blocking step runs under a deadline: a wedged pool
+// dumps its counters (steals, failures, per-worker execution breakdown)
+// and aborts instead of hanging CI with a bare join. The deadlines are
+// generous — minutes, not the expected milliseconds — so they only fire
+// on a genuine deadlock or livelock.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "forkjoin/pool.hpp"
@@ -15,6 +26,60 @@
 namespace {
 
 using pls::forkjoin::ForkJoinPool;
+
+constexpr std::chrono::seconds kDeadline{120};
+
+/// Print everything the pool knows about itself: the post-mortem for a
+/// deadline overrun, in place of a silent hang. `pool` may be null when
+/// the pool itself lives inside the timed closure (lifecycle tests).
+void dump_pool_diagnostics(const ForkJoinPool* pool, const char* where) {
+  std::fprintf(stderr, "[stress] deadline exceeded in %s\n", where);
+  if (pool == nullptr) {
+    std::fprintf(stderr,
+                 "[stress]   (pool owned by the timed closure; "
+                 "no counters reachable)\n");
+    std::fflush(stderr);
+    return;
+  }
+  std::fprintf(stderr,
+               "[stress]   parallelism=%u steals=%llu steal_failures=%llu\n",
+               pool->parallelism(),
+               static_cast<unsigned long long>(pool->steal_count()),
+               static_cast<unsigned long long>(pool->steal_failure_count()));
+  if (pls::observe::kEnabled) {
+    const auto workers = pool->per_worker_counters();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const auto& w = workers[i];
+      std::fprintf(
+          stderr,
+          "[stress]   worker %zu: tasks=%llu forks=%llu steals=%llu "
+          "steal_failures=%llu\n",
+          i, static_cast<unsigned long long>(w.tasks_executed),
+          static_cast<unsigned long long>(w.forks),
+          static_cast<unsigned long long>(w.steals),
+          static_cast<unsigned long long>(w.steal_failures));
+    }
+  } else {
+    std::fprintf(stderr,
+                 "[stress]   (per-worker counters compiled out)\n");
+  }
+  std::fflush(stderr);
+}
+
+/// Run `fn` off-thread and wait at most kDeadline. On timeout the pool is
+/// presumed wedged: dump diagnostics and abort — the stuck helper thread
+/// would block a clean test-process exit anyway, and an abort with a
+/// post-mortem beats a CI timeout with no output.
+template <typename Fn>
+auto with_deadline(const ForkJoinPool* pool, const char* where, Fn fn)
+    -> decltype(fn()) {
+  auto task = std::async(std::launch::async, std::move(fn));
+  if (task.wait_for(kDeadline) == std::future_status::timeout) {
+    dump_pool_diagnostics(pool, where);
+    std::abort();
+  }
+  return task.get();
+}
 
 // Irregular recursion: split points chosen pseudo-randomly per node, so
 // the tree is deeply unbalanced — the worst case for naive scheduling.
@@ -42,7 +107,9 @@ long irregular_sum(ForkJoinPool& pool, std::uint64_t seed, long lo,
 TEST(Stress, IrregularTreeSumsCorrectly) {
   ForkJoinPool pool(4);
   const long n = 200000;
-  const long got = pool.run([&] { return irregular_sum(pool, 42, 0, n); });
+  const long got = with_deadline(&pool, "IrregularTreeSumsCorrectly", [&] {
+    return pool.run([&] { return irregular_sum(pool, 42, 0, n); });
+  });
   EXPECT_EQ(got, n * (n - 1) / 2);
 }
 
@@ -52,44 +119,54 @@ TEST(Stress, ManyExternalSubmitters) {
   constexpr int kThreads = 6;
   constexpr int kJobsPerThread = 40;
   std::atomic<long> total{0};
-  std::vector<std::thread> submitters;
-  submitters.reserve(kThreads);
-  for (int t = 0; t < kThreads; ++t) {
-    submitters.emplace_back([&, t] {
-      for (int j = 0; j < kJobsPerThread; ++j) {
-        const long v = pool.run([&, t, j] {
-          long acc = 0;
-          pool.invoke_two(
-              [&] {
-                for (int i = 0; i < 100; ++i) acc += t;
-              },
-              [&] {
-                for (int i = 0; i < 100; ++i) acc += j;
-              });
-          return acc;
-        });
-        total.fetch_add(v, std::memory_order_relaxed);
-      }
-    });
-  }
-  for (auto& s : submitters) s.join();
+  const long got = with_deadline(&pool, "ManyExternalSubmitters", [&] {
+    std::vector<std::thread> submitters;
+    submitters.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int j = 0; j < kJobsPerThread; ++j) {
+          const long v = pool.run([&, t, j] {
+            // The two branches run concurrently: each needs its own
+            // accumulator; invoke_two's join publishes both for the sum.
+            long acc_left = 0, acc_right = 0;
+            pool.invoke_two(
+                [&] {
+                  for (int i = 0; i < 100; ++i) acc_left += t;
+                },
+                [&] {
+                  for (int i = 0; i < 100; ++i) acc_right += j;
+                });
+            return acc_left + acc_right;
+          });
+          total.fetch_add(v, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& s : submitters) s.join();
+    return total.load();
+  });
   long expected = 0;
   for (int t = 0; t < kThreads; ++t) {
     for (int j = 0; j < kJobsPerThread; ++j) expected += 100 * (t + j);
   }
-  EXPECT_EQ(total.load(), expected);
+  EXPECT_EQ(got, expected);
 }
 
 TEST(Stress, PoolChurn) {
   // Construct/destroy pools rapidly with real work in between: checks
-  // clean shutdown with no leaked or wedged workers.
+  // clean shutdown with no leaked or wedged workers. The deadline covers
+  // construction and destruction too — a worker that never parks would
+  // wedge the destructor, not run().
   for (int round = 0; round < 25; ++round) {
-    ForkJoinPool pool(1 + round % 4);
-    const int v = pool.run([&] {
-      int a = 0, b = 0;
-      pool.invoke_two([&] { a = round; }, [&] { b = round * 2; });
-      return a + b;
-    });
+    const int v =
+        with_deadline(nullptr, "PoolChurn", [&] {
+          ForkJoinPool pool(1 + round % 4);
+          return pool.run([&] {
+            int a = 0, b = 0;
+            pool.invoke_two([&] { a = round; }, [&] { b = round * 2; });
+            return a + b;
+          });
+        });
     EXPECT_EQ(v, round * 3);
   }
 }
@@ -109,7 +186,10 @@ TEST(Stress, DeepNarrowRecursion) {
     }
   } chain{pool};
   const long depth = 4000;
-  EXPECT_EQ(pool.run([&] { return chain.walk(depth); }), depth);
+  const long got = with_deadline(&pool, "DeepNarrowRecursion", [&] {
+    return pool.run([&] { return chain.walk(depth); });
+  });
+  EXPECT_EQ(got, depth);
 }
 
 TEST(Stress, CounterAggregationUnderStress) {
@@ -120,7 +200,10 @@ TEST(Stress, CounterAggregationUnderStress) {
   ForkJoinPool pool(4);
   const auto before = pool.counter_totals();
   const long n = 100000;
-  const long got = pool.run([&] { return irregular_sum(pool, 7, 0, n); });
+  const long got =
+      with_deadline(&pool, "CounterAggregationUnderStress", [&] {
+        return pool.run([&] { return irregular_sum(pool, 7, 0, n); });
+      });
   EXPECT_EQ(got, n * (n - 1) / 2);
   const auto delta = pool.counter_totals() - before;
   EXPECT_GT(delta.forks, 0u);
@@ -143,19 +226,21 @@ TEST(Stress, RepeatedLargeParallelRuns) {
   ForkJoinPool pool(4);
   for (int round = 0; round < 10; ++round) {
     std::atomic<int> leaves{0};
-    pool.run([&] {
-      struct Rec {
-        ForkJoinPool& pool;
-        std::atomic<int>& leaves;
-        void go(int depth) {
-          if (depth == 0) {
-            leaves.fetch_add(1, std::memory_order_relaxed);
-            return;
+    with_deadline(&pool, "RepeatedLargeParallelRuns", [&] {
+      pool.run([&] {
+        struct Rec {
+          ForkJoinPool& pool;
+          std::atomic<int>& leaves;
+          void go(int depth) {
+            if (depth == 0) {
+              leaves.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            pool.invoke_two([&] { go(depth - 1); }, [&] { go(depth - 1); });
           }
-          pool.invoke_two([&] { go(depth - 1); }, [&] { go(depth - 1); });
-        }
-      } rec{pool, leaves};
-      rec.go(10);
+        } rec{pool, leaves};
+        rec.go(10);
+      });
     });
     EXPECT_EQ(leaves.load(), 1024);
   }

@@ -1,0 +1,204 @@
+// Collector law suite: associativity, identity, and sized-sink/fold
+// equivalence for the stock stream collectors and the PowerList map
+// collectors, over generated inputs and partition shapes — plus a
+// meta-check that the law checker actually rejects a broken combiner.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "powerlist/collector_functions.hpp"
+#include "support/bits.hpp"
+#include "proptest/gen.hpp"
+#include "proptest/laws.hpp"
+#include "proptest/prop.hpp"
+#include "streams/collectors.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+namespace streams = pls::streams;
+namespace powerlist = pls::powerlist;
+
+struct Case {
+  std::vector<std::int64_t> data;
+  std::uint64_t partition_seed;
+
+  std::string debug_string() const {
+    return "data=" + describe(data) +
+           " partition_seed=" + std::to_string(partition_seed);
+  }
+};
+
+Config suite_config() {
+  Config cfg;
+  cfg.iterations = 80;
+  return cfg;
+}
+
+Case gen_case(Rand& r, bool pow2_only) {
+  Case c;
+  const std::uint64_t n =
+      pow2_only ? gen_pow2_size(r, 0, 7) : gen_size(r, 0, 120);
+  c.data = gen_values(r, n, -10000, 10000);
+  c.partition_seed = r.bits();
+  return c;
+}
+
+std::vector<Case> shrink_case(const Case& c) {
+  std::vector<Case> out;
+  for (auto& smaller : shrink_vector(c.data)) {
+    out.push_back(Case{std::move(smaller), c.partition_seed});
+  }
+  return out;
+}
+
+template <typename C>
+void run_int_suite(const char* name, const C& collector, bool pow2_only) {
+  const auto result = check(
+      name, suite_config(),
+      [&](Rand& r) { return gen_case(r, pow2_only); },
+      [](const Case& c) { return shrink_case(c); },
+      [&](const Case& c) {
+        Rand partition_rand(c.partition_seed);
+        return check_collector_laws(collector, c.data, partition_rand);
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+TEST(CollectorLaws, VectorCollector) {
+  run_int_suite("VectorCollector laws",
+                streams::VectorCollector<std::int64_t>{}, false);
+}
+
+TEST(CollectorLaws, ToSet) {
+  run_int_suite("to_set laws", streams::collectors::to_set<std::int64_t>(),
+                false);
+}
+
+TEST(CollectorLaws, Counting) {
+  run_int_suite("counting laws",
+                streams::collectors::counting<std::int64_t>(), false);
+}
+
+TEST(CollectorLaws, Summing) {
+  run_int_suite("summing laws", streams::collectors::summing<std::int64_t>(),
+                false);
+}
+
+TEST(CollectorLaws, PowerArrayTie) {
+  run_int_suite("to_power_array_tie laws",
+                powerlist::to_power_array_tie<std::int64_t>(), false);
+}
+
+TEST(CollectorLaws, Joining) {
+  const auto joining = streams::collectors::joining("|");
+  const auto result = check(
+      "joining laws", suite_config(),
+      [](Rand& r) {
+        const std::uint64_t n = gen_size(r, 0, 40);
+        std::vector<std::string> words;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          words.push_back("w" + std::to_string(r.below(100)));
+        }
+        return std::make_pair(words, r.bits());
+      },
+      [&](const std::pair<std::vector<std::string>, std::uint64_t>& c) {
+        Rand partition_rand(c.second);
+        return check_collector_laws(joining, c.first, partition_rand);
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+// The zip-recombining PowerList collector: its combiner demands similar
+// (equal-length) halves, so the arbitrary-partition law does not apply.
+// What must hold: the sized-sink protocol (position-addressed writes in
+// any order) equals the sequential fold under *balanced* recombination —
+// i.e. on a power-of-two source split evenly all the way down.
+TEST(CollectorLaws, PowerArrayZipSizedSinkMatchesBalancedFold) {
+  const auto zip = powerlist::to_power_array_zip<std::int64_t>();
+  const auto result = check(
+      "zip collector: sized sink == balanced zip fold", suite_config(),
+      [](Rand& r) { return gen_case(r, true); },
+      [](const Case& c) { return shrink_case(c); },
+      [&](const Case& c) -> PropStatus {
+        // Balanced zip fold: recursively zip-deconstruct index space, fold
+        // leaves, zip_all upward — what the evaluator does on a
+        // ZipSpliterator source with the legacy path.
+        struct Builder {
+          const powerlist::PowerMapCollector<std::int64_t, std::int64_t,
+                                             powerlist::detail::IdentityFn>&
+              c;
+          const std::vector<std::int64_t>& data;
+          powerlist::PowerArray<std::int64_t> build(std::size_t start,
+                                                    std::size_t stride,
+                                                    std::size_t count) {
+            if (count == 1) {
+              auto acc = c.supply();
+              c.accumulate(acc, data[start]);
+              return acc;
+            }
+            auto evens = build(start, stride * 2, count / 2);
+            auto odds = build(start + stride, stride * 2, count / 2);
+            c.combine(evens, odds);
+            return evens;
+          }
+        };
+        // Shrinking may propose non-power-of-two sizes; the balanced fold
+        // is only defined on powers of two, so skip those candidates.
+        if (c.data.empty() || !pls::is_power_of_two(c.data.size())) {
+          return PropStatus::pass();
+        }
+        Builder builder{zip, c.data};
+        auto folded = builder.build(0, 1, c.data.size());
+
+        auto sink = zip.supply_sized(c.data.size());
+        Rand order_rand(c.partition_seed);
+        std::vector<std::size_t> order(c.data.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        for (std::size_t i = order.size(); i > 1; --i) {
+          std::swap(order[i - 1],
+                    order[static_cast<std::size_t>(order_rand.below(i))]);
+        }
+        for (std::size_t pos : order) {
+          zip.accumulate_at(sink, pos, c.data[pos]);
+        }
+        auto direct = zip.finish_sized(std::move(sink));
+        if (!(direct == folded)) {
+          return PropStatus::fail(
+              "sized-sink result differs from balanced zip fold");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+// Meta-check: a deliberately non-associative combiner must be falsified.
+TEST(CollectorLaws, CheckerRejectsBrokenCombiner) {
+  const auto broken = streams::make_collector<std::int64_t>(
+      [] { return std::int64_t{0}; },
+      [](std::int64_t& acc, const std::int64_t& v) {
+        acc = static_cast<std::int64_t>(static_cast<std::uint64_t>(acc) +
+                                        static_cast<std::uint64_t>(v));
+      },
+      // Subtraction: not associative, and supply() is not an identity on
+      // the left.
+      [](std::int64_t& left, std::int64_t& right) {
+        left = static_cast<std::int64_t>(static_cast<std::uint64_t>(left) -
+                                         static_cast<std::uint64_t>(right));
+      });
+  Config cfg = suite_config();
+  cfg.iterations = 200;
+  const auto result = check(
+      "broken combiner is caught", cfg,
+      [](Rand& r) { return gen_case(r, false); },
+      [&](const Case& c) {
+        Rand partition_rand(c.partition_seed);
+        return check_collector_laws(broken, c.data, partition_rand);
+      });
+  EXPECT_FALSE(result.ok)
+      << "the law checker failed to reject a non-associative combiner";
+}
+
+}  // namespace

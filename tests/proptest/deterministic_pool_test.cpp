@@ -1,0 +1,127 @@
+// DeterministicPool: same seed => identical schedule and results; a seed
+// sweep explores distinct interleavings; serialized execution stays
+// correct (results, exceptions) under every schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "proptest/deterministic_pool.hpp"
+#include "proptest/prop.hpp"
+#include "streams/spliterators.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::proptest::DeterministicPool;
+using pls::proptest::Rand;
+
+// Fixed-shape recursive sum: 2^depth leaves, so every schedule makes the
+// same number of fork decisions and correctness is schedule-independent.
+long tree_sum(pls::forkjoin::ForkJoinPool& pool, long lo, long hi) {
+  if (hi - lo <= 4) {
+    long s = 0;
+    for (long i = lo; i < hi; ++i) s += i;
+    return s;
+  }
+  const long mid = lo + (hi - lo) / 2;
+  long left = 0, right = 0;
+  pool.invoke_two([&] { left = tree_sum(pool, lo, mid); },
+                  [&] { right = tree_sum(pool, mid, hi); });
+  return left + right;
+}
+
+TEST(DeterministicPool, ComputesCorrectResultUnderAnySeed) {
+  const long n = 1000;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    DeterministicPool det(seed);
+    const long got = det.run([&] { return tree_sum(det.pool(), 0, n); });
+    EXPECT_EQ(got, n * (n - 1) / 2) << "seed " << seed;
+    EXPECT_FALSE(det.schedule_trace().empty());
+  }
+}
+
+TEST(DeterministicPool, SameSeedReplaysIdenticalScheduleAndResult) {
+  const auto run = [](std::uint64_t seed) {
+    DeterministicPool det(seed);
+    const long sum = det.run([&] { return tree_sum(det.pool(), 0, 512); });
+    return std::make_pair(sum, det.schedule_trace());
+  };
+  const auto a = run(0xC0FFEE);
+  const auto b = run(0xC0FFEE);
+  EXPECT_EQ(a.first, b.first);
+  ASSERT_FALSE(a.second.empty());
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(DeterministicPool, SeedSweepExploresDistinctSchedules) {
+  std::set<std::vector<bool>> schedules;
+  constexpr int kSeeds = 32;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    DeterministicPool det(seed);
+    det.run([&] { return tree_sum(det.pool(), 0, 512); });
+    schedules.insert(det.schedule_trace());
+  }
+  // 2^decisions possible interleavings; 32 seeds over dozens of decisions
+  // should essentially never collide.
+  EXPECT_GE(schedules.size(), kSeeds - 2);
+}
+
+TEST(DeterministicPool, ScheduleLengthMatchesForkCount) {
+  // tree_sum over [0, 64) with leaf size 4 forks a complete binary tree:
+  // 16 leaves => 15 internal forks.
+  DeterministicPool det(5);
+  det.run([&] { return tree_sum(det.pool(), 0, 64); });
+  EXPECT_EQ(det.schedule_trace().size(), 15u);
+}
+
+TEST(DeterministicPool, LeftExceptionWinsUnderBothOrders) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    DeterministicPool det(seed);
+    try {
+      det.run([&] {
+        det.pool().invoke_two([] { throw std::runtime_error("left"); },
+                              [] { throw std::runtime_error("right"); });
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "left");
+    }
+  }
+}
+
+TEST(DeterministicPool, StreamCollectIsScheduleInvariant) {
+  // The same parallel collect must produce identical output under every
+  // interleaving — the core differential guarantee schedule fuzzing
+  // checks for generated pipelines in pipeline_differential_test.cpp.
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 0; i < 256; ++i) expected.push_back(i * 3);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    DeterministicPool det(seed);
+    auto result = pls::streams::Stream<std::int64_t>::range(0, 256)
+                      .map([](const std::int64_t& v) { return v * 3; })
+                      .parallel()
+                      .via(det.pool())
+                      .with_min_chunk(8)
+                      .to_vector();
+    EXPECT_EQ(result, expected) << "seed " << seed;
+  }
+}
+
+TEST(DeterministicPool, HookInstallAndClearRestoresConcurrentMode) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  pls::proptest::SeededSchedule schedule(9);
+  pool.set_schedule_hook(&schedule);
+  EXPECT_EQ(pool.run([&] { return tree_sum(pool, 0, 64); }), 64 * 63 / 2);
+  const std::size_t decisions = schedule.decisions();
+  EXPECT_EQ(decisions, 15u);
+  pool.set_schedule_hook(nullptr);
+  EXPECT_EQ(pool.schedule_hook(), nullptr);
+  EXPECT_EQ(pool.run([&] { return tree_sum(pool, 0, 64); }), 64 * 63 / 2);
+  // Concurrent mode no longer consults the hook.
+  EXPECT_EQ(schedule.decisions(), decisions);
+}
+
+}  // namespace

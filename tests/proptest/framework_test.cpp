@@ -1,0 +1,156 @@
+// Meta-tests of the proptest framework itself: seeded determinism, greedy
+// shrinking to a minimal counterexample, and failure-report contents —
+// the replay guarantees every law suite relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "proptest/gen.hpp"
+#include "proptest/prop.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+
+Config fixed_seed_config(std::uint64_t seed, int iterations = 100) {
+  Config cfg;
+  cfg.seed = seed;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+TEST(Framework, PassingPropertyRunsAllIterations) {
+  const auto result = check(
+      "tautology", fixed_seed_config(1), [](Rand& r) { return r.below(100); },
+      [](std::uint64_t v) { return v < 100; });
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.iterations_run, 100);
+  EXPECT_EQ(result.failing_iteration, -1);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(Framework, IntegerShrinkFindsMinimalCounterexample) {
+  // Property "v < 42" fails for any v >= 42; greedy shrinking over the
+  // integer candidates must land on exactly 42 whatever value failed
+  // first.
+  const auto result = check(
+      "v < 42", fixed_seed_config(7),
+      [](Rand& r) { return r.below(100000); },
+      [](std::uint64_t v) { return shrink_integer(v); },
+      [](std::uint64_t v) { return v < 42; });
+  ASSERT_FALSE(result.ok);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(*result.counterexample, 42u);
+}
+
+TEST(Framework, VectorShrinkReachesSmallWitness) {
+  // Fails iff the vector contains an element >= 1000. The minimal
+  // witness reachable by shrink_vector is a single offending element —
+  // possibly zeroed partway toward the minimum, but never longer.
+  const auto result = check(
+      "all elements < 1000", fixed_seed_config(11),
+      [](Rand& r) {
+        return gen_values(r, 4 + r.below(60), 0, 5000);
+      },
+      [](const std::vector<std::int64_t>& v) { return shrink_vector(v); },
+      [](const std::vector<std::int64_t>& v) {
+        for (std::int64_t e : v) {
+          if (e >= 1000) return false;
+        }
+        return true;
+      });
+  ASSERT_FALSE(result.ok);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(result.counterexample->size(), 1u);
+  EXPECT_GE((*result.counterexample)[0], 1000);
+}
+
+TEST(Framework, SameSeedReproducesIdenticalShrunkCounterexample) {
+  const auto run = [](std::uint64_t seed) {
+    return check(
+        "no element divisible by 97", fixed_seed_config(seed),
+        [](Rand& r) { return gen_values(r, 1 + r.below(40), 0, 100000); },
+        [](const std::vector<std::int64_t>& v) { return shrink_vector(v); },
+        [](const std::vector<std::int64_t>& v) {
+          for (std::int64_t e : v) {
+            if (e != 0 && e % 97 == 0) return false;
+          }
+          return true;
+        });
+  };
+  const auto first = run(0xFEEDu);
+  const auto second = run(0xFEEDu);
+  ASSERT_FALSE(first.ok);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(first.failing_iteration, second.failing_iteration);
+  EXPECT_EQ(first.shrink_steps, second.shrink_steps);
+  EXPECT_EQ(*first.counterexample, *second.counterexample);
+  EXPECT_EQ(first.report, second.report);
+}
+
+TEST(Framework, DifferentSeedsExploreDifferentValues) {
+  const auto draw = [](std::uint64_t seed) {
+    std::vector<std::uint64_t> values;
+    const auto result = check(
+        "collect", fixed_seed_config(seed, 20),
+        [](Rand& r) { return r.bits(); },
+        [&](std::uint64_t v) {
+          values.push_back(v);
+          return true;
+        });
+    EXPECT_TRUE(result.ok);
+    return values;
+  };
+  EXPECT_NE(draw(1), draw(2));
+}
+
+TEST(Framework, FailureReportCarriesReplaySeedAndCounterexample) {
+  const auto result = check(
+      "always fails", fixed_seed_config(0xABCDEF),
+      [](Rand& r) { return r.below(10); },
+      [](std::uint64_t) { return PropStatus::fail("intentional"); });
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.report.find("PLS_TEST_SEED=0xabcdef"), std::string::npos)
+      << result.report;
+  EXPECT_NE(result.report.find("intentional"), std::string::npos);
+  EXPECT_NE(result.report.find("FALSIFIED"), std::string::npos);
+  EXPECT_EQ(result.seed, 0xABCDEFu);
+}
+
+TEST(Framework, ThrowingPropertyCountsAsFailureWithMessage) {
+  const auto result = check(
+      "throws", fixed_seed_config(3), [](Rand& r) { return r.below(10); },
+      [](std::uint64_t) -> bool { throw std::runtime_error("boom"); });
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("boom"), std::string::npos);
+}
+
+TEST(Framework, DefaultSeedComesFromProcessWideTestSeed) {
+  Config cfg;
+  EXPECT_EQ(cfg.seed, pls::test_seed());
+}
+
+TEST(Framework, RandInRangeIsInclusiveAndCoversBounds) {
+  Rand r(99);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = r.in_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Framework, DescribeRendersScalarsVectorsAndShapes) {
+  EXPECT_EQ(describe(42), "42");
+  EXPECT_EQ(describe(std::vector<int>{1, 2, 3}), "[1, 2, 3] (3 elements)");
+  EXPECT_EQ(describe(std::make_pair(1, 2)), "(1, 2)");
+}
+
+}  // namespace

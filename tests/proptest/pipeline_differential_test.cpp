@@ -1,0 +1,181 @@
+// Differential pipeline suite: generated map/peek pipelines over
+// Array/Range/Generate sources, driven through the sequential fold, the
+// fork-join supplier/combiner reduction, and the destination-passing
+// collect, asserting bit-identical output against a plain-loop reference.
+// A second pass fuzzes fork schedules with DeterministicPool: every
+// interleaving of the same pipeline must produce the same bytes. Together
+// the two passes cover well over 200 pipeline/schedule combinations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "proptest/deterministic_pool.hpp"
+#include "proptest/pipelines.hpp"
+#include "proptest/prop.hpp"
+#include "streams/collectors.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+
+Config suite_config(int iterations) {
+  Config cfg;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+std::uint64_t chunk_for(const PipelineShape& s, Rand& r) {
+  // Mostly tiny chunks (deep task trees); occasionally chunk >= size
+  // (parallel path degenerating to one leaf).
+  if (r.chance(1, 8)) return s.size + 1;
+  return 1 + r.below(8);
+}
+
+TEST(PipelineDifferential, AllThreeEvaluationPathsMatchReference) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto result = check(
+      "sequential == fork-join == DPS == reference", suite_config(120),
+      [](Rand& r) {
+        PipelineShape s = gen_pipeline(r, 9);
+        return std::make_pair(s, r.bits());
+      },
+      [](const std::pair<PipelineShape, std::uint64_t>& c) {
+        std::vector<std::pair<PipelineShape, std::uint64_t>> out;
+        for (auto& smaller : shrink_pipeline(c.first)) {
+          out.emplace_back(std::move(smaller), c.second);
+        }
+        return out;
+      },
+      [&](const std::pair<PipelineShape, std::uint64_t>& c) -> PropStatus {
+        const PipelineShape& s = c.first;
+        Rand chunk_rand(c.second);
+        const std::uint64_t chunk = chunk_for(s, chunk_rand);
+        const std::vector<std::int64_t> expected = reference_result(s);
+
+        const auto seq = build_stream(s).to_vector();
+        if (seq != expected) {
+          return PropStatus::fail("sequential path diverged from reference");
+        }
+        const auto legacy = build_stream(s)
+                                .parallel()
+                                .via(pool)
+                                .with_min_chunk(chunk)
+                                .with_sized_sink(false)
+                                .to_vector();
+        if (legacy != expected) {
+          return PropStatus::fail(
+              "fork-join supplier/combiner path diverged from reference "
+              "(min_chunk=" +
+              std::to_string(chunk) + ")");
+        }
+        const auto dps = build_stream(s)
+                             .parallel()
+                             .via(pool)
+                             .with_min_chunk(chunk)
+                             .with_sized_sink(true)
+                             .to_vector();
+        if (dps != expected) {
+          return PropStatus::fail(
+              "destination-passing path diverged from reference "
+              "(min_chunk=" +
+              std::to_string(chunk) + ")");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+TEST(PipelineDifferential, EveryScheduleProducesIdenticalBytes) {
+  // 25 generated pipelines x 10 fork schedules = 250 combinations, each
+  // checked against the reference on both collect paths.
+  constexpr int kPipelines = 25;
+  constexpr std::uint64_t kSchedules = 10;
+  const auto result = check(
+      "schedule-fuzzed collects match reference", suite_config(kPipelines),
+      [](Rand& r) {
+        // Bias toward nontrivial sizes so schedules actually fork.
+        PipelineShape s = gen_pipeline(r, 8);
+        if (s.size < 16) s.size += 16;
+        return s;
+      },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [&](const PipelineShape& s) -> PropStatus {
+        const std::vector<std::int64_t> expected = reference_result(s);
+        for (std::uint64_t schedule_seed = 0; schedule_seed < kSchedules;
+             ++schedule_seed) {
+          for (const bool sized_sink : {false, true}) {
+            DeterministicPool det(schedule_seed);
+            const auto got = build_stream(s)
+                                 .parallel()
+                                 .via(det.pool())
+                                 .with_min_chunk(4)
+                                 .with_sized_sink(sized_sink)
+                                 .to_vector();
+            if (got != expected) {
+              return PropStatus::fail(
+                  "schedule seed " + std::to_string(schedule_seed) +
+                  (sized_sink ? " (DPS path)" : " (legacy path)") +
+                  " diverged from reference");
+            }
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+TEST(PipelineDifferential, SameScheduleSeedReplaysIdenticalTrace) {
+  // The replay contract of the harness itself, on a realistic pipeline:
+  // same (pipeline, schedule seed) => identical decision trace and output.
+  Rand r(pls::test_seed());
+  for (int i = 0; i < 5; ++i) {
+    PipelineShape s = gen_pipeline(r, 8);
+    if (s.size < 16) s.size += 16;
+    const std::uint64_t schedule_seed = r.bits();
+    const auto run = [&] {
+      DeterministicPool det(schedule_seed);
+      auto out = build_stream(s)
+                     .parallel()
+                     .via(det.pool())
+                     .with_min_chunk(4)
+                     .to_vector();
+      return std::make_pair(std::move(out), det.schedule_trace());
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.first, b.first) << s.debug_string();
+    EXPECT_EQ(a.second, b.second) << s.debug_string();
+  }
+}
+
+TEST(PipelineDifferential, ReductionCollectorsAgreeAcrossPathsAndSchedules) {
+  // Non-vector terminal: summing (pure combiner reduction) must agree
+  // between sequential and every fuzzed schedule.
+  Rand r(pls::test_seed() ^ 0x5011);
+  for (int i = 0; i < 8; ++i) {
+    PipelineShape s = gen_pipeline(r, 8);
+    // The stock summing collector accumulates in signed int64; strip the
+    // map ops so every element stays a bounded value_at/range value and
+    // the sum of <= 2^8 elements below 2^48 cannot overflow.
+    s.ops.clear();
+    const auto expected_vec = reference_result(s);
+    std::int64_t expected = 0;
+    for (std::int64_t v : expected_vec) expected += v;
+    for (std::uint64_t schedule_seed = 0; schedule_seed < 4;
+         ++schedule_seed) {
+      DeterministicPool det(schedule_seed);
+      const std::int64_t got =
+          build_stream(s)
+              .parallel()
+              .via(det.pool())
+              .with_min_chunk(4)
+              .collect(pls::streams::collectors::summing<std::int64_t>());
+      EXPECT_EQ(got, expected)
+          << s.debug_string() << " schedule " << schedule_seed;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,258 @@
+// PowerList axiom suite (Misra 1994, Section II of the paper), checked
+// over generated power-of-two inputs: the tie/zip duality axiom, the
+// inverse laws (deconstruct-then-reconstruct is the identity), the view
+// index laws, and coverage of the leaves under arbitrary generated
+// tie/zip decomposition trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "powerlist/power_array.hpp"
+#include "powerlist/view.hpp"
+#include "proptest/gen.hpp"
+#include "proptest/prop.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+using pls::powerlist::DecompositionOp;
+using pls::powerlist::PowerArray;
+using pls::powerlist::PowerListView;
+
+struct Case {
+  std::vector<std::int64_t> data;
+  std::uint64_t tree_seed;
+
+  std::string debug_string() const {
+    return "data=" + describe(data) +
+           " tree_seed=" + std::to_string(tree_seed);
+  }
+};
+
+Config suite_config() {
+  Config cfg;
+  cfg.iterations = 80;
+  return cfg;
+}
+
+Case gen_case(Rand& r, unsigned min_log2, unsigned max_log2) {
+  Case c;
+  const std::uint64_t n = gen_pow2_size(r, min_log2, max_log2);
+  c.data = gen_values(r, n, -100000, 100000);
+  c.tree_seed = r.bits();
+  return c;
+}
+
+/// Keep only power-of-two shrink candidates: the axioms are stated over
+/// PowerLists, and the view constructor checks the length.
+std::vector<Case> shrink_case(const Case& c) {
+  std::vector<Case> out;
+  for (auto& smaller : shrink_vector(c.data)) {
+    if (!smaller.empty() && pls::is_power_of_two(smaller.size())) {
+      out.push_back(Case{std::move(smaller), c.tree_seed});
+    }
+  }
+  return out;
+}
+
+PowerArray<std::int64_t> make_power(const std::vector<std::int64_t>& data) {
+  return PowerArray<std::int64_t>(data);
+}
+
+/// The duality axiom: (p|q) ⋈ (r|s) = (p⋈r) | (q⋈s), for similar
+/// p, q, r, s. Built from two generated vectors a = p|q and b = r|s.
+TEST(PowerListAxioms, TieZipDuality) {
+  const auto result = check(
+      "(p|q) zip (r|s) == (p zip r) | (q zip s)", suite_config(),
+      [](Rand& r) {
+        Case c = gen_case(r, 1, 9);
+        // Second vector of the same length, drawn from the tree seed.
+        return std::make_pair(c, gen_values(r, c.data.size(), -100000,
+                                            100000));
+      },
+      [](const std::pair<Case, std::vector<std::int64_t>>& cs)
+          -> PropStatus {
+        const auto& a = cs.first.data;
+        const auto& b = cs.second;
+        const std::size_t half = a.size() / 2;
+        const std::vector<std::int64_t> p(a.begin(), a.begin() + half);
+        const std::vector<std::int64_t> q(a.begin() + half, a.end());
+        const std::vector<std::int64_t> r_(b.begin(), b.begin() + half);
+        const std::vector<std::int64_t> s(b.begin() + half, b.end());
+
+        // Left side: (p|q) ⋈ (r|s).
+        auto left = make_power(a);
+        auto right = make_power(b);
+        left.zip_all(right);
+
+        // Right side: (p⋈r) | (q⋈s).
+        auto pr = make_power(p);
+        auto r_arr = make_power(r_);
+        pr.zip_all(r_arr);
+        auto qs = make_power(q);
+        auto s_arr = make_power(s);
+        qs.zip_all(s_arr);
+        pr.tie_all(qs);
+
+        if (!(left == pr)) {
+          return PropStatus::fail("duality axiom violated");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// tie then tie_all, and zip then zip_all, reconstruct the original.
+TEST(PowerListAxioms, DeconstructReconstructIsIdentity) {
+  const auto result = check(
+      "split(op) then recombine(op) == id", suite_config(),
+      [](Rand& r) { return gen_case(r, 1, 10); },
+      [](const Case& c) { return shrink_case(c); },
+      [](const Case& c) -> PropStatus {
+        for (DecompositionOp op : {DecompositionOp::kTie,
+                                   DecompositionOp::kZip}) {
+          const auto view = pls::powerlist::view_of(c.data);
+          const auto [lo, hi] = view.split(op);
+          auto left = PowerArray<std::int64_t>(lo.to_vector());
+          auto right = PowerArray<std::int64_t>(hi.to_vector());
+          if (op == DecompositionOp::kTie) {
+            left.tie_all(right);
+          } else {
+            left.zip_all(right);
+          }
+          if (left.values() != c.data) {
+            return PropStatus::fail(
+                op == DecompositionOp::kTie
+                    ? "tie deconstruct/reconstruct not identity"
+                    : "zip deconstruct/reconstruct not identity");
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// View index laws: tie()'s halves index as p[i], q[i] = full[i], full[h+i];
+/// zip()'s halves index as full[2i], full[2i+1] — at every level of a
+/// generated decomposition tree, over both operators.
+TEST(PowerListAxioms, ViewIndexLawsHoldThroughGeneratedTrees) {
+  const auto result = check(
+      "view index laws through random tie/zip trees", suite_config(),
+      [](Rand& r) { return gen_case(r, 0, 10); },
+      [](const Case& c) { return shrink_case(c); },
+      [](const Case& c) -> PropStatus {
+        struct Walker {
+          Rand r;
+          std::string error;
+
+          void walk(const PowerListView<const std::int64_t>& v) {
+            if (!error.empty() || v.is_singleton()) return;
+            const DecompositionOp op =
+                r.coin() ? DecompositionOp::kTie : DecompositionOp::kZip;
+            const auto [lo, hi] = v.split(op);
+            if (lo.length() != v.length() / 2 ||
+                hi.length() != v.length() / 2) {
+              error = "split halves are not half the length";
+              return;
+            }
+            for (std::size_t i = 0; i < lo.length(); ++i) {
+              if (op == DecompositionOp::kTie) {
+                if (lo[i] != v[i] || hi[i] != v[lo.length() + i]) {
+                  error = "tie index law violated";
+                  return;
+                }
+              } else {
+                if (lo[i] != v[2 * i] || hi[i] != v[2 * i + 1]) {
+                  error = "zip index law violated";
+                  return;
+                }
+              }
+            }
+            walk(lo);
+            walk(hi);
+          }
+        };
+        Walker w{Rand(c.tree_seed), {}};
+        w.walk(pls::powerlist::view_of(c.data));
+        if (!w.error.empty()) return PropStatus::fail(w.error);
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Every generated tie/zip tree's singleton leaves, collected left to
+/// right, form a permutation of the list — and for an all-tie tree, the
+/// identity; for an all-zip tree, the bit-reversal permutation. Coverage
+/// means no element is lost or duplicated by any decomposition sequence.
+TEST(PowerListAxioms, LeavesOfAnyTreeCoverExactlyTheList) {
+  const auto result = check(
+      "leaves of a random tie/zip tree are a permutation", suite_config(),
+      [](Rand& r) { return gen_case(r, 0, 10); },
+      [](const Case& c) { return shrink_case(c); },
+      [](const Case& c) -> PropStatus {
+        struct Collector {
+          Rand r;
+          std::vector<std::int64_t> leaves;
+
+          void walk(const PowerListView<const std::int64_t>& v) {
+            if (v.is_singleton()) {
+              leaves.push_back(v[0]);
+              return;
+            }
+            const auto [lo, hi] =
+                v.split(r.coin() ? DecompositionOp::kTie
+                                 : DecompositionOp::kZip);
+            walk(lo);
+            walk(hi);
+          }
+        };
+        Collector collector{Rand(c.tree_seed), {}};
+        collector.walk(pls::powerlist::view_of(c.data));
+
+        auto sorted_leaves = collector.leaves;
+        auto sorted_data = c.data;
+        std::sort(sorted_leaves.begin(), sorted_leaves.end());
+        std::sort(sorted_data.begin(), sorted_data.end());
+        if (sorted_leaves != sorted_data) {
+          return PropStatus::fail(
+              "leaf multiset differs from the list multiset");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Singleton law: a length-1 PowerList cannot be deconstructed, and
+/// tie/zip of two singletons agree: [x] | [y] = [x] ⋈ [y] = [x, y].
+TEST(PowerListAxioms, SingletonTieEqualsSingletonZip) {
+  const auto result = check(
+      "[x]|[y] == [x] zip [y]", suite_config(),
+      [](Rand& r) {
+        return std::make_pair(r.in_range(-100000, 100000),
+                              r.in_range(-100000, 100000));
+      },
+      [](const std::pair<std::int64_t, std::int64_t>& xy) -> PropStatus {
+        PowerArray<std::int64_t> tie_left{xy.first};
+        PowerArray<std::int64_t> tie_right{xy.second};
+        tie_left.tie_all(tie_right);
+
+        PowerArray<std::int64_t> zip_left{xy.first};
+        PowerArray<std::int64_t> zip_right{xy.second};
+        zip_left.zip_all(zip_right);
+
+        if (!(tie_left == zip_left)) {
+          return PropStatus::fail("tie and zip disagree on singletons");
+        }
+        if (tie_left.values() !=
+            std::vector<std::int64_t>{xy.first, xy.second}) {
+          return PropStatus::fail("singleton combination lost an element");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+}  // namespace

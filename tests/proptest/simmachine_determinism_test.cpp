@@ -1,0 +1,159 @@
+// Simulator determinism (satellite 4): the same DAG simulated on the same
+// core count must yield an identical timeline — every SimResult field —
+// across repeated runs, for generated random task trees, core counts, and
+// cost models. Also: the sequential invariants (P=1 makespan equals work)
+// stay exact on generated DAGs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "proptest/prop.hpp"
+#include "simmachine/costmodel.hpp"
+#include "simmachine/scheduler.hpp"
+#include "simmachine/trace.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+using pls::simmachine::CostModel;
+using pls::simmachine::SimResult;
+using pls::simmachine::Simulator;
+using pls::simmachine::TaskTrace;
+
+struct Case {
+  std::uint64_t dag_seed = 0;
+  unsigned processors = 1;
+
+  std::string debug_string() const {
+    return "dag_seed=" + std::to_string(dag_seed) +
+           " processors=" + std::to_string(processors);
+  }
+};
+
+/// Build a random series-parallel DAG: recursive forks with seeded
+/// branching depth and op counts, mixing balanced and skewed shapes.
+TaskTrace::NodeId grow(TaskTrace& trace, Rand& r, unsigned depth) {
+  const bool leaf = depth == 0 || r.chance(1, 3);
+  if (leaf) {
+    return trace.add_leaf(static_cast<double>(r.below(2000)));
+  }
+  // Skew: one subtree may be much deeper than the other.
+  const unsigned left_depth = depth - 1;
+  const unsigned right_depth = r.coin() ? depth - 1 : depth / 2;
+  const auto left = grow(trace, r, left_depth);
+  const auto right = grow(trace, r, right_depth);
+  return trace.add_fork(static_cast<double>(r.below(300)),
+                        static_cast<double>(r.below(300)), left, right);
+}
+
+TaskTrace make_trace(std::uint64_t seed) {
+  TaskTrace trace;
+  Rand r(seed);
+  const unsigned depth = 1 + static_cast<unsigned>(r.below(7));
+  trace.set_root(grow(trace, r, depth));
+  return trace;
+}
+
+CostModel model_for(std::uint64_t seed) {
+  Rand r(seed ^ 0xC057);
+  CostModel m;
+  m.ns_per_op = 0.5 + 0.01 * static_cast<double>(r.below(300));
+  m.spawn_overhead_ns = static_cast<double>(r.below(400));
+  m.steal_overhead_ns = static_cast<double>(r.below(900));
+  m.join_overhead_ns = static_cast<double>(r.below(200));
+  return m;
+}
+
+bool identical(const SimResult& a, const SimResult& b) {
+  return a.processors == b.processors && a.makespan_ns == b.makespan_ns &&
+         a.work_ns == b.work_ns && a.pure_work_ns == b.pure_work_ns &&
+         a.span_ns == b.span_ns && a.steals == b.steals &&
+         a.segments == b.segments;
+}
+
+Case gen_case(Rand& r) {
+  Case c;
+  c.dag_seed = r.bits();
+  const unsigned cores[] = {1, 2, 4, 8};
+  c.processors = cores[r.below(4)];
+  return c;
+}
+
+TEST(SimmachineDeterminism, SameDagSameCoresIdenticalTimeline) {
+  const auto result = check(
+      "two runs of the same (DAG, P) give identical SimResults",
+      Config{}, gen_case, [](const Case& c) -> PropStatus {
+        const TaskTrace trace = make_trace(c.dag_seed);
+        const Simulator sim(model_for(c.dag_seed), c.processors);
+        const SimResult first = sim.run(trace);
+        const SimResult second = sim.run(trace);
+        if (!identical(first, second)) {
+          return PropStatus::fail("simulated timelines diverged");
+        }
+        // A freshly constructed but identically parameterised simulator
+        // must agree too — determinism is a function of (model, P, trace),
+        // not of simulator instance state.
+        const SimResult third =
+            Simulator(model_for(c.dag_seed), c.processors).run(trace);
+        if (!identical(first, third)) {
+          return PropStatus::fail(
+              "a fresh identically-configured simulator diverged");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+TEST(SimmachineDeterminism, SingleCoreMakespanEqualsWork) {
+  const auto result = check(
+      "P=1: makespan == work, no steals", Config{},
+      [](Rand& r) { return r.bits(); },
+      [](std::uint64_t dag_seed) -> PropStatus {
+        const TaskTrace trace = make_trace(dag_seed);
+        const SimResult res = Simulator(model_for(dag_seed), 1).run(trace);
+        if (res.steals != 0) {
+          return PropStatus::fail("single-core run recorded steals");
+        }
+        if (std::abs(res.makespan_ns - res.work_ns) > 1e-6) {
+          return PropStatus::fail(
+              "single-core makespan differs from total work");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+TEST(SimmachineDeterminism, MakespanBoundedByWorkAndSpan) {
+  // Brent-style sanity on generated DAGs. work_ns counts only busy segment
+  // time, so the wall clock can legitimately exceed it when workers sit
+  // idle behind a join — but at every instant some worker is either
+  // executing a segment or inside a steal window, so steal overhead is the
+  // only slack. Lower bounds: the critical path, and work/P (P cores
+  // cannot retire more than P * makespan of busy time).
+  const auto result = check(
+      "span <= makespan, work/P <= makespan <= work + steal windows",
+      Config{}, gen_case, [](const Case& c) -> PropStatus {
+        const TaskTrace trace = make_trace(c.dag_seed);
+        const CostModel model = model_for(c.dag_seed);
+        const SimResult res = Simulator(model, c.processors).run(trace);
+        if (res.span_ns > res.makespan_ns + 1e-6) {
+          return PropStatus::fail("makespan beat the critical path");
+        }
+        if (res.work_ns / c.processors > res.makespan_ns + 1e-6) {
+          return PropStatus::fail(
+              "makespan beat work/P: more busy time than the cores allow");
+        }
+        const double steal_slack =
+            static_cast<double>(res.steals) * model.steal_overhead_ns;
+        if (res.makespan_ns > res.work_ns + steal_slack + 1e-6) {
+          return PropStatus::fail(
+              "makespan exceeds busy time plus steal windows");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Linked into every test binary (tests/CMakeLists.txt): on the first
+// failed assertion of a run, print the process-wide test seed so any red
+// run — property-based or not — carries its replay line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace {
+
+class SeedReporter final : public testing::EmptyTestEventListener {
+  void OnTestPartResult(const testing::TestPartResult& result) override {
+    if (!result.failed() || printed_) return;
+    printed_ = true;
+    std::printf(
+        "[  SEED  ] PLS_TEST_SEED=0x%llx — export this variable to replay "
+        "every randomized choice of this binary identically\n",
+        static_cast<unsigned long long>(pls::test_seed()));
+    std::fflush(stdout);
+  }
+
+  bool printed_ = false;
+};
+
+[[maybe_unused]] const bool kRegistered = [] {
+  testing::UnitTest::GetInstance()->listeners().Append(new SeedReporter);
+  return true;
+}();
+
+}  // namespace
