@@ -18,7 +18,8 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 2;
   const unsigned cores = pls::bench::simulated_cores();
   const std::size_t n = std::size_t{1} << 22;
 

@@ -3,12 +3,25 @@
 // Environment knobs (all optional):
 //   PLS_BENCH_REPS      repetitions per configuration (default 3; the
 //                       paper used 5 — set PLS_BENCH_REPS=5 to match)
+//   PLS_BENCH_MIN_LOG2  smallest problem size exponent (default 20)
 //   PLS_BENCH_MAX_LOG2  cap on the largest problem size (default 26, the
 //                       paper's maximum; lower it for quick runs)
 //   PLS_BENCH_CORES     simulated processor count (default 8, the paper's
 //                       machine)
 //   PLS_BENCH_JSON_DIR  directory for the per-run metric files
 //                       (BENCH_<name>.json, default: current directory)
+//
+// Command-line flags (parse_args; they override the environment):
+//   --json <path>       write the metric file to <path> instead of
+//                       PLS_BENCH_JSON_DIR/BENCH_<name>.json
+//   --runs <N>          repetitions per configuration
+//   --sizes 2^A..2^B    problem-size range (also accepts plain "A..B")
+//   --cores <N>         simulated processor count
+//
+// The JSON files are schema-versioned (kBenchSchemaVersion): schema 2
+// adds per-run sample arrays, p50/p90, latency-histogram summaries and
+// measured critical-path stats — the format bench/regress.py consumes
+// (docs/benchmarking.md documents every field).
 #pragma once
 
 #include <cfloat>
@@ -16,15 +29,97 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "observe/config.hpp"
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 
 namespace pls::bench {
+
+/// Version of the BENCH_*.json format (bumped when fields change shape).
+inline constexpr unsigned kBenchSchemaVersion = 2;
+
+/// Flag overrides; zero/empty means "not set, fall back to environment".
+struct BenchOptions {
+  std::string json_path;
+  int runs = 0;
+  unsigned min_lg = 0;
+  unsigned max_lg = 0;
+  unsigned cores = 0;
+};
+
+inline BenchOptions& options() {
+  static BenchOptions o;
+  return o;
+}
+
+/// Parse "2^A..2^B" (or "A..B") into [min_lg, max_lg]; false on junk.
+inline bool parse_sizes(const char* spec, unsigned& min_lg,
+                        unsigned& max_lg) {
+  const char* p = spec;
+  auto read_exp = [&](unsigned& out) {
+    if (std::strncmp(p, "2^", 2) == 0) p += 2;
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1 || v > 62) return false;
+    out = static_cast<unsigned>(v);
+    p = end;
+    return true;
+  };
+  unsigned lo = 0, hi = 0;
+  if (!read_exp(lo)) return false;
+  if (std::strncmp(p, "..", 2) != 0) return false;
+  p += 2;
+  if (!read_exp(hi)) return false;
+  if (*p != '\0' || lo > hi) return false;
+  min_lg = lo;
+  max_lg = hi;
+  return true;
+}
+
+/// Unified flag protocol for the figure harnesses. Returns false (after
+/// printing usage) on an unknown or malformed flag — callers exit non-zero.
+inline bool parse_args(int argc, char** argv) {
+  BenchOptions& o = options();
+  bool ok = true;
+  for (int i = 1; i < argc && ok; ++i) {
+    const std::string a = argv[i];
+    const char* v = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    if (a == "--json" && v != nullptr) {
+      o.json_path = v;
+      ++i;
+    } else if (a == "--runs" && v != nullptr) {
+      const long n = std::strtol(v, nullptr, 10);
+      ok = n >= 1;
+      o.runs = static_cast<int>(n);
+      ++i;
+    } else if (a == "--sizes" && v != nullptr) {
+      ok = parse_sizes(v, o.min_lg, o.max_lg);
+      ++i;
+    } else if (a == "--cores" && v != nullptr) {
+      const long n = std::strtol(v, nullptr, 10);
+      ok = n >= 1;
+      o.cores = static_cast<unsigned>(n);
+      ++i;
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--json out.json] [--runs N] "
+                 "[--sizes 2^A..2^B] [--cores N]\n",
+                 argv[0]);
+  }
+  return ok;
+}
 
 inline long env_long(const char* name, long fallback) {
   if (const char* v = std::getenv(name)) {
@@ -35,14 +130,22 @@ inline long env_long(const char* name, long fallback) {
 }
 
 inline int repetitions() {
+  if (options().runs > 0) return options().runs;
   return static_cast<int>(env_long("PLS_BENCH_REPS", 3));
 }
 
+inline unsigned min_log2() {
+  if (options().min_lg > 0) return options().min_lg;
+  return static_cast<unsigned>(env_long("PLS_BENCH_MIN_LOG2", 20));
+}
+
 inline unsigned max_log2() {
+  if (options().max_lg > 0) return options().max_lg;
   return static_cast<unsigned>(env_long("PLS_BENCH_MAX_LOG2", 26));
 }
 
 inline unsigned simulated_cores() {
+  if (options().cores > 0) return options().cores;
   return static_cast<unsigned>(env_long("PLS_BENCH_CORES", 8));
 }
 
@@ -185,8 +288,67 @@ inline void counter_fields(JsonObject& row, const std::string& prefix,
       .field(prefix + "allocations", t.allocations);
 }
 
-/// Destination for BENCH_<name>.json (honours PLS_BENCH_JSON_DIR).
+/// Append one timing series' summary under `<prefix>` names: mean, p50,
+/// p90, min/max, relative stddev and the raw per-run samples — schema-2
+/// rows carry the full sample so regress.py can recompute any quantile.
+inline void stats_fields(JsonObject& row, const std::string& prefix,
+                         const SampleStats& s) {
+  row.field(prefix + "ms", s.mean)
+      .field(prefix + "p50_ms", s.median)
+      .field(prefix + "p90_ms", s.p90)
+      .field(prefix + "min_ms", s.min)
+      .field(prefix + "max_ms", s.max)
+      .field(prefix + "rsd", s.rel_stddev())
+      .raw(prefix + "runs_ms", Json::num_arr(s.samples));
+}
+
+/// One latency histogram as a nested JSON object: count + p50/p90/mean/max
+/// (nanoseconds for time metrics, raw units otherwise).
+inline std::string histogram_json(const observe::HistogramSnapshot& h,
+                                  double scale) {
+  JsonObject o;
+  o.field("count", h.total)
+      .field("p50", h.quantile(0.5, scale))
+      .field("p90", h.quantile(0.9, scale))
+      .field("mean", h.mean(scale))
+      .field("max", h.max(scale));
+  return o.str();
+}
+
+/// Append every metric's histogram summary under `<prefix><metric>`.
+/// Tick-recorded metrics are converted to nanoseconds; queue depth stays
+/// in tasks. Empty (all-zero) objects with PLS_OBSERVE=0.
+inline void histogram_fields(JsonObject& row, const std::string& prefix,
+                             const observe::HistogramSetSnapshot& h) {
+  const double ns = observe::kEnabled ? observe::ns_per_tick() : 1.0;
+  for (std::size_t i = 0; i < observe::kMetricCount; ++i) {
+    const auto m = static_cast<observe::Metric>(i);
+    const double scale = observe::metric_is_time(m) ? ns : 1.0;
+    row.raw(prefix + observe::metric_name(m),
+            histogram_json(h.metric[i], scale));
+  }
+}
+
+/// Append measured critical-path stats under `<prefix>` names: work T1,
+/// span T∞, parallelism, per-phase attribution and tree shape. All zeros
+/// when the run was not profiled (or PLS_OBSERVE=0).
+inline void cp_fields(JsonObject& row, const std::string& prefix,
+                      const observe::CriticalPathStats& cp) {
+  row.field(prefix + "work_ms", cp.work_ns / 1e6)
+      .field(prefix + "span_ms", cp.span_ns / 1e6)
+      .field(prefix + "parallelism", cp.parallelism())
+      .field(prefix + "split_ms", cp.phases.split_ns / 1e6)
+      .field(prefix + "accumulate_ms", cp.phases.accumulate_ns / 1e6)
+      .field(prefix + "combine_ms", cp.phases.combine_ns / 1e6)
+      .field(prefix + "nodes", static_cast<std::uint64_t>(cp.nodes))
+      .field(prefix + "leaves", static_cast<std::uint64_t>(cp.leaves))
+      .field(prefix + "max_depth", cp.max_depth);
+}
+
+/// Destination for BENCH_<name>.json: the --json flag when given,
+/// otherwise PLS_BENCH_JSON_DIR/BENCH_<name>.json.
 inline std::string bench_json_path(const std::string& bench_name) {
+  if (!options().json_path.empty()) return options().json_path;
   std::string dir = ".";
   if (const char* v = std::getenv("PLS_BENCH_JSON_DIR")) dir = v;
   return dir + "/BENCH_" + bench_name + ".json";

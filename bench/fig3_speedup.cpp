@@ -39,6 +39,9 @@
 #include "bench/common.hpp"
 #include "forkjoin/pool.hpp"
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/flamegraph.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "powerlist/collector_functions.hpp"
 #include "streams/stream.hpp"
@@ -46,6 +49,7 @@
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -82,9 +86,11 @@ TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 2;
   const int reps = pls::bench::repetitions();
   const unsigned cores = pls::bench::simulated_cores();
+  const unsigned min_log2 = pls::bench::min_log2();
   const unsigned max_log2 = pls::bench::max_log2();
   const double x = 0.9999991;  // |x|<1 keeps 2^26-degree values finite
 
@@ -102,7 +108,7 @@ int main() {
   std::vector<std::string> json_rows;
   bool trace_written = false;
 
-  for (unsigned lg = 20; lg <= max_log2; ++lg) {
+  for (unsigned lg = min_log2; lg <= max_log2; ++lg) {
     const std::size_t n = std::size_t{1} << lg;
     const auto coeffs = make_coefficients(n);
 
@@ -118,11 +124,11 @@ int main() {
 
     // Parallel, wall clock, P OS threads (honest number for this host).
     // The pool's counter delta over these runs gives the steal rate and
-    // decomposition shape for the JSON report.
+    // decomposition shape for the JSON report; the snapshot-diff API
+    // (CounterSnapshot::operator-) pairs up the per-worker rows for us.
     pls::streams::ExecutionConfig cfg;
     cfg.pool = &pool;
-    const auto counters_before = pool.counter_totals();
-    const auto workers_before = pool.per_worker_counters();
+    const auto snap_before = pool.counter_snapshot();
     const auto par_wall = pls::bench::time_ms(
         [&] {
           pls::bench::keep(
@@ -130,14 +136,29 @@ int main() {
                                                          cfg));
         },
         reps);
-    const auto counters = pool.counter_totals() - counters_before;
-    const auto workers_after = pool.per_worker_counters();
+    const auto snap_delta = pool.counter_snapshot() - snap_before;
+    const auto& counters = snap_delta.total;
     std::vector<std::uint64_t> worker_steals;
-    for (std::size_t w = 0; w < workers_after.size(); ++w) {
-      const std::uint64_t prior =
-          w < workers_before.size() ? workers_before[w].steals : 0;
-      worker_steals.push_back(workers_after[w].steals - prior);
+    for (const auto& w : snap_delta.per_worker) {
+      worker_steals.push_back(w.totals.steals);
     }
+
+    // One profiled parallel run: the critical-path recorder mirrors the
+    // split tree (work T1, span T∞, phase attribution), and the latency
+    // histograms are reset first so their quantiles describe this size
+    // only. Both are no-ops with PLS_OBSERVE=0.
+    pls::observe::HistogramRegistry::global().reset();
+    auto& cp_recorder = pls::observe::CriticalPathRecorder::global();
+    cp_recorder.clear();
+    cp_recorder.enable();
+    pls::Stopwatch prof_sw;
+    pls::bench::keep(
+        pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
+    const double prof_wall_ms = prof_sw.elapsed_ms();
+    cp_recorder.disable();
+    const auto cp = cp_recorder.analyze();
+    const auto hist = pls::observe::aggregate_histograms();
+    cp_recorder.clear();
 
     // The parallel code path on ONE worker: same splitting, same leaf
     // machinery, no physical parallelism — wall-clockable on this host
@@ -171,10 +192,10 @@ int main() {
         pls::bench::keep(out.empty() ? 0.0 : out.back());
       };
       const auto stats = pls::bench::time_ms(run_once, reps);
-      const auto before = pls::observe::aggregate_counters();
+      const auto before = pls::observe::counter_snapshot();
       run_once();
-      const auto delta = pls::observe::aggregate_counters() - before;
-      return std::make_pair(stats, delta);
+      const auto delta = pls::observe::counter_snapshot() - before;
+      return std::make_pair(stats, delta.total);
     };
     const auto [collect_dps, dps_counters] = measure_collect(true);
     const auto [collect_sc, sc_counters] = measure_collect(false);
@@ -192,25 +213,40 @@ int main() {
                   cores)
             .run(trace);
 
+    // For the first size, print the measured critical path next to the
+    // simulated prediction — the Brent-bound comparison the profiler
+    // exists for (docs/benchmarking.md explains the expected gap).
+    if (lg == min_log2 && pls::observe::kEnabled && !cp.empty()) {
+      std::printf(
+          "critical path (2^%u): work T1 = %.2f ms, span Tinf = %.3f ms, "
+          "parallelism = %.1f\n"
+          "simulated:           work    = %.2f ms, span      = %.3f ms, "
+          "Brent T%u <= %.2f ms\n%s\n",
+          lg, cp.work_ns / 1e6, cp.span_ns / 1e6, cp.parallelism(),
+          sim_meas.work_ns / 1e6, sim_meas.span_ns / 1e6, cores,
+          sim_meas.brent_bound_ns() / 1e6,
+          cp.phase_table(prof_wall_ms * 1e6, pool.parallelism()).c_str());
+    }
+
     // For the smallest size, capture one real parallel run and one
     // simulated schedule into a shared chrome://tracing timeline: the
-    // real run appears as pid 0, the simulated machine as pid 1.
+    // real run appears as pid 0, the simulated machine as pid 1. The
+    // TraceSession guard writes the file on scope exit — early exits and
+    // exceptions included (PLS_TRACE_PATH would override the path).
     if (!trace_written && pls::observe::kEnabled) {
-      auto& recorder = pls::observe::TraceRecorder::global();
-      recorder.clear();
-      recorder.enable();
-      pls::bench::keep(
-          pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
-      (void)Simulator(CostModel::calibrated(par1.mean * 1e6,
-                                            2.0 * static_cast<double>(n)),
-                      cores)
-          .run(trace);
-      recorder.disable();
       std::string dir = ".";
       if (const char* v = std::getenv("PLS_BENCH_JSON_DIR")) dir = v;
       const std::string trace_path = dir + "/fig3_trace.json";
-      pls::bench::write_json_file(trace_path, recorder.chrome_json());
-      recorder.clear();
+      {
+        pls::observe::TraceSession session(trace_path);
+        pls::bench::keep(
+            pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
+        (void)Simulator(CostModel::calibrated(par1.mean * 1e6,
+                                              2.0 * static_cast<double>(n)),
+                        cores)
+            .run(trace);
+      }
+      pls::observe::TraceRecorder::global().clear();
       std::printf("chrome trace (2^%u, real pid 0 + simulated pid 1): %s\n\n",
                   lg, trace_path.c_str());
       trace_written = true;
@@ -241,14 +277,13 @@ int main() {
       ++levels;
     }
     pls::bench::JsonObject row;
-    row.field("log2_n", lg)
-        .field("n", n)
-        .field("seq_ms", seq.mean)
-        .field("par1_ms", par1.mean)
-        .field("sim_meas_ms", sim_meas.makespan_ns / 1e6)
+    row.field("log2_n", lg).field("n", n);
+    pls::bench::stats_fields(row, "seq_", seq);
+    pls::bench::stats_fields(row, "par1_", par1);
+    pls::bench::stats_fields(row, "par_wall_", par_wall);
+    row.field("sim_meas_ms", sim_meas.makespan_ns / 1e6)
         .field("speedup_meas", seq.mean / (sim_meas.makespan_ns / 1e6))
         .field("speedup_unif", seq.mean / (sim_unif.makespan_ns / 1e6))
-        .field("par_wall_ms", par_wall.mean)
         .field("speedup_wall", seq.mean / par_wall.mean)
         .field("tasks_executed", counters.tasks_executed)
         .field("steals", counters.steals)
@@ -270,21 +305,32 @@ int main() {
         .field("split_leaves", std::size_t{1} << levels)
         .field("split_leaf_size", leaf)
         .field("sim_steals", sim_meas.steals)
-        .field("collect_dps_ms", collect_dps.mean)
-        .field("collect_sc_ms", collect_sc.mean)
         .field("collect_speedup_dps", collect_sc.mean / collect_dps.mean);
+    pls::bench::stats_fields(row, "collect_dps_", collect_dps);
+    pls::bench::stats_fields(row, "collect_sc_", collect_sc);
     // Per-run counter deltas for the two materialising-collect paths
     // (one instrumented run each): the sized-sink path must show
     // collect_dps_bytes_moved == 0 and collect_dps_allocations == 1.
     pls::bench::counter_fields(row, "collect_dps_", dps_counters);
     pls::bench::counter_fields(row, "collect_sc_", sc_counters);
+    // Measured critical path of the profiled run, its wall time, the
+    // simulated prediction it is compared against, and the latency
+    // histograms of that run (schema 2).
+    pls::bench::cp_fields(row, "cp_", cp);
+    row.field("cp_wall_ms", prof_wall_ms)
+        .field("cp_elements", cp.elements)
+        .field("sim_work_ms", sim_meas.work_ns / 1e6)
+        .field("sim_span_ms", sim_meas.span_ns / 1e6)
+        .field("sim_brent_ms", sim_meas.brent_bound_ns() / 1e6);
+    pls::bench::histogram_fields(row, "hist_", hist);
     json_rows.push_back(row.str());
   }
 
   table.print();
 
   pls::bench::JsonObject doc;
-  doc.field("bench", "fig3")
+  doc.field("schema", pls::bench::kBenchSchemaVersion)
+      .field("bench", "fig3")
       .field("cores", cores)
       .field("repetitions", static_cast<unsigned>(reps))
       .field("observe", pls::observe::kEnabled ? 1u : 0u)

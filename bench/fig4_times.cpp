@@ -12,17 +12,23 @@
 // with the parallel one lower by roughly the core count; the paper's
 // sequential series has a one-off dip at 2^24 (JVM artifact, not
 // modelled).
+// Besides the table, the run emits schema-versioned BENCH_fig4.json with
+// p50/p90 per series and the measured critical path of one profiled
+// parallel run per size (--json/--runs/--sizes/--cores, see common.hpp).
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "forkjoin/pool.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
 #include "powerlist/collector_functions.hpp"
 #include "simmachine/costmodel.hpp"
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -54,9 +60,11 @@ TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 2;
   const int reps = pls::bench::repetitions();
   const unsigned cores = pls::bench::simulated_cores();
+  const unsigned min_log2 = pls::bench::min_log2();
   const unsigned max_log2 = pls::bench::max_log2();
   const double x = 0.9999993;
 
@@ -69,7 +77,9 @@ int main() {
   pls::TextTable table({"log2(n)", "n", "seq_ms", "seq_rsd", "par1_ms",
                         "par_sim_ms", "par_wall_ms", "par_wall_rsd"});
 
-  for (unsigned lg = 20; lg <= max_log2; ++lg) {
+  std::vector<std::string> json_rows;
+
+  for (unsigned lg = min_log2; lg <= max_log2; ++lg) {
     const std::size_t n = std::size_t{1} << lg;
     const auto coeffs = make_coefficients(n);
 
@@ -107,6 +117,21 @@ int main() {
     const auto sim =
         Simulator(model, cores).run(build_collect_trace(n, cores));
 
+    // One profiled parallel run per size for the measured critical path
+    // and latency histograms (no-op with PLS_OBSERVE=0).
+    pls::observe::HistogramRegistry::global().reset();
+    auto& cp_recorder = pls::observe::CriticalPathRecorder::global();
+    cp_recorder.clear();
+    cp_recorder.enable();
+    pls::Stopwatch prof_sw;
+    pls::bench::keep(
+        pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
+    const double prof_wall_ms = prof_sw.elapsed_ms();
+    cp_recorder.disable();
+    const auto cp = cp_recorder.analyze();
+    const auto hist = pls::observe::aggregate_histograms();
+    cp_recorder.clear();
+
     table.add_row({std::to_string(lg), std::to_string(n),
                    pls::TextTable::num(seq.mean),
                    pls::TextTable::num(seq.rel_stddev(), 3),
@@ -114,9 +139,34 @@ int main() {
                    pls::TextTable::num(sim.makespan_ns / 1e6),
                    pls::TextTable::num(par_wall.mean),
                    pls::TextTable::num(par_wall.rel_stddev(), 3)});
+
+    pls::bench::JsonObject row;
+    row.field("log2_n", lg).field("n", n);
+    pls::bench::stats_fields(row, "seq_", seq);
+    pls::bench::stats_fields(row, "par1_", par1);
+    pls::bench::stats_fields(row, "par_wall_", par_wall);
+    row.field("par_sim_ms", sim.makespan_ns / 1e6)
+        .field("sim_work_ms", sim.work_ns / 1e6)
+        .field("sim_span_ms", sim.span_ns / 1e6)
+        .field("sim_brent_ms", sim.brent_bound_ns() / 1e6);
+    pls::bench::cp_fields(row, "cp_", cp);
+    row.field("cp_wall_ms", prof_wall_ms);
+    pls::bench::histogram_fields(row, "hist_", hist);
+    json_rows.push_back(row.str());
   }
 
   table.print();
+
+  pls::bench::JsonObject doc;
+  doc.field("schema", pls::bench::kBenchSchemaVersion)
+      .field("bench", "fig4")
+      .field("cores", cores)
+      .field("repetitions", static_cast<unsigned>(reps))
+      .field("observe", pls::observe::kEnabled ? 1u : 0u)
+      .raw("rows", pls::bench::Json::arr(json_rows));
+  const std::string json_path = pls::bench::bench_json_path("fig4");
+  pls::bench::write_json_file(json_path, doc.str());
+  std::printf("\nper-run metrics: %s\n", json_path.c_str());
   std::printf(
       "\npaper reference (Fig 4): both series grow ~linearly with n;\n"
       "parallel below sequential by roughly the core count; sequential\n"

@@ -84,7 +84,8 @@ void run_reduce_series(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 2;
   std::printf("EXT-MPI: JPLF-style MPI executor scaling over the "
               "message-passing simulation\n");
 

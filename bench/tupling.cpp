@@ -22,7 +22,8 @@
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 2;
   const int reps = pls::bench::repetitions();
   const unsigned cores = pls::bench::simulated_cores();
 

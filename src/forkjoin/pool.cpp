@@ -65,6 +65,7 @@ void ForkJoinPool::worker_loop(unsigned index) {
       self.own_counters()->on_task_executed();
       {
         observe::Span task_span(observe::EventKind::kTask);
+        observe::LatencyTimer run_timer(observe::Metric::kTaskRun);
         task->execute();
       }
       continue;
@@ -86,6 +87,7 @@ void ForkJoinPool::worker_loop(unsigned index) {
       self.own_counters()->on_task_executed();
       {
         observe::Span task_span(observe::EventKind::kTask);
+        observe::LatencyTimer run_timer(observe::Metric::kTaskRun);
         late->execute();
       }
       continue;
@@ -104,6 +106,10 @@ void ForkJoinPool::worker_loop(unsigned index) {
 }
 
 RawTask* ForkJoinPool::find_task(Worker& self) {
+  if constexpr (observe::kEnabled) {
+    observe::local_histograms().record(observe::Metric::kQueueDepth,
+                                       self.deque.size());
+  }
   if (RawTask* own = self.deque.pop()) return own;
   if (RawTask* injected = poll_injection()) return injected;
   return try_steal(self);
@@ -113,7 +119,10 @@ RawTask* ForkJoinPool::try_steal(Worker& self) {
   const std::size_t n = workers_.size();
   if (n <= 1) return nullptr;
   // Start the sweep at a random victim to spread contention, then scan all
-  // other workers once.
+  // other workers once. A successful sweep's duration — victim probing
+  // included — is the steal latency recorded below.
+  const std::uint64_t sweep_start =
+      observe::kEnabled ? observe::now_ticks() : 0;
   const std::size_t offset = self.rng.next_below(n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (offset + k) % n;
@@ -121,6 +130,11 @@ RawTask* ForkJoinPool::try_steal(Worker& self) {
     if (RawTask* stolen = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
       self.own_counters()->on_steal(true);
+      if constexpr (observe::kEnabled) {
+        observe::local_histograms().record(
+            observe::Metric::kStealLatency,
+            observe::now_ticks() - sweep_start);
+      }
       observe::instant(observe::EventKind::kSteal, victim);
       return stolen;
     }

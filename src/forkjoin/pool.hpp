@@ -30,6 +30,7 @@
 #include "forkjoin/deque.hpp"
 #include "forkjoin/task.hpp"
 #include "observe/counters.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -173,6 +174,23 @@ class ForkJoinPool {
     return t;
   }
 
+  /// Labelled point-in-time capture of this pool's counters (totals plus
+  /// per-worker rows), diffable with observe::CounterSnapshot::operator-:
+  ///   auto before = pool.counter_snapshot();
+  ///   run();
+  ///   auto delta = pool.counter_snapshot() - before;
+  observe::CounterSnapshot counter_snapshot() const {
+    observe::CounterSnapshot s;
+    s.total = counter_totals();
+    const auto per = per_worker_counters();
+    s.per_worker.reserve(per.size());
+    for (std::size_t i = 0; i < per.size(); ++i) {
+      s.per_worker.push_back(
+          {"fj-worker-" + std::to_string(i), per[i]});
+    }
+    return s;
+  }
+
   /// Per-worker counter snapshots, indexed by worker ordinal.
   std::vector<observe::CounterTotals> per_worker_counters() const {
     std::vector<observe::CounterTotals> out;
@@ -256,11 +274,16 @@ class ForkJoinPool {
   void join(Worker& self, Child& target) {
     // Fast path: the child is still on top of our own deque.
     if (!target.is_done()) {
+      if constexpr (observe::kEnabled) {
+        observe::local_histograms().record(observe::Metric::kQueueDepth,
+                                           self.deque.size());
+      }
       RawTask* popped = self.deque.pop();
       if (popped == &target) {
         // Counted before execute(): completion is published inside
         // execute(), and waiters must not see it before the counter moved.
         self.own_counters()->on_task_executed();
+        observe::LatencyTimer run_timer(observe::Metric::kTaskRun);
         popped->execute();
         return;
       }
@@ -268,6 +291,7 @@ class ForkJoinPool {
         // Defensive: structured fork-join keeps the deque balanced, but if
         // user code escaped the discipline, still make progress.
         self.own_counters()->on_task_executed();
+        observe::LatencyTimer run_timer(observe::Metric::kTaskRun);
         popped->execute();
       }
     }
@@ -278,6 +302,7 @@ class ForkJoinPool {
       if (t != nullptr) {
         self.own_counters()->on_task_executed();
         observe::Span task_span(observe::EventKind::kTask);
+        observe::LatencyTimer run_timer(observe::Metric::kTaskRun);
         t->execute();
         idle_spins = 0;
       } else if (++idle_spins > 64) {

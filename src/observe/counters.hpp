@@ -96,6 +96,31 @@ struct WorkerCounters {
   CounterTotals totals;
 };
 
+/// A point-in-time capture of the whole registry: process totals plus the
+/// per-worker breakdown. Scoped measurements subtract two snapshots taken
+/// around the region of interest (`after - before`) instead of resetting
+/// the monotonic counters — resets race with concurrent workers, deltas
+/// never do. Real in both build modes (empty when compiled out).
+struct CounterSnapshot {
+  CounterTotals total;
+  std::vector<WorkerCounters> per_worker;
+
+  /// Delta of two snapshots from the same registry: totals subtract
+  /// (operator- on CounterTotals), and per-worker rows pair up by slot
+  /// index. Slots that registered after `b` was taken diff against zero.
+  friend CounterSnapshot operator-(CounterSnapshot a,
+                                   const CounterSnapshot& b) {
+    a.total = a.total - b.total;
+    for (std::size_t i = 0; i < a.per_worker.size(); ++i) {
+      if (i < b.per_worker.size()) {
+        a.per_worker[i].totals =
+            a.per_worker[i].totals - b.per_worker[i].totals;
+      }
+    }
+    return a;
+  }
+};
+
 #if PLS_OBSERVE
 
 /// One thread's counters: cache-line aligned (two lines since the
@@ -301,6 +326,15 @@ inline CounterBlock& local_counters() {
 /// Snapshot of the process-wide totals (zero when compiled out).
 inline CounterTotals aggregate_counters() {
   return CounterRegistry::global().aggregate();
+}
+
+/// Full registry capture for scoped delta measurement:
+///   auto before = counter_snapshot();
+///   run();
+///   auto delta = counter_snapshot() - before;
+inline CounterSnapshot counter_snapshot() {
+  CounterRegistry& r = CounterRegistry::global();
+  return CounterSnapshot{r.aggregate(), r.per_worker()};
 }
 
 }  // namespace pls::observe

@@ -1,0 +1,81 @@
+// Collapsed-stack export of a profiled split tree.
+//
+// Converts the CriticalPathRecorder's forest into the folded format
+// consumed by flamegraph.pl / speedscope / inferno ("frame;frame;frame
+// weight", one line per stack): every tree node contributes its path from
+// the root (frames "L"/"R" for the split direction) and one child frame
+// per phase that spent time there, weighted by that phase's microseconds.
+// Leaves therefore appear as `root#0;L;R;…;accumulate <µs>` — the split
+// tree weighted by leaf time — and combine/split overhead shows up as
+// sibling frames at the exact tree position that paid it.
+//
+// With PLS_OBSERVE=0 (or an empty recorder) the export writes nothing,
+// which the folded format treats as an empty profile.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "observe/critical_path.hpp"
+
+namespace pls::observe {
+
+namespace detail {
+
+#if PLS_OBSERVE
+inline void write_folded_node(std::ostream& os, const CpNode& n,
+                              const std::string& path, double us_per_tick) {
+  const auto weight = [&](std::uint64_t ticks) {
+    return static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                      us_per_tick);
+  };
+  if (n.split_ticks != 0) {
+    os << path << ";split " << weight(n.split_ticks) << '\n';
+  }
+  if (n.accumulate_ticks != 0) {
+    os << path << ";accumulate " << weight(n.accumulate_ticks) << '\n';
+  }
+  if (n.combine_ticks != 0) {
+    os << path << ";combine " << weight(n.combine_ticks) << '\n';
+  }
+  if (!n.is_leaf()) {
+    write_folded_node(os, *n.left, path + ";L", us_per_tick);
+    write_folded_node(os, *n.right, path + ";R", us_per_tick);
+  }
+}
+#endif
+
+}  // namespace detail
+
+/// Write the recorder's forest in collapsed-stack (folded) format, one
+/// root per `root#<i>` base frame, weights in whole microseconds. Call
+/// only after the profiled run completed.
+inline void write_flamegraph(std::ostream& os,
+                             const CriticalPathRecorder& recorder =
+                                 CriticalPathRecorder::global(),
+                             double ns_per_tick_scale = ns_per_tick()) {
+#if PLS_OBSERVE
+  const double us_per_tick = ns_per_tick_scale / 1e3;
+  const auto roots = recorder.roots();
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    detail::write_folded_node(os, *roots[i], "root#" + std::to_string(i),
+                              us_per_tick);
+  }
+#else
+  (void)os;
+  (void)recorder;
+  (void)ns_per_tick_scale;
+#endif
+}
+
+/// Folded profile as a string (empty when nothing was recorded).
+inline std::string flamegraph_folded(
+    const CriticalPathRecorder& recorder = CriticalPathRecorder::global()) {
+  std::ostringstream os;
+  write_flamegraph(os, recorder);
+  return os.str();
+}
+
+}  // namespace pls::observe

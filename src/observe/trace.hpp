@@ -15,10 +15,20 @@
 // Export: write_chrome_json() emits the Trace Event Format consumed by
 // chrome://tracing and https://ui.perfetto.dev ("X" complete events, ts
 // and dur in microseconds).
+//
+// Lifecycle: the recorder owns an optional output path (PLS_TRACE_PATH
+// env, or set_output_path()). flush() writes the current snapshot there,
+// and enable() registers a process-exit flush, so a bench binary that
+// exits early still leaves a valid chrome-trace file behind. TraceSession
+// is the scoped form: enable on construction, disable + flush on
+// destruction — including during stack unwinding, which the atexit hook
+// alone would miss.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -73,12 +83,46 @@ class TraceRecorder {
     return r;
   }
 
-  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  /// Turn recording on. The first enable also registers an atexit flush,
+  /// so an early exit() still writes the configured output file.
+  void enable() {
+    enabled_.store(true, std::memory_order_relaxed);
+    bool expected = false;
+    if (atexit_registered_.compare_exchange_strong(expected, true)) {
+      std::atexit([] { TraceRecorder::global().flush(); });
+    }
+  }
   void disable() noexcept {
     enabled_.store(false, std::memory_order_relaxed);
   }
   bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Destination for flush(); empty disables file output. Initialised
+  /// from the PLS_TRACE_PATH environment variable.
+  void set_output_path(std::string path) {
+    std::lock_guard<std::mutex> lock(path_mutex_);
+    output_path_ = std::move(path);
+  }
+
+  std::string output_path() const {
+    std::lock_guard<std::mutex> lock(path_mutex_);
+    return output_path_;
+  }
+
+  /// Write the current snapshot to the configured output path. A no-op
+  /// when no path is set or nothing was recorded; returns whether a file
+  /// was written. Idempotent — flushing twice rewrites the same content.
+  bool flush() const {
+    const std::string path = output_path();
+    if (path.empty()) return false;
+    const auto evs = events();
+    if (evs.empty()) return false;
+    std::ofstream out(path);
+    if (!out) return false;
+    write_chrome_json(out);
+    return static_cast<bool>(out);
   }
 
   /// Record one real-time span (timestamps in now_ticks() units).
@@ -191,7 +235,9 @@ class TraceRecorder {
     std::uint32_t tid = 0;
   };
 
-  TraceRecorder() = default;
+  TraceRecorder() {
+    if (const char* env = std::getenv("PLS_TRACE_PATH")) output_path_ = env;
+  }
 
   ThreadBuffer& local_buffer() {
     thread_local ThreadBuffer* buf = nullptr;
@@ -206,8 +252,35 @@ class TraceRecorder {
   }
 
   std::atomic<bool> enabled_{false};
+  std::atomic<bool> atexit_registered_{false};
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable std::mutex path_mutex_;
+  std::string output_path_;
+};
+
+/// Scoped tracing session: clears stale events and enables recording on
+/// construction, disables and flushes to the output path on destruction —
+/// also when the scope is left by an exception, so the trace file is valid
+/// even for a run that threw halfway. An explicit `path` overrides the
+/// recorder's configured destination for this and later sessions.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path = {}) {
+    TraceRecorder& r = TraceRecorder::global();
+    if (!path.empty()) r.set_output_path(std::move(path));
+    r.clear();
+    r.enable();
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    TraceRecorder& r = TraceRecorder::global();
+    r.disable();
+    r.flush();
+  }
 };
 
 /// RAII span: captures the start timestamp on construction (when the
@@ -261,6 +334,9 @@ class TraceRecorder {
   void record_virtual(EventKind, std::uint32_t, double, double,
                       std::uint64_t = 0) noexcept {}
   void clear() noexcept {}
+  void set_output_path(std::string) noexcept {}
+  std::string output_path() const { return {}; }
+  bool flush() const noexcept { return false; }
   std::vector<TraceEvent> events() const { return {}; }
   void write_chrome_json(std::ostream& os) const {
     os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
@@ -268,6 +344,12 @@ class TraceRecorder {
   std::string chrome_json() const {
     return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
   }
+};
+
+struct TraceSession {
+  explicit TraceSession(std::string = {}) noexcept {}
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
 };
 
 struct Span {

@@ -74,6 +74,9 @@
 #include "mpisim/power_executor.hpp"
 
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/flamegraph.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 
 #include <optional>
@@ -99,6 +102,10 @@ struct config {
   /// Counters are always collected when compiled in (PLS_OBSERVE=1);
   /// this additionally turns the trace recorder on for the session.
   bool observe = false;
+  /// Enable critical-path profiling for the session: parallel executions
+  /// record their split tree, and session::profile() analyses it (work T1,
+  /// span T∞, parallelism, phase attribution). Zeros when PLS_OBSERVE=0.
+  bool profile = false;
 };
 
 /// A configured execution scope: owns (or borrows) the pool, carries the
@@ -114,11 +121,24 @@ class session {
       tracing_ = !observe::TraceRecorder::global().enabled();
       if (tracing_) observe::TraceRecorder::global().enable();
     }
+    if (cfg_.profile) {
+      auto& r = observe::CriticalPathRecorder::global();
+      profiling_ = !r.enabled();
+      if (profiling_) {
+        r.clear();
+        r.enable();
+      }
+    }
   }
 
-  /// Disables tracing again if this session turned it on.
+  /// Disables tracing/profiling again if this session turned them on, and
+  /// flushes the trace to its configured output path (PLS_TRACE_PATH).
   ~session() {
-    if (tracing_) observe::TraceRecorder::global().disable();
+    if (tracing_) {
+      observe::TraceRecorder::global().disable();
+      observe::TraceRecorder::global().flush();
+    }
+    if (profiling_) observe::CriticalPathRecorder::global().disable();
   }
 
   session(const session&) = delete;
@@ -163,6 +183,17 @@ class session {
                                                 grain_or(1));
   }
 
+  /// Same, with critical-path profiling: the report additionally carries
+  /// measured work/span/parallelism, per-phase attribution, wall time and
+  /// latency histograms (see execute_forkjoin_profiled).
+  template <typename TV, typename R, typename Ctx>
+  powerlist::ExecutionReport<R> execute_profiled(
+      const powerlist::PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+      powerlist::PowerListView<TV> input, Ctx ctx = Ctx{}) {
+    return powerlist::execute_forkjoin_profiled(pool(), f, input, ctx,
+                                                grain_or(1));
+  }
+
   /// Counter delta accumulated by this session's pool since the session
   /// started (zeros when PLS_OBSERVE=0).
   observe::CounterTotals counters() {
@@ -175,11 +206,28 @@ class session {
     return observe::TraceRecorder::global().chrome_json();
   }
 
+  /// Critical-path analysis of everything profiled so far in this session;
+  /// meaningful when config.profile was set (all zeros otherwise, and
+  /// always with PLS_OBSERVE=0).
+  observe::CriticalPathStats profile() const {
+    return observe::CriticalPathRecorder::global().analyze();
+  }
+
+  /// Collapsed-stack (folded) flamegraph of the profiled split trees.
+  std::string flamegraph() const { return observe::flamegraph_folded(); }
+
+  /// Process-wide latency histograms (task run, steal latency, queue
+  /// depth, leaf/combine run); zeros when PLS_OBSERVE=0.
+  observe::HistogramSetSnapshot histograms() const {
+    return observe::aggregate_histograms();
+  }
+
  private:
   config cfg_;
   std::optional<forkjoin::ForkJoinPool> owned_pool_;
   observe::CounterTotals counters_at_start_{};
   bool tracing_ = false;
+  bool profiling_ = false;
 };
 
 /// The single entry point: configure, run, return the callable's result.

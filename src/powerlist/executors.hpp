@@ -15,13 +15,18 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <type_traits>
 #include <utility>
 
 #include "forkjoin/pool.hpp"
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "powerlist/function.hpp"
 #include "powerlist/view.hpp"
@@ -48,27 +53,38 @@ R run_sequential(const PowerFunction<T, R, Ctx>& f,
 template <typename T, typename R, typename Ctx>
 R run_forkjoin(forkjoin::ForkJoinPool& pool, const PowerFunction<T, R, Ctx>& f,
                PowerListView<const T> input, const Ctx& ctx,
-               std::size_t leaf_size, unsigned depth = 0) {
+               std::size_t leaf_size, unsigned depth = 0,
+               observe::CpNode* cp = nullptr) {
   if (input.length() <= leaf_size) {
     observe::Span span(observe::EventKind::kAccumulate, input.length());
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, input.length());
     observe::local_counters().on_leaf(input.length());
     return f.basic_case(input, ctx);
   }
+  const std::uint64_t split_start = cp != nullptr ? observe::now_ticks() : 0;
   const auto [left_view, right_view] = input.split(f.decomposition());
   auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  if (cp != nullptr) {
+    cp->add_time(observe::CpPhase::kSplit, observe::now_ticks() - split_start);
+  }
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   std::optional<R> left;
   std::optional<R> right;
   pool.invoke_two(
-      [&] {
-        left.emplace(
-            run_forkjoin(pool, f, left_view, left_ctx, leaf_size, depth + 1));
+      [&, cl = cl] {
+        left.emplace(run_forkjoin(pool, f, left_view, left_ctx, leaf_size,
+                                  depth + 1, cl));
       },
-      [&] {
+      [&, cr = cr] {
         right.emplace(run_forkjoin(pool, f, right_view, right_ctx, leaf_size,
-                                   depth + 1));
+                                   depth + 1, cr));
       });
   observe::Span span(observe::EventKind::kCombine, depth);
+  observe::CpScope phase(cp, observe::CpPhase::kCombine);
+  observe::LatencyTimer combine_timer(observe::Metric::kCombineRun);
   observe::local_counters().on_combine();
   return f.combine(std::move(*left), std::move(*right), ctx, input.length());
 }
@@ -117,25 +133,33 @@ void run_forkjoin_into(forkjoin::ForkJoinPool& pool,
                        const InplacePowerFunction<T, U, Ctx>& f,
                        PowerListView<const T> input, PowerListView<U> out,
                        const Ctx& ctx, std::size_t leaf_size,
-                       unsigned depth = 0) {
+                       unsigned depth = 0, observe::CpNode* cp = nullptr) {
   if (input.length() <= leaf_size) {
     observe::Span span(observe::EventKind::kAccumulate, input.length());
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, input.length());
     observe::local_counters().on_leaf(input.length());
     f.basic_case_into(input, out, ctx);
     return;
   }
+  const std::uint64_t split_start = cp != nullptr ? observe::now_ticks() : 0;
   const auto [left_in, right_in] = input.split(f.decomposition());
   const auto [left_out, right_out] = out.split(f.decomposition());
   auto [left_ctx, right_ctx] = f.descend(ctx, input.length());
+  if (cp != nullptr) {
+    cp->add_time(observe::CpPhase::kSplit, observe::now_ticks() - split_start);
+  }
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   pool.invoke_two(
-      [&] {
+      [&, cl = cl] {
         run_forkjoin_into(pool, f, left_in, left_out, left_ctx, leaf_size,
-                          depth + 1);
+                          depth + 1, cl);
       },
-      [&] {
+      [&, cr = cr] {
         run_forkjoin_into(pool, f, right_in, right_out, right_ctx, leaf_size,
-                          depth + 1);
+                          depth + 1, cr);
       });
   // No combine phase: both halves wrote disjoint windows of `out`.
 }
@@ -163,8 +187,10 @@ R execute_forkjoin(forkjoin::ForkJoinPool& pool,
                    std::size_t leaf_size = 1) {
   detail::checked_leaf_size(leaf_size);
   PowerListView<const std::remove_const_t<TV>> view(input);
-  return pool.run(
-      [&] { return detail::run_forkjoin(pool, f, view, ctx, leaf_size); });
+  observe::CpNode* cp = observe::cp_new_root();
+  return pool.run([&] {
+    return detail::run_forkjoin(pool, f, view, ctx, leaf_size, 0, cp);
+  });
 }
 
 /// Depth-first sequential destination-passing execution: split input and
@@ -197,8 +223,10 @@ void execute_forkjoin_into(
   PLS_CHECK(input.similar(out),
             "destination must be similar to the input PowerList");
   PowerListView<const std::remove_const_t<TV>> view(input);
-  pool.run(
-      [&] { detail::run_forkjoin_into(pool, f, view, out, ctx, leaf_size); });
+  observe::CpNode* cp = observe::cp_new_root();
+  pool.run([&] {
+    detail::run_forkjoin_into(pool, f, view, out, ctx, leaf_size, 0, cp);
+  });
 }
 
 /// Structural statistics of one execution: how the skeleton actually
@@ -219,7 +247,9 @@ struct ExecutionStats {
 /// given path stay default-initialised:
 ///   execute_instrumented       fills result + stats;
 ///   execute_simulated          fills result + stats + sim (simulated=true);
-///   execute_forkjoin_reported  fills result + stats + counters.
+///   execute_forkjoin_reported  fills result + stats + counters;
+///   execute_forkjoin_profiled  additionally fills profile + wall_ns +
+///                              histograms (critical-path run).
 template <typename R>
 struct ExecutionReport {
   R result;
@@ -227,6 +257,26 @@ struct ExecutionReport {
   simmachine::SimResult sim{};        ///< meaningful when `simulated`
   bool simulated = false;
   observe::CounterTotals counters{};  ///< pool-worker delta for the run
+  observe::CriticalPathStats profile{};  ///< measured T1/T∞ (profiled runs)
+  observe::HistogramSetSnapshot histograms{};  ///< latency histograms
+  double wall_ns = 0.0;  ///< wall-clock time of the profiled run
+
+  /// Human-readable profile: work/span/parallelism header plus the
+  /// per-phase (split / accumulate / combine / steal-idle) attribution
+  /// table. Empty string when the run was not profiled.
+  std::string profile_summary(unsigned workers = 0) const {
+    if (profile.empty()) return {};
+    std::ostringstream os;
+    os << "work T1 = " << profile.work_ns / 1e6 << " ms, span Tinf = "
+       << profile.span_ns / 1e6 << " ms, parallelism T1/Tinf = "
+       << profile.parallelism();
+    if (workers > 0) {
+      os << ", Brent bound T" << workers << " <= "
+         << profile.brent_bound_ns(workers) / 1e6 << " ms";
+    }
+    os << '\n' << profile.phase_table(wall_ns, workers);
+    return os.str();
+  }
 };
 
 /// Deprecated pre-unification spellings, kept as thin aliases.
@@ -346,6 +396,37 @@ ExecutionReport<R> execute_forkjoin_reported(
   ExecutionReport<R> report{std::move(result)};
   report.stats = detail::uniform_shape(input.length(), leaf_size);
   report.counters = pool.counter_totals() - before;
+  return report;
+}
+
+/// Parallel execution with full critical-path profiling: clears and
+/// enables the global CriticalPathRecorder for the duration of the run,
+/// then reports measured work T1, span T∞, per-phase attribution, the
+/// run's wall time, and the aggregated latency histograms alongside the
+/// counter delta. The recorder is process-global, so profile exactly one
+/// run at a time; report.profile is all zeros when PLS_OBSERVE=0.
+template <typename TV, typename R, typename Ctx>
+ExecutionReport<R> execute_forkjoin_profiled(
+    forkjoin::ForkJoinPool& pool,
+    const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
+    PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
+  detail::checked_leaf_size(leaf_size);
+  auto& recorder = observe::CriticalPathRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  const observe::CounterTotals before = pool.counter_totals();
+  const auto wall0 = std::chrono::steady_clock::now();
+  R result = execute_forkjoin(pool, f, input, ctx, leaf_size);
+  const auto wall1 = std::chrono::steady_clock::now();
+  recorder.disable();
+  ExecutionReport<R> report{std::move(result)};
+  report.stats = detail::uniform_shape(input.length(), leaf_size);
+  report.counters = pool.counter_totals() - before;
+  report.profile = recorder.analyze();
+  report.histograms = observe::aggregate_histograms();
+  report.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0)
+          .count());
   return report;
 }
 

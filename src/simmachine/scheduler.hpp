@@ -42,6 +42,21 @@ struct SimResult {
   double speedup_vs(double sequential_ns) const {
     return makespan_ns > 0.0 ? sequential_ns / makespan_ns : 0.0;
   }
+
+  /// Brent's bound on the P-processor completion time predicted from the
+  /// priced work and span: T_P <= T1/P + T∞. The measured counterpart is
+  /// observe::CriticalPathStats::brent_bound_ns — comparing the two is how
+  /// a real run is checked against the model (docs/benchmarking.md).
+  double brent_bound_ns() const {
+    return processors == 0
+               ? 0.0
+               : work_ns / static_cast<double>(processors) + span_ns;
+  }
+
+  /// Inherent parallelism of the trace, T1/T∞.
+  double parallelism() const {
+    return span_ns > 0.0 ? work_ns / span_ns : 0.0;
+  }
 };
 
 /// Virtual machine executing task traces on P simulated processors.

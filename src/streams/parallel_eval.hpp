@@ -27,6 +27,8 @@
 
 #include "forkjoin/pool.hpp"
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "streams/collector.hpp"
 #include "streams/sized_sink.hpp"
@@ -69,9 +71,13 @@ std::uint64_t countable_size(const Spliterator<T>& sp) {
 }
 
 template <typename T, typename C>
-typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c) {
+typename C::accumulation_type collect_leaf(Spliterator<T>& sp, const C& c,
+                                           observe::CpNode* cp = nullptr) {
   const std::uint64_t elems = countable_size(sp);
   observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  observe::cp_add_elements(cp, elems);
   observe::local_counters().on_leaf(elems);
   auto acc = c.supply();
   observe::local_counters().on_allocation();
@@ -84,22 +90,31 @@ template <typename T, typename C>
 typename C::accumulation_type collect_tree(forkjoin::ForkJoinPool& pool,
                                            Spliterator<T>& sp, const C& c,
                                            std::uint64_t target,
-                                           unsigned depth = 0) {
+                                           unsigned depth = 0,
+                                           observe::CpNode* cp = nullptr) {
   using A = typename C::accumulation_type;
-  if (sp.estimate_size() <= target) return collect_leaf(sp, c);
+  if (sp.estimate_size() <= target) return collect_leaf(sp, c, cp);
   auto prefix = [&] {
     observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
     return sp.try_split();
   }();
-  if (!prefix) return collect_leaf(sp, c);
+  if (!prefix) return collect_leaf(sp, c, cp);
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   std::optional<A> left;
   std::optional<A> right;
   pool.invoke_two(
-      [&] { left.emplace(collect_tree(pool, *prefix, c, target, depth + 1)); },
-      [&] { right.emplace(collect_tree(pool, sp, c, target, depth + 1)); });
+      [&, cl = cl] {
+        left.emplace(collect_tree(pool, *prefix, c, target, depth + 1, cl));
+      },
+      [&, cr = cr] {
+        right.emplace(collect_tree(pool, sp, c, target, depth + 1, cr));
+      });
   {
     observe::Span span(observe::EventKind::kCombine, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kCombine);
+    observe::LatencyTimer combine_timer(observe::Metric::kCombineRun);
     c.combine(*left, *right);
   }
   observe::local_counters().on_combine();
@@ -125,7 +140,8 @@ template <typename T, typename C>
   requires SizedSinkCollector<C, T>
 void collect_into_leaf(Spliterator<T>& sp, const C& c,
                        typename C::sized_accumulation_type& sink,
-                       const OutputWindow& root) {
+                       const OutputWindow& root,
+                       observe::CpNode* cp = nullptr) {
   const auto w = output_window_of(sp);
   PLS_CHECK(w.has_value(),
             "windowed SUBSIZED source split into a non-windowed chunk");
@@ -138,6 +154,9 @@ void collect_into_leaf(Spliterator<T>& sp, const C& c,
             "destination window exceeds the result buffer");
   const std::uint64_t elems = countable_size(sp);
   observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  observe::cp_add_elements(cp, elems);
   observe::local_counters().on_leaf(elems);
   std::uint64_t k = 0;
   sp.for_each_remaining([&](const T& value) {
@@ -152,23 +171,29 @@ template <typename T, typename C>
 void collect_into_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
                        const C& c, typename C::sized_accumulation_type& sink,
                        const OutputWindow& root, std::uint64_t target,
-                       unsigned depth = 0) {
+                       unsigned depth = 0, observe::CpNode* cp = nullptr) {
   if (sp.estimate_size() <= target) {
-    collect_into_leaf(sp, c, sink, root);
+    collect_into_leaf(sp, c, sink, root, cp);
     return;
   }
   auto prefix = [&] {
     observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
     return sp.try_split();
   }();
   if (!prefix) {
-    collect_into_leaf(sp, c, sink, root);
+    collect_into_leaf(sp, c, sink, root, cp);
     return;
   }
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   pool.invoke_two(
-      [&] { collect_into_tree(pool, *prefix, c, sink, root, target, depth + 1); },
-      [&] { collect_into_tree(pool, sp, c, sink, root, target, depth + 1); });
+      [&, cl = cl] {
+        collect_into_tree(pool, *prefix, c, sink, root, target, depth + 1, cl);
+      },
+      [&, cr = cr] {
+        collect_into_tree(pool, sp, c, sink, root, target, depth + 1, cr);
+      });
   // The join is a true no-op: both children wrote disjoint windows of
   // `sink`, so nothing is combined, counted, or moved on the way up.
 }
@@ -189,26 +214,37 @@ std::optional<T> reduce_leaf(Spliterator<T>& sp, const Op& op) {
 template <typename T, typename Op>
 std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
                              const Op& op, std::uint64_t target,
-                             unsigned depth = 0) {
+                             unsigned depth = 0,
+                             observe::CpNode* cp = nullptr) {
   if (sp.estimate_size() <= target) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, countable_size(sp));
     observe::local_counters().on_leaf(countable_size(sp));
     return reduce_leaf(sp, op);
   }
   auto prefix = [&] {
     observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
     return sp.try_split();
   }();
   if (!prefix) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, countable_size(sp));
     observe::local_counters().on_leaf(countable_size(sp));
     return reduce_leaf(sp, op);
   }
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   std::optional<T> left;
   std::optional<T> right;
   pool.invoke_two(
-      [&] { left = reduce_tree(pool, *prefix, op, target, depth + 1); },
-      [&] { right = reduce_tree(pool, sp, op, target, depth + 1); });
+      [&, cl = cl] { left = reduce_tree(pool, *prefix, op, target, depth + 1, cl); },
+      [&, cr = cr] { right = reduce_tree(pool, sp, op, target, depth + 1, cr); });
   if (left.has_value() && right.has_value()) {
+    observe::CpScope phase(cp, observe::CpPhase::kCombine);
+    observe::LatencyTimer combine_timer(observe::Metric::kCombineRun);
     observe::local_counters().on_combine();
     return op(std::move(*left), std::move(*right));
   }
@@ -217,49 +253,69 @@ std::optional<T> reduce_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
 
 template <typename T, typename Fn>
 void for_each_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
-                   const Fn& fn, std::uint64_t target, unsigned depth = 0) {
+                   const Fn& fn, std::uint64_t target, unsigned depth = 0,
+                   observe::CpNode* cp = nullptr) {
   if (sp.estimate_size() <= target) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, countable_size(sp));
     observe::local_counters().on_leaf(countable_size(sp));
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
   auto prefix = [&] {
     observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
     return sp.try_split();
   }();
   if (!prefix) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+    observe::cp_add_elements(cp, countable_size(sp));
     observe::local_counters().on_leaf(countable_size(sp));
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
   observe::local_counters().on_split(depth);
-  pool.invoke_two([&] { for_each_tree(pool, *prefix, fn, target, depth + 1); },
-                  [&] { for_each_tree(pool, sp, fn, target, depth + 1); });
+  const auto [cl, cr] = observe::cp_fork(cp);
+  pool.invoke_two(
+      [&, cl = cl] { for_each_tree(pool, *prefix, fn, target, depth + 1, cl); },
+      [&, cr = cr] { for_each_tree(pool, sp, fn, target, depth + 1, cr); });
 }
 
 template <typename T>
 std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
-                         std::uint64_t target, unsigned depth = 0) {
+                         std::uint64_t target, unsigned depth = 0,
+                         observe::CpNode* cp = nullptr) {
   if (sp.estimate_size() <= target) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
+    observe::cp_add_elements(cp, n);
     observe::local_counters().on_leaf(n);
     return n;
   }
   auto prefix = [&] {
     observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
     return sp.try_split();
   }();
   if (!prefix) {
+    observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+    observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
+    observe::cp_add_elements(cp, n);
     observe::local_counters().on_leaf(n);
     return n;
   }
   observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
   std::uint64_t left = 0, right = 0;
-  pool.invoke_two([&] { left = count_tree(pool, *prefix, target, depth + 1); },
-                  [&] { right = count_tree(pool, sp, target, depth + 1); });
+  pool.invoke_two(
+      [&, cl = cl] { left = count_tree(pool, *prefix, target, depth + 1, cl); },
+      [&, cr = cr] { right = count_tree(pool, sp, target, depth + 1, cr); });
   return left + right;
 }
 
@@ -285,7 +341,10 @@ typename C::result_type evaluate_collect_into(Spliterator<T>& sp, const C& c,
     auto& pool = cfg.effective_pool();
     const std::uint64_t target =
         cfg.target_size(root.count, pool.parallelism());
-    pool.run([&] { detail::collect_into_tree(pool, sp, c, sink, root, target); });
+    observe::CpNode* cp = observe::cp_new_root();
+    pool.run([&] {
+      detail::collect_into_tree(pool, sp, c, sink, root, target, 0, cp);
+    });
   }
   return c.finish_sized(std::move(sink));
 }
@@ -311,8 +370,9 @@ typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
       cfg.target_size(sp.estimate_size(), pool.parallelism());
+  observe::CpNode* cp = observe::cp_new_root();
   auto acc = pool.run(
-      [&] { return detail::collect_tree(pool, sp, c, target); });
+      [&] { return detail::collect_tree(pool, sp, c, target, 0, cp); });
   return c.finish(std::move(acc));
 }
 
@@ -325,7 +385,9 @@ std::optional<T> evaluate_reduce(Spliterator<T>& sp, const Op& op,
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
       cfg.target_size(sp.estimate_size(), pool.parallelism());
-  return pool.run([&] { return detail::reduce_tree(pool, sp, op, target); });
+  observe::CpNode* cp = observe::cp_new_root();
+  return pool.run(
+      [&] { return detail::reduce_tree(pool, sp, op, target, 0, cp); });
 }
 
 /// Apply `fn` to every element. In parallel mode `fn` must be safe to call
@@ -340,7 +402,8 @@ void evaluate_for_each(Spliterator<T>& sp, const Fn& fn, bool parallel,
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
       cfg.target_size(sp.estimate_size(), pool.parallelism());
-  pool.run([&] { detail::for_each_tree(pool, sp, fn, target); });
+  observe::CpNode* cp = observe::cp_new_root();
+  pool.run([&] { detail::for_each_tree(pool, sp, fn, target, 0, cp); });
 }
 
 /// Count elements (traverses; exact regardless of SIZED).
@@ -355,7 +418,9 @@ std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
       cfg.target_size(sp.estimate_size(), pool.parallelism());
-  return pool.run([&] { return detail::count_tree(pool, sp, target); });
+  observe::CpNode* cp = observe::cp_new_root();
+  return pool.run(
+      [&] { return detail::count_tree(pool, sp, target, 0, cp); });
 }
 
 }  // namespace pls::streams

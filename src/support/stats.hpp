@@ -15,14 +15,29 @@ namespace pls {
 
 struct SampleStats {
   double mean = 0.0;
-  double median = 0.0;
+  double median = 0.0;  ///< p50
   double min = 0.0;
   double max = 0.0;
   double stddev = 0.0;  ///< population standard deviation
+  double p90 = 0.0;     ///< 90th percentile (linear interpolation)
+  std::vector<double> samples;  ///< the sorted sample, for per-run reports
 
   /// Relative standard deviation (stddev / mean), 0 when mean == 0.
   double rel_stddev() const noexcept {
     return mean == 0.0 ? 0.0 : stddev / mean;
+  }
+
+  /// q-quantile (q in [0,1]) of the sorted sample, linearly interpolated
+  /// between adjacent order statistics; 0 when the sample is empty.
+  double percentile(double q) const noexcept {
+    if (samples.empty()) return 0.0;
+    if (q <= 0.0) return samples.front();
+    if (q >= 1.0) return samples.back();
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples.size()) return samples.back();
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
   }
 };
 
@@ -45,6 +60,8 @@ inline SampleStats summarize(std::vector<double> samples) {
     sq += d * d;
   }
   s.stddev = std::sqrt(sq / static_cast<double>(n));
+  s.samples = std::move(samples);
+  s.p90 = s.percentile(0.9);
   return s;
 }
 

@@ -9,6 +9,9 @@
 #define PLS_OBSERVE 0
 
 #include "observe/counters.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/flamegraph.hpp"
+#include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -28,6 +31,11 @@ using pls::observe::TraceRecorder;
 static_assert(!pls::observe::kEnabled);
 static_assert(std::is_empty_v<Span>);
 static_assert(std::is_empty_v<pls::observe::CounterBlock>);
+static_assert(std::is_empty_v<pls::observe::Histogram>);
+static_assert(std::is_empty_v<pls::observe::HistogramBlock>);
+static_assert(std::is_empty_v<pls::observe::CpScope>);
+static_assert(std::is_empty_v<pls::observe::LatencyTimer>);
+static_assert(std::is_empty_v<pls::observe::TraceSession>);
 
 TEST(KillSwitch, CountersAreInert) {
   auto& block = pls::observe::local_counters();
@@ -65,6 +73,46 @@ TEST(KillSwitch, RecorderCannotBeEnabled) {
 TEST(KillSwitch, ExportIsEmptyButValid) {
   const std::string json = TraceRecorder::global().chrome_json();
   EXPECT_EQ(json, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(KillSwitch, CriticalPathLayerIsInert) {
+  auto& rec = pls::observe::CriticalPathRecorder::global();
+  rec.enable();
+  EXPECT_FALSE(rec.enabled());
+  pls::observe::CpNode* root = pls::observe::cp_new_root();
+  EXPECT_EQ(root, nullptr);
+  const auto [l, r] = pls::observe::cp_fork(root);
+  EXPECT_EQ(l, nullptr);
+  EXPECT_EQ(r, nullptr);
+  pls::observe::cp_add_elements(root, 128);
+  {
+    pls::observe::CpScope scope(root, pls::observe::CpPhase::kAccumulate);
+  }
+  EXPECT_EQ(rec.node_count(), 0u);
+  const auto stats = rec.analyze(1.0);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.work_ns, 0.0);
+  EXPECT_TRUE(pls::observe::flamegraph_folded(rec).empty());
+}
+
+TEST(KillSwitch, HistogramsAreInert) {
+  auto& block = pls::observe::local_histograms();
+  block.record(pls::observe::Metric::kTaskRun, 1000);
+  {
+    pls::observe::LatencyTimer t(pls::observe::Metric::kStealLatency);
+  }
+  const auto agg = pls::observe::aggregate_histograms();
+  for (std::size_t i = 0; i < pls::observe::kMetricCount; ++i) {
+    EXPECT_TRUE(agg.metric[i].empty());
+  }
+  // Snapshot arithmetic stays real in both modes (reporting contract).
+  pls::observe::HistogramSnapshot s;
+  ++s.counts[pls::observe::histogram_bucket(8)];
+  ++s.total;
+  s.sum = 8;
+  s.max_value = 8;
+  EXPECT_EQ((s + s).total, 2u);
+  EXPECT_GT(s.quantile(0.5), 0.0);
 }
 
 TEST(KillSwitch, TotalsStillUsableForReporting) {

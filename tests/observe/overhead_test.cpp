@@ -1,0 +1,92 @@
+// Observability overhead self-test: the always-on instrumentation
+// (counters + latency histograms) plus a fully enabled profiling window
+// (critical-path recorder + trace recorder) must not slow a fork-join
+// workload beyond a generous bound. This is a tripwire for accidental
+// hot-path regressions (a mutex on the fork path, a syscall per leaf),
+// not a precise benchmark — the bound is deliberately loose so shared-host
+// noise cannot fail it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
+#include "observe/trace.hpp"
+#include "powerlist/algorithms/map_reduce.hpp"
+#include "powerlist/executors.hpp"
+
+namespace {
+
+namespace obs = pls::observe;
+
+double run_workload_ms(pls::forkjoin::ForkJoinPool& pool,
+                       const std::vector<long>& data, int rounds) {
+  pls::powerlist::ReduceFunction<long, std::plus<long>> sum{
+      std::plus<long>{}};
+  const auto view = pls::powerlist::view_of(data);
+  const long expected =
+      static_cast<long>(data.size()) *
+      (static_cast<long>(data.size()) + 1) / 2;
+  double best_ms = 1e300;
+  for (int i = 0; i < rounds; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const long r =
+        pls::powerlist::execute_forkjoin(pool, sum, view, {}, 1 << 8);
+    const auto t1 = std::chrono::steady_clock::now();
+    EXPECT_EQ(r, expected);
+    best_ms = std::min(
+        best_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best_ms;
+}
+
+TEST(ObserveOverhead, ProfiledRunWithinBoundOfPlainRun) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  std::vector<long> data(1 << 16);
+  std::iota(data.begin(), data.end(), 1);
+  constexpr int kRounds = 5;
+
+  // Warm up the pool and page in the data before either measurement.
+  run_workload_ms(pool, data, 1);
+
+  // Plain: recorders off (the default) — only the always-on counter and
+  // histogram increments remain.
+  const double plain_ms = run_workload_ms(pool, data, kRounds);
+
+  // Profiled: critical-path and trace recorders enabled.
+  auto& cp = obs::CriticalPathRecorder::global();
+  auto& tr = obs::TraceRecorder::global();
+  cp.clear();
+  cp.enable();
+  tr.clear();
+  tr.enable();
+  const double profiled_ms = run_workload_ms(pool, data, kRounds);
+  tr.disable();
+  tr.clear();
+  cp.disable();
+  cp.clear();
+
+  // Bound: 5x plus 20 ms of slack. On this workload (2^16 elements,
+  // 2^8-element leaves, so ~256 leaf tasks per run) real overhead is a
+  // few percent; a hot-path mistake (per-element locking, syscalls)
+  // blows past 5x immediately.
+  EXPECT_LT(profiled_ms, plain_ms * 5.0 + 20.0)
+      << "plain=" << plain_ms << "ms profiled=" << profiled_ms << "ms";
+}
+
+TEST(ObserveOverhead, DisabledRecordersLeaveNoResidue) {
+  // After a profiled window is torn down, new runs must not accumulate
+  // nodes or trace events.
+  pls::forkjoin::ForkJoinPool pool(2);
+  std::vector<long> data(1 << 12);
+  std::iota(data.begin(), data.end(), 1);
+  run_workload_ms(pool, data, 1);
+  EXPECT_EQ(obs::CriticalPathRecorder::global().node_count(), 0u);
+  EXPECT_TRUE(obs::TraceRecorder::global().events().empty());
+}
+
+}  // namespace

@@ -7,6 +7,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "simmachine/costmodel.hpp"
@@ -204,6 +208,62 @@ TEST_F(TraceTest, ClearDropsEvents) {
   EXPECT_FALSE(TraceRecorder::global().events().empty());
   TraceRecorder::global().clear();
   EXPECT_TRUE(TraceRecorder::global().events().empty());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST_F(TraceTest, SessionFlushesOnScopeExit) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  const std::string path =
+      ::testing::TempDir() + "trace_session_scope.json";
+  std::remove(path.c_str());
+  {
+    pls::observe::TraceSession session(path);
+    EXPECT_TRUE(TraceRecorder::global().enabled());
+    Span s(EventKind::kSplit, 9);
+  }
+  EXPECT_FALSE(TraceRecorder::global().enabled());
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"split\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, SessionFlushesEvenWhenUnwindingOnException) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  const std::string path =
+      ::testing::TempDir() + "trace_session_throw.json";
+  std::remove(path.c_str());
+  try {
+    pls::observe::TraceSession session(path);
+    { Span s(EventKind::kCombine, 1); }
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  const std::string json = slurp(path);
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"combine\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, FlushWithoutPathOrEventsIsANoOp) {
+  auto& rec = TraceRecorder::global();
+  rec.set_output_path("");
+  EXPECT_FALSE(rec.flush());  // no path
+  if (kEnabled) {
+    const std::string path = ::testing::TempDir() + "trace_empty.json";
+    std::remove(path.c_str());
+    rec.set_output_path(path);
+    EXPECT_FALSE(rec.flush());  // no events: existing file not clobbered
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+    rec.set_output_path("");
+  }
 }
 
 TEST_F(TraceTest, SimulatorEmitsSameSchema) {

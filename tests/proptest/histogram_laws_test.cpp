@@ -1,0 +1,157 @@
+// Property-based laws of the observe histogram layer (docs/observability.md):
+// merge is associative/commutative/count-conserving, bucketing is monotone
+// and consistent with the bucket bounds, and the log-bucket quantile
+// estimate is within a factor of two of the true quantile — the accuracy
+// contract bench JSON consumers (regress.py) rely on.
+//
+// The laws are phrased over HistogramSnapshot, which is a real struct in
+// both build modes; the recording path (Histogram::record) is additionally
+// checked against manual bucketing when PLS_OBSERVE is on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "observe/histogram.hpp"
+#include "proptest/gen.hpp"
+#include "proptest/prop.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+namespace obs = pls::observe;
+
+Config cfg(std::uint64_t seed, int iterations = 200) {
+  Config c;
+  c.seed = seed;
+  c.iterations = iterations;
+  return c;
+}
+
+std::vector<std::uint64_t> gen_sample(Rand& r, std::uint64_t lo,
+                                      std::uint64_t hi) {
+  const std::size_t n = 1 + r.below(64);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = lo + r.below(hi - lo);
+  return v;
+}
+
+obs::HistogramSnapshot snapshot_of(const std::vector<std::uint64_t>& vals) {
+  obs::HistogramSnapshot s;
+  for (std::uint64_t v : vals) {
+    ++s.counts[obs::histogram_bucket(v)];
+    ++s.total;
+    s.sum += v;
+    if (v > s.max_value) s.max_value = v;
+  }
+  return s;
+}
+
+TEST(HistogramLaws, MergeConservesCountsSumAndMax) {
+  const auto result = check(
+      "snap(A) + snap(B) == snap(A ++ B)", cfg(101),
+      [](Rand& r) {
+        return std::pair{gen_sample(r, 0, 1u << 20),
+                         gen_sample(r, 0, 1u << 20)};
+      },
+      [](const auto& ab) {
+        const auto& [a, b] = ab;
+        std::vector<std::uint64_t> both = a;
+        both.insert(both.end(), b.begin(), b.end());
+        return snapshot_of(a) + snapshot_of(b) == snapshot_of(both);
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(HistogramLaws, MergeIsAssociativeAndCommutative) {
+  const auto result = check(
+      "(a+b)+c == a+(b+c) and a+b == b+a", cfg(102),
+      [](Rand& r) {
+        return std::array{snapshot_of(gen_sample(r, 0, 1ull << 40)),
+                          snapshot_of(gen_sample(r, 0, 1ull << 40)),
+                          snapshot_of(gen_sample(r, 0, 1ull << 40))};
+      },
+      [](const auto& abc) {
+        const auto& [a, b, c] = abc;
+        return (a + b) + c == a + (b + c) && a + b == b + a;
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(HistogramLaws, BucketingIsMonotoneAndWithinBounds) {
+  const auto result = check(
+      "bucket(v) monotone, v in [lower(b), upper(b))", cfg(103),
+      [](Rand& r) {
+        return std::pair{r.below(1ull << 50), r.below(1ull << 50)};
+      },
+      [](const auto& vw) {
+        const auto [v, w] = vw;
+        const std::size_t bv = obs::histogram_bucket(v);
+        const std::size_t bw = obs::histogram_bucket(w);
+        if ((v <= w) != (bv <= bw) && bv != bw) return false;  // monotone
+        return static_cast<double>(v) >= obs::bucket_lower_bound(bv) &&
+               static_cast<double>(v) < obs::bucket_upper_bound(bv);
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(HistogramLaws, QuantileWithinFactorTwoOfTrueQuantile) {
+  // Values >= 2 keep us out of the degenerate 0/1 buckets whose lower
+  // bound is 0; there the log-bucket estimate has no relative-error bound
+  // (documented in histogram.hpp).
+  const auto result = check(
+      "q-estimate within 2x of the true order statistic", cfg(104),
+      [](Rand& r) {
+        return std::pair{gen_sample(r, 2, 1ull << 32),
+                         0.05 + 0.01 * static_cast<double>(r.below(91))};
+      },
+      [](const auto& sample_q) {
+        auto [vals, q] = sample_q;
+        std::sort(vals.begin(), vals.end());
+        const double pos = q * static_cast<double>(vals.size());
+        std::size_t idx = static_cast<std::size_t>(pos);
+        if (idx >= vals.size()) idx = vals.size() - 1;
+        const double truth = static_cast<double>(vals[idx]);
+        const double est = snapshot_of(vals).quantile(q);
+        return est >= truth / 2.0 && est <= truth * 2.0;
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(HistogramLaws, MeanIsExactAndMaxIsPreserved) {
+  const auto result = check(
+      "mean == sum/total exactly; max(scale) scales", cfg(105),
+      [](Rand& r) { return gen_sample(r, 0, 1u << 24); },
+      [](const std::vector<std::uint64_t>& vals) {
+        const auto s = snapshot_of(vals);
+        std::uint64_t sum = 0, mx = 0;
+        for (auto v : vals) {
+          sum += v;
+          mx = std::max(mx, v);
+        }
+        const double want =
+            static_cast<double>(sum) / static_cast<double>(vals.size());
+        return s.mean() == want &&
+               s.max(2.0) == 2.0 * static_cast<double>(mx);
+      });
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST(HistogramLaws, RecordingPathMatchesManualBucketing) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "PLS_OBSERVE=0: no recording path to check";
+  } else {
+    const auto result = check(
+        "Histogram::record agrees with snapshot_of", cfg(106, 50),
+        [](Rand& r) { return gen_sample(r, 0, 1u << 30); },
+        [](const std::vector<std::uint64_t>& vals) {
+          obs::Histogram h;
+          for (auto v : vals) h.record(v);
+          return h.snapshot() == snapshot_of(vals);
+        });
+    EXPECT_TRUE(result.ok) << result.report;
+  }
+}
+
+}  // namespace
