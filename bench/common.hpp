@@ -283,6 +283,7 @@ inline void counter_fields(JsonObject& row, const std::string& prefix,
       .field(prefix + "max_split_depth", t.max_split_depth)
       .field(prefix + "elements_accumulated", t.elements_accumulated)
       .field(prefix + "leaf_chunks", t.leaf_chunks)
+      .field(prefix + "fused_leaves", t.fused_leaves)
       .field(prefix + "combines", t.combines)
       .field(prefix + "bytes_moved", t.bytes_moved)
       .field(prefix + "allocations", t.allocations);

@@ -7,7 +7,12 @@
 //   par_sim_ms   parallel evaluation on P simulated cores (the host is
 //                single-CPU; see DESIGN.md substitutions);
 //   par_wall_ms  parallel evaluation wall clock on this host (P threads
-//                over 1 cpu — included for honesty, expect ~= seq_ms).
+//                over 1 cpu — included for honesty, expect ~= seq_ms);
+//   map_chain_*  a 4-stage map pipeline over the same coefficients,
+//                sequential, run fused (push-mode sink chain, the
+//                default) and legacy (with_fusion(false), the pull-based
+//                wrapper walk) — the pair the perf-smoke gate watches
+//                (docs/execution.md, "pipeline fusion").
 // Shape to match: both series grow linearly in n (the algorithm is O(n)),
 // with the parallel one lower by roughly the core count; the paper's
 // sequential series has a one-off dip at 2^24 (JVM artifact, not
@@ -24,6 +29,7 @@
 #include "observe/critical_path.hpp"
 #include "observe/histogram.hpp"
 #include "powerlist/collector_functions.hpp"
+#include "streams/stream.hpp"
 #include "simmachine/costmodel.hpp"
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
@@ -42,6 +48,22 @@ std::shared_ptr<const std::vector<double>> make_coefficients(std::size_t n) {
   std::vector<double> c(n);
   for (auto& v : c) v = rng.next_double() - 0.5;
   return std::make_shared<const std::vector<double>>(std::move(c));
+}
+
+// The fusion workload: four map stages over the shared coefficient
+// array, reduced to a sum. Per element the legacy walk pays one virtual
+// try_advance per wrapper; the fused chain pays one accept_chunk per
+// stage per batch with the per-element loops inlined — the delta is
+// exactly the transport cost the sink engine removes.
+double run_map_chain(const std::shared_ptr<const std::vector<double>>& coeffs,
+                     bool fusion) {
+  return pls::streams::Stream<double>::of_shared(coeffs)
+      .with_fusion(fusion)
+      .map([](const double& v) { return v * 1.0000001; })
+      .map([](const double& v) { return v + 0.25; })
+      .map([](const double& v) { return v * v; })
+      .map([](const double& v) { return v - 0.125; })
+      .reduce(0.0, [](double a, double b) { return a + b; });
 }
 
 TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
@@ -75,7 +97,8 @@ int main(int argc, char** argv) {
   pls::forkjoin::ForkJoinPool pool(cores);
   pls::forkjoin::ForkJoinPool one_worker(1);
   pls::TextTable table({"log2(n)", "n", "seq_ms", "seq_rsd", "par1_ms",
-                        "par_sim_ms", "par_wall_ms", "par_wall_rsd"});
+                        "par_sim_ms", "par_wall_ms", "par_wall_rsd",
+                        "mc_fused_ms", "mc_legacy_ms"});
 
   std::vector<std::string> json_rows;
 
@@ -112,6 +135,11 @@ int main(int argc, char** argv) {
         },
         reps);
 
+    const auto mc_fused = pls::bench::time_ms(
+        [&] { pls::bench::keep(run_map_chain(coeffs, true)); }, reps);
+    const auto mc_legacy = pls::bench::time_ms(
+        [&] { pls::bench::keep(run_map_chain(coeffs, false)); }, reps);
+
     const CostModel model = CostModel::calibrated(
         par1.mean * 1e6, 2.0 * static_cast<double>(n));
     const auto sim =
@@ -138,13 +166,17 @@ int main(int argc, char** argv) {
                    pls::TextTable::num(par1.mean),
                    pls::TextTable::num(sim.makespan_ns / 1e6),
                    pls::TextTable::num(par_wall.mean),
-                   pls::TextTable::num(par_wall.rel_stddev(), 3)});
+                   pls::TextTable::num(par_wall.rel_stddev(), 3),
+                   pls::TextTable::num(mc_fused.mean),
+                   pls::TextTable::num(mc_legacy.mean)});
 
     pls::bench::JsonObject row;
     row.field("log2_n", lg).field("n", n);
     pls::bench::stats_fields(row, "seq_", seq);
     pls::bench::stats_fields(row, "par1_", par1);
     pls::bench::stats_fields(row, "par_wall_", par_wall);
+    pls::bench::stats_fields(row, "map_chain_fused_", mc_fused);
+    pls::bench::stats_fields(row, "map_chain_legacy_", mc_legacy);
     row.field("par_sim_ms", sim.makespan_ns / 1e6)
         .field("sim_work_ms", sim.work_ns / 1e6)
         .field("sim_span_ms", sim.span_ns / 1e6)

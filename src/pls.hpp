@@ -106,6 +106,12 @@ struct config {
   /// record their split tree, and session::profile() analyses it (work T1,
   /// span T∞, parallelism, phase attribution). Zeros when PLS_OBSERVE=0.
   bool profile = false;
+  /// Allow the destination-passing collect path for session streams
+  /// (docs/execution.md); mirrors ExecutionConfig::sized_sink.
+  bool sized_sink = true;
+  /// Allow pipeline fusion for session streams (docs/execution.md,
+  /// "Pipeline fusion"); mirrors ExecutionConfig::fusion.
+  bool fusion = true;
 };
 
 /// A configured execution scope: owns (or borrows) the pool, carries the
@@ -151,13 +157,16 @@ class session {
     return owned_pool_ ? *owned_pool_ : forkjoin::ForkJoinPool::common();
   }
 
-  /// Stream execution config bound to this session's pool and grain; pass
-  /// to any streams terminal operation (or Stream::collect overloads).
+  /// Stream execution config bound to this session's pool and settings;
+  /// pass to any streams terminal operation (or Stream::collect
+  /// overloads). Round-trips the session's stream-relevant options
+  /// losslessly: pool, grain, sized_sink and fusion all carry over.
   streams::ExecutionConfig stream_config() {
-    streams::ExecutionConfig ec;
-    ec.pool = &pool();
-    ec.min_chunk = cfg_.grain;
-    return ec;
+    return streams::ExecutionConfig{}
+        .with_pool(pool())
+        .with_min_chunk(cfg_.grain)
+        .with_sized_sink(cfg_.sized_sink)
+        .with_fusion(cfg_.fusion);
   }
 
   /// The skeleton leaf size for this session (config grain, or `fallback`

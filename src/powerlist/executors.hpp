@@ -279,14 +279,6 @@ struct ExecutionReport {
   }
 };
 
-/// Deprecated pre-unification spellings, kept as thin aliases.
-template <typename R>
-using SimulatedExecution [[deprecated("use ExecutionReport")]] =
-    ExecutionReport<R>;
-template <typename R>
-using InstrumentedExecution [[deprecated("use ExecutionReport")]] =
-    ExecutionReport<R>;
-
 namespace detail {
 
 /// Closed-form decomposition shape of a power-of-two recursion: both

@@ -1,0 +1,415 @@
+// fuse(): strip a wrapper-spliterator pipeline into a FusedPipeline —
+// the owned source spliterator plus the ordered stage chain — so terminal
+// evaluation can compose one Sink chain per leaf and run a single tight
+// push loop (docs/execution.md, "Pipeline fusion").
+//
+// The stream still *builds* the wrapper chain (splitting, characteristics
+// and introspection are unchanged); fusion happens once, at terminal
+// evaluation, by walking the wrappers outermost-in through the
+// FusableStage mixin. Each fusable wrapper contributes an immutable
+// StageNode descriptor and hands over its upstream; when the walk bottoms
+// out in an admissible source (SIZED|SUBSIZED, windowed, window count ==
+// size — the same shape test the destination-passing collect uses), the
+// wrappers are consumed and the fused pipeline takes over. When any layer
+// is non-fusible (sorted/concat/flat_map products, an unsized iterate
+// tail, a non-windowed source), nothing is consumed and the caller falls
+// back to the wrapper path unchanged.
+//
+// Splitting a FusedPipeline splits the source and shares the stage chain,
+// so the parallel tree walks fork fused leaves exactly where they forked
+// wrapper leaves. Chains containing a cancelling stage (limit/take_while)
+// refuse to split — their wrappers did too — and always run the
+// element-mode driver, preserving short-circuit consumption depth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "streams/sink.hpp"
+#include "streams/spliterator.hpp"
+#include "support/assert.hpp"
+
+namespace pls::streams {
+
+/// Immutable, type-erased descriptor of one intermediate operation. The
+/// concrete templates below carry the operator (shared with the wrapper
+/// spliterators) and know how to wrap a downstream sink; the type-erased
+/// face is what FusedPipeline stores and what chain assembly walks —
+/// one virtual wrap_sink per stage per leaf, never per element.
+class StageNode {
+ public:
+  virtual ~StageNode() = default;
+
+  /// Wrap `downstream` (a Sink of this stage's output type) into a sink of
+  /// this stage's input type. Chain typing is enforced at append time via
+  /// input_type()/output_type(), so the static_cast inside is sound.
+  virtual std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const = 0;
+
+  virtual const std::type_info& input_type() const noexcept = 0;
+  virtual const std::type_info& output_type() const noexcept = 0;
+
+  /// True for short-circuit stages (limit / take_while): the chain must
+  /// run element-mode with cancellation checks and never split.
+  virtual bool cancels() const noexcept { return false; }
+
+  /// True when the stage maps elements 1:1 (map / peek) — the property
+  /// that keeps destination windows meaningful through the chain.
+  virtual bool one_to_one() const noexcept { return true; }
+
+  /// How the stage transforms a known upstream element count; returns
+  /// kUnknownSinkSize when the result count cannot be known (filter,
+  /// take_while). Mirrors what the wrapper reported through kSized /
+  /// estimate_size, so fused leaves feed the observe counters the same
+  /// element totals the wrapper leaves did.
+  virtual std::uint64_t transform_count(std::uint64_t count) const noexcept {
+    return count;
+  }
+};
+
+/// A stripped pipeline: the source spliterator (of a hidden element type)
+/// plus the stage chain, ready to drive sink chains. Output element type
+/// is stages.back().output_type() — verified against the terminal's T by
+/// fuse_pipeline, which is the only way these are made.
+class FusedPipeline {
+ public:
+  virtual ~FusedPipeline() = default;
+
+  /// Remaining source elements (exact: admission requires SIZED).
+  virtual std::uint64_t estimate_size() const = 0;
+
+  /// The source's destination window (admission guarantees presence on
+  /// the undivided pipeline; split products inherit it from their source).
+  virtual std::optional<OutputWindow> source_window() const = 0;
+
+  /// Split off a prefix pipeline sharing this stage chain, or nullptr
+  /// (always nullptr for cancelling chains).
+  virtual std::unique_ptr<FusedPipeline> try_split() = 0;
+
+  /// Push every remaining source element through the composed sink chain
+  /// into `terminal` (a Sink of the pipeline's output type). Calls
+  /// begin/end; uses the chunked transport unless the chain cancels.
+  virtual void drive(SinkControl& terminal) = 0;
+
+  virtual const std::type_info& output_type() const noexcept = 0;
+
+  /// Append the next-outer stage (fusion walks outermost-in, so stages
+  /// arrive source-side first). Checks the element-type seam.
+  virtual void append_stage(std::shared_ptr<const StageNode> stage) = 0;
+
+  bool cancels() const noexcept { return cancels_; }
+  bool one_to_one() const noexcept { return one_to_one_; }
+
+  /// The element count a legacy wrapper leaf would have reported to the
+  /// observe counters (countable_size of the outermost wrapper): the
+  /// source size folded through every stage, 0 once any stage makes it
+  /// unknowable.
+  std::uint64_t countable_estimate() const {
+    std::uint64_t n = estimate_size();
+    for (const auto& s : stages()) {
+      if (n == kUnknownSinkSize) break;
+      n = s->transform_count(n);
+    }
+    return n == kUnknownSinkSize ? 0 : n;
+  }
+
+ protected:
+  virtual const std::vector<std::shared_ptr<const StageNode>>& stages()
+      const noexcept = 0;
+
+  bool cancels_ = false;
+  bool one_to_one_ = true;
+};
+
+/// Mixin for wrapper spliterators that can dissolve into a fused stage.
+/// strip_into_fused() consumes the wrapper's upstream ONLY when the whole
+/// chain below fused; on failure the wrapper (and everything under it) is
+/// untouched and keeps working as a spliterator.
+class FusableStage {
+ public:
+  virtual ~FusableStage() = default;
+  virtual std::unique_ptr<FusedPipeline> strip_into_fused() = 0;
+};
+
+template <typename S>
+class FusedPipelineImpl final : public FusedPipeline {
+ public:
+  explicit FusedPipelineImpl(std::unique_ptr<Spliterator<S>> source)
+      : source_(std::move(source)) {
+    PLS_CHECK(source_ != nullptr, "fused pipeline requires a source");
+  }
+
+  std::uint64_t estimate_size() const override {
+    return source_->estimate_size();
+  }
+
+  std::optional<OutputWindow> source_window() const override {
+    return output_window_of(*source_);
+  }
+
+  std::unique_ptr<FusedPipeline> try_split() override {
+    if (cancels_) return nullptr;
+    auto prefix = source_->try_split();
+    if (!prefix) return nullptr;
+    auto out = std::make_unique<FusedPipelineImpl<S>>(std::move(prefix));
+    out->stages_ = stages_;
+    out->cancels_ = cancels_;
+    out->one_to_one_ = one_to_one_;
+    return out;
+  }
+
+  const std::type_info& output_type() const noexcept override {
+    return stages_.empty() ? typeid(S) : stages_.back()->output_type();
+  }
+
+  void append_stage(std::shared_ptr<const StageNode> stage) override {
+    PLS_CHECK(stage != nullptr, "null fusion stage");
+    PLS_CHECK(stage->input_type() == output_type(),
+              "fusion stage input does not match chain output");
+    cancels_ = cancels_ || stage->cancels();
+    one_to_one_ = one_to_one_ && stage->one_to_one();
+    stages_.push_back(std::move(stage));
+  }
+
+  void drive(SinkControl& terminal) override {
+    // Compose the sink chain back-to-front: terminal first, then each
+    // stage outermost-in. One virtual wrap_sink per stage per leaf.
+    std::vector<std::unique_ptr<SinkControl>> owned;
+    owned.reserve(stages_.size());
+    SinkControl* down = &terminal;
+    for (std::size_t i = stages_.size(); i-- > 0;) {
+      owned.push_back(stages_[i]->wrap_sink(*down));
+      down = owned.back().get();
+    }
+    // `down` now consumes the source element type S: it is either the
+    // innermost stage's sink or (stage-free chain) the terminal itself,
+    // whose element type fuse_pipeline verified to be S.
+    auto& head = static_cast<Sink<S>&>(*down);
+    head.begin(source_->has(kSized) ? source_->estimate_size()
+                                    : kUnknownSinkSize);
+    if (cancels_) {
+      drive_cancellable(head);
+    } else {
+      drive_bulk(head);
+    }
+    head.end();
+  }
+
+ private:
+  /// Element-mode with a cancellation check between elements: consumes
+  /// exactly as deep into the source as the wrapper chain would have.
+  void drive_cancellable(Sink<S>& head) {
+    while (!head.cancellation_requested() &&
+           source_->try_advance([&](const S& v) { head.accept(v); })) {
+    }
+  }
+
+  /// Chunked transport: contiguous sources hand whole spans straight into
+  /// the chain (zero copies, zero per-element calls at the seam);
+  /// computed sources batch through a buffer at one indirect call per
+  /// element. Non-copyable elements fall back to element pushes.
+  void drive_bulk(Sink<S>& head) {
+    for (;;) {
+      const auto [p, n] = source_->try_contiguous_chunk(~std::size_t{0});
+      if (p == nullptr) break;
+      head.accept_chunk(p, n);
+    }
+    if constexpr (std::is_copy_constructible_v<S>) {
+      std::vector<S> buf;
+      buf.reserve(kFusionChunk);
+      source_->for_each_remaining([&](const S& v) {
+        buf.push_back(v);
+        if (buf.size() == kFusionChunk) {
+          head.accept_chunk(buf.data(), buf.size());
+          buf.clear();
+        }
+      });
+      if (!buf.empty()) head.accept_chunk(buf.data(), buf.size());
+    } else {
+      source_->for_each_remaining([&](const S& v) { head.accept(v); });
+    }
+  }
+
+  const std::vector<std::shared_ptr<const StageNode>>& stages()
+      const noexcept override {
+    return stages_;
+  }
+
+  std::unique_ptr<Spliterator<S>> source_;
+  std::vector<std::shared_ptr<const StageNode>> stages_;
+};
+
+// ---- stage descriptors ----------------------------------------------
+
+template <typename Out, typename In, typename Fn>
+class MapStage final : public StageNode {
+ public:
+  explicit MapStage(std::shared_ptr<const Fn> fn) : fn_(std::move(fn)) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<MapSink<In, Out, Fn>>(
+        fn_, static_cast<Sink<Out>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(In);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(Out);
+  }
+
+ private:
+  std::shared_ptr<const Fn> fn_;
+};
+
+template <typename T, typename Pred>
+class FilterStage final : public StageNode {
+ public:
+  explicit FilterStage(std::shared_ptr<const Pred> pred)
+      : pred_(std::move(pred)) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<FilterSink<T, Pred>>(
+        pred_, static_cast<Sink<T>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(T);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(T);
+  }
+  bool one_to_one() const noexcept override { return false; }
+  std::uint64_t transform_count(std::uint64_t) const noexcept override {
+    return kUnknownSinkSize;
+  }
+
+ private:
+  std::shared_ptr<const Pred> pred_;
+};
+
+template <typename T, typename Fn>
+class PeekStage final : public StageNode {
+ public:
+  explicit PeekStage(std::shared_ptr<const Fn> observer)
+      : observer_(std::move(observer)) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<PeekSink<T, Fn>>(
+        observer_, static_cast<Sink<T>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(T);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(T);
+  }
+
+ private:
+  std::shared_ptr<const Fn> observer_;
+};
+
+template <typename T>
+class SliceStage final : public StageNode {
+ public:
+  SliceStage(std::uint64_t skip, std::uint64_t limit)
+      : skip_(skip), limit_(limit) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<SliceSink<T>>(skip_, limit_,
+                                          static_cast<Sink<T>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(T);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(T);
+  }
+  bool cancels() const noexcept override { return true; }
+  bool one_to_one() const noexcept override { return false; }
+  std::uint64_t transform_count(std::uint64_t count) const noexcept override {
+    // Matches SliceSpliterator::estimate_size (the wrapper keeps kSized).
+    const std::uint64_t after_skip = count > skip_ ? count - skip_ : 0;
+    return after_skip < limit_ ? after_skip : limit_;
+  }
+
+ private:
+  std::uint64_t skip_;
+  std::uint64_t limit_;
+};
+
+template <typename T, typename Pred>
+class TakeWhileStage final : public StageNode {
+ public:
+  explicit TakeWhileStage(std::shared_ptr<const Pred> pred)
+      : pred_(std::move(pred)) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<TakeWhileSink<T, Pred>>(
+        pred_, static_cast<Sink<T>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(T);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(T);
+  }
+  bool cancels() const noexcept override { return true; }
+  bool one_to_one() const noexcept override { return false; }
+  std::uint64_t transform_count(std::uint64_t) const noexcept override {
+    return kUnknownSinkSize;
+  }
+
+ private:
+  std::shared_ptr<const Pred> pred_;
+};
+
+// ---- the fuse step ---------------------------------------------------
+
+/// Source admission: mirrors the destination-passing gate's shape test —
+/// exactly sized through splits and able to name a window consistent with
+/// its size. This is what rules out concat (no window), flat_map/sorted
+/// products at the bottom of a stripped chain (no window / consumed), and
+/// the unsized iterate tail (no kSized).
+template <typename T>
+std::unique_ptr<FusedPipeline> fuse_source(
+    std::unique_ptr<Spliterator<T>>& sp) {
+  if (!sp->has(kSized | kSubsized)) return nullptr;
+  const auto w = output_window_of(*sp);
+  if (!w.has_value() || w->count != sp->estimate_size()) return nullptr;
+  return std::make_unique<FusedPipelineImpl<T>>(std::move(sp));
+}
+
+/// Fuse the pipeline rooted at `sp` (the outermost wrapper or the bare
+/// source). On success the pipeline is consumed (`sp` becomes null) and
+/// the fused form is returned; on failure `sp` is untouched and nullptr
+/// is returned — the caller evaluates through the wrapper path.
+template <typename T>
+std::unique_ptr<FusedPipeline> fuse_pipeline(
+    std::unique_ptr<Spliterator<T>>& sp) {
+  if (sp == nullptr) return nullptr;
+  if (auto* stage = dynamic_cast<FusableStage*>(sp.get())) {
+    auto fused = stage->strip_into_fused();
+    if (fused != nullptr) {
+      PLS_CHECK(fused->output_type() == typeid(T),
+                "fused pipeline output type does not match the terminal");
+      sp.reset();
+    }
+    return fused;
+  }
+  return fuse_source(sp);
+}
+
+}  // namespace pls::streams

@@ -31,6 +31,8 @@
 #include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "streams/collector.hpp"
+#include "streams/fusion.hpp"
+#include "streams/sink.hpp"
 #include "streams/sized_sink.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
@@ -38,7 +40,10 @@
 
 namespace pls::streams {
 
-/// Where and how a terminal operation executes.
+/// Where and how a terminal operation executes. The chainable with_*
+/// setters below are THE execution-config builder: Stream<T>'s with_*
+/// methods and pls::session::stream_config() both delegate here, so every
+/// knob exists exactly once and round-trips losslessly between surfaces.
 struct ExecutionConfig {
   /// Pool for parallel evaluation; nullptr selects ForkJoinPool::common().
   forkjoin::ForkJoinPool* pool = nullptr;
@@ -49,6 +54,27 @@ struct ExecutionConfig {
   /// and collector qualify. Off forces the supplier/combiner path — used
   /// by the fallback-equivalence tests and the A/B benches.
   bool sized_sink = true;
+  /// Permit the push-mode fusion engine for terminal evaluation when the
+  /// pipeline qualifies (streams/fusion.hpp). Off forces the wrapper
+  /// (pull-mode) walk — the differential-testing and A/B-bench toggle.
+  bool fusion = true;
+
+  ExecutionConfig& with_pool(forkjoin::ForkJoinPool& p) {
+    pool = &p;
+    return *this;
+  }
+  ExecutionConfig& with_min_chunk(std::uint64_t n) {
+    min_chunk = n;
+    return *this;
+  }
+  ExecutionConfig& with_sized_sink(bool enabled) {
+    sized_sink = enabled;
+    return *this;
+  }
+  ExecutionConfig& with_fusion(bool enabled) {
+    fusion = enabled;
+    return *this;
+  }
 
   forkjoin::ForkJoinPool& effective_pool() const {
     return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
@@ -319,6 +345,376 @@ std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
   return left + right;
 }
 
+// ---- fused (push-mode) evaluation ------------------------------------
+//
+// The fused walks mirror the wrapper walks exactly — same split policy,
+// same Span/CpScope/LatencyTimer/counter instrumentation at the same
+// points — but each leaf composes one sink chain and runs one push loop
+// instead of traversing the wrapper pipeline per element. Every fused
+// leaf additionally bumps the fused_leaves counter so reports and the
+// critical-path profiler attribute the win (leaf_chunks - fused_leaves
+// is the legacy count).
+
+/// Terminal sink feeding a classic collector's accumulator. Templated on
+/// the concrete collector so final collectors devirtualise in the chunk
+/// loop.
+template <typename T, typename C>
+class CollectorSink final : public Sink<T> {
+ public:
+  CollectorSink(const C& c, typename C::accumulation_type& acc)
+      : c_(c), acc_(acc) {}
+
+  void accept(const T& value) override { c_.accumulate(acc_, value); }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) c_.accumulate(acc_, values[i]);
+  }
+
+ private:
+  const C& c_;
+  typename C::accumulation_type& acc_;
+};
+
+/// Terminal sink of the fused destination-passing collect: writes element
+/// k of this leaf to final position base + k * step of the shared sized
+/// sink (the same rebasing arithmetic as collect_into_leaf).
+template <typename T, typename C>
+class DpsSink final : public Sink<T> {
+ public:
+  DpsSink(const C& c, typename C::sized_accumulation_type& sink,
+          std::uint64_t base, std::uint64_t step)
+      : c_(c), sink_(sink), base_(base), step_(step) {}
+
+  void accept(const T& value) override {
+    c_.accumulate_at(sink_, base_ + k_ * step_, value);
+    ++k_;
+  }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      c_.accumulate_at(sink_, base_ + k_ * step_, values[i]);
+      ++k_;
+    }
+  }
+
+  std::uint64_t written() const noexcept { return k_; }
+
+ private:
+  const C& c_;
+  typename C::sized_accumulation_type& sink_;
+  std::uint64_t base_;
+  std::uint64_t step_;
+  std::uint64_t k_ = 0;
+};
+
+template <typename T, typename Op>
+class ReduceSink final : public Sink<T> {
+ public:
+  ReduceSink(const Op& op, std::optional<T>& acc) : op_(op), acc_(acc) {}
+
+  void accept(const T& value) override {
+    if (acc_.has_value()) {
+      *acc_ = op_(std::move(*acc_), value);
+    } else {
+      acc_ = value;
+    }
+  }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    std::size_t i = 0;
+    if (!acc_.has_value() && n > 0) acc_ = values[i++];
+    for (; i < n; ++i) *acc_ = op_(std::move(*acc_), values[i]);
+  }
+
+ private:
+  const Op& op_;
+  std::optional<T>& acc_;
+};
+
+template <typename T, typename Fn>
+class ForEachSink final : public Sink<T> {
+ public:
+  explicit ForEachSink(const Fn& fn) : fn_(fn) {}
+
+  void accept(const T& value) override { fn_(value); }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) fn_(values[i]);
+  }
+
+ private:
+  const Fn& fn_;
+};
+
+template <typename T>
+class CountSink final : public Sink<T> {
+ public:
+  void accept(const T&) override { ++n_; }
+  void accept_chunk(const T*, std::size_t n) override { n_ += n; }
+  std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// Leaf-entry bookkeeping shared by every fused leaf: the same counter and
+/// critical-path feeds as the wrapper leaves (countable_estimate mirrors
+/// countable_size of the outermost wrapper), plus the fused tally.
+inline std::uint64_t fused_leaf_enter(const FusedPipeline& fp,
+                                      observe::CpNode* cp) {
+  const std::uint64_t elems = fp.countable_estimate();
+  observe::cp_add_elements(cp, elems);
+  observe::local_counters().on_leaf(elems);
+  observe::local_counters().on_fused_leaf();
+  return elems;
+}
+
+template <typename T, typename C>
+typename C::accumulation_type fused_collect_leaf(
+    FusedPipeline& fp, const C& c, observe::CpNode* cp = nullptr) {
+  const std::uint64_t elems = fp.countable_estimate();
+  observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  fused_leaf_enter(fp, cp);
+  auto acc = c.supply();
+  observe::local_counters().on_allocation();
+  CollectorSink<T, C> sink(c, acc);
+  fp.drive(sink);
+  return acc;
+}
+
+template <typename T, typename C>
+typename C::accumulation_type fused_collect_tree(
+    forkjoin::ForkJoinPool& pool, FusedPipeline& fp, const C& c,
+    std::uint64_t target, unsigned depth = 0,
+    observe::CpNode* cp = nullptr) {
+  using A = typename C::accumulation_type;
+  if (fp.estimate_size() <= target) return fused_collect_leaf<T>(fp, c, cp);
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
+    return fp.try_split();
+  }();
+  if (!prefix) return fused_collect_leaf<T>(fp, c, cp);
+  observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
+  std::optional<A> left;
+  std::optional<A> right;
+  pool.invoke_two(
+      [&, cl = cl] {
+        left.emplace(
+            fused_collect_tree<T>(pool, *prefix, c, target, depth + 1, cl));
+      },
+      [&, cr = cr] {
+        right.emplace(
+            fused_collect_tree<T>(pool, fp, c, target, depth + 1, cr));
+      });
+  {
+    observe::Span span(observe::EventKind::kCombine, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kCombine);
+    observe::LatencyTimer combine_timer(observe::Metric::kCombineRun);
+    c.combine(*left, *right);
+  }
+  observe::local_counters().on_combine();
+  return std::move(*left);
+}
+
+template <typename T, typename C>
+  requires SizedSinkCollector<C, T>
+void fused_collect_into_leaf(FusedPipeline& fp, const C& c,
+                             typename C::sized_accumulation_type& sink,
+                             const OutputWindow& root,
+                             observe::CpNode* cp = nullptr) {
+  const auto w = fp.source_window();
+  PLS_CHECK(w.has_value(),
+            "windowed fused source split into a non-windowed chunk");
+  const std::uint64_t base = (w->start - root.start) / root.incr;
+  const std::uint64_t step = w->incr / root.incr;
+  PLS_CHECK(w->count == 0 || base + (w->count - 1) * step < root.count,
+            "destination window exceeds the result buffer");
+  const std::uint64_t elems = fp.countable_estimate();
+  observe::Span span(observe::EventKind::kAccumulate, elems);
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  fused_leaf_enter(fp, cp);
+  DpsSink<T, C> s(c, sink, base, step);
+  fp.drive(s);
+  PLS_CHECK(s.written() == w->count,
+            "fused chunk yielded a different count than its window");
+}
+
+template <typename T, typename C>
+  requires SizedSinkCollector<C, T>
+void fused_collect_into_tree(forkjoin::ForkJoinPool& pool, FusedPipeline& fp,
+                             const C& c,
+                             typename C::sized_accumulation_type& sink,
+                             const OutputWindow& root, std::uint64_t target,
+                             unsigned depth = 0,
+                             observe::CpNode* cp = nullptr) {
+  if (fp.estimate_size() <= target) {
+    fused_collect_into_leaf<T>(fp, c, sink, root, cp);
+    return;
+  }
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
+    return fp.try_split();
+  }();
+  if (!prefix) {
+    fused_collect_into_leaf<T>(fp, c, sink, root, cp);
+    return;
+  }
+  observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
+  pool.invoke_two(
+      [&, cl = cl] {
+        fused_collect_into_tree<T>(pool, *prefix, c, sink, root, target,
+                                   depth + 1, cl);
+      },
+      [&, cr = cr] {
+        fused_collect_into_tree<T>(pool, fp, c, sink, root, target,
+                                   depth + 1, cr);
+      });
+}
+
+template <typename T, typename Op>
+std::optional<T> fused_reduce_leaf(FusedPipeline& fp, const Op& op,
+                                   observe::CpNode* cp = nullptr) {
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  fused_leaf_enter(fp, cp);
+  std::optional<T> acc;
+  ReduceSink<T, Op> sink(op, acc);
+  fp.drive(sink);
+  return acc;
+}
+
+template <typename T, typename Op>
+std::optional<T> fused_reduce_tree(forkjoin::ForkJoinPool& pool,
+                                   FusedPipeline& fp, const Op& op,
+                                   std::uint64_t target, unsigned depth = 0,
+                                   observe::CpNode* cp = nullptr) {
+  if (fp.estimate_size() <= target) return fused_reduce_leaf<T>(fp, op, cp);
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
+    return fp.try_split();
+  }();
+  if (!prefix) return fused_reduce_leaf<T>(fp, op, cp);
+  observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
+  std::optional<T> left;
+  std::optional<T> right;
+  pool.invoke_two(
+      [&, cl = cl] {
+        left = fused_reduce_tree<T>(pool, *prefix, op, target, depth + 1, cl);
+      },
+      [&, cr = cr] {
+        right = fused_reduce_tree<T>(pool, fp, op, target, depth + 1, cr);
+      });
+  if (left.has_value() && right.has_value()) {
+    observe::CpScope phase(cp, observe::CpPhase::kCombine);
+    observe::LatencyTimer combine_timer(observe::Metric::kCombineRun);
+    observe::local_counters().on_combine();
+    return op(std::move(*left), std::move(*right));
+  }
+  return left.has_value() ? std::move(left) : std::move(right);
+}
+
+template <typename T, typename Fn>
+void fused_for_each_leaf(FusedPipeline& fp, const Fn& fn,
+                         observe::CpNode* cp = nullptr) {
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  fused_leaf_enter(fp, cp);
+  ForEachSink<T, Fn> sink(fn);
+  fp.drive(sink);
+}
+
+template <typename T, typename Fn>
+void fused_for_each_tree(forkjoin::ForkJoinPool& pool, FusedPipeline& fp,
+                         const Fn& fn, std::uint64_t target,
+                         unsigned depth = 0, observe::CpNode* cp = nullptr) {
+  if (fp.estimate_size() <= target) {
+    fused_for_each_leaf<T>(fp, fn, cp);
+    return;
+  }
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
+    return fp.try_split();
+  }();
+  if (!prefix) {
+    fused_for_each_leaf<T>(fp, fn, cp);
+    return;
+  }
+  observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
+  pool.invoke_two(
+      [&, cl = cl] {
+        fused_for_each_tree<T>(pool, *prefix, fn, target, depth + 1, cl);
+      },
+      [&, cr = cr] {
+        fused_for_each_tree<T>(pool, fp, fn, target, depth + 1, cr);
+      });
+}
+
+template <typename T>
+std::uint64_t fused_count_leaf(FusedPipeline& fp,
+                               observe::CpNode* cp = nullptr) {
+  observe::CpScope phase(cp, observe::CpPhase::kAccumulate);
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  CountSink<T> sink;
+  fp.drive(sink);
+  const std::uint64_t n = sink.count();
+  observe::cp_add_elements(cp, n);
+  observe::local_counters().on_leaf(n);
+  observe::local_counters().on_fused_leaf();
+  return n;
+}
+
+template <typename T>
+std::uint64_t fused_count_tree(forkjoin::ForkJoinPool& pool,
+                               FusedPipeline& fp, std::uint64_t target,
+                               unsigned depth = 0,
+                               observe::CpNode* cp = nullptr) {
+  if (fp.estimate_size() <= target) return fused_count_leaf<T>(fp, cp);
+  auto prefix = [&] {
+    observe::Span span(observe::EventKind::kSplit, depth);
+    observe::CpScope phase(cp, observe::CpPhase::kSplit);
+    return fp.try_split();
+  }();
+  if (!prefix) return fused_count_leaf<T>(fp, cp);
+  observe::local_counters().on_split(depth);
+  const auto [cl, cr] = observe::cp_fork(cp);
+  std::uint64_t left = 0, right = 0;
+  pool.invoke_two(
+      [&, cl = cl] {
+        left = fused_count_tree<T>(pool, *prefix, target, depth + 1, cl);
+      },
+      [&, cr = cr] {
+        right = fused_count_tree<T>(pool, fp, target, depth + 1, cr);
+      });
+  return left + right;
+}
+
+/// Admission for the fused destination-passing collect — the fused twin of
+/// sized_sink_window. The chain must be 1:1 (so source position == result
+/// position) and non-cancelling; the source must name a window matching
+/// its size and hold a power of two elements, exactly like the wrapper
+/// gate (wrappers admit through delegated windows, which only 1:1 stages
+/// provide, so both gates admit the same pipelines).
+inline std::optional<OutputWindow> fused_sink_window(
+    const FusedPipeline& fp) {
+  if (!fp.one_to_one() || fp.cancels()) return std::nullopt;
+  auto w = fp.source_window();
+  if (!w.has_value()) return std::nullopt;
+  if (w->count != fp.estimate_size()) return std::nullopt;
+  if (!is_power_of_two(w->count)) return std::nullopt;
+  return w;
+}
+
 }  // namespace detail
 
 /// Run a mutable reduction in destination-passing style: acquire the sized
@@ -421,6 +817,130 @@ std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
   observe::CpNode* cp = observe::cp_new_root();
   return pool.run(
       [&] { return detail::count_tree(pool, sp, target, 0, cp); });
+}
+
+// ---- fusion-aware pipeline entry points ------------------------------
+//
+// Stream terminals hand their outermost spliterator here by owning
+// pointer. When cfg.fusion is on and the whole chain admits (see
+// fuse_pipeline), the wrappers are stripped into a FusedPipeline and the
+// terminal runs push-mode; otherwise the pointer is left untouched and
+// the untouched wrapper pipeline runs through the legacy pull walks
+// above. The legacy evaluate_* functions keep their exact behaviour for
+// direct callers (powerlist executors, existing tests).
+
+/// Fusion-aware evaluate_collect. Prefers, in order: fused
+/// destination-passing collect (1:1 non-cancelling chain over a windowed
+/// power-of-two source, writing leaves straight into the sized sink),
+/// fused supplier/combiner collect, legacy wrapper collect.
+template <typename T, typename C>
+typename C::result_type evaluate_collect_pipeline(
+    std::unique_ptr<Spliterator<T>>& sp, const C& c, bool parallel,
+    const ExecutionConfig& cfg = {}) {
+  PLS_CHECK(sp != nullptr, "evaluate_collect_pipeline requires a source");
+  if (cfg.fusion) {
+    if (auto fused = fuse_pipeline<T>(sp)) {
+      if constexpr (SizedSinkCollector<C, T>) {
+        if (cfg.sized_sink) {
+          if (auto root = detail::fused_sink_window(*fused)) {
+            auto sink = c.supply_sized(root->count);
+            if (!parallel) {
+              detail::fused_collect_into_leaf<T>(*fused, c, sink, *root);
+            } else {
+              auto& pool = cfg.effective_pool();
+              const std::uint64_t target =
+                  cfg.target_size(root->count, pool.parallelism());
+              observe::CpNode* cp = observe::cp_new_root();
+              pool.run([&] {
+                detail::fused_collect_into_tree<T>(pool, *fused, c, sink,
+                                                   *root, target, 0, cp);
+              });
+            }
+            return c.finish_sized(std::move(sink));
+          }
+        }
+      }
+      if (!parallel) {
+        return c.finish(detail::fused_collect_leaf<T>(*fused, c));
+      }
+      auto& pool = cfg.effective_pool();
+      const std::uint64_t target =
+          cfg.target_size(fused->estimate_size(), pool.parallelism());
+      observe::CpNode* cp = observe::cp_new_root();
+      auto acc = pool.run([&] {
+        return detail::fused_collect_tree<T>(pool, *fused, c, target, 0, cp);
+      });
+      return c.finish(std::move(acc));
+    }
+  }
+  return evaluate_collect(*sp, c, parallel, cfg);
+}
+
+/// Fusion-aware evaluate_reduce.
+template <typename T, typename Op>
+std::optional<T> evaluate_reduce_pipeline(
+    std::unique_ptr<Spliterator<T>>& sp, const Op& op, bool parallel,
+    const ExecutionConfig& cfg = {}) {
+  PLS_CHECK(sp != nullptr, "evaluate_reduce_pipeline requires a source");
+  if (cfg.fusion) {
+    if (auto fused = fuse_pipeline<T>(sp)) {
+      if (!parallel) return detail::fused_reduce_leaf<T>(*fused, op);
+      auto& pool = cfg.effective_pool();
+      const std::uint64_t target =
+          cfg.target_size(fused->estimate_size(), pool.parallelism());
+      observe::CpNode* cp = observe::cp_new_root();
+      return pool.run([&] {
+        return detail::fused_reduce_tree<T>(pool, *fused, op, target, 0, cp);
+      });
+    }
+  }
+  return evaluate_reduce(*sp, op, parallel, cfg);
+}
+
+/// Fusion-aware evaluate_for_each.
+template <typename T, typename Fn>
+void evaluate_for_each_pipeline(std::unique_ptr<Spliterator<T>>& sp,
+                                const Fn& fn, bool parallel,
+                                const ExecutionConfig& cfg = {}) {
+  PLS_CHECK(sp != nullptr, "evaluate_for_each_pipeline requires a source");
+  if (cfg.fusion) {
+    if (auto fused = fuse_pipeline<T>(sp)) {
+      if (!parallel) {
+        detail::fused_for_each_leaf<T>(*fused, fn);
+        return;
+      }
+      auto& pool = cfg.effective_pool();
+      const std::uint64_t target =
+          cfg.target_size(fused->estimate_size(), pool.parallelism());
+      observe::CpNode* cp = observe::cp_new_root();
+      pool.run([&] {
+        detail::fused_for_each_tree<T>(pool, *fused, fn, target, 0, cp);
+      });
+      return;
+    }
+  }
+  evaluate_for_each(*sp, fn, parallel, cfg);
+}
+
+/// Fusion-aware evaluate_count.
+template <typename T>
+std::uint64_t evaluate_count_pipeline(std::unique_ptr<Spliterator<T>>& sp,
+                                      bool parallel,
+                                      const ExecutionConfig& cfg = {}) {
+  PLS_CHECK(sp != nullptr, "evaluate_count_pipeline requires a source");
+  if (cfg.fusion) {
+    if (auto fused = fuse_pipeline<T>(sp)) {
+      if (!parallel) return detail::fused_count_leaf<T>(*fused);
+      auto& pool = cfg.effective_pool();
+      const std::uint64_t target =
+          cfg.target_size(fused->estimate_size(), pool.parallelism());
+      observe::CpNode* cp = observe::cp_new_root();
+      return pool.run([&] {
+        return detail::fused_count_tree<T>(pool, *fused, target, 0, cp);
+      });
+    }
+  }
+  return evaluate_count(*sp, parallel, cfg);
 }
 
 }  // namespace pls::streams

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "streams/fusion.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
 
@@ -18,7 +19,9 @@ namespace pls::streams {
 /// map: applies Fn(T) -> U to each element. Maps 1:1 in encounter order,
 /// so it passes the upstream's destination window straight through.
 template <typename U, typename T, typename Fn>
-class MapSpliterator final : public Spliterator<U>, public WindowedSource {
+class MapSpliterator final : public Spliterator<U>,
+                             public WindowedSource,
+                             public FusableStage {
  public:
   using Action = typename Spliterator<U>::Action;
 
@@ -59,6 +62,14 @@ class MapSpliterator final : public Spliterator<U>, public WindowedSource {
     return output_window_of(*upstream_);
   }
 
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<MapStage<U, T, Fn>>(fn_));
+    }
+    return fused;
+  }
+
  private:
   std::unique_ptr<Spliterator<T>> upstream_;
   std::shared_ptr<const Fn> fn_;
@@ -66,7 +77,7 @@ class MapSpliterator final : public Spliterator<U>, public WindowedSource {
 
 /// filter: keeps elements satisfying Pred(T) -> bool.
 template <typename T, typename Pred>
-class FilterSpliterator final : public Spliterator<T> {
+class FilterSpliterator final : public Spliterator<T>, public FusableStage {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -115,6 +126,14 @@ class FilterSpliterator final : public Spliterator<T> {
            ~(kSized | kSubsized | kPower2);
   }
 
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<FilterStage<T, Pred>>(pred_));
+    }
+    return fused;
+  }
+
  private:
   std::unique_ptr<Spliterator<T>> upstream_;
   std::shared_ptr<const Pred> pred_;
@@ -123,7 +142,9 @@ class FilterSpliterator final : public Spliterator<T> {
 /// peek: invokes a side-effecting observer, passes elements through
 /// (including the upstream's destination window).
 template <typename T, typename Fn>
-class PeekSpliterator final : public Spliterator<T>, public WindowedSource {
+class PeekSpliterator final : public Spliterator<T>,
+                              public WindowedSource,
+                              public FusableStage {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -165,6 +186,14 @@ class PeekSpliterator final : public Spliterator<T>, public WindowedSource {
 
   std::optional<OutputWindow> try_output_window() const override {
     return output_window_of(*upstream_);
+  }
+
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<PeekStage<T, Fn>>(observer_));
+    }
+    return fused;
   }
 
  private:

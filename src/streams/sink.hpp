@@ -1,0 +1,276 @@
+// Sink<T>: the push-mode consumer protocol of the fusion engine
+// (mirrors java.util.stream.Sink).
+//
+// The wrapper-spliterator pipeline (streams/pipeline_spliterators.hpp)
+// evaluates pull-mode: every terminal traversal pays one indirect
+// try_advance / action hop per stage per element. Java's real engine never
+// does that — AbstractPipeline composes all intermediate ops into one Sink
+// chain per leaf (opWrapSink) and runs a single tight loop. This header is
+// that protocol: a Sink accepts a begin(size) / accept(value)* / end()
+// conversation, and can ask for early termination through
+// cancellation_requested() (how limit/takeWhile short-circuit upstream).
+//
+// Two transports:
+//  - accept(v): one element, one virtual call — the type-erased fallback,
+//    and the only transport for cancelling (short-circuit) chains, whose
+//    per-element cancellation checks must observe exactly the same
+//    source-consumption depth as the wrapper path.
+//  - accept_chunk(p, n): a whole batch per virtual call. Stage sinks
+//    override it with an inlined loop over their concrete operator
+//    (MapSink applies Fn in a tight scratch loop, PeekSink forwards the
+//    same pointer), so a statically-known chain moves elements with zero
+//    per-element virtual hops between stages.
+//
+// Stage sinks hold their downstream by reference: a sink chain is composed
+// per leaf, used for one traversal, and destroyed (streams/fusion.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pls::streams {
+
+/// begin() size argument when the upstream element count is unknown
+/// (a filter or takeWhile stage upstream obscures it).
+inline constexpr std::uint64_t kUnknownSinkSize = ~std::uint64_t{0};
+
+/// Batch size of the chunked transport: large enough to amortise the one
+/// virtual accept_chunk per stage, small enough that per-stage scratch
+/// buffers stay cache-resident.
+inline constexpr std::size_t kFusionChunk = 1024;
+
+/// The element-type-independent face of a sink: traversal lifecycle and
+/// cancellation. Stage descriptors compose sink chains through this base
+/// (streams/fusion.hpp) so the chain can cross element-type changes.
+class SinkControl {
+ public:
+  virtual ~SinkControl() = default;
+
+  /// Called once before any elements; `size` is the exact element count
+  /// when known, kUnknownSinkSize otherwise. Stages forward it downstream,
+  /// adjusted by what they do to cardinality.
+  virtual void begin(std::uint64_t size) { (void)size; }
+
+  /// Called once after the last element (also after a cancelled
+  /// traversal).
+  virtual void end() {}
+
+  /// True when this sink (or any downstream of it) wants no further
+  /// elements — the short-circuit signal of limit / take_while. Drivers
+  /// check it between elements on cancelling chains.
+  virtual bool cancellation_requested() const { return false; }
+};
+
+/// A consumer of T values. accept() is the mandatory per-element entry;
+/// accept_chunk() defaults to an accept loop and is overridden by every
+/// stage sink with a batch loop over its concrete operator.
+template <typename T>
+class Sink : public SinkControl {
+ public:
+  using value_type = T;
+
+  virtual void accept(const T& value) = 0;
+
+  virtual void accept_chunk(const T* values, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) accept(values[i]);
+  }
+};
+
+// ---- stage sinks -----------------------------------------------------
+//
+// One class per intermediate operation, templated on the concrete
+// operator type so the chunk loops inline it. Each holds the shared
+// operator (the same shared_ptr the wrapper spliterators split with) and
+// the downstream sink by reference.
+
+/// map: applies Fn(In) -> Out. Chunk mode maps into a scratch buffer and
+/// pushes whole Out-chunks downstream; falls back to per-element accept
+/// when Out cannot live in a vector (not move-constructible).
+template <typename In, typename Out, typename Fn>
+class MapSink final : public Sink<In> {
+  static constexpr bool kBatched = std::is_move_constructible_v<Out>;
+
+ public:
+  MapSink(std::shared_ptr<const Fn> fn, Sink<Out>& down)
+      : fn_(std::move(fn)), down_(down) {}
+
+  void begin(std::uint64_t size) override { down_.begin(size); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return down_.cancellation_requested();
+  }
+
+  void accept(const In& value) override { down_.accept((*fn_)(value)); }
+
+  void accept_chunk(const In* values, std::size_t n) override {
+    if constexpr (kBatched) {
+      if (scratch_.capacity() == 0) scratch_.reserve(kFusionChunk);
+      while (n > 0) {
+        const std::size_t m = n < kFusionChunk ? n : kFusionChunk;
+        scratch_.clear();
+        for (std::size_t i = 0; i < m; ++i)
+          scratch_.push_back((*fn_)(values[i]));
+        down_.accept_chunk(scratch_.data(), m);
+        values += m;
+        n -= m;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) accept(values[i]);
+    }
+  }
+
+ private:
+  std::shared_ptr<const Fn> fn_;
+  Sink<Out>& down_;
+  std::vector<Out> scratch_;
+};
+
+/// filter: forwards elements satisfying Pred. Chunk mode compacts the
+/// kept elements into a scratch buffer; the downstream element count
+/// becomes unknown, so begin() forwards kUnknownSinkSize.
+template <typename T, typename Pred>
+class FilterSink final : public Sink<T> {
+  static constexpr bool kBatched = std::is_copy_constructible_v<T>;
+
+ public:
+  FilterSink(std::shared_ptr<const Pred> pred, Sink<T>& down)
+      : pred_(std::move(pred)), down_(down) {}
+
+  void begin(std::uint64_t) override { down_.begin(kUnknownSinkSize); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return down_.cancellation_requested();
+  }
+
+  void accept(const T& value) override {
+    if ((*pred_)(value)) down_.accept(value);
+  }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    if constexpr (kBatched) {
+      if (scratch_.capacity() == 0) scratch_.reserve(kFusionChunk);
+      while (n > 0) {
+        const std::size_t m = n < kFusionChunk ? n : kFusionChunk;
+        scratch_.clear();
+        for (std::size_t i = 0; i < m; ++i) {
+          if ((*pred_)(values[i])) scratch_.push_back(values[i]);
+        }
+        if (!scratch_.empty())
+          down_.accept_chunk(scratch_.data(), scratch_.size());
+        values += m;
+        n -= m;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) accept(values[i]);
+    }
+  }
+
+ private:
+  std::shared_ptr<const Pred> pred_;
+  Sink<T>& down_;
+  std::vector<T> scratch_;
+};
+
+/// peek: observes and forwards. Chunk mode forwards the *same* pointer —
+/// zero copies, zero per-element hops beyond the observer itself.
+template <typename T, typename Fn>
+class PeekSink final : public Sink<T> {
+ public:
+  PeekSink(std::shared_ptr<const Fn> observer, Sink<T>& down)
+      : observer_(std::move(observer)), down_(down) {}
+
+  void begin(std::uint64_t size) override { down_.begin(size); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return down_.cancellation_requested();
+  }
+
+  void accept(const T& value) override {
+    (*observer_)(value);
+    down_.accept(value);
+  }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) (*observer_)(values[i]);
+    down_.accept_chunk(values, n);
+  }
+
+ private:
+  std::shared_ptr<const Fn> observer_;
+  Sink<T>& down_;
+};
+
+/// skip + limit (the SliceSpliterator pair). A cancelling stage: once the
+/// limit is exhausted it requests cancellation, and the element-mode
+/// driver stops pulling the source — the same consumption depth as the
+/// wrapper (skip + limit elements, never more). Cancelling chains always
+/// run element-mode, so the inherited accept_chunk is never hot.
+template <typename T>
+class SliceSink final : public Sink<T> {
+ public:
+  SliceSink(std::uint64_t skip, std::uint64_t limit, Sink<T>& down)
+      : skip_(skip), limit_(limit), down_(down) {}
+
+  void begin(std::uint64_t size) override {
+    if (size == kUnknownSinkSize) {
+      down_.begin(kUnknownSinkSize);
+      return;
+    }
+    const std::uint64_t after_skip = size > skip_ ? size - skip_ : 0;
+    down_.begin(after_skip < limit_ ? after_skip : limit_);
+  }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return limit_ == 0 || down_.cancellation_requested();
+  }
+
+  void accept(const T& value) override {
+    if (skip_ > 0) {
+      --skip_;
+      return;
+    }
+    if (limit_ == 0) return;
+    --limit_;
+    down_.accept(value);
+  }
+
+ private:
+  std::uint64_t skip_;
+  std::uint64_t limit_;
+  Sink<T>& down_;
+};
+
+/// take_while: forwards the longest satisfying prefix, then cancels. Like
+/// the wrapper, the first failing element is consumed from the source
+/// (it must be examined) but not forwarded.
+template <typename T, typename Pred>
+class TakeWhileSink final : public Sink<T> {
+ public:
+  TakeWhileSink(std::shared_ptr<const Pred> pred, Sink<T>& down)
+      : pred_(std::move(pred)), down_(down) {}
+
+  void begin(std::uint64_t) override { down_.begin(kUnknownSinkSize); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return done_ || down_.cancellation_requested();
+  }
+
+  void accept(const T& value) override {
+    if (done_) return;
+    if ((*pred_)(value)) {
+      down_.accept(value);
+    } else {
+      done_ = true;
+    }
+  }
+
+ private:
+  std::shared_ptr<const Pred> pred_;
+  Sink<T>& down_;
+  bool done_ = false;
+};
+
+}  // namespace pls::streams

@@ -15,9 +15,11 @@
 // for_each_remaining, so dispatch cost is per-chunk, not per-element.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "streams/characteristics.hpp"
 #include "support/function_ref.hpp"
@@ -76,6 +78,18 @@ class Spliterator {
   virtual void for_each_remaining(Action action) {
     while (try_advance(action)) {
     }
+  }
+
+  /// Bulk-pull hook for the fused evaluator (streams/fusion.hpp): when
+  /// the remaining elements live contiguously in memory, return a pointer
+  /// to the next min(max_n, remaining) of them and mark those consumed;
+  /// return {nullptr, 0} otherwise (the default). Lets a fused leaf feed
+  /// an array source's own storage straight into the sink chain with zero
+  /// copies and zero per-element calls at the source seam.
+  virtual std::pair<const T*, std::size_t> try_contiguous_chunk(
+      std::size_t max_n) {
+    (void)max_n;
+    return {nullptr, 0};
   }
 
   /// Partition off a prefix of the remaining elements as a new

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "streams/collector.hpp"
+#include "streams/fusion.hpp"
 #include "streams/parallel_eval.hpp"
 #include "streams/pipeline_spliterators.hpp"
 #include "streams/spliterator.hpp"
@@ -36,7 +37,7 @@ namespace detail {
 /// a parallel pipeline deterministically requires encounter-order
 /// bookkeeping that Java, too, pays a heavy price for).
 template <typename T>
-class SliceSpliterator final : public Spliterator<T> {
+class SliceSpliterator final : public Spliterator<T>, public FusableStage {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -68,6 +69,14 @@ class SliceSpliterator final : public Spliterator<T> {
     return upstream_->characteristics() & ~(kSubsized | kPower2);
   }
 
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<SliceStage<T>>(skip_, limit_));
+    }
+    return fused;
+  }
+
  private:
   std::unique_ptr<Spliterator<T>> upstream_;
   std::uint64_t skip_;
@@ -77,7 +86,8 @@ class SliceSpliterator final : public Spliterator<T> {
 /// takeWhile wrapper: emits elements until the predicate first fails.
 /// Sequential (refuses to split), as ordered prefix semantics demand.
 template <typename T, typename Pred>
-class TakeWhileSpliterator final : public Spliterator<T> {
+class TakeWhileSpliterator final : public Spliterator<T>,
+                                   public FusableStage {
  public:
   using Action = typename Spliterator<T>::Action;
 
@@ -108,6 +118,15 @@ class TakeWhileSpliterator final : public Spliterator<T> {
   Characteristics characteristics() const override {
     return upstream_->characteristics() &
            ~(kSized | kSubsized | kPower2);
+  }
+
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<TakeWhileStage<T, Pred>>(
+          std::make_shared<const Pred>(pred_)));
+    }
+    return fused;
   }
 
  private:
@@ -227,26 +246,26 @@ class Stream {
   }
 
   // ---- execution configuration --------------------------------------
+  //
+  // All execution builders are &&-qualified: a Stream is single-use and
+  // the builders consume it, exactly like the intermediate operations.
+  // Lvalue chaining was a foot-gun (it silently mutated a stream someone
+  // else still held) and is deleted.
 
-  Stream<T>& parallel() & {
-    parallel_ = true;
-    return *this;
-  }
+  Stream<T>& parallel() & = delete;
   Stream<T>&& parallel() && {
     parallel_ = true;
     return std::move(*this);
   }
-  /// Parallel with an explicit execution config (pool + chunk target),
-  /// e.g. the one handed out by pls::session::stream_config().
+  /// Parallel with an explicit execution config (pool, chunk target,
+  /// sized-sink and fusion toggles), e.g. the one handed out by
+  /// pls::session::stream_config().
   Stream<T>&& parallel(const ExecutionConfig& cfg) && {
     parallel_ = true;
     config_ = cfg;
     return std::move(*this);
   }
-  Stream<T>& sequential() & {
-    parallel_ = false;
-    return *this;
-  }
+  Stream<T>& sequential() & = delete;
   Stream<T>&& sequential() && {
     parallel_ = false;
     return std::move(*this);
@@ -255,13 +274,13 @@ class Stream {
 
   /// Run parallel terminals on a specific pool (default: common pool).
   Stream<T>&& via(forkjoin::ForkJoinPool& pool) && {
-    config_.pool = &pool;
+    config_.with_pool(pool);
     return std::move(*this);
   }
 
   /// Set the split target: chunks of at most `n` elements.
   Stream<T>&& with_min_chunk(std::uint64_t n) && {
-    config_.min_chunk = n;
+    config_.with_min_chunk(n);
     return std::move(*this);
   }
 
@@ -269,7 +288,15 @@ class Stream {
   /// default; see docs/execution.md). Off forces every collect through
   /// the supplier/combiner reduction.
   Stream<T>&& with_sized_sink(bool enabled) && {
-    config_.sized_sink = enabled;
+    config_.with_sized_sink(enabled);
+    return std::move(*this);
+  }
+
+  /// Allow or forbid pipeline fusion (on by default; see
+  /// docs/execution.md, "Pipeline fusion"). Off forces terminals through
+  /// the per-element wrapper walk.
+  Stream<T>&& with_fusion(bool enabled) && {
+    config_.with_fusion(enabled);
     return std::move(*this);
   }
 
@@ -366,7 +393,7 @@ class Stream {
   /// paper's adaptation).
   template <typename C>
   typename C::result_type collect(const C& collector) && {
-    return evaluate_collect(*source_, collector, parallel_, config_);
+    return evaluate_collect_pipeline(source_, collector, parallel_, config_);
   }
 
   /// Three-function collect, as in the paper's snippets:
@@ -376,34 +403,34 @@ class Stream {
                CombineFn combine) && {
     auto c = make_collector<T>(std::move(supply), std::move(accumulate),
                                std::move(combine));
-    return evaluate_collect(*source_, c, parallel_, config_);
+    return evaluate_collect_pipeline(source_, c, parallel_, config_);
   }
 
   /// Reduce with an associative operator; nullopt on an empty stream.
   template <typename Op>
   std::optional<T> reduce(Op op) && {
-    return evaluate_reduce(*source_, op, parallel_, config_);
+    return evaluate_reduce_pipeline(source_, op, parallel_, config_);
   }
 
   /// Reduce with identity; `identity` must be a true identity of `op`.
   template <typename Op>
   T reduce(T identity, Op op) && {
-    auto r = evaluate_reduce(*source_, op, parallel_, config_);
+    auto r = evaluate_reduce_pipeline(source_, op, parallel_, config_);
     return r.has_value() ? std::move(*r) : std::move(identity);
   }
 
   template <typename Fn>
   void for_each(Fn fn) && {
-    evaluate_for_each(*source_, fn, parallel_, config_);
+    evaluate_for_each_pipeline(source_, fn, parallel_, config_);
   }
 
   std::uint64_t count() && {
-    return evaluate_count(*source_, parallel_, config_);
+    return evaluate_count_pipeline(source_, parallel_, config_);
   }
 
   std::vector<T> to_vector() && {
-    return evaluate_collect(*source_, VectorCollector<T>{}, parallel_,
-                            config_);
+    return evaluate_collect_pipeline(source_, VectorCollector<T>{},
+                                     parallel_, config_);
   }
 
   template <typename Cmp = std::less<T>>

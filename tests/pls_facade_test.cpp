@@ -48,6 +48,42 @@ TEST(Facade, StreamConfigCarriesPoolAndGrain) {
   });
 }
 
+TEST(Facade, StreamConfigRoundTripsAllStreamOptionsLosslessly) {
+  // Every stream-relevant session option must survive into the
+  // ExecutionConfig — a config knob that silently drops out here is a
+  // routing bug (the DPS/fusion toggles would be ignored).
+  for (const bool sized_sink : {false, true}) {
+    for (const bool fusion : {false, true}) {
+      pls::config cfg;
+      cfg.parallelism = 2;
+      cfg.grain = 32;
+      cfg.sized_sink = sized_sink;
+      cfg.fusion = fusion;
+      pls::run(cfg, [&](pls::session& s) {
+        const auto ec = s.stream_config();
+        EXPECT_EQ(ec.pool, &s.pool());
+        EXPECT_EQ(ec.min_chunk, 32u);
+        EXPECT_EQ(ec.sized_sink, sized_sink);
+        EXPECT_EQ(ec.fusion, fusion);
+        return 0;
+      });
+    }
+  }
+}
+
+TEST(Facade, SharedBuilderChainsOnExecutionConfig) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto ec = pls::streams::ExecutionConfig{}
+                      .with_pool(pool)
+                      .with_min_chunk(7)
+                      .with_sized_sink(false)
+                      .with_fusion(false);
+  EXPECT_EQ(ec.pool, &pool);
+  EXPECT_EQ(ec.min_chunk, 7u);
+  EXPECT_FALSE(ec.sized_sink);
+  EXPECT_FALSE(ec.fusion);
+}
+
 TEST(Facade, StreamPipelineThroughSession) {
   pls::config cfg;
   cfg.parallelism = 4;

