@@ -10,9 +10,20 @@
 //                over 1 cpu — included for honesty, expect ~= seq_ms);
 //   map_chain_*  a 4-stage map pipeline over the same coefficients,
 //                sequential, run fused (push-mode sink chain, the
-//                default) and legacy (with_fusion(false), the pull-based
-//                wrapper walk) — the pair the perf-smoke gate watches
-//                (docs/execution.md, "pipeline fusion").
+//                default), legacy (with_fusion(false), the pull-based
+//                wrapper walk), and static (the same four maps composed
+//                at compile time via Stream::stages(), one inlined loop
+//                per chunk) — the trio the perf-smoke gate watches
+//                (docs/execution.md, "pipeline fusion" and "static
+//                fusion & SIMD chunk kernels");
+//   horner_*     the Horner chunk kernel itself over the coefficient
+//                array, blocked/SIMD vs scalar — isolates the kernel
+//                speedup from stream transport.
+//
+// Compiled with -DPLS_BENCH_NOVEC (the fig4_times_novec target, built
+// with auto-vectorization disabled) the same workloads emit
+// BENCH_fig4_novec.json — the ablation that shows how much of the static
+// and kernel wins come from vectorized chunk loops.
 // Shape to match: both series grow linearly in n (the algorithm is O(n)),
 // with the parallel one lower by roughly the core count; the paper's
 // sequential series has a one-off dip at 2^24 (JVM artifact, not
@@ -29,7 +40,9 @@
 #include "observe/critical_path.hpp"
 #include "observe/histogram.hpp"
 #include "powerlist/collector_functions.hpp"
+#include "streams/static_fusion.hpp"
 #include "streams/stream.hpp"
+#include "support/simd.hpp"
 #include "simmachine/costmodel.hpp"
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
@@ -66,6 +79,21 @@ double run_map_chain(const std::shared_ptr<const std::vector<double>>& coeffs,
       .reduce(0.0, [](double a, double b) { return a + b; });
 }
 
+// The same four maps as a compile-time composed stage stack: the chain
+// collapses into one StaticChainStage whose per-chunk loop inlines all
+// four lambdas — no per-stage accept_chunk hop, and the loop body is a
+// pure independent-iteration map the vectorizer handles.
+double run_map_chain_static(
+    const std::shared_ptr<const std::vector<double>>& coeffs) {
+  namespace st = pls::streams::stages;
+  return pls::streams::Stream<double>::of_shared(coeffs)
+      .stages(st::map([](double v) { return v * 1.0000001; }),
+              st::map([](double v) { return v + 0.25; }),
+              st::map([](double v) { return v * v; }),
+              st::map([](double v) { return v - 0.125; }))
+      .reduce(0.0, [](double a, double b) { return a + b; });
+}
+
 TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
   const std::size_t target = std::max<std::size_t>(1, n / (4ull * cores));
   unsigned levels = 0;
@@ -92,13 +120,17 @@ int main(int argc, char** argv) {
 
   std::printf("FIG4: execution times (ms) for sequential and parallel "
               "polynomial evaluation\n");
+#ifdef PLS_BENCH_NOVEC
+  std::printf("(novec ablation build: auto-vectorization disabled)\n");
+#endif
   std::printf("simulated cores = %u, repetitions = %d\n\n", cores, reps);
 
   pls::forkjoin::ForkJoinPool pool(cores);
   pls::forkjoin::ForkJoinPool one_worker(1);
   pls::TextTable table({"log2(n)", "n", "seq_ms", "seq_rsd", "par1_ms",
                         "par_sim_ms", "par_wall_ms", "par_wall_rsd",
-                        "mc_fused_ms", "mc_legacy_ms"});
+                        "mc_fused_ms", "mc_legacy_ms", "mc_static_ms",
+                        "horner_simd", "horner_scal"});
 
   std::vector<std::string> json_rows;
 
@@ -139,6 +171,23 @@ int main(int argc, char** argv) {
         [&] { pls::bench::keep(run_map_chain(coeffs, true)); }, reps);
     const auto mc_legacy = pls::bench::time_ms(
         [&] { pls::bench::keep(run_map_chain(coeffs, false)); }, reps);
+    const auto mc_static = pls::bench::time_ms(
+        [&] { pls::bench::keep(run_map_chain_static(coeffs)); }, reps);
+
+    // Kernel-level Horner: blocked/SIMD vs scalar over the raw array, no
+    // stream transport — the pair behind the simd_kernels toggle of
+    // PolynomialValueCollector.
+    const auto h_simd = pls::bench::time_ms(
+        [&] {
+          pls::bench::keep(pls::simd::horner_chunk(0.0, x, coeffs->data(), n));
+        },
+        reps);
+    const auto h_scalar = pls::bench::time_ms(
+        [&] {
+          pls::bench::keep(
+              pls::simd::horner_chunk_scalar(0.0, x, coeffs->data(), n));
+        },
+        reps);
 
     const CostModel model = CostModel::calibrated(
         par1.mean * 1e6, 2.0 * static_cast<double>(n));
@@ -168,7 +217,10 @@ int main(int argc, char** argv) {
                    pls::TextTable::num(par_wall.mean),
                    pls::TextTable::num(par_wall.rel_stddev(), 3),
                    pls::TextTable::num(mc_fused.mean),
-                   pls::TextTable::num(mc_legacy.mean)});
+                   pls::TextTable::num(mc_legacy.mean),
+                   pls::TextTable::num(mc_static.mean),
+                   pls::TextTable::num(h_simd.mean),
+                   pls::TextTable::num(h_scalar.mean)});
 
     pls::bench::JsonObject row;
     row.field("log2_n", lg).field("n", n);
@@ -177,6 +229,9 @@ int main(int argc, char** argv) {
     pls::bench::stats_fields(row, "par_wall_", par_wall);
     pls::bench::stats_fields(row, "map_chain_fused_", mc_fused);
     pls::bench::stats_fields(row, "map_chain_legacy_", mc_legacy);
+    pls::bench::stats_fields(row, "map_chain_static_", mc_static);
+    pls::bench::stats_fields(row, "horner_simd_", h_simd);
+    pls::bench::stats_fields(row, "horner_scalar_", h_scalar);
     row.field("par_sim_ms", sim.makespan_ns / 1e6)
         .field("sim_work_ms", sim.work_ns / 1e6)
         .field("sim_span_ms", sim.span_ns / 1e6)
@@ -189,14 +244,21 @@ int main(int argc, char** argv) {
 
   table.print();
 
+  // The no-vectorization ablation build writes its own JSON so a normal
+  // run is never compared against (or clobbered by) the ablation.
+#ifdef PLS_BENCH_NOVEC
+  const char* bench_name = "fig4_novec";
+#else
+  const char* bench_name = "fig4";
+#endif
   pls::bench::JsonObject doc;
   doc.field("schema", pls::bench::kBenchSchemaVersion)
-      .field("bench", "fig4")
+      .field("bench", bench_name)
       .field("cores", cores)
       .field("repetitions", static_cast<unsigned>(reps))
       .field("observe", pls::observe::kEnabled ? 1u : 0u)
       .raw("rows", pls::bench::Json::arr(json_rows));
-  const std::string json_path = pls::bench::bench_json_path("fig4");
+  const std::string json_path = pls::bench::bench_json_path(bench_name);
   pls::bench::write_json_file(json_path, doc.str());
   std::printf("\nper-run metrics: %s\n", json_path.c_str());
   std::printf(

@@ -39,8 +39,10 @@
 #include "streams/collector.hpp"
 #include "streams/collectors.hpp"
 #include "streams/sized_sink.hpp"
+#include "streams/static_fusion.hpp"
 #include "streams/stream.hpp"
 #include "streams/unsized.hpp"
+#include "support/simd.hpp"
 
 #include "powerlist/algorithms/adder.hpp"
 #include "powerlist/algorithms/convolution.hpp"
@@ -84,6 +86,42 @@
 #include <utility>
 
 namespace pls {
+
+// ---- facade re-exports ------------------------------------------------
+//
+// The most-used streams types under their short names, so application code
+// can say pls::Stream / pls::pipe / pls::stages::map without spelling the
+// inner namespaces. The full namespaces stay available underneath.
+
+using streams::ExecutionConfig;
+using streams::StagePipe;
+using streams::StaticPipeline;
+using streams::Stream;
+
+using streams::evaluate;
+using streams::evaluate_fused;
+using streams::stream_support::from_spliterator;
+
+/// Stage-op factories for the typed static pipeline:
+/// pls::pipe(pls::stages::map(f), pls::stages::filter(p), ...).
+namespace stages = streams::stages;
+
+/// Terminal descriptors for the unified evaluate() dispatch.
+namespace terminals = streams::terminals;
+
+/// The built-in collector library (to_vector, summing, counting, ...).
+namespace collectors = streams::collectors;
+
+/// Build a source-free compile-time stage stack; bind a source with
+/// .over(...) and configure execution exactly like a Stream — including
+/// round-tripping a session's ExecutionConfig:
+///
+///   pls::session s(cfg);
+///   auto out = pls::pipe(pls::stages::map(f), pls::stages::filter(p))
+///                  .over(values)
+///                  .parallel(s.stream_config())
+///                  .to_vector();
+using streams::pipe;
 
 /// One configuration object for a whole computation: how parallel, how
 /// fine-grained, and whether to measure. The facade below derives pools,

@@ -14,13 +14,14 @@
 namespace pls::powerlist {
 
 /// Elementwise op over similar PowerLists, materialised into a vector.
+/// Sized output + indexed stores (rather than push_back), so the loop is a
+/// pure independent-iteration map the vectorizer handles.
 template <typename T, typename U, typename Op>
 auto pointwise(PowerListView<const T> a, PowerListView<const U> b, Op op)
     -> std::vector<decltype(op(a[0], b[0]))> {
   PLS_CHECK(a.similar(b), "pointwise operators require similar PowerLists");
-  std::vector<decltype(op(a[0], b[0]))> out;
-  out.reserve(a.length());
-  for (std::size_t i = 0; i < a.length(); ++i) out.push_back(op(a[i], b[i]));
+  std::vector<decltype(op(a[0], b[0]))> out(a.length());
+  for (std::size_t i = 0; i < a.length(); ++i) out[i] = op(a[i], b[i]);
   return out;
 }
 
@@ -37,9 +38,8 @@ void pointwise_into(PowerListView<const T> a, PowerListView<const U> b,
 template <typename S, typename T, typename Op>
 auto broadcast(const S& scalar, PowerListView<const T> p, Op op)
     -> std::vector<decltype(op(scalar, p[0]))> {
-  std::vector<decltype(op(scalar, p[0]))> out;
-  out.reserve(p.length());
-  for (std::size_t i = 0; i < p.length(); ++i) out.push_back(op(scalar, p[i]));
+  std::vector<decltype(op(scalar, p[0]))> out(p.length());
+  for (std::size_t i = 0; i < p.length(); ++i) out[i] = op(scalar, p[i]);
   return out;
 }
 

@@ -21,12 +21,23 @@
 #include "powerlist/power_array.hpp"
 #include "powerlist/view.hpp"
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace pls::powerlist {
 
-/// Inclusive sequential scan of a view (const or mutable).
+/// Inclusive sequential scan of a view (const or mutable). Known-+ ops
+/// over arithmetic elements on contiguous views take the blocked
+/// Hillis–Steele chunk kernel (support/simd.hpp) instead of the serial
+/// fold: exact for integers, ULP-level re-association for floating point.
 template <typename TV, typename Op, typename T = std::remove_const_t<TV>>
 std::vector<T> scan_sequential(PowerListView<TV> p, Op op) {
+  if constexpr (simd::is_plus_v<Op> && simd::kernel_eligible_v<T>) {
+    if (p.stride() == 1) {
+      std::vector<T> out(p.length());
+      simd::inclusive_scan_add(p.base() + p.start(), out.data(), p.length());
+      return out;
+    }
+  }
   std::vector<T> out;
   out.reserve(p.length());
   T acc = p[0];
@@ -56,8 +67,12 @@ class SklanskyScanFunction final : public PowerFunction<T, PowerArray<T>> {
   PowerArray<T> combine(PowerArray<T>&& left, PowerArray<T>&& right,
                         const NoContext&, std::size_t) const override {
     const T& carry = left[left.size() - 1];
-    for (std::size_t i = 0; i < right.size(); ++i) {
-      right[i] = op_(carry, right[i]);
+    if constexpr (simd::is_plus_v<Op> && simd::kernel_eligible_v<T>) {
+      simd::add_carry_chunk(carry, &right[0], right.size());
+    } else {
+      for (std::size_t i = 0; i < right.size(); ++i) {
+        right[i] = op_(carry, right[i]);
+      }
     }
     left.tie_all(right);
     return std::move(left);

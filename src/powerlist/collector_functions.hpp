@@ -38,6 +38,7 @@
 #include "streams/stream.hpp"
 #include "support/assert.hpp"
 #include "support/bits.hpp"
+#include "support/simd.hpp"
 
 namespace pls::powerlist {
 
@@ -147,8 +148,13 @@ class PolynomialValueCollector final
  public:
   using Partial = PolynomialPartial;
 
-  explicit PolynomialValueCollector(double x)
-      : x_(x), shared_(std::make_shared<Shared>()) {}
+  /// `simd_kernels` selects the blocked Horner chunk kernel
+  /// (support/simd.hpp) for contiguous leaf chunks: same polynomial, lane-
+  /// re-associated rounding (ULP-level differences on doubles). Off, every
+  /// path reduces with the exact per-element fold.
+  explicit PolynomialValueCollector(double x, bool simd_kernels = true)
+      : x_(x), simd_kernels_(simd_kernels),
+        shared_(std::make_shared<Shared>()) {}
 
   /// The supplier copies the function object, including the *global*
   /// splitting depth published by the spliterators: the connection between
@@ -164,6 +170,17 @@ class PolynomialValueCollector final
   /// val := val * x^x_degree + d.
   void accumulate(Partial& pv, const double& d) const override {
     pv.val = pv.val * pv.x_power + d;
+  }
+
+  /// Chunked leaf phase (the ChunkAccumulatingCollector hook): fold a
+  /// whole contiguous coefficient chunk with the blocked SIMD Horner
+  /// kernel. The fused evaluator routes accept_chunk here, turning the
+  /// per-element virtual accumulate into one kernel call per chunk.
+  void accumulate_chunk(Partial& pv, const double* d,
+                        std::size_t n) const {
+    pv.val = simd_kernels_
+                 ? simd::horner_chunk(pv.val, pv.x_power, d, n)
+                 : simd::horner_chunk_scalar(pv.val, pv.x_power, d, n);
   }
 
   /// Ascending phase: halve the exponent and fold,
@@ -241,17 +258,21 @@ class PolynomialValueCollector final
   };
 
   double x_;
+  bool simd_kernels_ = true;
   std::shared_ptr<Shared> shared_;
 };
 
 /// Evaluate a polynomial (descending coefficients) through the Streams
 /// adaptation — the paper's final snippet: build the collector, its
 /// spliterator (checking the POWER2 characteristic), the stream, and
-/// collect. `parallel` selects the execution mode measured by Figures 3/4.
+/// collect. `parallel` selects the execution mode measured by Figures 3/4;
+/// `simd_kernels` toggles the blocked Horner chunk kernel (on by default,
+/// off recovers the exact scalar fold).
 inline double evaluate_polynomial_stream(
     std::shared_ptr<const std::vector<double>> coefficients, double x,
-    bool parallel, streams::ExecutionConfig cfg = {}) {
-  PolynomialValueCollector pv(x);
+    bool parallel, streams::ExecutionConfig cfg = {},
+    bool simd_kernels = true) {
+  PolynomialValueCollector pv(x, simd_kernels);
   auto spliterator = pv.make_spliterator(std::move(coefficients));
   PLS_CHECK(spliterator->has(streams::kPower2),
             "the coefficient list must have power-of-two length");
@@ -259,6 +280,9 @@ inline double evaluate_polynomial_stream(
       std::move(spliterator), parallel);
   if (cfg.pool != nullptr) stream = std::move(stream).via(*cfg.pool);
   if (cfg.min_chunk != 0) stream = std::move(stream).with_min_chunk(cfg.min_chunk);
+  stream = std::move(stream)
+               .with_sized_sink(cfg.sized_sink)
+               .with_fusion(cfg.fusion);
   return std::move(stream).collect(pv);
 }
 

@@ -80,6 +80,20 @@ class SpliteratorPower2 : public streams::Spliterator<T>,
     return streams::OutputWindow{start_, incr_, count_};
   }
 
+  /// Unit-stride windows are contiguous storage: hand the span straight to
+  /// the fused chunk transport (and its SIMD collector kernels) with no
+  /// per-element indirection. Strided windows (zip split products) keep
+  /// the element-at-a-time protocol.
+  std::pair<const T*, std::size_t> try_contiguous_chunk(
+      std::size_t max_n) override {
+    if (incr_ != 1 || count_ == 0) return {nullptr, 0};
+    const std::size_t n = count_ < max_n ? count_ : max_n;
+    const T* p = data_->data() + start_;
+    start_ += n;
+    count_ -= n;
+    return {p, n};
+  }
+
   std::size_t start() const noexcept { return start_; }
   std::size_t increment() const noexcept { return incr_; }
   std::size_t count() const noexcept { return count_; }

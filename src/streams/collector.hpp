@@ -18,6 +18,7 @@
 //    the left one.
 #pragma once
 
+#include <cstddef>
 #include <type_traits>
 #include <utility>
 
@@ -59,6 +60,21 @@ class Collector {
     }
   }
 };
+
+/// Collector able to fold a whole contiguous chunk in one call — the SIMD
+/// kernel hook of the fused evaluator. When a collector provides
+/// accumulate_chunk(acc, values, n), the fused terminal sink routes
+/// accept_chunk through it instead of the per-element accumulate loop
+/// (e.g. PolynomialValueCollector's blocked Horner kernel). The chunk fold
+/// must compute the same reduction as n accumulate calls — exactly for
+/// integer accumulators, within rounding re-association for floating
+/// point (support/simd.hpp states the contract).
+template <typename C, typename T>
+concept ChunkAccumulatingCollector =
+    requires(const C& c, typename C::accumulation_type& acc, const T* p,
+             std::size_t n) {
+      c.accumulate_chunk(acc, p, n);
+    };
 
 /// Collector assembled from three (or four) callables; the analogue of
 /// Collector.of(...).

@@ -87,6 +87,47 @@ struct ExecutionConfig {
   }
 };
 
+/// Terminal-operation descriptors for the unified evaluate() dispatch:
+/// one value type per terminal kind, holding the operation by reference
+/// (descriptors live only for the duration of the evaluate call). Both the
+/// dynamic Stream terminals and the typed static pipeline
+/// (streams/static_fusion.hpp) funnel through these, so fused, legacy and
+/// destination-passing routing exists exactly once.
+namespace terminals {
+
+template <typename C>
+struct Collect {
+  const C& collector;
+};
+
+template <typename Op>
+struct Reduce {
+  const Op& op;
+};
+
+template <typename Fn>
+struct ForEach {
+  const Fn& fn;
+};
+
+struct Count {};
+
+template <typename C>
+constexpr Collect<C> collect(const C& c) {
+  return {c};
+}
+template <typename Op>
+constexpr Reduce<Op> reduce(const Op& op) {
+  return {op};
+}
+template <typename Fn>
+constexpr ForEach<Fn> for_each(const Fn& fn) {
+  return {fn};
+}
+constexpr Count count() { return {}; }
+
+}  // namespace terminals
+
 namespace detail {
 
 /// Exact remaining-element count for SIZED sources, 0 (uncounted) for
@@ -357,7 +398,9 @@ std::uint64_t count_tree(forkjoin::ForkJoinPool& pool, Spliterator<T>& sp,
 
 /// Terminal sink feeding a classic collector's accumulator. Templated on
 /// the concrete collector so final collectors devirtualise in the chunk
-/// loop.
+/// loop; collectors exposing a chunk fold (ChunkAccumulatingCollector —
+/// the SIMD kernel hook) get whole contiguous chunks instead of the
+/// per-element loop.
 template <typename T, typename C>
 class CollectorSink final : public Sink<T> {
  public:
@@ -367,7 +410,11 @@ class CollectorSink final : public Sink<T> {
   void accept(const T& value) override { c_.accumulate(acc_, value); }
 
   void accept_chunk(const T* values, std::size_t n) override {
-    for (std::size_t i = 0; i < n; ++i) c_.accumulate(acc_, values[i]);
+    if constexpr (ChunkAccumulatingCollector<C, T>) {
+      c_.accumulate_chunk(acc_, values, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) c_.accumulate(acc_, values[i]);
+    }
   }
 
  private:
@@ -715,6 +762,92 @@ inline std::optional<OutputWindow> fused_sink_window(
   return w;
 }
 
+// ---- fused terminal dispatch -----------------------------------------
+//
+// One run_fused overload per terminal descriptor; T is the pipeline's
+// output element type. These are the single home of the fused routing
+// (DPS admission, leaf vs tree) shared by the dynamic evaluate() entry
+// and the static pipeline, which appends its compiled stage stack and
+// calls evaluate_fused directly.
+
+template <typename T, typename C>
+typename C::result_type run_fused(FusedPipeline& fused,
+                                  const terminals::Collect<C>& term,
+                                  bool parallel, const ExecutionConfig& cfg) {
+  const C& c = term.collector;
+  if constexpr (SizedSinkCollector<C, T>) {
+    if (cfg.sized_sink) {
+      if (auto root = fused_sink_window(fused)) {
+        auto sink = c.supply_sized(root->count);
+        if (!parallel) {
+          fused_collect_into_leaf<T>(fused, c, sink, *root);
+        } else {
+          auto& pool = cfg.effective_pool();
+          const std::uint64_t target =
+              cfg.target_size(root->count, pool.parallelism());
+          observe::CpNode* cp = observe::cp_new_root();
+          pool.run([&] {
+            fused_collect_into_tree<T>(pool, fused, c, sink, *root, target, 0,
+                                       cp);
+          });
+        }
+        return c.finish_sized(std::move(sink));
+      }
+    }
+  }
+  if (!parallel) {
+    return c.finish(fused_collect_leaf<T>(fused, c));
+  }
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(fused.estimate_size(), pool.parallelism());
+  observe::CpNode* cp = observe::cp_new_root();
+  auto acc = pool.run(
+      [&] { return fused_collect_tree<T>(pool, fused, c, target, 0, cp); });
+  return c.finish(std::move(acc));
+}
+
+template <typename T, typename Op>
+std::optional<T> run_fused(FusedPipeline& fused,
+                           const terminals::Reduce<Op>& term, bool parallel,
+                           const ExecutionConfig& cfg) {
+  if (!parallel) return fused_reduce_leaf<T>(fused, term.op);
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(fused.estimate_size(), pool.parallelism());
+  observe::CpNode* cp = observe::cp_new_root();
+  return pool.run([&] {
+    return fused_reduce_tree<T>(pool, fused, term.op, target, 0, cp);
+  });
+}
+
+template <typename T, typename Fn>
+void run_fused(FusedPipeline& fused, const terminals::ForEach<Fn>& term,
+               bool parallel, const ExecutionConfig& cfg) {
+  if (!parallel) {
+    fused_for_each_leaf<T>(fused, term.fn);
+    return;
+  }
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(fused.estimate_size(), pool.parallelism());
+  observe::CpNode* cp = observe::cp_new_root();
+  pool.run(
+      [&] { fused_for_each_tree<T>(pool, fused, term.fn, target, 0, cp); });
+}
+
+template <typename T>
+std::uint64_t run_fused(FusedPipeline& fused, const terminals::Count&,
+                        bool parallel, const ExecutionConfig& cfg) {
+  if (!parallel) return fused_count_leaf<T>(fused);
+  auto& pool = cfg.effective_pool();
+  const std::uint64_t target =
+      cfg.target_size(fused.estimate_size(), pool.parallelism());
+  observe::CpNode* cp = observe::cp_new_root();
+  return pool.run(
+      [&] { return fused_count_tree<T>(pool, fused, target, 0, cp); });
+}
+
 }  // namespace detail
 
 /// Run a mutable reduction in destination-passing style: acquire the sized
@@ -819,128 +952,112 @@ std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
       [&] { return detail::count_tree(pool, sp, target, 0, cp); });
 }
 
-// ---- fusion-aware pipeline entry points ------------------------------
+// ---- unified pipeline terminal dispatch ------------------------------
 //
 // Stream terminals hand their outermost spliterator here by owning
-// pointer. When cfg.fusion is on and the whole chain admits (see
-// fuse_pipeline), the wrappers are stripped into a FusedPipeline and the
-// terminal runs push-mode; otherwise the pointer is left untouched and
-// the untouched wrapper pipeline runs through the legacy pull walks
-// above. The legacy evaluate_* functions keep their exact behaviour for
-// direct callers (powerlist executors, existing tests).
+// pointer, together with a terminals:: descriptor naming the operation.
+// When cfg.fusion is on and the whole chain admits (see fuse_pipeline),
+// the wrappers are stripped into a FusedPipeline and the terminal runs
+// push-mode; otherwise the pointer is left untouched and the wrapper
+// pipeline runs through the legacy pull walks above. The legacy
+// evaluate_* functions keep their exact behaviour for direct callers
+// (powerlist executors, existing tests).
 
-/// Fusion-aware evaluate_collect. Prefers, in order: fused
-/// destination-passing collect (1:1 non-cancelling chain over a windowed
-/// power-of-two source, writing leaves straight into the sized sink),
-/// fused supplier/combiner collect, legacy wrapper collect.
+namespace detail {
+
+// Legacy (pull-mode) routing, one overload per terminal descriptor.
+// Defined after the evaluate_* functions they forward to.
+
 template <typename T, typename C>
-typename C::result_type evaluate_collect_pipeline(
-    std::unique_ptr<Spliterator<T>>& sp, const C& c, bool parallel,
-    const ExecutionConfig& cfg = {}) {
-  PLS_CHECK(sp != nullptr, "evaluate_collect_pipeline requires a source");
-  if (cfg.fusion) {
-    if (auto fused = fuse_pipeline<T>(sp)) {
-      if constexpr (SizedSinkCollector<C, T>) {
-        if (cfg.sized_sink) {
-          if (auto root = detail::fused_sink_window(*fused)) {
-            auto sink = c.supply_sized(root->count);
-            if (!parallel) {
-              detail::fused_collect_into_leaf<T>(*fused, c, sink, *root);
-            } else {
-              auto& pool = cfg.effective_pool();
-              const std::uint64_t target =
-                  cfg.target_size(root->count, pool.parallelism());
-              observe::CpNode* cp = observe::cp_new_root();
-              pool.run([&] {
-                detail::fused_collect_into_tree<T>(pool, *fused, c, sink,
-                                                   *root, target, 0, cp);
-              });
-            }
-            return c.finish_sized(std::move(sink));
-          }
-        }
-      }
-      if (!parallel) {
-        return c.finish(detail::fused_collect_leaf<T>(*fused, c));
-      }
-      auto& pool = cfg.effective_pool();
-      const std::uint64_t target =
-          cfg.target_size(fused->estimate_size(), pool.parallelism());
-      observe::CpNode* cp = observe::cp_new_root();
-      auto acc = pool.run([&] {
-        return detail::fused_collect_tree<T>(pool, *fused, c, target, 0, cp);
-      });
-      return c.finish(std::move(acc));
-    }
-  }
-  return evaluate_collect(*sp, c, parallel, cfg);
+typename C::result_type run_legacy(Spliterator<T>& sp,
+                                   const terminals::Collect<C>& term,
+                                   bool parallel, const ExecutionConfig& cfg) {
+  return evaluate_collect(sp, term.collector, parallel, cfg);
 }
 
-/// Fusion-aware evaluate_reduce.
 template <typename T, typename Op>
-std::optional<T> evaluate_reduce_pipeline(
-    std::unique_ptr<Spliterator<T>>& sp, const Op& op, bool parallel,
-    const ExecutionConfig& cfg = {}) {
-  PLS_CHECK(sp != nullptr, "evaluate_reduce_pipeline requires a source");
-  if (cfg.fusion) {
-    if (auto fused = fuse_pipeline<T>(sp)) {
-      if (!parallel) return detail::fused_reduce_leaf<T>(*fused, op);
-      auto& pool = cfg.effective_pool();
-      const std::uint64_t target =
-          cfg.target_size(fused->estimate_size(), pool.parallelism());
-      observe::CpNode* cp = observe::cp_new_root();
-      return pool.run([&] {
-        return detail::fused_reduce_tree<T>(pool, *fused, op, target, 0, cp);
-      });
-    }
-  }
-  return evaluate_reduce(*sp, op, parallel, cfg);
+std::optional<T> run_legacy(Spliterator<T>& sp,
+                            const terminals::Reduce<Op>& term, bool parallel,
+                            const ExecutionConfig& cfg) {
+  return evaluate_reduce(sp, term.op, parallel, cfg);
 }
 
-/// Fusion-aware evaluate_for_each.
 template <typename T, typename Fn>
-void evaluate_for_each_pipeline(std::unique_ptr<Spliterator<T>>& sp,
-                                const Fn& fn, bool parallel,
-                                const ExecutionConfig& cfg = {}) {
-  PLS_CHECK(sp != nullptr, "evaluate_for_each_pipeline requires a source");
-  if (cfg.fusion) {
-    if (auto fused = fuse_pipeline<T>(sp)) {
-      if (!parallel) {
-        detail::fused_for_each_leaf<T>(*fused, fn);
-        return;
-      }
-      auto& pool = cfg.effective_pool();
-      const std::uint64_t target =
-          cfg.target_size(fused->estimate_size(), pool.parallelism());
-      observe::CpNode* cp = observe::cp_new_root();
-      pool.run([&] {
-        detail::fused_for_each_tree<T>(pool, *fused, fn, target, 0, cp);
-      });
-      return;
-    }
-  }
-  evaluate_for_each(*sp, fn, parallel, cfg);
+void run_legacy(Spliterator<T>& sp, const terminals::ForEach<Fn>& term,
+                bool parallel, const ExecutionConfig& cfg) {
+  evaluate_for_each(sp, term.fn, parallel, cfg);
 }
 
-/// Fusion-aware evaluate_count.
 template <typename T>
-std::uint64_t evaluate_count_pipeline(std::unique_ptr<Spliterator<T>>& sp,
-                                      bool parallel,
-                                      const ExecutionConfig& cfg = {}) {
-  PLS_CHECK(sp != nullptr, "evaluate_count_pipeline requires a source");
+std::uint64_t run_legacy(Spliterator<T>& sp, const terminals::Count&,
+                         bool parallel, const ExecutionConfig& cfg) {
+  return evaluate_count(sp, parallel, cfg);
+}
+
+}  // namespace detail
+
+/// THE terminal entry point: evaluate `term` (a terminals:: descriptor)
+/// over the pipeline rooted at `sp`, attempting fusion first and falling
+/// back to the legacy wrapper walk. Used by every dynamic Stream terminal;
+/// the typed static pipeline routes through evaluate_fused below with its
+/// compiled stage stack appended. Replaces the four evaluate_*_pipeline
+/// entry points (kept as deprecated thin aliases for one release).
+template <typename T, typename Term>
+auto evaluate(std::unique_ptr<Spliterator<T>>& sp, const Term& term,
+              bool parallel, const ExecutionConfig& cfg = {}) {
+  PLS_CHECK(sp != nullptr, "evaluate requires a source");
   if (cfg.fusion) {
     if (auto fused = fuse_pipeline<T>(sp)) {
-      if (!parallel) return detail::fused_count_leaf<T>(*fused);
-      auto& pool = cfg.effective_pool();
-      const std::uint64_t target =
-          cfg.target_size(fused->estimate_size(), pool.parallelism());
-      observe::CpNode* cp = observe::cp_new_root();
-      return pool.run([&] {
-        return detail::fused_count_tree<T>(pool, *fused, target, 0, cp);
-      });
+      return detail::run_fused<T>(*fused, term, parallel, cfg);
     }
   }
-  return evaluate_count(*sp, parallel, cfg);
+  return detail::run_legacy<T>(*sp, term, parallel, cfg);
+}
+
+/// Evaluate a terminal over an already-stripped FusedPipeline whose output
+/// element type is T. The static pipeline calls this after appending its
+/// StaticChainStage; the routing (DPS admission, leaf vs tree,
+/// instrumentation) is byte-for-byte the dynamic fused path's.
+template <typename T, typename Term>
+auto evaluate_fused(FusedPipeline& fused, const Term& term, bool parallel,
+                    const ExecutionConfig& cfg = {}) {
+  return detail::run_fused<T>(fused, term, parallel, cfg);
+}
+
+// ---- deprecated terminal entry points (thin aliases, one release) ----
+
+template <typename T, typename C>
+[[deprecated(
+    "use evaluate(sp, terminals::collect(c), parallel, cfg)")]] typename C::
+    result_type
+    evaluate_collect_pipeline(std::unique_ptr<Spliterator<T>>& sp, const C& c,
+                              bool parallel, const ExecutionConfig& cfg = {}) {
+  return evaluate(sp, terminals::collect(c), parallel, cfg);
+}
+
+template <typename T, typename Op>
+[[deprecated(
+    "use evaluate(sp, terminals::reduce(op), parallel, cfg)")]] std::
+    optional<T>
+    evaluate_reduce_pipeline(std::unique_ptr<Spliterator<T>>& sp, const Op& op,
+                             bool parallel, const ExecutionConfig& cfg = {}) {
+  return evaluate(sp, terminals::reduce(op), parallel, cfg);
+}
+
+template <typename T, typename Fn>
+[[deprecated(
+    "use evaluate(sp, terminals::for_each(fn), parallel, cfg)")]] void
+evaluate_for_each_pipeline(std::unique_ptr<Spliterator<T>>& sp, const Fn& fn,
+                           bool parallel, const ExecutionConfig& cfg = {}) {
+  evaluate(sp, terminals::for_each(fn), parallel, cfg);
+}
+
+template <typename T>
+[[deprecated(
+    "use evaluate(sp, terminals::count(), parallel, cfg)")]] std::uint64_t
+evaluate_count_pipeline(std::unique_ptr<Spliterator<T>>& sp, bool parallel,
+                        const ExecutionConfig& cfg = {}) {
+  return evaluate(sp, terminals::count(), parallel, cfg);
 }
 
 }  // namespace pls::streams

@@ -95,7 +95,12 @@ class MapSink final : public Sink<In> {
 
  public:
   MapSink(std::shared_ptr<const Fn> fn, Sink<Out>& down)
-      : fn_(std::move(fn)), down_(down) {}
+      : fn_(std::move(fn)), down_(down) {
+    // Size the scratch once at construction: re-checking capacity on every
+    // accept_chunk call put a branch (and a cold reserve path) in front of
+    // each batch.
+    if constexpr (kBatched) scratch_.reserve(kFusionChunk);
+  }
 
   void begin(std::uint64_t size) override { down_.begin(size); }
   void end() override { down_.end(); }
@@ -107,7 +112,6 @@ class MapSink final : public Sink<In> {
 
   void accept_chunk(const In* values, std::size_t n) override {
     if constexpr (kBatched) {
-      if (scratch_.capacity() == 0) scratch_.reserve(kFusionChunk);
       while (n > 0) {
         const std::size_t m = n < kFusionChunk ? n : kFusionChunk;
         scratch_.clear();
@@ -137,7 +141,9 @@ class FilterSink final : public Sink<T> {
 
  public:
   FilterSink(std::shared_ptr<const Pred> pred, Sink<T>& down)
-      : pred_(std::move(pred)), down_(down) {}
+      : pred_(std::move(pred)), down_(down) {
+    if constexpr (kBatched) scratch_.reserve(kFusionChunk);
+  }
 
   void begin(std::uint64_t) override { down_.begin(kUnknownSinkSize); }
   void end() override { down_.end(); }
@@ -151,7 +157,6 @@ class FilterSink final : public Sink<T> {
 
   void accept_chunk(const T* values, std::size_t n) override {
     if constexpr (kBatched) {
-      if (scratch_.capacity() == 0) scratch_.reserve(kFusionChunk);
       while (n > 0) {
         const std::size_t m = n < kFusionChunk ? n : kFusionChunk;
         scratch_.clear();

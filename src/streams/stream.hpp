@@ -387,13 +387,24 @@ class Stream {
     return out;
   }
 
+  // ---- typed static pipeline -----------------------------------------
+
+  /// Hand the stream's source to a compile-time stage stack: the ops
+  /// (streams/static_fusion.hpp: stages::map/filter/peek values) become a
+  /// tuple type, and terminals run the whole chain as one inlined loop
+  /// per chunk with no virtual calls between stages. Defined in
+  /// streams/static_fusion.hpp (include it, or pls.hpp, to use).
+  template <typename... Ops>
+  auto stages(Ops&&... ops) &&;
+
   // ---- terminal operations -------------------------------------------
 
   /// Mutable reduction with a Collector (the template method of the
   /// paper's adaptation).
   template <typename C>
   typename C::result_type collect(const C& collector) && {
-    return evaluate_collect_pipeline(source_, collector, parallel_, config_);
+    return evaluate(source_, terminals::collect(collector), parallel_,
+                    config_);
   }
 
   /// Three-function collect, as in the paper's snippets:
@@ -403,34 +414,34 @@ class Stream {
                CombineFn combine) && {
     auto c = make_collector<T>(std::move(supply), std::move(accumulate),
                                std::move(combine));
-    return evaluate_collect_pipeline(source_, c, parallel_, config_);
+    return evaluate(source_, terminals::collect(c), parallel_, config_);
   }
 
   /// Reduce with an associative operator; nullopt on an empty stream.
   template <typename Op>
   std::optional<T> reduce(Op op) && {
-    return evaluate_reduce_pipeline(source_, op, parallel_, config_);
+    return evaluate(source_, terminals::reduce(op), parallel_, config_);
   }
 
   /// Reduce with identity; `identity` must be a true identity of `op`.
   template <typename Op>
   T reduce(T identity, Op op) && {
-    auto r = evaluate_reduce_pipeline(source_, op, parallel_, config_);
+    auto r = evaluate(source_, terminals::reduce(op), parallel_, config_);
     return r.has_value() ? std::move(*r) : std::move(identity);
   }
 
   template <typename Fn>
   void for_each(Fn fn) && {
-    evaluate_for_each_pipeline(source_, fn, parallel_, config_);
+    evaluate(source_, terminals::for_each(fn), parallel_, config_);
   }
 
   std::uint64_t count() && {
-    return evaluate_count_pipeline(source_, parallel_, config_);
+    return evaluate(source_, terminals::count(), parallel_, config_);
   }
 
   std::vector<T> to_vector() && {
-    return evaluate_collect_pipeline(source_, VectorCollector<T>{},
-                                     parallel_, config_);
+    return evaluate(source_, terminals::collect(VectorCollector<T>{}),
+                    parallel_, config_);
   }
 
   template <typename Cmp = std::less<T>>
@@ -503,6 +514,11 @@ class Stream {
 
   template <typename U>
   friend class Stream;
+
+  // The typed static pipeline adopts a stream's source and settings
+  // (streams/static_fusion.hpp).
+  template <typename S, typename... Ops>
+  friend class StaticPipeline;
 
   std::unique_ptr<Spliterator<T>> source_;
   bool parallel_ = false;
