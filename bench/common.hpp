@@ -38,6 +38,7 @@
 #include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
 #include "observe/histogram.hpp"
+#include "streams/plan.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 
@@ -287,6 +288,31 @@ inline void counter_fields(JsonObject& row, const std::string& prefix,
       .field(prefix + "combines", t.combines)
       .field(prefix + "bytes_moved", t.bytes_moved)
       .field(prefix + "allocations", t.allocations);
+}
+
+/// Append one run's ExecutionPlan to a row under `<prefix>` names —
+/// schema-2 `plan_*` fields. Verdicts are 0/1 ints; names (terminal,
+/// origin, reasons, drive, grain source, kernel) are strings, which
+/// regress.py skips when comparing numerics.
+inline void plan_fields(JsonObject& row, const std::string& prefix,
+                        const streams::ExecutionPlan& p) {
+  row.field(prefix + "terminal", streams::terminal_name(p.terminal))
+      .field(prefix + "origin", streams::origin_name(p.origin))
+      .field(prefix + "fused", static_cast<std::uint64_t>(p.fused ? 1 : 0))
+      .field(prefix + "fusion_reason", streams::reason_name(p.fusion_reason))
+      .field(prefix + "dps", static_cast<std::uint64_t>(p.dps ? 1 : 0))
+      .field(prefix + "dps_reason", streams::reason_name(p.dps_reason))
+      .field(prefix + "drive", streams::drive_name(p.drive))
+      .field(prefix + "grain", p.grain)
+      .field(prefix + "grain_source",
+             streams::grain_source_name(p.grain_source))
+      .field(prefix + "auto_grain",
+             static_cast<std::uint64_t>(
+                 p.grain_source == streams::GrainSource::kAutoTuned ? 1 : 0))
+      .field(prefix + "kernel", streams::kernel_name(p.kernel))
+      .field(prefix + "stages", static_cast<std::uint64_t>(p.stages))
+      .field(prefix + "parallelism",
+             static_cast<std::uint64_t>(p.parallelism));
 }
 
 /// Append one timing series' summary under `<prefix>` names: mean, p50,

@@ -128,6 +128,20 @@ int main(int argc, char** argv) {
     // (CounterSnapshot::operator-) pairs up the per-worker rows for us.
     pls::streams::ExecutionConfig cfg;
     cfg.pool = &pool;
+
+    // When auto-grain is requested (PLS_AUTO_GRAIN=1), prime the PlanCache
+    // with one profiled run so the timed runs below execute with the tuned
+    // grain — the planner only re-plans from measurements it has seen.
+    if (pls::streams::auto_grain_enabled(cfg)) {
+      auto& primer = pls::observe::CriticalPathRecorder::global();
+      primer.clear();
+      primer.enable();
+      pls::bench::keep(
+          pls::powerlist::evaluate_polynomial_stream(coeffs, x, true, cfg));
+      primer.disable();
+      primer.clear();
+    }
+
     const auto snap_before = pool.counter_snapshot();
     const auto par_wall = pls::bench::time_ms(
         [&] {
@@ -136,6 +150,7 @@ int main(int argc, char** argv) {
                                                          cfg));
         },
         reps);
+    const auto par_plan = pls::streams::last_plan();
     const auto snap_delta = pool.counter_snapshot() - snap_before;
     const auto& counters = snap_delta.total;
     std::vector<std::uint64_t> worker_steals;
@@ -323,6 +338,10 @@ int main(int argc, char** argv) {
         .field("sim_span_ms", sim_meas.span_ns / 1e6)
         .field("sim_brent_ms", sim_meas.brent_bound_ns() / 1e6);
     pls::bench::histogram_fields(row, "hist_", hist);
+    // The plan behind the timed parallel runs (schema 2, plan_* fields):
+    // what the planner decided and why, incl. the tuned grain when
+    // auto-grain was primed above.
+    pls::bench::plan_fields(row, "plan_", par_plan);
     json_rows.push_back(row.str());
   }
 

@@ -82,6 +82,13 @@ def compare_docs(baseline, current, warn_pct, fail_pct, metrics=None,
         for m in keys:
             if m not in base or m not in row:
                 continue
+            # Schema-2 rows carry non-numeric plan_* fields (plan_drive,
+            # plan_fusion_reason, ...); comparison only makes sense for
+            # numbers, so skip anything else even when named by --metrics.
+            if not all(isinstance(v, (int, float)) and
+                       not isinstance(v, bool)
+                       for v in (base[m], row[m])):
+                continue
             b, c = float(base[m]), float(row[m])
             if b <= 0.0:
                 continue

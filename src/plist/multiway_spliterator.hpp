@@ -299,7 +299,7 @@ typename C::result_type evaluate_collect_multiway(
   PLS_CHECK(arity >= 2, "multiway evaluation needs arity >= 2");
   if constexpr (streams::SizedSinkCollector<C, T>) {
     if (cfg.sized_sink) {
-      if (auto root = streams::detail::sized_sink_window(sp)) {
+      if (auto root = streams::plan_dps_window(sp)) {
         auto sink = c.supply_sized(root->count);
         if (!parallel) {
           streams::detail::collect_into_leaf(sp, c, sink, *root);

@@ -94,6 +94,8 @@ namespace pls {
 // inner namespaces. The full namespaces stay available underneath.
 
 using streams::ExecutionConfig;
+using streams::ExecutionPlan;
+using streams::PlanCache;
 using streams::StagePipe;
 using streams::StaticPipeline;
 using streams::Stream;
@@ -150,6 +152,11 @@ struct config {
   /// Allow pipeline fusion for session streams (docs/execution.md,
   /// "Pipeline fusion"); mirrors ExecutionConfig::fusion.
   bool fusion = true;
+  /// Let the planner's PlanCache tune the stream grain from profiled
+  /// critical-path runs when `grain` is 0 (docs/execution.md, "Execution
+  /// planning"); mirrors ExecutionConfig::auto_grain. Also switchable
+  /// process-wide via PLS_AUTO_GRAIN=1.
+  bool auto_grain = false;
 };
 
 /// A configured execution scope: owns (or borrows) the pool, carries the
@@ -204,8 +211,18 @@ class session {
         .with_pool(pool())
         .with_min_chunk(cfg_.grain)
         .with_sized_sink(cfg_.sized_sink)
-        .with_fusion(cfg_.fusion);
+        .with_fusion(cfg_.fusion)
+        .with_auto_grain(cfg_.auto_grain);
   }
+
+  /// The plan behind the most recent terminal this thread ran — verdicts,
+  /// reasons, routing (streams::last_plan). PowerList executors record a
+  /// synthesized plan, so this works after session::execute_reported too.
+  const streams::ExecutionPlan& plan() const { return streams::last_plan(); }
+
+  /// Human-readable dump of plan(): why the last run took the path it
+  /// took (fusion and DPS verdicts with reasons, drive, grain, kernel).
+  std::string explain() const { return streams::last_plan().explain(); }
 
   /// The skeleton leaf size for this session (config grain, or `fallback`
   /// when the grain is auto).

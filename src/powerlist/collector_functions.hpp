@@ -276,14 +276,10 @@ inline double evaluate_polynomial_stream(
   auto spliterator = pv.make_spliterator(std::move(coefficients));
   PLS_CHECK(spliterator->has(streams::kPower2),
             "the coefficient list must have power-of-two length");
-  auto stream = streams::stream_support::from_spliterator<double>(
-      std::move(spliterator), parallel);
-  if (cfg.pool != nullptr) stream = std::move(stream).via(*cfg.pool);
-  if (cfg.min_chunk != 0) stream = std::move(stream).with_min_chunk(cfg.min_chunk);
-  stream = std::move(stream)
-               .with_sized_sink(cfg.sized_sink)
-               .with_fusion(cfg.fusion);
-  return std::move(stream).collect(pv);
+  return streams::stream_support::from_spliterator<double>(
+             std::move(spliterator), parallel)
+      .with_config(cfg)
+      .collect(pv);
 }
 
 /// Spliterator for the equation-5 family f(p|q) = f(p ⊕ q) | f(p ⊗ q):
@@ -412,11 +408,9 @@ PowerArray<T> walsh_hadamard_stream(std::vector<T> values, bool parallel,
   auto sp = std::make_unique<
       DescendOpSpliterator<T, decltype(plus), decltype(times)>>(
       storage, plus, times);
-  auto stream =
-      streams::stream_support::from_spliterator<T>(std::move(sp), parallel);
-  if (cfg.pool != nullptr) stream = std::move(stream).via(*cfg.pool);
-  if (cfg.min_chunk != 0) stream = std::move(stream).with_min_chunk(cfg.min_chunk);
-  return std::move(stream).collect(to_power_array_tie<T>());
+  return streams::stream_support::from_spliterator<T>(std::move(sp), parallel)
+      .with_config(cfg)
+      .collect(to_power_array_tie<T>());
 }
 
 }  // namespace pls::powerlist

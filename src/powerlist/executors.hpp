@@ -32,7 +32,9 @@
 #include "powerlist/view.hpp"
 #include "simmachine/scheduler.hpp"
 #include "simmachine/trace.hpp"
+#include "streams/plan.hpp"
 #include "support/assert.hpp"
+#include "support/bits.hpp"
 
 namespace pls::powerlist {
 
@@ -260,6 +262,7 @@ struct ExecutionReport {
   observe::CriticalPathStats profile{};  ///< measured T1/T∞ (profiled runs)
   observe::HistogramSetSnapshot histograms{};  ///< latency histograms
   double wall_ns = 0.0;  ///< wall-clock time of the profiled run
+  streams::ExecutionPlan plan{};  ///< how the run was routed (reported runs)
 
   /// Human-readable profile: work/span/parallelism header plus the
   /// per-phase (split / accumulate / combine / steal-idle) attribution
@@ -330,6 +333,42 @@ R run_instrumented(const PowerFunction<T, R, Ctx>& f,
   return f.combine(std::move(left), std::move(right), ctx, input.length());
 }
 
+/// Plan describing a PowerList fork-join run in the planner's vocabulary
+/// (origin kSynthesized): the divide-and-conquer drive is fixed by the
+/// executor, so fusion/DPS verdicts read kNotAStreamPipeline and the grain
+/// is the caller's leaf_size. Recorded via streams::record_plan so
+/// pls::session::explain() covers PowerList runs too.
+inline streams::ExecutionPlan synthesized_plan(std::size_t length,
+                                               std::size_t leaf_size,
+                                               const forkjoin::ForkJoinPool&
+                                                   pool) {
+  streams::ExecutionPlan p;
+  p.origin = streams::PlanOrigin::kSynthesized;
+  p.terminal = streams::TerminalKind::kPowerFunction;
+  p.parallel = true;
+  p.parallelism = pool.parallelism();
+  p.source_size = length;
+  p.sized = true;
+  p.subsized = true;
+  p.windowed = false;
+  p.power_of_two = is_power_of_two(static_cast<std::uint64_t>(length));
+  p.stages = 0;
+  p.one_to_one = true;
+  p.cancels = false;
+  p.fused = false;
+  p.fusion_reason = streams::PlanReason::kNotAStreamPipeline;
+  p.dps = false;
+  p.dps_reason = streams::PlanReason::kNotAStreamPipeline;
+  p.drive = streams::DriveMode::kForkJoinTree;
+  p.grain = leaf_size;
+  p.grain_source = streams::GrainSource::kExplicit;
+  p.kernel = streams::KernelMode::kScalarLoop;
+  p.cache_key = streams::plan_cache_key(
+      streams::TerminalKind::kPowerFunction, length, p.parallelism, 0, true,
+      false);
+  return p;
+}
+
 }  // namespace detail
 
 /// Sequential execution that additionally reports how the recursion
@@ -388,6 +427,8 @@ ExecutionReport<R> execute_forkjoin_reported(
   ExecutionReport<R> report{std::move(result)};
   report.stats = detail::uniform_shape(input.length(), leaf_size);
   report.counters = pool.counter_totals() - before;
+  report.plan = detail::synthesized_plan(input.length(), leaf_size, pool);
+  streams::record_plan(report.plan);
   return report;
 }
 
@@ -419,6 +460,8 @@ ExecutionReport<R> execute_forkjoin_profiled(
   report.wall_ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0)
           .count());
+  report.plan = detail::synthesized_plan(input.length(), leaf_size, pool);
+  streams::record_plan(report.plan);
   return report;
 }
 

@@ -104,6 +104,9 @@ class FusedPipeline {
   bool cancels() const noexcept { return cancels_; }
   bool one_to_one() const noexcept { return one_to_one_; }
 
+  /// Number of stripped stages in the chain (the planner's stage summary).
+  std::size_t stage_count() const noexcept { return stages().size(); }
+
   /// The element count a legacy wrapper leaf would have reported to the
   /// observe counters (countable_size of the outermost wrapper): the
   /// source size folded through every stage, 0 once any stage makes it
@@ -376,40 +379,9 @@ class TakeWhileStage final : public StageNode {
   std::shared_ptr<const Pred> pred_;
 };
 
-// ---- the fuse step ---------------------------------------------------
-
-/// Source admission: mirrors the destination-passing gate's shape test —
-/// exactly sized through splits and able to name a window consistent with
-/// its size. This is what rules out concat (no window), flat_map/sorted
-/// products at the bottom of a stripped chain (no window / consumed), and
-/// the unsized iterate tail (no kSized).
-template <typename T>
-std::unique_ptr<FusedPipeline> fuse_source(
-    std::unique_ptr<Spliterator<T>>& sp) {
-  if (!sp->has(kSized | kSubsized)) return nullptr;
-  const auto w = output_window_of(*sp);
-  if (!w.has_value() || w->count != sp->estimate_size()) return nullptr;
-  return std::make_unique<FusedPipelineImpl<T>>(std::move(sp));
-}
-
-/// Fuse the pipeline rooted at `sp` (the outermost wrapper or the bare
-/// source). On success the pipeline is consumed (`sp` becomes null) and
-/// the fused form is returned; on failure `sp` is untouched and nullptr
-/// is returned — the caller evaluates through the wrapper path.
-template <typename T>
-std::unique_ptr<FusedPipeline> fuse_pipeline(
-    std::unique_ptr<Spliterator<T>>& sp) {
-  if (sp == nullptr) return nullptr;
-  if (auto* stage = dynamic_cast<FusableStage*>(sp.get())) {
-    auto fused = stage->strip_into_fused();
-    if (fused != nullptr) {
-      PLS_CHECK(fused->output_type() == typeid(T),
-                "fused pipeline output type does not match the terminal");
-      sp.reset();
-    }
-    return fused;
-  }
-  return fuse_source(sp);
-}
+// The fuse step itself — fuse_source / fuse_pipeline, i.e. the admission
+// *decisions* — lives in streams/plan.hpp with every other admission
+// predicate; this header keeps only the mechanism (stages, pipelines,
+// the drive loops).
 
 }  // namespace pls::streams

@@ -31,7 +31,7 @@
 #include "observe/histogram.hpp"
 #include "observe/trace.hpp"
 #include "streams/collector.hpp"
-#include "streams/fusion.hpp"
+#include "streams/plan.hpp"
 #include "streams/sink.hpp"
 #include "streams/sized_sink.hpp"
 #include "streams/spliterator.hpp"
@@ -40,52 +40,9 @@
 
 namespace pls::streams {
 
-/// Where and how a terminal operation executes. The chainable with_*
-/// setters below are THE execution-config builder: Stream<T>'s with_*
-/// methods and pls::session::stream_config() both delegate here, so every
-/// knob exists exactly once and round-trips losslessly between surfaces.
-struct ExecutionConfig {
-  /// Pool for parallel evaluation; nullptr selects ForkJoinPool::common().
-  forkjoin::ForkJoinPool* pool = nullptr;
-  /// Split until chunks are at most this size; 0 selects the Java-style
-  /// default, estimate_size / (4 * parallelism).
-  std::uint64_t min_chunk = 0;
-  /// Permit the destination-passing (sized-sink) collect path when source
-  /// and collector qualify. Off forces the supplier/combiner path — used
-  /// by the fallback-equivalence tests and the A/B benches.
-  bool sized_sink = true;
-  /// Permit the push-mode fusion engine for terminal evaluation when the
-  /// pipeline qualifies (streams/fusion.hpp). Off forces the wrapper
-  /// (pull-mode) walk — the differential-testing and A/B-bench toggle.
-  bool fusion = true;
-
-  ExecutionConfig& with_pool(forkjoin::ForkJoinPool& p) {
-    pool = &p;
-    return *this;
-  }
-  ExecutionConfig& with_min_chunk(std::uint64_t n) {
-    min_chunk = n;
-    return *this;
-  }
-  ExecutionConfig& with_sized_sink(bool enabled) {
-    sized_sink = enabled;
-    return *this;
-  }
-  ExecutionConfig& with_fusion(bool enabled) {
-    fusion = enabled;
-    return *this;
-  }
-
-  forkjoin::ForkJoinPool& effective_pool() const {
-    return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
-  }
-
-  std::uint64_t target_size(std::uint64_t estimate, unsigned parallelism) const {
-    if (min_chunk != 0) return min_chunk;
-    const std::uint64_t t = estimate / (4ull * parallelism);
-    return t > 0 ? t : 1;
-  }
-};
+// ExecutionConfig and every admission predicate (fusion, DPS, grain,
+// drive, kernel) live in streams/plan.hpp — the planner. This file is
+// the execution layer: it obeys plans, it does not make decisions.
 
 /// Terminal-operation descriptors for the unified evaluate() dispatch:
 /// one value type per terminal kind, holding the operation by reference
@@ -188,20 +145,8 @@ typename C::accumulation_type collect_tree(forkjoin::ForkJoinPool& pool,
   return std::move(*left);
 }
 
-/// Admission check for the destination-passing collect: the source must be
-/// exactly sized, keep exact sizes through splits, name a destination
-/// window consistent with its size, and hold a power of two elements (the
-/// shape whose tie/zip splits the window arithmetic mirrors; anything else
-/// collects through the supplier/combiner path).
-template <typename T>
-std::optional<OutputWindow> sized_sink_window(const Spliterator<T>& sp) {
-  if (!sp.has(kSized | kSubsized)) return std::nullopt;
-  auto w = output_window_of(sp);
-  if (!w.has_value()) return std::nullopt;
-  if (w->count != sp.estimate_size()) return std::nullopt;
-  if (!is_power_of_two(w->count)) return std::nullopt;
-  return w;
-}
+// DPS admission is plan_dps_window (streams/plan.hpp) — the planner's
+// single-home predicate. The walks below assume admission already held.
 
 template <typename T, typename C>
   requires SizedSinkCollector<C, T>
@@ -746,106 +691,92 @@ std::uint64_t fused_count_tree(forkjoin::ForkJoinPool& pool,
   return left + right;
 }
 
-/// Admission for the fused destination-passing collect — the fused twin of
-/// sized_sink_window. The chain must be 1:1 (so source position == result
-/// position) and non-cancelling; the source must name a window matching
-/// its size and hold a power of two elements, exactly like the wrapper
-/// gate (wrappers admit through delegated windows, which only 1:1 stages
-/// provide, so both gates admit the same pipelines).
-inline std::optional<OutputWindow> fused_sink_window(
-    const FusedPipeline& fp) {
-  if (!fp.one_to_one() || fp.cancels()) return std::nullopt;
-  auto w = fp.source_window();
-  if (!w.has_value()) return std::nullopt;
-  if (w->count != fp.estimate_size()) return std::nullopt;
-  if (!is_power_of_two(w->count)) return std::nullopt;
-  return w;
-}
-
 // ---- fused terminal dispatch -----------------------------------------
 //
 // One run_fused overload per terminal descriptor; T is the pipeline's
-// output element type. These are the single home of the fused routing
-// (DPS admission, leaf vs tree) shared by the dynamic evaluate() entry
-// and the static pipeline, which appends its compiled stage stack and
-// calls evaluate_fused directly.
+// output element type. Each obeys the plan the caller computed (DPS
+// verdict, resolved grain) and feeds profiled runs back to the PlanCache;
+// both the dynamic evaluate() entry and the static pipeline's
+// evaluate_fused arrive here with a plan.
 
 template <typename T, typename C>
 typename C::result_type run_fused(FusedPipeline& fused,
                                   const terminals::Collect<C>& term,
-                                  bool parallel, const ExecutionConfig& cfg) {
+                                  bool parallel, const ExecutionConfig& cfg,
+                                  const ExecutionPlan& plan) {
   const C& c = term.collector;
   if constexpr (SizedSinkCollector<C, T>) {
-    if (cfg.sized_sink) {
-      if (auto root = fused_sink_window(fused)) {
-        auto sink = c.supply_sized(root->count);
-        if (!parallel) {
-          fused_collect_into_leaf<T>(fused, c, sink, *root);
-        } else {
-          auto& pool = cfg.effective_pool();
-          const std::uint64_t target =
-              cfg.target_size(root->count, pool.parallelism());
-          observe::CpNode* cp = observe::cp_new_root();
-          pool.run([&] {
-            fused_collect_into_tree<T>(pool, fused, c, sink, *root, target, 0,
-                                       cp);
-          });
-        }
-        return c.finish_sized(std::move(sink));
+    if (plan.dps) {
+      const OutputWindow root = *plan.window;
+      auto sink = c.supply_sized(root.count);
+      if (!parallel) {
+        fused_collect_into_leaf<T>(fused, c, sink, root);
+      } else {
+        auto& pool = cfg.effective_pool();
+        observe::CpNode* cp = observe::cp_new_root();
+        pool.run([&] {
+          fused_collect_into_tree<T>(pool, fused, c, sink, root, plan.grain,
+                                     0, cp);
+        });
+        plan_feedback(plan, cp);
       }
+      return c.finish_sized(std::move(sink));
     }
   }
   if (!parallel) {
     return c.finish(fused_collect_leaf<T>(fused, c));
   }
   auto& pool = cfg.effective_pool();
-  const std::uint64_t target =
-      cfg.target_size(fused.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  auto acc = pool.run(
-      [&] { return fused_collect_tree<T>(pool, fused, c, target, 0, cp); });
+  auto acc = pool.run([&] {
+    return fused_collect_tree<T>(pool, fused, c, plan.grain, 0, cp);
+  });
+  plan_feedback(plan, cp);
   return c.finish(std::move(acc));
 }
 
 template <typename T, typename Op>
 std::optional<T> run_fused(FusedPipeline& fused,
                            const terminals::Reduce<Op>& term, bool parallel,
-                           const ExecutionConfig& cfg) {
+                           const ExecutionConfig& cfg,
+                           const ExecutionPlan& plan) {
   if (!parallel) return fused_reduce_leaf<T>(fused, term.op);
   auto& pool = cfg.effective_pool();
-  const std::uint64_t target =
-      cfg.target_size(fused.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  return pool.run([&] {
-    return fused_reduce_tree<T>(pool, fused, term.op, target, 0, cp);
+  auto out = pool.run([&] {
+    return fused_reduce_tree<T>(pool, fused, term.op, plan.grain, 0, cp);
   });
+  plan_feedback(plan, cp);
+  return out;
 }
 
 template <typename T, typename Fn>
 void run_fused(FusedPipeline& fused, const terminals::ForEach<Fn>& term,
-               bool parallel, const ExecutionConfig& cfg) {
+               bool parallel, const ExecutionConfig& cfg,
+               const ExecutionPlan& plan) {
   if (!parallel) {
     fused_for_each_leaf<T>(fused, term.fn);
     return;
   }
   auto& pool = cfg.effective_pool();
-  const std::uint64_t target =
-      cfg.target_size(fused.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  pool.run(
-      [&] { fused_for_each_tree<T>(pool, fused, term.fn, target, 0, cp); });
+  pool.run([&] {
+    fused_for_each_tree<T>(pool, fused, term.fn, plan.grain, 0, cp);
+  });
+  plan_feedback(plan, cp);
 }
 
 template <typename T>
 std::uint64_t run_fused(FusedPipeline& fused, const terminals::Count&,
-                        bool parallel, const ExecutionConfig& cfg) {
+                        bool parallel, const ExecutionConfig& cfg,
+                        const ExecutionPlan& plan) {
   if (!parallel) return fused_count_leaf<T>(fused);
   auto& pool = cfg.effective_pool();
-  const std::uint64_t target =
-      cfg.target_size(fused.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  return pool.run(
-      [&] { return fused_count_tree<T>(pool, fused, target, 0, cp); });
+  auto out = pool.run(
+      [&] { return fused_count_tree<T>(pool, fused, plan.grain, 0, cp); });
+  plan_feedback(plan, cp);
+  return out;
 }
 
 }  // namespace detail
@@ -862,33 +793,45 @@ template <typename T, typename C>
 typename C::result_type evaluate_collect_into(Spliterator<T>& sp, const C& c,
                                               const OutputWindow& root,
                                               bool parallel,
-                                              const ExecutionConfig& cfg = {}) {
+                                              const ExecutionConfig& cfg = {},
+                                              const ExecutionPlan* plan =
+                                                  nullptr) {
   auto sink = c.supply_sized(root.count);
   if (!parallel) {
     detail::collect_into_leaf(sp, c, sink, root);
   } else {
     auto& pool = cfg.effective_pool();
     const std::uint64_t target =
-        cfg.target_size(root.count, pool.parallelism());
+        plan ? plan->grain : cfg.target_size(root.count, pool.parallelism());
     observe::CpNode* cp = observe::cp_new_root();
     pool.run([&] {
       detail::collect_into_tree(pool, sp, c, sink, root, target, 0, cp);
     });
+    if (plan) plan_feedback(*plan, cp);
   }
   return c.finish_sized(std::move(sink));
 }
 
 /// Run a full mutable reduction over the spliterator. Prefers the
 /// destination-passing path when the collector is a sized sink and the
-/// source qualifies (see detail::sized_sink_window); otherwise — or when
-/// cfg.sized_sink is off — runs the classic supplier/combiner reduction.
+/// source qualifies (see plan_dps_window in streams/plan.hpp); otherwise —
+/// or when cfg.sized_sink is off — runs the classic supplier/combiner
+/// reduction. When a plan is supplied the routing and grain follow its
+/// verdicts verbatim; standalone callers (nullptr) get the same decisions
+/// re-derived from the planner's predicates.
 template <typename T, typename C>
 typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
                                          bool parallel,
-                                         const ExecutionConfig& cfg = {}) {
+                                         const ExecutionConfig& cfg = {},
+                                         const ExecutionPlan* plan = nullptr) {
   if constexpr (SizedSinkCollector<C, T>) {
-    if (cfg.sized_sink) {
-      if (auto root = detail::sized_sink_window(sp)) {
+    if (plan) {
+      if (plan->dps) {
+        return evaluate_collect_into(sp, c, *plan->window, parallel, cfg,
+                                     plan);
+      }
+    } else if (cfg.sized_sink) {
+      if (auto root = plan_dps_window(sp)) {
         return evaluate_collect_into(sp, c, *root, parallel, cfg);
       }
     }
@@ -898,10 +841,12 @@ typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
   }
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
-      cfg.target_size(sp.estimate_size(), pool.parallelism());
+      plan ? plan->grain
+           : cfg.target_size(sp.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
   auto acc = pool.run(
       [&] { return detail::collect_tree(pool, sp, c, target, 0, cp); });
+  if (plan) plan_feedback(*plan, cp);
   return c.finish(std::move(acc));
 }
 
@@ -909,36 +854,44 @@ typename C::result_type evaluate_collect(Spliterator<T>& sp, const C& c,
 template <typename T, typename Op>
 std::optional<T> evaluate_reduce(Spliterator<T>& sp, const Op& op,
                                  bool parallel,
-                                 const ExecutionConfig& cfg = {}) {
+                                 const ExecutionConfig& cfg = {},
+                                 const ExecutionPlan* plan = nullptr) {
   if (!parallel) return detail::reduce_leaf(sp, op);
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
-      cfg.target_size(sp.estimate_size(), pool.parallelism());
+      plan ? plan->grain
+           : cfg.target_size(sp.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  return pool.run(
+  auto out = pool.run(
       [&] { return detail::reduce_tree(pool, sp, op, target, 0, cp); });
+  if (plan) plan_feedback(*plan, cp);
+  return out;
 }
 
 /// Apply `fn` to every element. In parallel mode `fn` must be safe to call
 /// concurrently; no encounter-order guarantee (as in Java's forEach).
 template <typename T, typename Fn>
 void evaluate_for_each(Spliterator<T>& sp, const Fn& fn, bool parallel,
-                       const ExecutionConfig& cfg = {}) {
+                       const ExecutionConfig& cfg = {},
+                       const ExecutionPlan* plan = nullptr) {
   if (!parallel) {
     sp.for_each_remaining([&](const T& value) { fn(value); });
     return;
   }
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
-      cfg.target_size(sp.estimate_size(), pool.parallelism());
+      plan ? plan->grain
+           : cfg.target_size(sp.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
   pool.run([&] { detail::for_each_tree(pool, sp, fn, target, 0, cp); });
+  if (plan) plan_feedback(*plan, cp);
 }
 
 /// Count elements (traverses; exact regardless of SIZED).
 template <typename T>
 std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
-                             const ExecutionConfig& cfg = {}) {
+                             const ExecutionConfig& cfg = {},
+                             const ExecutionPlan* plan = nullptr) {
   if (!parallel) {
     std::uint64_t n = 0;
     sp.for_each_remaining([&](const T&) { ++n; });
@@ -946,118 +899,138 @@ std::uint64_t evaluate_count(Spliterator<T>& sp, bool parallel,
   }
   auto& pool = cfg.effective_pool();
   const std::uint64_t target =
-      cfg.target_size(sp.estimate_size(), pool.parallelism());
+      plan ? plan->grain
+           : cfg.target_size(sp.estimate_size(), pool.parallelism());
   observe::CpNode* cp = observe::cp_new_root();
-  return pool.run(
+  auto out = pool.run(
       [&] { return detail::count_tree(pool, sp, target, 0, cp); });
+  if (plan) plan_feedback(*plan, cp);
+  return out;
 }
 
 // ---- unified pipeline terminal dispatch ------------------------------
 //
 // Stream terminals hand their outermost spliterator here by owning
 // pointer, together with a terminals:: descriptor naming the operation.
-// When cfg.fusion is on and the whole chain admits (see fuse_pipeline),
-// the wrappers are stripped into a FusedPipeline and the terminal runs
-// push-mode; otherwise the pointer is left untouched and the wrapper
-// pipeline runs through the legacy pull walks above. The legacy
-// evaluate_* functions keep their exact behaviour for direct callers
-// (powerlist executors, existing tests).
+// evaluate() asks the planner (plan_pipeline, streams/plan.hpp) for an
+// ExecutionPlan, records it for pls::session::explain(), and then merely
+// obeys it: fused plans run push-mode, unfused plans walk the wrappers
+// through the legacy pulls above. The legacy evaluate_* functions keep
+// their exact standalone behaviour for direct callers (powerlist
+// executors, existing tests) when no plan is passed.
 
 namespace detail {
 
+// Compile-time facts about a terminal descriptor that the planner needs:
+// which terminal it is, and (for collect) whether the collector supports
+// the sized-sink protocol and chunk accumulation.
+
+template <typename T, typename Term>
+struct TerminalTraits;
+
+template <typename T, typename C>
+struct TerminalTraits<T, terminals::Collect<C>> {
+  static constexpr TerminalKind kind = TerminalKind::kCollect;
+  static constexpr bool sized_collector = SizedSinkCollector<C, T>;
+  static constexpr bool chunk_collector = ChunkAccumulatingCollector<C, T>;
+};
+
+template <typename T, typename Op>
+struct TerminalTraits<T, terminals::Reduce<Op>> {
+  static constexpr TerminalKind kind = TerminalKind::kReduce;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
+template <typename T, typename Fn>
+struct TerminalTraits<T, terminals::ForEach<Fn>> {
+  static constexpr TerminalKind kind = TerminalKind::kForEach;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
+template <typename T>
+struct TerminalTraits<T, terminals::Count> {
+  static constexpr TerminalKind kind = TerminalKind::kCount;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
 // Legacy (pull-mode) routing, one overload per terminal descriptor.
-// Defined after the evaluate_* functions they forward to.
+// Defined after the evaluate_* functions they forward to; the plan is
+// threaded through so grain/DPS follow the planner's verdicts.
 
 template <typename T, typename C>
 typename C::result_type run_legacy(Spliterator<T>& sp,
                                    const terminals::Collect<C>& term,
-                                   bool parallel, const ExecutionConfig& cfg) {
-  return evaluate_collect(sp, term.collector, parallel, cfg);
+                                   bool parallel, const ExecutionConfig& cfg,
+                                   const ExecutionPlan* plan) {
+  return evaluate_collect(sp, term.collector, parallel, cfg, plan);
 }
 
 template <typename T, typename Op>
 std::optional<T> run_legacy(Spliterator<T>& sp,
                             const terminals::Reduce<Op>& term, bool parallel,
-                            const ExecutionConfig& cfg) {
-  return evaluate_reduce(sp, term.op, parallel, cfg);
+                            const ExecutionConfig& cfg,
+                            const ExecutionPlan* plan) {
+  return evaluate_reduce(sp, term.op, parallel, cfg, plan);
 }
 
 template <typename T, typename Fn>
 void run_legacy(Spliterator<T>& sp, const terminals::ForEach<Fn>& term,
-                bool parallel, const ExecutionConfig& cfg) {
-  evaluate_for_each(sp, term.fn, parallel, cfg);
+                bool parallel, const ExecutionConfig& cfg,
+                const ExecutionPlan* plan) {
+  evaluate_for_each(sp, term.fn, parallel, cfg, plan);
 }
 
 template <typename T>
 std::uint64_t run_legacy(Spliterator<T>& sp, const terminals::Count&,
-                         bool parallel, const ExecutionConfig& cfg) {
-  return evaluate_count(sp, parallel, cfg);
+                         bool parallel, const ExecutionConfig& cfg,
+                         const ExecutionPlan* plan) {
+  return evaluate_count(sp, parallel, cfg, plan);
 }
 
 }  // namespace detail
 
-/// THE terminal entry point: evaluate `term` (a terminals:: descriptor)
-/// over the pipeline rooted at `sp`, attempting fusion first and falling
-/// back to the legacy wrapper walk. Used by every dynamic Stream terminal;
-/// the typed static pipeline routes through evaluate_fused below with its
-/// compiled stage stack appended. Replaces the four evaluate_*_pipeline
-/// entry points (kept as deprecated thin aliases for one release).
+/// THE terminal entry point: plan, record, execute. plan_pipeline makes
+/// every admission decision (fusion, DPS, grain, drive, kernel) in one
+/// place; this function dispatches on its verdicts — run_fused when the
+/// chain stripped, run_legacy over the untouched wrappers otherwise.
+/// Used by every dynamic Stream terminal; the typed static pipeline
+/// routes through evaluate_fused below with its compiled stage stack
+/// appended, passing PlanOrigin::kStatic (or kStaticFallback back here).
 template <typename T, typename Term>
 auto evaluate(std::unique_ptr<Spliterator<T>>& sp, const Term& term,
-              bool parallel, const ExecutionConfig& cfg = {}) {
+              bool parallel, const ExecutionConfig& cfg = {},
+              PlanOrigin origin = PlanOrigin::kDynamic) {
   PLS_CHECK(sp != nullptr, "evaluate requires a source");
-  if (cfg.fusion) {
-    if (auto fused = fuse_pipeline<T>(sp)) {
-      return detail::run_fused<T>(*fused, term, parallel, cfg);
-    }
+  using Traits = detail::TerminalTraits<T, Term>;
+  auto planned =
+      plan_pipeline<T>(sp, Traits::kind, Traits::sized_collector,
+                       Traits::chunk_collector, parallel, cfg, origin);
+  record_plan(planned.plan);
+  if (planned.fused) {
+    return detail::run_fused<T>(*planned.fused, term, parallel, cfg,
+                                planned.plan);
   }
-  return detail::run_legacy<T>(*sp, term, parallel, cfg);
+  return detail::run_legacy<T>(*sp, term, parallel, cfg, &planned.plan);
 }
 
 /// Evaluate a terminal over an already-stripped FusedPipeline whose output
 /// element type is T. The static pipeline calls this after appending its
-/// StaticChainStage; the routing (DPS admission, leaf vs tree,
+/// StaticChainStage; the plan is derived from the fused shape
+/// (plan_fused_pipeline) so the routing (DPS admission, leaf vs tree,
 /// instrumentation) is byte-for-byte the dynamic fused path's.
 template <typename T, typename Term>
 auto evaluate_fused(FusedPipeline& fused, const Term& term, bool parallel,
-                    const ExecutionConfig& cfg = {}) {
-  return detail::run_fused<T>(fused, term, parallel, cfg);
-}
-
-// ---- deprecated terminal entry points (thin aliases, one release) ----
-
-template <typename T, typename C>
-[[deprecated(
-    "use evaluate(sp, terminals::collect(c), parallel, cfg)")]] typename C::
-    result_type
-    evaluate_collect_pipeline(std::unique_ptr<Spliterator<T>>& sp, const C& c,
-                              bool parallel, const ExecutionConfig& cfg = {}) {
-  return evaluate(sp, terminals::collect(c), parallel, cfg);
-}
-
-template <typename T, typename Op>
-[[deprecated(
-    "use evaluate(sp, terminals::reduce(op), parallel, cfg)")]] std::
-    optional<T>
-    evaluate_reduce_pipeline(std::unique_ptr<Spliterator<T>>& sp, const Op& op,
-                             bool parallel, const ExecutionConfig& cfg = {}) {
-  return evaluate(sp, terminals::reduce(op), parallel, cfg);
-}
-
-template <typename T, typename Fn>
-[[deprecated(
-    "use evaluate(sp, terminals::for_each(fn), parallel, cfg)")]] void
-evaluate_for_each_pipeline(std::unique_ptr<Spliterator<T>>& sp, const Fn& fn,
-                           bool parallel, const ExecutionConfig& cfg = {}) {
-  evaluate(sp, terminals::for_each(fn), parallel, cfg);
-}
-
-template <typename T>
-[[deprecated(
-    "use evaluate(sp, terminals::count(), parallel, cfg)")]] std::uint64_t
-evaluate_count_pipeline(std::unique_ptr<Spliterator<T>>& sp, bool parallel,
-                        const ExecutionConfig& cfg = {}) {
-  return evaluate(sp, terminals::count(), parallel, cfg);
+                    const ExecutionConfig& cfg = {},
+                    PlanOrigin origin = PlanOrigin::kStatic) {
+  using Traits = detail::TerminalTraits<T, Term>;
+  ExecutionPlan plan =
+      plan_fused_pipeline(fused, Traits::kind, Traits::sized_collector,
+                          Traits::chunk_collector, parallel, cfg, origin);
+  record_plan(plan);
+  return detail::run_fused<T>(fused, term, parallel, cfg, plan);
 }
 
 }  // namespace pls::streams

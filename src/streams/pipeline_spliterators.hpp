@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "streams/fusion.hpp"
+#include "streams/plan.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
 

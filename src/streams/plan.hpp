@@ -1,0 +1,788 @@
+// The execution planner: every admission decision the runtime makes —
+// pipeline-fusion admission, destination-passing (DPS) collect admission,
+// static-fusion fallback, drive mode, split grain, and chunk-kernel
+// eligibility — is decided HERE, once, and recorded in an ExecutionPlan
+// value. Terminal evaluation (streams/parallel_eval.hpp), the typed
+// static pipeline, the multiway collect, and the PowerList adaptation
+// layer all plan-then-execute: they ask plan_pipeline() (or one of the
+// single-home predicates below) and obey the verdicts, instead of
+// re-deriving routing at each entry point.
+//
+// The plan is pure data: source shape, stage summary, a fusion verdict
+// with its reason, a DPS verdict with its reason, the drive mode, the
+// resolved grain, and the kernel selection. explain() renders it for
+// humans; bench JSON carries it as plan_* fields; the last plan of the
+// calling thread is kept for ExecutionReport / pls::session::explain().
+//
+// On top of the plan sits the first slice of adaptive execution (ROADMAP
+// item 5): a process-global PlanCache keyed by pipeline shape. Profiled
+// runs feed their critical-path trees (measured T1 / T∞, per-leaf
+// accumulate cost, leaf-run latency quantiles) back into the cache, and
+// the next plan for the same shape auto-picks min_chunk when the user
+// left it 0 — never coarser than the Java-style n/(4P) default, finer
+// when the measured per-element cost shows default leaves overshooting
+// the leaf-time budget (docs/execution.md, "Execution planning").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "forkjoin/pool.hpp"
+#include "observe/config.hpp"
+#include "observe/critical_path.hpp"
+#include "observe/histogram.hpp"
+#include "streams/fusion.hpp"
+#include "streams/spliterator.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::streams {
+
+// ---- execution configuration -----------------------------------------
+
+/// Where and how a terminal operation executes. The chainable with_*
+/// setters below are THE execution-config builder: Stream<T>'s with_*
+/// methods and pls::session::stream_config() both delegate here, so every
+/// knob exists exactly once and round-trips losslessly between surfaces.
+struct ExecutionConfig {
+  /// Pool for parallel evaluation; nullptr selects ForkJoinPool::common().
+  forkjoin::ForkJoinPool* pool = nullptr;
+  /// Split until chunks are at most this size; 0 selects the Java-style
+  /// default, estimate_size / (4 * parallelism) — or, when auto-grain is
+  /// enabled and the PlanCache holds a profile for this pipeline shape,
+  /// the profiler-tuned grain (see PlanCache below).
+  std::uint64_t min_chunk = 0;
+  /// Permit the destination-passing (sized-sink) collect path when source
+  /// and collector qualify. Off forces the supplier/combiner path — used
+  /// by the fallback-equivalence tests and the A/B benches.
+  bool sized_sink = true;
+  /// Permit the push-mode fusion engine for terminal evaluation when the
+  /// pipeline qualifies (streams/fusion.hpp). Off forces the wrapper
+  /// (pull-mode) walk — the differential-testing and A/B-bench toggle.
+  bool fusion = true;
+  /// Let the planner consume PlanCache profiles to pick min_chunk when
+  /// it was left 0. Also enabled process-wide by PLS_AUTO_GRAIN=1.
+  bool auto_grain = false;
+
+  ExecutionConfig& with_pool(forkjoin::ForkJoinPool& p) {
+    pool = &p;
+    return *this;
+  }
+  ExecutionConfig& with_min_chunk(std::uint64_t n) {
+    min_chunk = n;
+    return *this;
+  }
+  ExecutionConfig& with_sized_sink(bool enabled) {
+    sized_sink = enabled;
+    return *this;
+  }
+  ExecutionConfig& with_fusion(bool enabled) {
+    fusion = enabled;
+    return *this;
+  }
+  ExecutionConfig& with_auto_grain(bool enabled) {
+    auto_grain = enabled;
+    return *this;
+  }
+
+  forkjoin::ForkJoinPool& effective_pool() const {
+    return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
+  }
+
+  std::uint64_t target_size(std::uint64_t estimate, unsigned parallelism) const;
+};
+
+// ---- plan vocabulary -------------------------------------------------
+
+/// Which terminal operation the plan serves.
+enum class TerminalKind : std::uint8_t {
+  kCollect,
+  kReduce,
+  kForEach,
+  kCount,
+  kPowerFunction,  ///< synthesized plans of the skeleton executors
+};
+
+inline const char* terminal_name(TerminalKind k) {
+  switch (k) {
+    case TerminalKind::kCollect: return "collect";
+    case TerminalKind::kReduce: return "reduce";
+    case TerminalKind::kForEach: return "for_each";
+    case TerminalKind::kCount: return "count";
+    case TerminalKind::kPowerFunction: return "power_function";
+  }
+  return "?";
+}
+
+/// How the terminal drives the pipeline.
+enum class DriveMode : std::uint8_t {
+  kSequential,   ///< one leaf on the calling thread
+  kForkJoinTree, ///< recursive split to grain, fork-join leaves
+  kElementLoop,  ///< cancelling fused chain: single element-mode push loop
+};
+
+inline const char* drive_name(DriveMode m) {
+  switch (m) {
+    case DriveMode::kSequential: return "sequential";
+    case DriveMode::kForkJoinTree: return "fork-join tree";
+    case DriveMode::kElementLoop: return "element loop";
+  }
+  return "?";
+}
+
+/// Leaf kernel selection: whole-chunk collector fold (the SIMD hook,
+/// streams/collector.hpp ChunkAccumulatingCollector) vs per-element loop.
+enum class KernelMode : std::uint8_t { kScalarLoop, kChunkKernel };
+
+inline const char* kernel_name(KernelMode m) {
+  return m == KernelMode::kChunkKernel ? "chunk" : "scalar";
+}
+
+/// Which entry point produced the plan.
+enum class PlanOrigin : std::uint8_t {
+  kDynamic,        ///< Stream terminal through evaluate()
+  kStatic,         ///< StaticPipeline, fused with its compiled stage stack
+  kStaticFallback, ///< StaticPipeline dissolved into the dynamic stream
+  kSynthesized,    ///< skeleton executor (no stream pipeline)
+};
+
+inline const char* origin_name(PlanOrigin o) {
+  switch (o) {
+    case PlanOrigin::kDynamic: return "dynamic";
+    case PlanOrigin::kStatic: return "static";
+    case PlanOrigin::kStaticFallback: return "static-fallback";
+    case PlanOrigin::kSynthesized: return "synthesized";
+  }
+  return "?";
+}
+
+/// Why a verdict came out the way it did. kAdmitted is the positive
+/// verdict; everything else names the first failed admission test.
+enum class PlanReason : std::uint8_t {
+  kAdmitted,
+  kDisabledByConfig,
+  kSourceNotSizedSubsized,
+  kSourceNotWindowed,
+  kWindowCountMismatch,
+  kNotPowerOfTwo,
+  kChainNotOneToOne,
+  kChainCancels,
+  kChainNotFusable,
+  kCollectorNotSized,
+  kTerminalNotCollect,
+  kNotAStreamPipeline,
+};
+
+inline const char* reason_name(PlanReason r) {
+  switch (r) {
+    case PlanReason::kAdmitted: return "admitted";
+    case PlanReason::kDisabledByConfig: return "disabled by config";
+    case PlanReason::kSourceNotSizedSubsized:
+      return "source not SIZED|SUBSIZED";
+    case PlanReason::kSourceNotWindowed:
+      return "source names no destination window";
+    case PlanReason::kWindowCountMismatch:
+      return "window count != estimated size";
+    case PlanReason::kNotPowerOfTwo: return "count not a power of two";
+    case PlanReason::kChainNotOneToOne: return "chain has a non-1:1 stage";
+    case PlanReason::kChainCancels: return "chain has a cancelling stage";
+    case PlanReason::kChainNotFusable:
+      return "a wrapper or the source refused fusion";
+    case PlanReason::kCollectorNotSized:
+      return "collector is not a sized sink";
+    case PlanReason::kTerminalNotCollect: return "terminal is not collect";
+    case PlanReason::kNotAStreamPipeline:
+      return "skeleton execution, no stream pipeline";
+  }
+  return "?";
+}
+
+/// Where the resolved grain came from.
+enum class GrainSource : std::uint8_t {
+  kNone,      ///< sequential drive: no splitting, grain unused
+  kExplicit,  ///< cfg.min_chunk
+  kDefault,   ///< Java-style estimate / (4 * parallelism)
+  kAutoTuned, ///< PlanCache profile (auto-grain)
+};
+
+inline const char* grain_source_name(GrainSource g) {
+  switch (g) {
+    case GrainSource::kNone: return "n/a";
+    case GrainSource::kExplicit: return "explicit";
+    case GrainSource::kDefault: return "default n/(4P)";
+    case GrainSource::kAutoTuned: return "auto-tuned";
+  }
+  return "?";
+}
+
+// ---- the plan --------------------------------------------------------
+
+/// One terminal operation's complete routing decision, as pure data.
+/// Everything the execution layer needs to run — and everything a human
+/// needs to see why it ran that way.
+struct ExecutionPlan {
+  // Provenance.
+  PlanOrigin origin = PlanOrigin::kDynamic;
+  TerminalKind terminal = TerminalKind::kCollect;
+  bool parallel = false;
+  unsigned parallelism = 1;
+
+  // Source shape, as seen by the chosen route (fused: the stripped
+  // source; legacy: the outermost wrapper with its delegated window).
+  std::uint64_t source_size = 0;
+  bool sized = false;
+  bool subsized = false;
+  bool windowed = false;
+  bool power_of_two = false;
+
+  // Stage summary. Fused chains report their stripped stage chain;
+  // wrapper chains are opaque (stages == 0, flags at their defaults).
+  std::uint32_t stages = 0;
+  bool one_to_one = true;
+  bool cancels = false;
+
+  // Verdicts, each with the first failed admission test as its reason.
+  bool fused = false;
+  PlanReason fusion_reason = PlanReason::kAdmitted;
+  bool dps = false;
+  PlanReason dps_reason = PlanReason::kAdmitted;
+  std::optional<OutputWindow> window{};  ///< set iff dps
+
+  // Routing.
+  DriveMode drive = DriveMode::kSequential;
+  std::uint64_t grain = 0;
+  GrainSource grain_source = GrainSource::kNone;
+  KernelMode kernel = KernelMode::kScalarLoop;
+  std::uint64_t cache_key = 0;  ///< PlanCache shape key (parallel plans)
+
+  /// Human-readable dump (pls::session::explain()).
+  std::string explain() const {
+    std::ostringstream os;
+    os << "plan: " << terminal_name(terminal) << ", "
+       << (parallel ? "parallel" : "sequential");
+    if (parallel) os << " (P=" << parallelism << ")";
+    os << ", " << origin_name(origin) << '\n';
+    os << "  source : " << source_size << " elements";
+    if (sized && subsized) os << ", SIZED|SUBSIZED";
+    else if (sized) os << ", SIZED";
+    if (windowed) os << ", windowed";
+    if (power_of_two) os << ", power-of-two";
+    os << '\n';
+    os << "  stages : ";
+    if (fused) {
+      os << stages << " fused (" << (one_to_one ? "1:1" : "non-1:1") << ", "
+         << (cancels ? "cancelling" : "non-cancelling") << ")";
+    } else {
+      os << "wrapper chain (opaque to the planner)";
+    }
+    os << '\n';
+    os << "  fusion : " << reason_name(fusion_reason) << '\n';
+    os << "  dps    : " << reason_name(dps_reason);
+    if (dps && window.has_value()) {
+      os << " (window start=" << window->start << " incr=" << window->incr
+         << " count=" << window->count << ")";
+    }
+    os << '\n';
+    os << "  drive  : " << drive_name(drive);
+    if (parallel && drive == DriveMode::kForkJoinTree) {
+      os << ", grain " << grain << " (" << grain_source_name(grain_source)
+         << ")";
+    }
+    os << '\n';
+    os << "  kernel : " << kernel_name(kernel) << '\n';
+    return os.str();
+  }
+};
+
+// ---- admission predicates (the single home) --------------------------
+
+/// Shape test shared by fusion-source admission and DPS admission: the
+/// source must be exactly sized through splits (SIZED|SUBSIZED) and name
+/// a destination window consistent with its size.
+inline PlanReason source_shape_reason(bool sized_subsized,
+                                      const std::optional<OutputWindow>& w,
+                                      std::uint64_t estimate) {
+  if (!sized_subsized) return PlanReason::kSourceNotSizedSubsized;
+  if (!w.has_value()) return PlanReason::kSourceNotWindowed;
+  if (w->count != estimate) return PlanReason::kWindowCountMismatch;
+  return PlanReason::kAdmitted;
+}
+
+/// DPS admission adds the power-of-two test (the shape whose tie/zip
+/// splits the window arithmetic mirrors).
+inline PlanReason dps_window_reason(bool sized_subsized,
+                                    const std::optional<OutputWindow>& w,
+                                    std::uint64_t estimate) {
+  const PlanReason shape = source_shape_reason(sized_subsized, w, estimate);
+  if (shape != PlanReason::kAdmitted) return shape;
+  if (!is_power_of_two(w->count)) return PlanReason::kNotPowerOfTwo;
+  return PlanReason::kAdmitted;
+}
+
+/// Admission check for the destination-passing collect over a wrapper
+/// pipeline (pull path): the outermost spliterator must be exactly sized,
+/// keep exact sizes through splits, name a destination window consistent
+/// with its size (only all-1:1 chains delegate one), and hold a power of
+/// two elements. Anything else collects through the supplier/combiner
+/// path.
+template <typename T>
+std::optional<OutputWindow> plan_dps_window(const Spliterator<T>& sp) {
+  const auto w = output_window_of(sp);
+  if (dps_window_reason(sp.has(kSized | kSubsized), w, sp.estimate_size()) !=
+      PlanReason::kAdmitted) {
+    return std::nullopt;
+  }
+  return w;
+}
+
+/// The fused twin: the chain must be 1:1 (so source position == result
+/// position) and non-cancelling; the source must pass the same window
+/// tests. Wrappers admit through delegated windows, which only 1:1
+/// chains provide, so both overloads admit the same pipelines.
+inline std::optional<OutputWindow> plan_dps_window(const FusedPipeline& fp) {
+  if (!fp.one_to_one() || fp.cancels()) return std::nullopt;
+  const auto w = fp.source_window();
+  if (dps_window_reason(true, w, fp.estimate_size()) !=
+      PlanReason::kAdmitted) {
+    return std::nullopt;
+  }
+  return w;
+}
+
+// ---- the fuse step ---------------------------------------------------
+
+/// Source admission for fusion: the source_shape_reason test. This rules
+/// out concat (no window), flat_map/sorted products at the bottom of a
+/// stripped chain (no window / consumed), and the unsized iterate tail
+/// (no kSized).
+template <typename T>
+std::unique_ptr<FusedPipeline> fuse_source(
+    std::unique_ptr<Spliterator<T>>& sp) {
+  if (source_shape_reason(sp->has(kSized | kSubsized), output_window_of(*sp),
+                          sp->estimate_size()) != PlanReason::kAdmitted) {
+    return nullptr;
+  }
+  return std::make_unique<FusedPipelineImpl<T>>(std::move(sp));
+}
+
+/// Fuse the pipeline rooted at `sp` (the outermost wrapper or the bare
+/// source). On success the pipeline is consumed (`sp` becomes null) and
+/// the fused form is returned; on failure `sp` is untouched and nullptr
+/// is returned — the caller evaluates through the wrapper path.
+template <typename T>
+std::unique_ptr<FusedPipeline> fuse_pipeline(
+    std::unique_ptr<Spliterator<T>>& sp) {
+  if (sp == nullptr) return nullptr;
+  if (auto* stage = dynamic_cast<FusableStage*>(sp.get())) {
+    auto fused = stage->strip_into_fused();
+    if (fused != nullptr) {
+      PLS_CHECK(fused->output_type() == typeid(T),
+                "fused pipeline output type does not match the terminal");
+      sp.reset();
+    }
+    return fused;
+  }
+  return fuse_source(sp);
+}
+
+/// The static pipeline's fuse-or-fallback decision (its only admission
+/// question): strip the bound source iff fusion is enabled. On nullptr
+/// the static pipeline dissolves into the dynamic stream, which plans
+/// with PlanOrigin::kStaticFallback.
+template <typename S>
+std::unique_ptr<FusedPipeline> plan_static_fuse(
+    std::unique_ptr<Spliterator<S>>& sp, const ExecutionConfig& cfg) {
+  if (!cfg.fusion) return nullptr;
+  return fuse_pipeline<S>(sp);
+}
+
+/// Why fuse_pipeline refused `sp` (for the plan's fusion_reason; the
+/// strip walk itself reports only success/failure).
+template <typename T>
+PlanReason fusion_refusal_reason(const Spliterator<T>& sp) {
+  if (dynamic_cast<const FusableStage*>(&sp) != nullptr) {
+    return PlanReason::kChainNotFusable;
+  }
+  const PlanReason shape = source_shape_reason(
+      sp.has(kSized | kSubsized), output_window_of(sp), sp.estimate_size());
+  return shape != PlanReason::kAdmitted ? shape : PlanReason::kChainNotFusable;
+}
+
+// ---- grain policy ----------------------------------------------------
+
+/// The Java-style default split target: estimate / (4 * parallelism),
+/// floored at 1 (AbstractTask.suggestTargetSize).
+inline std::uint64_t default_grain(std::uint64_t estimate,
+                                   unsigned parallelism) {
+  const std::uint64_t t = estimate / (4ull * parallelism);
+  return t > 0 ? t : 1;
+}
+
+inline std::uint64_t ExecutionConfig::target_size(std::uint64_t estimate,
+                                                  unsigned parallelism) const {
+  if (min_chunk != 0) return min_chunk;
+  return default_grain(estimate, parallelism);
+}
+
+/// Process-wide auto-grain switch: PLS_AUTO_GRAIN=1 (anything but "" or
+/// a leading '0') turns the PlanCache consumer on for every config.
+inline bool auto_grain_env() {
+  static const bool v = [] {
+    const char* e = std::getenv("PLS_AUTO_GRAIN");
+    return e != nullptr && e[0] != '\0' && e[0] != '0';
+  }();
+  return v;
+}
+
+inline bool auto_grain_enabled(const ExecutionConfig& cfg) {
+  return cfg.auto_grain || auto_grain_env();
+}
+
+// ---- the plan cache (adaptive execution, ROADMAP item 5) -------------
+
+/// What a profiled run taught us about one pipeline shape.
+struct PlanProfile {
+  std::uint64_t samples = 0;      ///< profiled runs folded in
+  double per_element_ns = 0.0;    ///< running mean accumulate cost/element
+  double work_ns = 0.0;           ///< last measured T1 of the split tree
+  double span_ns = 0.0;           ///< last measured T∞
+  std::uint64_t leaves = 0;       ///< last leaf count
+  double leaf_run_p50_ns = 0.0;   ///< leaf-run histogram median (last run)
+  std::uint64_t tuned_grain = 0;  ///< recommendation; 0 = none yet
+};
+
+namespace detail {
+
+/// Fold of a critical-path subtree: total work, critical path, leaf
+/// accumulate time and element throughput — the measured quantities the
+/// grain policy consumes.
+struct CpWalkTotals {
+  std::uint64_t work_ticks = 0;
+  std::uint64_t span_ticks = 0;
+  std::uint64_t accumulate_ticks = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t leaves = 0;
+};
+
+inline CpWalkTotals walk_cp(const observe::CpNode* n) {
+  CpWalkTotals t;
+  if (n == nullptr) return t;
+  const CpWalkTotals l = walk_cp(n->left);
+  const CpWalkTotals r = walk_cp(n->right);
+  t.work_ticks = n->own_ticks() + l.work_ticks + r.work_ticks;
+  t.span_ticks = n->own_ticks() + std::max(l.span_ticks, r.span_ticks);
+  t.accumulate_ticks =
+      n->accumulate_ticks + l.accumulate_ticks + r.accumulate_ticks;
+  t.elements = n->elements + l.elements + r.elements;
+  t.leaves = (n->is_leaf() ? 1 : 0) + l.leaves + r.leaves;
+  return t;
+}
+
+}  // namespace detail
+
+/// Leaf-time budget for the auto-tuned grain: leaves should take about
+/// this long. Well above the measured per-steal cost (µs), well below
+/// typical terminal wall times — so finer grain buys balance without
+/// overhead domination.
+inline constexpr double kAutoGrainTargetLeafNs = 100e3;  // 100 µs
+
+/// Profiler-feedback grain store, keyed by pipeline shape (terminal kind,
+/// source size, parallelism, fused stage summary). plan_feedback() feeds
+/// it after each profiled parallel run; plan_pipeline() consumes it when
+/// auto-grain is on and min_chunk was left 0.
+///
+/// Policy: the tuned grain is min(default n/(4P), leaf-time budget /
+/// measured per-element cost) — never coarser than the Java default (so
+/// an auto-grain plan never has fewer leaves, and a workload the profile
+/// fits degrades to exactly the default plan), finer when the measured
+/// per-element cost shows default leaves overshooting the 100 µs budget
+/// (bounding leaf time bounds the span added by one straggler leaf).
+class PlanCache {
+ public:
+  static PlanCache& global() {
+    static PlanCache c;
+    return c;
+  }
+
+  /// The tuned grain for `key`, if a profile produced one.
+  std::optional<std::uint64_t> lookup(std::uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end() || it->second.tuned_grain == 0) return std::nullopt;
+    return it->second.tuned_grain;
+  }
+
+  /// The full profile for `key` (diagnostics / tests).
+  std::optional<PlanProfile> profile(std::uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Install a profile directly (tests, replay).
+  void put(std::uint64_t key, const PlanProfile& p) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_[key] = p;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  /// The grain recommendation for a shape whose accumulate phase costs
+  /// `per_element_ns` per element (see the class comment for the policy).
+  static std::uint64_t tuned_grain_for(std::uint64_t estimate,
+                                       unsigned parallelism,
+                                       double per_element_ns) {
+    const std::uint64_t base = default_grain(estimate, parallelism);
+    if (per_element_ns <= 0.0) return base;
+    const double by_budget = kAutoGrainTargetLeafNs / per_element_ns;
+    const std::uint64_t budget =
+        by_budget < 1.0 ? 1 : static_cast<std::uint64_t>(by_budget);
+    return std::min(base, budget);
+  }
+
+  /// Fold one profiled run's critical-path tree into the profile for
+  /// `key` and re-derive the tuned grain. No-op when profiling was off
+  /// (`root == nullptr` — always the case with PLS_OBSERVE=0) or the
+  /// tree carries no accumulate measurements.
+  void feed(std::uint64_t key, std::uint64_t estimate, unsigned parallelism,
+            const observe::CpNode* root) {
+    if (root == nullptr) return;
+    const detail::CpWalkTotals t = detail::walk_cp(root);
+    if (t.elements == 0 || t.accumulate_ticks == 0) return;
+    const double scale = observe::ns_per_tick();
+    const double per_element =
+        static_cast<double>(t.accumulate_ticks) * scale /
+        static_cast<double>(t.elements);
+    const double leaf_p50 = observe::aggregate_histograms()
+                                .of(observe::Metric::kLeafRun)
+                                .quantile(0.5, scale);
+    std::lock_guard<std::mutex> lock(mutex_);
+    PlanProfile& p = map_[key];
+    p.per_element_ns =
+        (p.per_element_ns * static_cast<double>(p.samples) + per_element) /
+        static_cast<double>(p.samples + 1);
+    p.samples += 1;
+    p.work_ns = static_cast<double>(t.work_ticks) * scale;
+    p.span_ns = static_cast<double>(t.span_ticks) * scale;
+    p.leaves = t.leaves;
+    p.leaf_run_p50_ns = leaf_p50;
+    p.tuned_grain = tuned_grain_for(estimate, parallelism, p.per_element_ns);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, PlanProfile> map_;
+};
+
+/// Deterministic shape key (FNV-1a over the plan-relevant shape fields).
+inline std::uint64_t plan_cache_key(TerminalKind kind,
+                                    std::uint64_t source_size,
+                                    unsigned parallelism, std::uint32_t stages,
+                                    bool one_to_one, bool cancels) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(kind));
+  mix(source_size);
+  mix(parallelism);
+  mix(stages);
+  mix(one_to_one ? 1 : 2);
+  mix(cancels ? 1 : 2);
+  return h;
+}
+
+// ---- plan construction -----------------------------------------------
+
+namespace detail {
+
+/// Resolve grain, drive, kernel and cache key once the verdict fields
+/// are in place — shared tail of both plan builders.
+inline void finish_plan(ExecutionPlan& p, TerminalKind kind,
+                        bool chunk_collector, bool parallel,
+                        const ExecutionConfig& cfg) {
+  p.terminal = kind;
+  p.parallel = parallel;
+  p.kernel = (p.fused && kind == TerminalKind::kCollect && chunk_collector &&
+              !p.dps && !p.cancels)
+                 ? KernelMode::kChunkKernel
+                 : KernelMode::kScalarLoop;
+  if (!parallel) {
+    p.drive = DriveMode::kSequential;
+    p.grain = 0;
+    p.grain_source = GrainSource::kNone;
+    return;
+  }
+  p.drive = (p.fused && p.cancels) ? DriveMode::kElementLoop
+                                   : DriveMode::kForkJoinTree;
+  p.parallelism = cfg.effective_pool().parallelism();
+  p.cache_key = plan_cache_key(kind, p.source_size, p.parallelism, p.stages,
+                               p.one_to_one, p.cancels);
+  if (cfg.min_chunk != 0) {
+    p.grain = cfg.min_chunk;
+    p.grain_source = GrainSource::kExplicit;
+    return;
+  }
+  p.grain = default_grain(p.source_size, p.parallelism);
+  p.grain_source = GrainSource::kDefault;
+  if (auto_grain_enabled(cfg)) {
+    if (const auto tuned = PlanCache::global().lookup(p.cache_key)) {
+      p.grain = std::min(p.grain, std::max<std::uint64_t>(*tuned, 1));
+      p.grain_source = GrainSource::kAutoTuned;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Plan a terminal over an already-stripped FusedPipeline (the static
+/// pipeline's entry; also the tail of plan_pipeline on fusion success).
+/// `collector_sized` / `chunk_collector` are the compile-time collector
+/// facts of the terminal, evaluated at the call site.
+inline ExecutionPlan plan_fused_pipeline(const FusedPipeline& fp,
+                                         TerminalKind kind,
+                                         bool collector_sized,
+                                         bool chunk_collector, bool parallel,
+                                         const ExecutionConfig& cfg,
+                                         PlanOrigin origin) {
+  ExecutionPlan p;
+  p.origin = origin;
+  p.source_size = fp.estimate_size();
+  p.sized = true;  // fusion admission requires SIZED|SUBSIZED
+  p.subsized = true;
+  const auto w = fp.source_window();
+  p.windowed = w.has_value();
+  p.power_of_two = w.has_value() && is_power_of_two(w->count);
+  p.stages = static_cast<std::uint32_t>(fp.stage_count());
+  p.one_to_one = fp.one_to_one();
+  p.cancels = fp.cancels();
+  p.fused = true;
+  p.fusion_reason = PlanReason::kAdmitted;
+  if (kind != TerminalKind::kCollect) {
+    p.dps_reason = PlanReason::kTerminalNotCollect;
+  } else if (!collector_sized) {
+    p.dps_reason = PlanReason::kCollectorNotSized;
+  } else if (!cfg.sized_sink) {
+    p.dps_reason = PlanReason::kDisabledByConfig;
+  } else if (!p.one_to_one) {
+    p.dps_reason = PlanReason::kChainNotOneToOne;
+  } else if (p.cancels) {
+    p.dps_reason = PlanReason::kChainCancels;
+  } else {
+    p.dps_reason = dps_window_reason(true, w, fp.estimate_size());
+    if (p.dps_reason == PlanReason::kAdmitted) {
+      p.dps = true;
+      p.window = w;
+    }
+  }
+  detail::finish_plan(p, kind, chunk_collector, parallel, cfg);
+  return p;
+}
+
+/// A planned pipeline: the plan plus, when fusion was admitted, the
+/// stripped fused form (in which case the source pointer the caller
+/// passed to plan_pipeline has been consumed).
+struct PlannedPipeline {
+  ExecutionPlan plan;
+  std::unique_ptr<FusedPipeline> fused;  ///< non-null iff plan.fused
+};
+
+/// THE planning entry point: decide every admission question for the
+/// pipeline rooted at `sp` — fusion (attempting the strip), DPS, drive
+/// mode, grain (including auto-grain), kernel — and return the verdicts
+/// as data. On fusion admission `sp` is consumed and `fused` returned;
+/// otherwise `sp` is untouched and the caller runs the wrapper walk.
+template <typename T>
+PlannedPipeline plan_pipeline(std::unique_ptr<Spliterator<T>>& sp,
+                              TerminalKind kind, bool collector_sized,
+                              bool chunk_collector, bool parallel,
+                              const ExecutionConfig& cfg,
+                              PlanOrigin origin = PlanOrigin::kDynamic) {
+  PLS_CHECK(sp != nullptr, "plan_pipeline requires a source");
+  PlannedPipeline out;
+  if (cfg.fusion) out.fused = fuse_pipeline<T>(sp);
+  if (out.fused != nullptr) {
+    out.plan = plan_fused_pipeline(*out.fused, kind, collector_sized,
+                                   chunk_collector, parallel, cfg, origin);
+    return out;
+  }
+  ExecutionPlan& p = out.plan;
+  p.origin = origin;
+  p.source_size = sp->estimate_size();
+  p.sized = sp->has(kSized);
+  p.subsized = sp->has(kSubsized);
+  const auto w = output_window_of(*sp);
+  p.windowed = w.has_value();
+  p.power_of_two = w.has_value() && is_power_of_two(w->count);
+  p.fusion_reason = !cfg.fusion ? PlanReason::kDisabledByConfig
+                                : fusion_refusal_reason(*sp);
+  if (kind != TerminalKind::kCollect) {
+    p.dps_reason = PlanReason::kTerminalNotCollect;
+  } else if (!collector_sized) {
+    p.dps_reason = PlanReason::kCollectorNotSized;
+  } else if (!cfg.sized_sink) {
+    p.dps_reason = PlanReason::kDisabledByConfig;
+  } else {
+    p.dps_reason =
+        dps_window_reason(sp->has(kSized | kSubsized), w, sp->estimate_size());
+    if (p.dps_reason == PlanReason::kAdmitted) {
+      p.dps = true;
+      p.window = w;
+    }
+  }
+  detail::finish_plan(p, kind, chunk_collector, parallel, cfg);
+  return out;
+}
+
+// ---- plan recording and feedback -------------------------------------
+
+namespace detail {
+inline ExecutionPlan& last_plan_slot() {
+  thread_local ExecutionPlan plan;
+  return plan;
+}
+}  // namespace detail
+
+/// Record `p` as the calling thread's most recent plan (done by every
+/// planned entry point; readable through last_plan() for reports,
+/// session::explain() and bench JSON).
+inline void record_plan(const ExecutionPlan& p) {
+  detail::last_plan_slot() = p;
+}
+
+/// The most recent plan recorded on this thread.
+inline const ExecutionPlan& last_plan() {
+  return detail::last_plan_slot();
+}
+
+/// Feed one profiled parallel run back into the PlanCache — called by
+/// the execution layer with the run's critical-path root (nullptr when
+/// profiling is off, making this free). The next auto-grain plan for the
+/// same shape consumes the updated profile: re-planned after each
+/// profiled run, as adaptive execution requires.
+inline void plan_feedback(const ExecutionPlan& plan,
+                          const observe::CpNode* root) {
+  if (root == nullptr || !plan.parallel || plan.cache_key == 0) return;
+  PlanCache::global().feed(plan.cache_key, plan.source_size, plan.parallelism,
+                           root);
+}
+
+}  // namespace pls::streams

@@ -444,17 +444,17 @@ class StaticPipeline {
   template <typename Term>
   auto run(const Term& term) && {
     PLS_CHECK(source_ != nullptr, "StaticPipeline is single-use");
-    if (config_.fusion) {
-      if (auto fused = fuse_pipeline<S>(source_)) {
-        if constexpr (sizeof...(Ops) > 0) {
-          fused->append_stage(
-              std::make_shared<StaticChainStage<S, Ops...>>(ops_));
-        }
-        return evaluate_fused<value_type>(*fused, term, parallel_, config_);
+    if (auto fused = plan_static_fuse<S>(source_, config_)) {
+      if constexpr (sizeof...(Ops) > 0) {
+        fused->append_stage(
+            std::make_shared<StaticChainStage<S, Ops...>>(ops_));
       }
+      return evaluate_fused<value_type>(*fused, term, parallel_, config_,
+                                        PlanOrigin::kStatic);
     }
     auto s = std::move(*this).to_stream();
-    return evaluate(s.source_, term, s.parallel_, s.config_);
+    return evaluate(s.source_, term, s.parallel_, s.config_,
+                    PlanOrigin::kStaticFallback);
   }
 
   template <std::size_t I, typename Cur>

@@ -300,6 +300,14 @@ class Stream {
     return std::move(*this);
   }
 
+  /// Replace the whole execution configuration at once (pool, grain,
+  /// sized-sink, fusion, auto-grain) — the bulk form of the with_*
+  /// setters above, for callers that already hold an ExecutionConfig.
+  Stream<T>&& with_config(const ExecutionConfig& cfg) && {
+    config_ = cfg;
+    return std::move(*this);
+  }
+
   // ---- intermediate operations (consume the stream) ------------------
 
   template <typename Fn>

@@ -1,0 +1,160 @@
+// Planner ≡ legacy predicates (PR 7): the ExecutionPlan verdicts recorded
+// by the unified evaluate() entry must coincide with the scattered
+// predicates they replaced — expects_fusion_admission and
+// expects_dps_admission over generated pipelines — and planning must be
+// deterministic (same shape, same plan). Also exercises PlanCache replay:
+// an installed profile must be consumed by the next auto-grain plan for
+// the same shape key, and never coarsen the grain past the default.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "proptest/pipelines.hpp"
+#include "proptest/prop.hpp"
+#include "streams/parallel_eval.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+namespace streams = pls::streams;
+
+Config suite_config(int iterations) {
+  Config cfg;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+/// Run the shape through the unified terminal (to_vector == collect with
+/// a sized-sink VectorCollector) and return the recorded plan.
+streams::ExecutionPlan plan_of(const PipelineShape& s,
+                               const streams::ExecutionConfig& cfg = {},
+                               bool parallel = false) {
+  if (parallel) {
+    auto out = build_stream(s).with_config(cfg).parallel().to_vector();
+    (void)out;
+  } else {
+    auto out = build_stream(s).with_config(cfg).to_vector();
+    (void)out;
+  }
+  return streams::last_plan();
+}
+
+/// The planner's fusion verdict matches the legacy admission predicate
+/// for every generated shape.
+TEST(PlanEquivalence, FusionVerdictMatchesLegacyPredicate) {
+  const auto result = check(
+      "plan.fused == expects_fusion_admission", suite_config(150),
+      [](Rand& r) { return gen_pipeline(r, 10); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        const auto plan = plan_of(s);
+        if (plan.fused != expects_fusion_admission(s)) {
+          return PropStatus::fail(
+              plan.fused ? "planner fused a shape the legacy gate refused"
+                         : "planner refused a shape the legacy gate fused");
+        }
+        if (plan.fused && plan.fusion_reason != streams::PlanReason::kAdmitted) {
+          return PropStatus::fail("fused plan carries a refusal reason");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// The planner's DPS verdict matches the legacy admission predicate, and
+/// an admitted plan names the window it will write.
+TEST(PlanEquivalence, DpsVerdictMatchesLegacyPredicate) {
+  const auto result = check(
+      "plan.dps == expects_dps_admission", suite_config(150),
+      [](Rand& r) { return gen_pipeline(r, 10); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        const auto plan = plan_of(s);
+        if (plan.dps != expects_dps_admission(s)) {
+          return PropStatus::fail(
+              plan.dps ? "planner admitted a shape the legacy DPS gate "
+                         "refused: " +
+                             s.debug_string()
+                       : "planner refused a shape the legacy DPS gate "
+                         "admitted: " +
+                             s.debug_string());
+        }
+        if (plan.dps) {
+          if (!plan.window.has_value() || plan.window->count != s.size) {
+            return PropStatus::fail("admitted plan lacks its window");
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Same shape, same plan — byte-identical verdicts, reasons, routing and
+/// explain() text across repeated planning.
+TEST(PlanEquivalence, PlanningIsDeterministic) {
+  const auto result = check(
+      "same shape => same plan", suite_config(100),
+      [](Rand& r) { return gen_pipeline(r, 10); },
+      [](const PipelineShape& s) { return shrink_pipeline(s); },
+      [](const PipelineShape& s) -> PropStatus {
+        const auto a = plan_of(s);
+        const auto b = plan_of(s);
+        if (a.fused != b.fused || a.dps != b.dps ||
+            a.fusion_reason != b.fusion_reason ||
+            a.dps_reason != b.dps_reason || a.grain != b.grain ||
+            a.drive != b.drive || a.kernel != b.kernel ||
+            a.cache_key != b.cache_key || a.explain() != b.explain()) {
+          return PropStatus::fail("replanning changed the plan: " +
+                                  s.debug_string());
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// PlanCache replay: installing a profile for a plan's shape key makes
+/// the next auto-grain plan consume it, tuned no coarser than default.
+TEST(PlanEquivalence, PlanCacheReplayTunesGrain) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto result = check(
+      "installed profile => auto-tuned grain", suite_config(40),
+      [](Rand& r) {
+        PipelineShape s = gen_pipeline(r, 8);
+        s.size = gen_pow2_size(r, 4, 10);  // big enough to go parallel
+        return s;
+      },
+      [&pool](const PipelineShape& s) -> PropStatus {
+        streams::PlanCache::global().clear();
+        auto cfg = streams::ExecutionConfig{}.with_pool(pool).with_auto_grain(
+            true);
+        const auto before = plan_of(s, cfg, /*parallel=*/true);
+        if (before.grain_source == streams::GrainSource::kAutoTuned) {
+          return PropStatus::fail("tuned grain without any profile");
+        }
+        streams::PlanProfile prof;
+        prof.samples = 1;
+        prof.per_element_ns = 1e3;
+        prof.tuned_grain = streams::PlanCache::tuned_grain_for(
+            before.source_size, before.parallelism, prof.per_element_ns);
+        streams::PlanCache::global().put(before.cache_key, prof);
+        const auto after = plan_of(s, cfg, /*parallel=*/true);
+        streams::PlanCache::global().clear();
+        if (after.grain_source != streams::GrainSource::kAutoTuned) {
+          return PropStatus::fail("profile not consumed on replay: " +
+                                  s.debug_string());
+        }
+        if (after.grain > streams::default_grain(after.source_size,
+                                                 after.parallelism)) {
+          return PropStatus::fail("auto-grain coarser than the default");
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+}  // namespace

@@ -1,5 +1,5 @@
 // Admission boundary of the destination-passing collect (PR 2): the
-// routing predicate detail::sized_sink_window must admit exactly the
+// planner predicate plan_dps_window must admit exactly the
 // windowed, exactly-sized, power-of-two sources — and both routes must
 // produce identical results, so a misrouted pipeline is a performance bug,
 // never a correctness bug.
@@ -34,13 +34,13 @@ Config suite_config(int iterations) {
 /// all-1:1 chain" — expects_dps_admission.
 TEST(RoutingAdmission, WindowPresenceMatchesPowerOfTwoPredicate) {
   const auto result = check(
-      "sized_sink_window present == power-of-two size", suite_config(150),
+      "plan_dps_window present == power-of-two size", suite_config(150),
       [](Rand& r) { return gen_pipeline(r, 10); },
       [](const PipelineShape& s) { return shrink_pipeline(s); },
       [](const PipelineShape& s) -> PropStatus {
         const auto stream = build_stream(s);
         const bool admitted =
-            streams::detail::sized_sink_window(stream.spliterator())
+            streams::plan_dps_window(stream.spliterator())
                 .has_value();
         if (admitted != expects_dps_admission(s)) {
           return PropStatus::fail(
@@ -83,7 +83,7 @@ TEST(RoutingAdmission, SizeObscuringWrappersAreNeverAdmitted) {
                   build_stream(s), build_stream(s));
           }
         }();
-        if (streams::detail::sized_sink_window(wrapped.spliterator())
+        if (streams::plan_dps_window(wrapped.spliterator())
                 .has_value()) {
           return PropStatus::fail(
               "size-obscuring wrapper kept DPS admission (variant " +
@@ -136,7 +136,7 @@ TEST(RoutingAdmission, ExactBoundaryAroundPowersOfTwo) {
       s.data_seed = 1234;
       const auto stream = build_stream(s);
       EXPECT_EQ(
-          streams::detail::sized_sink_window(stream.spliterator())
+          streams::plan_dps_window(stream.spliterator())
               .has_value(),
           pls::is_power_of_two(n))
           << "n=" << n;

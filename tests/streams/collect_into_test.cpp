@@ -48,7 +48,7 @@ static_assert(SizedSinkCollector<VectorCollector<int>, int>,
 TEST(SizedSinkAdmission, PowerOfTwoArrayQualifies) {
   auto data = std::make_shared<const std::vector<int>>(test_data(8));
   ArraySpliterator<int> sp(data);
-  const auto w = pls::streams::detail::sized_sink_window(sp);
+  const auto w = pls::streams::plan_dps_window(sp);
   ASSERT_TRUE(w.has_value());
   EXPECT_EQ(w->start, 0u);
   EXPECT_EQ(w->incr, 1u);
@@ -58,7 +58,7 @@ TEST(SizedSinkAdmission, PowerOfTwoArrayQualifies) {
 TEST(SizedSinkAdmission, NonPowerOfTwoFallsBack) {
   auto data = std::make_shared<const std::vector<int>>(test_data(6));
   ArraySpliterator<int> sp(data);
-  EXPECT_FALSE(pls::streams::detail::sized_sink_window(sp).has_value());
+  EXPECT_FALSE(pls::streams::plan_dps_window(sp).has_value());
 }
 
 TEST(SizedSinkAdmission, UnsizedSourceFallsBack) {
@@ -68,7 +68,7 @@ TEST(SizedSinkAdmission, UnsizedSourceFallsBack) {
   FilterSpliterator<int, std::function<bool(const int&)>> sp(
       std::make_unique<ArraySpliterator<int>>(data), pred);
   EXPECT_FALSE(sp.has(pls::streams::kSized));
-  EXPECT_FALSE(pls::streams::detail::sized_sink_window(sp).has_value());
+  EXPECT_FALSE(pls::streams::plan_dps_window(sp).has_value());
 }
 
 // ---- the zero-copy guarantee ----------------------------------------
@@ -232,7 +232,7 @@ TEST(CollectInto, ExplicitRootWindowOnSubWindowSource) {
   // nonzero start; the evaluator must rebase it to fill the result from 0.
   auto storage = std::make_shared<const std::vector<int>>(test_data(64));
   ArraySpliterator<int> sp(storage, 16, 48);  // 32 elements, start 16
-  const auto root = pls::streams::detail::sized_sink_window(sp);
+  const auto root = pls::streams::plan_dps_window(sp);
   ASSERT_TRUE(root.has_value());
   EXPECT_EQ(root->start, 16u);
   auto out = pls::streams::evaluate_collect_into(

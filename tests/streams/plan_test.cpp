@@ -1,0 +1,269 @@
+// The execution planner (streams/plan.hpp): admission verdicts with
+// reasons, grain resolution (explicit / default / auto-tuned), the
+// PlanCache policy maths, plan recording, and the explain() dump. These
+// are the single-home predicates every entry point routes through, so
+// the cases here pin the whole decision table.
+#include "streams/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "streams/collectors.hpp"
+#include "streams/parallel_eval.hpp"
+#include "streams/spliterators.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+namespace streams = pls::streams;
+using streams::ArraySpliterator;
+using streams::DriveMode;
+using streams::ExecutionConfig;
+using streams::ExecutionPlan;
+using streams::GrainSource;
+using streams::PlanCache;
+using streams::PlanOrigin;
+using streams::PlanProfile;
+using streams::PlanReason;
+using streams::TerminalKind;
+
+std::shared_ptr<const std::vector<int>> ints(std::size_t n) {
+  std::vector<int> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<int>(i);
+  return std::make_shared<const std::vector<int>>(std::move(v));
+}
+
+std::unique_ptr<streams::Spliterator<int>> array_source(std::size_t n) {
+  return std::make_unique<ArraySpliterator<int>>(ints(n));
+}
+
+// ---- DPS admission (plan_dps_window) --------------------------------
+
+TEST(PlanDpsWindow, AdmitsPowerOfTwoWindowedSource) {
+  ArraySpliterator<int> sp(ints(16));
+  const auto w = streams::plan_dps_window(sp);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->count, 16u);
+}
+
+TEST(PlanDpsWindow, RejectsNonPowerOfTwo) {
+  ArraySpliterator<int> sp(ints(12));
+  EXPECT_FALSE(streams::plan_dps_window(sp).has_value());
+}
+
+// ---- plan_pipeline verdicts -----------------------------------------
+
+TEST(PlanPipeline, FusedDpsCollectPlan) {
+  auto sp = array_source(64);
+  const ExecutionConfig cfg;
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, /*collector_sized=*/true,
+      /*chunk_collector=*/false, /*parallel=*/false, cfg);
+  ASSERT_NE(planned.fused, nullptr);
+  const ExecutionPlan& p = planned.plan;
+  EXPECT_TRUE(p.fused);
+  EXPECT_EQ(p.fusion_reason, PlanReason::kAdmitted);
+  EXPECT_TRUE(p.dps);
+  EXPECT_EQ(p.dps_reason, PlanReason::kAdmitted);
+  ASSERT_TRUE(p.window.has_value());
+  EXPECT_EQ(p.window->count, 64u);
+  EXPECT_EQ(p.drive, DriveMode::kSequential);
+  EXPECT_EQ(p.grain_source, GrainSource::kNone);
+}
+
+TEST(PlanPipeline, FusionOffGivesLegacyPlanWithReason) {
+  auto sp = array_source(64);
+  const auto cfg = ExecutionConfig{}.with_fusion(false);
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, false, cfg);
+  EXPECT_EQ(planned.fused, nullptr);
+  EXPECT_NE(sp, nullptr);  // source untouched on refusal
+  EXPECT_FALSE(planned.plan.fused);
+  EXPECT_EQ(planned.plan.fusion_reason, PlanReason::kDisabledByConfig);
+  EXPECT_TRUE(planned.plan.dps);  // DPS still admits through the wrapper
+}
+
+TEST(PlanPipeline, NonCollectTerminalNeverDps) {
+  auto sp = array_source(64);
+  const ExecutionConfig cfg;
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCount, false, false, false, cfg);
+  EXPECT_FALSE(planned.plan.dps);
+  EXPECT_EQ(planned.plan.dps_reason, PlanReason::kTerminalNotCollect);
+}
+
+TEST(PlanPipeline, SizedSinkOffIsDisabledByConfig) {
+  auto sp = array_source(64);
+  const auto cfg = ExecutionConfig{}.with_sized_sink(false);
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, false, cfg);
+  EXPECT_FALSE(planned.plan.dps);
+  EXPECT_EQ(planned.plan.dps_reason, PlanReason::kDisabledByConfig);
+}
+
+TEST(PlanPipeline, NonPowerOfTwoRefusesDpsWithReason) {
+  auto sp = array_source(48);
+  const ExecutionConfig cfg;
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, false, cfg);
+  EXPECT_FALSE(planned.plan.dps);
+  EXPECT_EQ(planned.plan.dps_reason, PlanReason::kNotPowerOfTwo);
+}
+
+// ---- grain resolution ------------------------------------------------
+
+TEST(PlanGrain, ExplicitMinChunkWins) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  auto sp = array_source(1024);
+  const auto cfg = ExecutionConfig{}.with_pool(pool).with_min_chunk(17);
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, /*parallel=*/true, cfg);
+  EXPECT_EQ(planned.plan.grain, 17u);
+  EXPECT_EQ(planned.plan.grain_source, GrainSource::kExplicit);
+}
+
+TEST(PlanGrain, DefaultIsJavaQuarterRule) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  auto sp = array_source(1024);
+  const auto cfg = ExecutionConfig{}.with_pool(pool);
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, true, cfg);
+  EXPECT_EQ(planned.plan.grain, streams::default_grain(1024, 2));
+  EXPECT_EQ(planned.plan.grain_source, GrainSource::kDefault);
+}
+
+TEST(PlanGrain, AutoGrainConsumesCacheAndNeverCoarsens) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  PlanCache::global().clear();
+  const auto cfg =
+      ExecutionConfig{}.with_pool(pool).with_auto_grain(true);
+
+  // Without a profile: identical to the default plan.
+  {
+    auto sp = array_source(1024);
+    auto planned = streams::plan_pipeline<int>(
+        sp, TerminalKind::kCollect, true, false, true, cfg);
+    EXPECT_EQ(planned.plan.grain_source, GrainSource::kDefault);
+  }
+
+  // With a profile installed for the shape key: tuned, and never coarser
+  // than the default.
+  std::uint64_t key = 0;
+  {
+    auto sp = array_source(1024);
+    auto planned = streams::plan_pipeline<int>(
+        sp, TerminalKind::kCollect, true, false, true, cfg);
+    key = planned.plan.cache_key;
+  }
+  PlanProfile prof;
+  prof.samples = 1;
+  prof.per_element_ns = 1e4;  // expensive elements => tiny tuned grain
+  prof.tuned_grain =
+      PlanCache::tuned_grain_for(1024, 2, prof.per_element_ns);
+  PlanCache::global().put(key, prof);
+  {
+    auto sp = array_source(1024);
+    auto planned = streams::plan_pipeline<int>(
+        sp, TerminalKind::kCollect, true, false, true, cfg);
+    EXPECT_EQ(planned.plan.grain_source, GrainSource::kAutoTuned);
+    EXPECT_EQ(planned.plan.grain, prof.tuned_grain);
+    EXPECT_LE(planned.plan.grain, streams::default_grain(1024, 2));
+  }
+  PlanCache::global().clear();
+}
+
+TEST(PlanCachePolicy, TunedGrainBounds) {
+  // Cheap elements: the budget dominates the default => default wins.
+  EXPECT_EQ(PlanCache::tuned_grain_for(1 << 20, 4, 0.5),
+            streams::default_grain(1 << 20, 4));
+  // No measurement: default.
+  EXPECT_EQ(PlanCache::tuned_grain_for(1 << 20, 4, 0.0),
+            streams::default_grain(1 << 20, 4));
+  // Expensive elements: budget / cost, floored at 1.
+  EXPECT_EQ(PlanCache::tuned_grain_for(1 << 20, 4, 2e5), 1u);
+  const std::uint64_t tuned = PlanCache::tuned_grain_for(1 << 20, 4, 100.0);
+  EXPECT_EQ(tuned, static_cast<std::uint64_t>(
+                       streams::kAutoGrainTargetLeafNs / 100.0));
+  EXPECT_LE(tuned, streams::default_grain(1 << 20, 4));
+}
+
+TEST(PlanCachePolicy, PutLookupClear) {
+  PlanCache cache;
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  PlanProfile p;
+  p.tuned_grain = 128;
+  cache.put(42, p);
+  ASSERT_TRUE(cache.lookup(42).has_value());
+  EXPECT_EQ(*cache.lookup(42), 128u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(42).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- determinism and the shape key ----------------------------------
+
+TEST(PlanDeterminism, SameShapeSamePlan) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const auto cfg = ExecutionConfig{}.with_pool(pool);
+  auto a_sp = array_source(256);
+  auto b_sp = array_source(256);
+  auto a = streams::plan_pipeline<int>(a_sp, TerminalKind::kCollect, true,
+                                       false, true, cfg);
+  auto b = streams::plan_pipeline<int>(b_sp, TerminalKind::kCollect, true,
+                                       false, true, cfg);
+  EXPECT_EQ(a.plan.cache_key, b.plan.cache_key);
+  EXPECT_EQ(a.plan.fused, b.plan.fused);
+  EXPECT_EQ(a.plan.dps, b.plan.dps);
+  EXPECT_EQ(a.plan.grain, b.plan.grain);
+  EXPECT_EQ(a.plan.explain(), b.plan.explain());
+}
+
+TEST(PlanCacheKey, DistinguishesShapes) {
+  const auto k = [](TerminalKind kind, std::uint64_t n, unsigned p,
+                    std::uint32_t stages) {
+    return streams::plan_cache_key(kind, n, p, stages, true, false);
+  };
+  EXPECT_NE(k(TerminalKind::kCollect, 64, 4, 0),
+            k(TerminalKind::kReduce, 64, 4, 0));
+  EXPECT_NE(k(TerminalKind::kCollect, 64, 4, 0),
+            k(TerminalKind::kCollect, 128, 4, 0));
+  EXPECT_NE(k(TerminalKind::kCollect, 64, 4, 0),
+            k(TerminalKind::kCollect, 64, 8, 0));
+  EXPECT_NE(k(TerminalKind::kCollect, 64, 4, 0),
+            k(TerminalKind::kCollect, 64, 4, 2));
+}
+
+// ---- recording and explain() ----------------------------------------
+
+TEST(PlanRecording, TerminalsRecordLastPlan) {
+  auto data = ints(32);
+  auto out = streams::stream_support::from_spliterator<int>(
+                 std::make_unique<ArraySpliterator<int>>(data), false)
+                 .to_vector();
+  EXPECT_EQ(out.size(), 32u);
+  const ExecutionPlan& p = streams::last_plan();
+  EXPECT_EQ(p.terminal, TerminalKind::kCollect);
+  EXPECT_EQ(p.origin, PlanOrigin::kDynamic);
+  EXPECT_TRUE(p.fused);
+  EXPECT_EQ(p.source_size, 32u);
+}
+
+TEST(PlanExplain, NamesTheDecisions) {
+  auto sp = array_source(64);
+  const ExecutionConfig cfg;
+  auto planned = streams::plan_pipeline<int>(
+      sp, TerminalKind::kCollect, true, false, false, cfg);
+  const std::string text = planned.plan.explain();
+  EXPECT_NE(text.find("plan: collect"), std::string::npos);
+  EXPECT_NE(text.find("source : 64 elements"), std::string::npos);
+  EXPECT_NE(text.find("fusion : admitted"), std::string::npos);
+  EXPECT_NE(text.find("dps"), std::string::npos);
+}
+
+}  // namespace

@@ -254,7 +254,7 @@ TEST(UnifiedEvaluate, DeprecatedAliasesStillWork) {
   std::unique_ptr<streams::Spliterator<std::int64_t>> sp =
       std::make_unique<streams::ArraySpliterator<std::int64_t>>(
           std::make_shared<const std::vector<std::int64_t>>(iota(10)));
-  EXPECT_EQ(streams::evaluate_count_pipeline(sp, false), 10u);
+  EXPECT_EQ(streams::evaluate(sp, streams::terminals::count(), false), 10u);
 #pragma GCC diagnostic pop
 }
 
