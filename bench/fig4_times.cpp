@@ -16,6 +16,12 @@
 //                per chunk) — the trio the perf-smoke gate watches
 //                (docs/execution.md, "pipeline fusion" and "static
 //                fusion & SIMD chunk kernels");
+//   flat_map_*   a fan-out-4 flat_map feeding two map stages and a sum,
+//                fused (multi-accept FlatMapSink batching expansions into
+//                the chunk protocol) vs legacy (the buffering wrapper
+//                walk, one virtual try_advance per produced element) —
+//                the expansion allocation is identical on both routes,
+//                so the delta is pure transport;
 //   horner_*     the Horner chunk kernel itself over the coefficient
 //                array, blocked/SIMD vs scalar — isolates the kernel
 //                speedup from stream transport.
@@ -94,6 +100,28 @@ double run_map_chain_static(
       .reduce(0.0, [](double a, double b) { return a + b; });
 }
 
+// The widened-fusion workload: a fan-out-8 flat_map into three map
+// stages, reduced to a sum. Each input element allocates the same
+// 8-element expansion on both routes; legacy then pays one virtual
+// try_advance per produced element through four wrappers, while the
+// fused chain batches whole expansions into accept_chunk — the wider the
+// fan, the more transported elements each (shared) allocation amortises.
+double run_flat_map_chain(
+    const std::shared_ptr<const std::vector<double>>& coeffs, bool fusion) {
+  return pls::streams::Stream<double>::of_shared(coeffs)
+      .with_fusion(fusion)
+      .flat_map([](const double& v) {
+        return std::vector<double>{v,          v * 0.5,   v + 0.25,
+                                   v * v,      v - 0.125, v * 2.0,
+                                   v + 1.0,    v * -0.75};
+      })
+      .map([](const double& v) { return v * 1.0000001; })
+      .map([](const double& v) { return v + 0.0625; })
+      .map([](const double& v) { return v * 0.9999999; })
+      .map([](const double& v) { return v - 0.125; })
+      .reduce(0.0, [](double a, double b) { return a + b; });
+}
+
 TaskTrace build_collect_trace(std::size_t n, unsigned cores) {
   const std::size_t target = std::max<std::size_t>(1, n / (4ull * cores));
   unsigned levels = 0;
@@ -130,6 +158,7 @@ int main(int argc, char** argv) {
   pls::TextTable table({"log2(n)", "n", "seq_ms", "seq_rsd", "par1_ms",
                         "par_sim_ms", "par_wall_ms", "par_wall_rsd",
                         "mc_fused_ms", "mc_legacy_ms", "mc_static_ms",
+                        "fm_fused_ms", "fm_legacy_ms",
                         "horner_simd", "horner_scal"});
 
   std::vector<std::string> json_rows;
@@ -173,6 +202,10 @@ int main(int argc, char** argv) {
         [&] { pls::bench::keep(run_map_chain(coeffs, false)); }, reps);
     const auto mc_static = pls::bench::time_ms(
         [&] { pls::bench::keep(run_map_chain_static(coeffs)); }, reps);
+    const auto fm_fused = pls::bench::time_ms(
+        [&] { pls::bench::keep(run_flat_map_chain(coeffs, true)); }, reps);
+    const auto fm_legacy = pls::bench::time_ms(
+        [&] { pls::bench::keep(run_flat_map_chain(coeffs, false)); }, reps);
 
     // Kernel-level Horner: blocked/SIMD vs scalar over the raw array, no
     // stream transport — the pair behind the simd_kernels toggle of
@@ -219,6 +252,8 @@ int main(int argc, char** argv) {
                    pls::TextTable::num(mc_fused.mean),
                    pls::TextTable::num(mc_legacy.mean),
                    pls::TextTable::num(mc_static.mean),
+                   pls::TextTable::num(fm_fused.mean),
+                   pls::TextTable::num(fm_legacy.mean),
                    pls::TextTable::num(h_simd.mean),
                    pls::TextTable::num(h_scalar.mean)});
 
@@ -230,6 +265,8 @@ int main(int argc, char** argv) {
     pls::bench::stats_fields(row, "map_chain_fused_", mc_fused);
     pls::bench::stats_fields(row, "map_chain_legacy_", mc_legacy);
     pls::bench::stats_fields(row, "map_chain_static_", mc_static);
+    pls::bench::stats_fields(row, "flat_map_fused_", fm_fused);
+    pls::bench::stats_fields(row, "flat_map_legacy_", fm_legacy);
     pls::bench::stats_fields(row, "horner_simd_", h_simd);
     pls::bench::stats_fields(row, "horner_scalar_", h_scalar);
     row.field("par_sim_ms", sim.makespan_ns / 1e6)

@@ -11,15 +11,19 @@
 // out in an admissible source (SIZED|SUBSIZED, windowed, window count ==
 // size — the same shape test the destination-passing collect uses), the
 // wrappers are consumed and the fused pipeline takes over. When any layer
-// is non-fusible (sorted/concat/flat_map products, an unsized iterate
-// tail, a non-windowed source), nothing is consumed and the caller falls
-// back to the wrapper path unchanged.
+// is non-fusible (concat products, an unsized iterate tail, a
+// non-windowed source), nothing is consumed and the caller falls back to
+// the wrapper path unchanged. sorted is special: it materialises its
+// buffer and restarts the fusion walk on it as a fresh windowed array
+// source, so everything *downstream* of the buffer point still fuses.
 //
 // Splitting a FusedPipeline splits the source and shares the stage chain,
 // so the parallel tree walks fork fused leaves exactly where they forked
 // wrapper leaves. Chains containing a cancelling stage (limit/take_while)
 // refuse to split — their wrappers did too — and always run the
 // element-mode driver, preserving short-circuit consumption depth.
+// Stateful chains (distinct) also refuse to split, but keep the chunked
+// transport within their single leaf.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +60,12 @@ class StageNode {
   /// True for short-circuit stages (limit / take_while): the chain must
   /// run element-mode with cancellation checks and never split.
   virtual bool cancels() const noexcept { return false; }
+
+  /// True for stages whose sink carries traversal-wide state (distinct's
+  /// seen-set): the chain must be driven by exactly one leaf — split
+  /// products would each dedup against their own empty set — but may
+  /// still use the chunked transport.
+  virtual bool stateful() const noexcept { return false; }
 
   /// True when the stage maps elements 1:1 (map / peek) — the property
   /// that keeps destination windows meaningful through the chain.
@@ -95,6 +105,12 @@ class FusedPipeline {
   /// begin/end; uses the chunked transport unless the chain cancels.
   virtual void drive(SinkControl& terminal) = 0;
 
+  /// Like drive(), but always element-mode with a cancellation check
+  /// between source elements, regardless of whether any *stage* cancels —
+  /// for short-circuit terminals (any/all/none_match, find_first), whose
+  /// cancellation signal lives in the terminal sink itself.
+  virtual void drive_short_circuit(SinkControl& terminal) = 0;
+
   virtual const std::type_info& output_type() const noexcept = 0;
 
   /// Append the next-outer stage (fusion walks outermost-in, so stages
@@ -103,6 +119,7 @@ class FusedPipeline {
 
   bool cancels() const noexcept { return cancels_; }
   bool one_to_one() const noexcept { return one_to_one_; }
+  bool stateful() const noexcept { return stateful_; }
 
   /// Number of stripped stages in the chain (the planner's stage summary).
   std::size_t stage_count() const noexcept { return stages().size(); }
@@ -126,6 +143,7 @@ class FusedPipeline {
 
   bool cancels_ = false;
   bool one_to_one_ = true;
+  bool stateful_ = false;
 };
 
 /// Mixin for wrapper spliterators that can dissolve into a fused stage.
@@ -155,13 +173,14 @@ class FusedPipelineImpl final : public FusedPipeline {
   }
 
   std::unique_ptr<FusedPipeline> try_split() override {
-    if (cancels_) return nullptr;
+    if (cancels_ || stateful_) return nullptr;
     auto prefix = source_->try_split();
     if (!prefix) return nullptr;
     auto out = std::make_unique<FusedPipelineImpl<S>>(std::move(prefix));
     out->stages_ = stages_;
     out->cancels_ = cancels_;
     out->one_to_one_ = one_to_one_;
+    out->stateful_ = stateful_;
     return out;
   }
 
@@ -175,10 +194,20 @@ class FusedPipelineImpl final : public FusedPipeline {
               "fusion stage input does not match chain output");
     cancels_ = cancels_ || stage->cancels();
     one_to_one_ = one_to_one_ && stage->one_to_one();
+    stateful_ = stateful_ || stage->stateful();
     stages_.push_back(std::move(stage));
   }
 
   void drive(SinkControl& terminal) override {
+    run_drive(terminal, /*element_mode=*/cancels_);
+  }
+
+  void drive_short_circuit(SinkControl& terminal) override {
+    run_drive(terminal, /*element_mode=*/true);
+  }
+
+ private:
+  void run_drive(SinkControl& terminal, bool element_mode) {
     // Compose the sink chain back-to-front: terminal first, then each
     // stage outermost-in. One virtual wrap_sink per stage per leaf.
     std::vector<std::unique_ptr<SinkControl>> owned;
@@ -194,7 +223,7 @@ class FusedPipelineImpl final : public FusedPipeline {
     auto& head = static_cast<Sink<S>&>(*down);
     head.begin(source_->has(kSized) ? source_->estimate_size()
                                     : kUnknownSinkSize);
-    if (cancels_) {
+    if (element_mode) {
       drive_cancellable(head);
     } else {
       drive_bulk(head);
@@ -202,7 +231,6 @@ class FusedPipelineImpl final : public FusedPipeline {
     head.end();
   }
 
- private:
   /// Element-mode with a cancellation check between elements: consumes
   /// exactly as deep into the source as the wrapper chain would have.
   void drive_cancellable(Sink<S>& head) {
@@ -349,6 +377,54 @@ class SliceStage final : public StageNode {
  private:
   std::uint64_t skip_;
   std::uint64_t limit_;
+};
+
+template <typename Out, typename In, typename Fn>
+class FlatMapStage final : public StageNode {
+ public:
+  explicit FlatMapStage(std::shared_ptr<const Fn> fn) : fn_(std::move(fn)) {}
+
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<FlatMapSink<In, Out, Fn>>(
+        fn_, static_cast<Sink<Out>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(In);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(Out);
+  }
+  bool one_to_one() const noexcept override { return false; }
+  std::uint64_t transform_count(std::uint64_t) const noexcept override {
+    // Fan-out per element is arbitrary; the wrapper dropped kSized too.
+    return kUnknownSinkSize;
+  }
+
+ private:
+  std::shared_ptr<const Fn> fn_;
+};
+
+template <typename T>
+class DistinctStage final : public StageNode {
+ public:
+  std::unique_ptr<SinkControl> wrap_sink(
+      SinkControl& downstream) const override {
+    return std::make_unique<DistinctSink<T>>(static_cast<Sink<T>&>(downstream));
+  }
+
+  const std::type_info& input_type() const noexcept override {
+    return typeid(T);
+  }
+  const std::type_info& output_type() const noexcept override {
+    return typeid(T);
+  }
+  bool one_to_one() const noexcept override { return false; }
+  bool stateful() const noexcept override { return true; }
+  std::uint64_t transform_count(std::uint64_t) const noexcept override {
+    return kUnknownSinkSize;
+  }
 };
 
 template <typename T, typename Pred>

@@ -69,6 +69,28 @@ struct ForEach {
 
 struct Count {};
 
+// Short-circuit terminals: the cancellation signal lives in the terminal
+// sink itself, so fused plans drive these element-mode regardless of the
+// stage chain (DriveMode::kElementLoop) and consume exactly as deep into
+// the source as the legacy pull loops.
+
+template <typename Pred>
+struct AnyMatch {
+  const Pred& pred;
+};
+
+template <typename Pred>
+struct AllMatch {
+  const Pred& pred;
+};
+
+template <typename Pred>
+struct NoneMatch {
+  const Pred& pred;
+};
+
+struct FindFirst {};
+
 template <typename C>
 constexpr Collect<C> collect(const C& c) {
   return {c};
@@ -82,6 +104,19 @@ constexpr ForEach<Fn> for_each(const Fn& fn) {
   return {fn};
 }
 constexpr Count count() { return {}; }
+template <typename Pred>
+constexpr AnyMatch<Pred> any_match(const Pred& pred) {
+  return {pred};
+}
+template <typename Pred>
+constexpr AllMatch<Pred> all_match(const Pred& pred) {
+  return {pred};
+}
+template <typename Pred>
+constexpr NoneMatch<Pred> none_match(const Pred& pred) {
+  return {pred};
+}
+constexpr FindFirst find_first() { return {}; }
 
 }  // namespace terminals
 
@@ -449,6 +484,67 @@ class CountSink final : public Sink<T> {
   std::uint64_t n_ = 0;
 };
 
+// Cancelling terminal sinks of the short-circuit terminals. Each raises
+// cancellation_requested() the moment its answer is decided; the
+// element-mode driver (FusedPipeline::drive_short_circuit) checks it
+// between source elements, so the source is consumed exactly as deep as
+// the legacy pull loop would have consumed it.
+
+template <typename T, typename Pred>
+class AnyMatchSink final : public Sink<T> {
+ public:
+  AnyMatchSink(const Pred& pred, bool& found) : pred_(pred), found_(found) {}
+
+  void accept(const T& value) override {
+    if (!found_ && pred_(value)) found_ = true;
+  }
+  bool cancellation_requested() const override { return found_; }
+
+ private:
+  const Pred& pred_;
+  bool& found_;
+};
+
+template <typename T, typename Pred>
+class AllMatchSink final : public Sink<T> {
+ public:
+  AllMatchSink(const Pred& pred, bool& ok) : pred_(pred), ok_(ok) {}
+
+  void accept(const T& value) override {
+    if (ok_ && !pred_(value)) ok_ = false;
+  }
+  bool cancellation_requested() const override { return !ok_; }
+
+ private:
+  const Pred& pred_;
+  bool& ok_;
+};
+
+template <typename T>
+class FindFirstSink final : public Sink<T> {
+ public:
+  explicit FindFirstSink(std::optional<T>& out) : out_(out) {}
+
+  void accept(const T& value) override {
+    if (!out_.has_value()) out_ = value;
+  }
+  bool cancellation_requested() const override { return out_.has_value(); }
+
+ private:
+  std::optional<T>& out_;
+};
+
+/// Drive a short-circuit terminal sink over a fused pipeline. Always one
+/// element-mode leaf on the calling thread — encounter-order semantics,
+/// exactly like the legacy pull loops (which also ignore parallelism).
+template <typename T, typename SinkT>
+void fused_short_circuit_drive(FusedPipeline& fp, SinkT& sink) {
+  observe::LatencyTimer leaf_timer(observe::Metric::kLeafRun);
+  observe::Span span(observe::EventKind::kAccumulate, 0);
+  observe::local_counters().on_fused_leaf();
+  fp.drive_short_circuit(sink);
+}
+
 /// Leaf-entry bookkeeping shared by every fused leaf: the same counter and
 /// critical-path feeds as the wrapper leaves (countable_estimate mirrors
 /// countable_size of the outermost wrapper), plus the fused tally.
@@ -779,6 +875,51 @@ std::uint64_t run_fused(FusedPipeline& fused, const terminals::Count&,
   return out;
 }
 
+// Short-circuit terminals run one element-mode leaf whatever the parallel
+// flag says (the plan records DriveMode::kElementLoop): splitting could
+// find *a* match but not the encounter-order-first one, and the legacy
+// pull loops they must stay consumption-identical to are sequential too.
+
+template <typename T, typename Pred>
+bool run_fused(FusedPipeline& fused, const terminals::AnyMatch<Pred>& term,
+               bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+               const ExecutionPlan& /*plan*/) {
+  bool found = false;
+  AnyMatchSink<T, Pred> sink(term.pred, found);
+  fused_short_circuit_drive<T>(fused, sink);
+  return found;
+}
+
+template <typename T, typename Pred>
+bool run_fused(FusedPipeline& fused, const terminals::AllMatch<Pred>& term,
+               bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+               const ExecutionPlan& /*plan*/) {
+  bool ok = true;
+  AllMatchSink<T, Pred> sink(term.pred, ok);
+  fused_short_circuit_drive<T>(fused, sink);
+  return ok;
+}
+
+template <typename T, typename Pred>
+bool run_fused(FusedPipeline& fused, const terminals::NoneMatch<Pred>& term,
+               bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+               const ExecutionPlan& /*plan*/) {
+  bool found = false;
+  AnyMatchSink<T, Pred> sink(term.pred, found);
+  fused_short_circuit_drive<T>(fused, sink);
+  return !found;
+}
+
+template <typename T>
+std::optional<T> run_fused(FusedPipeline& fused, const terminals::FindFirst&,
+                           bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+                           const ExecutionPlan& /*plan*/) {
+  std::optional<T> out;
+  FindFirstSink<T> sink(out);
+  fused_short_circuit_drive<T>(fused, sink);
+  return out;
+}
+
 }  // namespace detail
 
 /// Run a mutable reduction in destination-passing style: acquire the sized
@@ -956,6 +1097,34 @@ struct TerminalTraits<T, terminals::Count> {
   static constexpr bool chunk_collector = false;
 };
 
+template <typename T, typename Pred>
+struct TerminalTraits<T, terminals::AnyMatch<Pred>> {
+  static constexpr TerminalKind kind = TerminalKind::kAnyMatch;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
+template <typename T, typename Pred>
+struct TerminalTraits<T, terminals::AllMatch<Pred>> {
+  static constexpr TerminalKind kind = TerminalKind::kAllMatch;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
+template <typename T, typename Pred>
+struct TerminalTraits<T, terminals::NoneMatch<Pred>> {
+  static constexpr TerminalKind kind = TerminalKind::kNoneMatch;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
+template <typename T>
+struct TerminalTraits<T, terminals::FindFirst> {
+  static constexpr TerminalKind kind = TerminalKind::kFindFirst;
+  static constexpr bool sized_collector = false;
+  static constexpr bool chunk_collector = false;
+};
+
 // Legacy (pull-mode) routing, one overload per terminal descriptor.
 // Defined after the evaluate_* functions they forward to; the plan is
 // threaded through so grain/DPS follow the planner's verdicts.
@@ -988,6 +1157,56 @@ std::uint64_t run_legacy(Spliterator<T>& sp, const terminals::Count&,
                          bool parallel, const ExecutionConfig& cfg,
                          const ExecutionPlan* plan) {
   return evaluate_count(sp, parallel, cfg, plan);
+}
+
+// Short-circuit terminals: the exact pull loops the Stream terminals ran
+// before the unified dispatch — sequential, stopping at the first
+// deciding element. The fused sinks above must stay consumption-depth
+// identical to these.
+
+template <typename T, typename Pred>
+bool run_legacy(Spliterator<T>& sp, const terminals::AnyMatch<Pred>& term,
+                bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+                const ExecutionPlan* /*plan*/) {
+  bool found = false;
+  while (!found && sp.try_advance([&](const T& value) {
+    if (term.pred(value)) found = true;
+  })) {
+  }
+  return found;
+}
+
+template <typename T, typename Pred>
+bool run_legacy(Spliterator<T>& sp, const terminals::AllMatch<Pred>& term,
+                bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+                const ExecutionPlan* /*plan*/) {
+  bool ok = true;
+  while (ok && sp.try_advance([&](const T& value) {
+    if (!term.pred(value)) ok = false;
+  })) {
+  }
+  return ok;
+}
+
+template <typename T, typename Pred>
+bool run_legacy(Spliterator<T>& sp, const terminals::NoneMatch<Pred>& term,
+                bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+                const ExecutionPlan* /*plan*/) {
+  bool found = false;
+  while (!found && sp.try_advance([&](const T& value) {
+    if (term.pred(value)) found = true;
+  })) {
+  }
+  return !found;
+}
+
+template <typename T>
+std::optional<T> run_legacy(Spliterator<T>& sp, const terminals::FindFirst&,
+                            bool /*parallel*/, const ExecutionConfig& /*cfg*/,
+                            const ExecutionPlan* /*plan*/) {
+  std::optional<T> out;
+  sp.try_advance([&](const T& value) { out = value; });
+  return out;
 }
 
 }  // namespace detail

@@ -7,11 +7,15 @@
 // split shares them.
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "streams/plan.hpp"
 #include "streams/spliterator.hpp"
+#include "streams/spliterators.hpp"
 #include "support/assert.hpp"
 
 namespace pls::streams {
@@ -201,9 +205,11 @@ class PeekSpliterator final : public Spliterator<T>,
   std::shared_ptr<const Fn> observer_;
 };
 
-/// flat_map: Fn(T) -> std::vector<U>, concatenating the results.
+/// flat_map: Fn(T) -> std::vector<U>, concatenating the results. Fuses
+/// into a FlatMapSink — the mapMulti-style multi-accept expansion — as
+/// long as no expansion is mid-flight in the pull buffer.
 template <typename U, typename T, typename Fn>
-class FlatMapSpliterator final : public Spliterator<U> {
+class FlatMapSpliterator final : public Spliterator<U>, public FusableStage {
  public:
   using Action = typename Spliterator<U>::Action;
 
@@ -253,11 +259,168 @@ class FlatMapSpliterator final : public Spliterator<U> {
            ~(kSized | kSubsized | kSorted | kDistinct | kPower2);
   }
 
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    // Elements already expanded into the pull buffer precede the
+    // remaining upstream in encounter order; a fresh sink chain would
+    // drop them, so refuse (terminals strip before traversal anyway).
+    if (cursor_ < buffer_.size()) return nullptr;
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<FlatMapStage<U, T, Fn>>(fn_));
+    }
+    return fused;
+  }
+
  private:
   std::unique_ptr<Spliterator<T>> upstream_;
   std::shared_ptr<const Fn> fn_;
   std::vector<U> buffer_;
   std::size_t cursor_ = 0;
+};
+
+/// distinct: hash-dedup keeping first occurrences in encounter order.
+/// Stateful — the seen-set spans the traversal — so it refuses to split
+/// and its fused form admits only the single-leaf drive
+/// (PlanReason::kChainStateful).
+template <typename T>
+class DistinctSpliterator final : public Spliterator<T>, public FusableStage {
+ public:
+  using Action = typename Spliterator<T>::Action;
+
+  explicit DistinctSpliterator(std::unique_ptr<Spliterator<T>> upstream)
+      : upstream_(std::move(upstream)) {
+    PLS_CHECK(upstream_ != nullptr, "DistinctSpliterator requires upstream");
+  }
+
+  bool try_advance(Action action) override {
+    bool delivered = false;
+    while (!delivered) {
+      const bool advanced = upstream_->try_advance([&](const T& t) {
+        if (seen_.insert(t).second) {
+          action(t);
+          delivered = true;
+        }
+      });
+      if (!advanced) return false;
+    }
+    return true;
+  }
+
+  void for_each_remaining(Action action) override {
+    upstream_->for_each_remaining([&](const T& t) {
+      if (seen_.insert(t).second) action(t);
+    });
+  }
+
+  std::unique_ptr<Spliterator<T>> try_split() override { return nullptr; }
+
+  std::uint64_t estimate_size() const override {
+    return upstream_->estimate_size();  // upper bound
+  }
+
+  Characteristics characteristics() const override {
+    return (upstream_->characteristics() & ~(kSized | kSubsized | kPower2)) |
+           kDistinct;
+  }
+
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    auto fused = fuse_pipeline<T>(upstream_);
+    if (fused != nullptr) {
+      fused->append_stage(std::make_shared<DistinctStage<T>>());
+    }
+    return fused;
+  }
+
+ private:
+  std::unique_ptr<Spliterator<T>> upstream_;
+  std::unordered_set<T> seen_;
+};
+
+/// sorted: buffers the whole upstream at first need, sorts it, and then
+/// behaves as an array spliterator over the buffer — Java's full-barrier
+/// stateful op. The buffer point restarts fusion: strip_into_fused()
+/// materialises and re-enters fuse_pipeline on the buffer as a fresh
+/// windowed SIZED|SUBSIZED source, so every stage *downstream* of sorted
+/// still fuses (the stripped chain's source_size is the buffer count).
+template <typename T, typename Cmp>
+class SortedSpliterator final : public Spliterator<T>,
+                                public WindowedSource,
+                                public FusableStage {
+ public:
+  using Action = typename Spliterator<T>::Action;
+
+  SortedSpliterator(std::unique_ptr<Spliterator<T>> upstream, Cmp cmp)
+      : upstream_(std::move(upstream)), cmp_(std::move(cmp)) {
+    PLS_CHECK(upstream_ != nullptr, "SortedSpliterator requires upstream");
+  }
+
+  bool try_advance(Action action) override {
+    ensure_buffered();
+    return inner_->try_advance(action);
+  }
+
+  void for_each_remaining(Action action) override {
+    ensure_buffered();
+    inner_->for_each_remaining(action);
+  }
+
+  std::pair<const T*, std::size_t> try_contiguous_chunk(
+      std::size_t max_n) override {
+    ensure_buffered();
+    return inner_->try_contiguous_chunk(max_n);
+  }
+
+  std::unique_ptr<Spliterator<T>> try_split() override {
+    ensure_buffered();
+    return inner_->try_split();
+  }
+
+  std::uint64_t estimate_size() const override {
+    // Probes buffer eagerly: sorted is a full barrier regardless, and the
+    // buffer recovers exact sizing even when upstream obscured it — the
+    // planner must see the same shape the drive will.
+    ensure_buffered();
+    return inner_->estimate_size();
+  }
+
+  Characteristics characteristics() const override {
+    ensure_buffered();
+    return inner_->characteristics() | kSorted;
+  }
+
+  std::optional<OutputWindow> try_output_window() const override {
+    // Only the materialised buffer can name destination positions; the
+    // unsorted upstream's window would misplace every element.
+    ensure_buffered();
+    return output_window_of(*inner_);
+  }
+
+  std::unique_ptr<FusedPipeline> strip_into_fused() override {
+    // Materialise, then restart the fusion walk on the buffer: a fresh
+    // array source always admits, so sorted never blocks its downstream
+    // from fusing.
+    ensure_buffered();
+    return fuse_pipeline<T>(inner_);
+  }
+
+ private:
+  // Logically const: every observation of this spliterator goes through
+  // the buffer, so materialising it early never changes what callers see.
+  void ensure_buffered() const {
+    if (inner_) return;
+    auto values = std::make_shared<std::vector<T>>();
+    upstream_->for_each_remaining([&](const T& v) { values->push_back(v); });
+    std::sort(values->begin(), values->end(), cmp_);
+    inner_ = std::make_unique<ArraySpliterator<T>>(
+        std::shared_ptr<const std::vector<T>>(std::move(values)));
+    upstream_.reset();
+  }
+
+  mutable std::unique_ptr<Spliterator<T>> upstream_;
+  Cmp cmp_;
+  // Spliterator-typed (not ArraySpliterator) so strip_into_fused can hand
+  // it straight to fuse_pipeline.
+  mutable std::unique_ptr<Spliterator<T>> inner_;
 };
 
 }  // namespace pls::streams

@@ -108,6 +108,10 @@ enum class TerminalKind : std::uint8_t {
   kReduce,
   kForEach,
   kCount,
+  kAnyMatch,   ///< short-circuit: true on first satisfying element
+  kAllMatch,   ///< short-circuit: false on first failing element
+  kNoneMatch,  ///< short-circuit: false on first satisfying element
+  kFindFirst,  ///< short-circuit: first element in encounter order
   kPowerFunction,  ///< synthesized plans of the skeleton executors
 };
 
@@ -117,9 +121,20 @@ inline const char* terminal_name(TerminalKind k) {
     case TerminalKind::kReduce: return "reduce";
     case TerminalKind::kForEach: return "for_each";
     case TerminalKind::kCount: return "count";
+    case TerminalKind::kAnyMatch: return "any_match";
+    case TerminalKind::kAllMatch: return "all_match";
+    case TerminalKind::kNoneMatch: return "none_match";
+    case TerminalKind::kFindFirst: return "find_first";
     case TerminalKind::kPowerFunction: return "power_function";
   }
   return "?";
+}
+
+/// Short-circuit terminals cancel through the terminal sink itself: their
+/// fused drive is always the element loop, whatever the stage chain says.
+inline bool terminal_short_circuits(TerminalKind k) {
+  return k == TerminalKind::kAnyMatch || k == TerminalKind::kAllMatch ||
+         k == TerminalKind::kNoneMatch || k == TerminalKind::kFindFirst;
 }
 
 /// How the terminal drives the pipeline.
@@ -127,6 +142,7 @@ enum class DriveMode : std::uint8_t {
   kSequential,   ///< one leaf on the calling thread
   kForkJoinTree, ///< recursive split to grain, fork-join leaves
   kElementLoop,  ///< cancelling fused chain: single element-mode push loop
+  kStatefulLoop, ///< stateful fused chain: single leaf, chunked transport
 };
 
 inline const char* drive_name(DriveMode m) {
@@ -134,6 +150,7 @@ inline const char* drive_name(DriveMode m) {
     case DriveMode::kSequential: return "sequential";
     case DriveMode::kForkJoinTree: return "fork-join tree";
     case DriveMode::kElementLoop: return "element loop";
+    case DriveMode::kStatefulLoop: return "stateful loop";
   }
   return "?";
 }
@@ -175,6 +192,7 @@ enum class PlanReason : std::uint8_t {
   kNotPowerOfTwo,
   kChainNotOneToOne,
   kChainCancels,
+  kChainStateful,
   kChainNotFusable,
   kCollectorNotSized,
   kTerminalNotCollect,
@@ -194,6 +212,8 @@ inline const char* reason_name(PlanReason r) {
     case PlanReason::kNotPowerOfTwo: return "count not a power of two";
     case PlanReason::kChainNotOneToOne: return "chain has a non-1:1 stage";
     case PlanReason::kChainCancels: return "chain has a cancelling stage";
+    case PlanReason::kChainStateful:
+      return "chain has a stateful stage (single-leaf drive only)";
     case PlanReason::kChainNotFusable:
       return "a wrapper or the source refused fusion";
     case PlanReason::kCollectorNotSized:
@@ -248,6 +268,7 @@ struct ExecutionPlan {
   std::uint32_t stages = 0;
   bool one_to_one = true;
   bool cancels = false;
+  bool stateful = false;
 
   // Verdicts, each with the first failed admission test as its reason.
   bool fused = false;
@@ -279,7 +300,9 @@ struct ExecutionPlan {
     os << "  stages : ";
     if (fused) {
       os << stages << " fused (" << (one_to_one ? "1:1" : "non-1:1") << ", "
-         << (cancels ? "cancelling" : "non-cancelling") << ")";
+         << (cancels ? "cancelling" : "non-cancelling");
+      if (stateful) os << ", stateful";
+      os << ")";
     } else {
       os << "wrapper chain (opaque to the planner)";
     }
@@ -348,7 +371,7 @@ std::optional<OutputWindow> plan_dps_window(const Spliterator<T>& sp) {
 /// tests. Wrappers admit through delegated windows, which only 1:1
 /// chains provide, so both overloads admit the same pipelines.
 inline std::optional<OutputWindow> plan_dps_window(const FusedPipeline& fp) {
-  if (!fp.one_to_one() || fp.cancels()) return std::nullopt;
+  if (!fp.one_to_one() || fp.cancels() || fp.stateful()) return std::nullopt;
   const auto w = fp.source_window();
   if (dps_window_reason(true, w, fp.estimate_size()) !=
       PlanReason::kAdmitted) {
@@ -360,8 +383,8 @@ inline std::optional<OutputWindow> plan_dps_window(const FusedPipeline& fp) {
 // ---- the fuse step ---------------------------------------------------
 
 /// Source admission for fusion: the source_shape_reason test. This rules
-/// out concat (no window), flat_map/sorted products at the bottom of a
-/// stripped chain (no window / consumed), and the unsized iterate tail
+/// out concat (no window), a partially-consumed flat_map product at the
+/// bottom of a stripped chain (no window), and the unsized iterate tail
 /// (no kSized).
 template <typename T>
 std::unique_ptr<FusedPipeline> fuse_source(
@@ -595,7 +618,8 @@ class PlanCache {
 inline std::uint64_t plan_cache_key(TerminalKind kind,
                                     std::uint64_t source_size,
                                     unsigned parallelism, std::uint32_t stages,
-                                    bool one_to_one, bool cancels) {
+                                    bool one_to_one, bool cancels,
+                                    bool stateful = false) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -607,6 +631,7 @@ inline std::uint64_t plan_cache_key(TerminalKind kind,
   mix(stages);
   mix(one_to_one ? 1 : 2);
   mix(cancels ? 1 : 2);
+  if (stateful) mix(3);
   return h;
 }
 
@@ -625,17 +650,24 @@ inline void finish_plan(ExecutionPlan& p, TerminalKind kind,
               !p.dps && !p.cancels)
                  ? KernelMode::kChunkKernel
                  : KernelMode::kScalarLoop;
+  // Short-circuit terminals cancel through their terminal sink; fused
+  // they always run the single element-mode push loop (sequential
+  // encounter-order semantics, exactly like the legacy pull loops).
+  const bool terminal_cancels = terminal_short_circuits(kind);
   if (!parallel) {
-    p.drive = DriveMode::kSequential;
+    p.drive = (p.fused && terminal_cancels) ? DriveMode::kElementLoop
+                                            : DriveMode::kSequential;
     p.grain = 0;
     p.grain_source = GrainSource::kNone;
     return;
   }
-  p.drive = (p.fused && p.cancels) ? DriveMode::kElementLoop
-                                   : DriveMode::kForkJoinTree;
+  p.drive = (p.fused && (p.cancels || terminal_cancels))
+                ? DriveMode::kElementLoop
+            : (p.fused && p.stateful) ? DriveMode::kStatefulLoop
+                                      : DriveMode::kForkJoinTree;
   p.parallelism = cfg.effective_pool().parallelism();
   p.cache_key = plan_cache_key(kind, p.source_size, p.parallelism, p.stages,
-                               p.one_to_one, p.cancels);
+                               p.one_to_one, p.cancels, p.stateful);
   if (cfg.min_chunk != 0) {
     p.grain = cfg.min_chunk;
     p.grain_source = GrainSource::kExplicit;
@@ -674,6 +706,7 @@ inline ExecutionPlan plan_fused_pipeline(const FusedPipeline& fp,
   p.stages = static_cast<std::uint32_t>(fp.stage_count());
   p.one_to_one = fp.one_to_one();
   p.cancels = fp.cancels();
+  p.stateful = fp.stateful();
   p.fused = true;
   p.fusion_reason = PlanReason::kAdmitted;
   if (kind != TerminalKind::kCollect) {
@@ -682,6 +715,8 @@ inline ExecutionPlan plan_fused_pipeline(const FusedPipeline& fp,
     p.dps_reason = PlanReason::kCollectorNotSized;
   } else if (!cfg.sized_sink) {
     p.dps_reason = PlanReason::kDisabledByConfig;
+  } else if (p.stateful) {
+    p.dps_reason = PlanReason::kChainStateful;
   } else if (!p.one_to_one) {
     p.dps_reason = PlanReason::kChainNotOneToOne;
   } else if (p.cancels) {

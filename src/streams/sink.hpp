@@ -27,8 +27,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <type_traits>
+#include <unordered_set>
 #include <vector>
 
 namespace pls::streams {
@@ -206,6 +208,114 @@ class PeekSink final : public Sink<T> {
  private:
   std::shared_ptr<const Fn> observer_;
   Sink<T>& down_;
+};
+
+/// flat_map: the mapMulti-style multi-accept expansion. Fn(In) returns a
+/// container of Out; every expansion element is forwarded downstream in
+/// encounter order. Element mode pushes each expansion element as it is
+/// produced — on cancelling chains the whole expansion of the current
+/// source element is offered before the driver re-checks cancellation,
+/// matching the wrapper's buffer-one-expansion-at-a-time consumption
+/// depth exactly. Chunk mode gathers expansions into a scratch buffer
+/// flushed in >= kFusionChunk batches; the downstream element count is
+/// unknowable, so begin() forwards kUnknownSinkSize.
+template <typename In, typename Out, typename Fn>
+class FlatMapSink final : public Sink<In> {
+  static constexpr bool kBatched = std::is_move_constructible_v<Out>;
+
+ public:
+  FlatMapSink(std::shared_ptr<const Fn> fn, Sink<Out>& down)
+      : fn_(std::move(fn)), down_(down) {
+    if constexpr (kBatched) scratch_.reserve(kFusionChunk);
+  }
+
+  void begin(std::uint64_t) override { down_.begin(kUnknownSinkSize); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return down_.cancellation_requested();
+  }
+
+  void accept(const In& value) override {
+    for (const Out& out : (*fn_)(value)) down_.accept(out);
+  }
+
+  void accept_chunk(const In* values, std::size_t n) override {
+    if constexpr (kBatched) {
+      for (std::size_t i = 0; i < n; ++i) {
+        auto expansion = (*fn_)(values[i]);
+        scratch_.insert(scratch_.end(),
+                        std::make_move_iterator(expansion.begin()),
+                        std::make_move_iterator(expansion.end()));
+        // Flush on overflow, not exactly at kFusionChunk: an expansion is
+        // never split across two downstream batches, so downstream chunk
+        // loops may see slightly larger batches (they re-chunk anyway).
+        if (scratch_.size() >= kFusionChunk) flush();
+      }
+      flush();
+    } else {
+      for (std::size_t i = 0; i < n; ++i) accept(values[i]);
+    }
+  }
+
+ private:
+  void flush() {
+    if (scratch_.empty()) return;
+    down_.accept_chunk(scratch_.data(), scratch_.size());
+    scratch_.clear();
+  }
+
+  std::shared_ptr<const Fn> fn_;
+  Sink<Out>& down_;
+  std::vector<Out> scratch_;
+};
+
+/// distinct: hash-dedup keeping the first occurrence in encounter order —
+/// identical semantics to the wrapper's keep-first set walk. Stateful:
+/// the seen-set spans the whole traversal, so a chain containing this
+/// sink must be driven by exactly one leaf (the planner refuses to split
+/// it; see StageNode::stateful in streams/fusion.hpp). Chunk mode
+/// compacts the first occurrences like FilterSink.
+template <typename T>
+class DistinctSink final : public Sink<T> {
+  static constexpr bool kBatched = std::is_copy_constructible_v<T>;
+
+ public:
+  explicit DistinctSink(Sink<T>& down) : down_(down) {
+    if constexpr (kBatched) scratch_.reserve(kFusionChunk);
+  }
+
+  void begin(std::uint64_t) override { down_.begin(kUnknownSinkSize); }
+  void end() override { down_.end(); }
+  bool cancellation_requested() const override {
+    return down_.cancellation_requested();
+  }
+
+  void accept(const T& value) override {
+    if (seen_.insert(value).second) down_.accept(value);
+  }
+
+  void accept_chunk(const T* values, std::size_t n) override {
+    if constexpr (kBatched) {
+      while (n > 0) {
+        const std::size_t m = n < kFusionChunk ? n : kFusionChunk;
+        scratch_.clear();
+        for (std::size_t i = 0; i < m; ++i) {
+          if (seen_.insert(values[i]).second) scratch_.push_back(values[i]);
+        }
+        if (!scratch_.empty())
+          down_.accept_chunk(scratch_.data(), scratch_.size());
+        values += m;
+        n -= m;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) accept(values[i]);
+    }
+  }
+
+ private:
+  Sink<T>& down_;
+  std::unordered_set<T> seen_;
+  std::vector<T> scratch_;
 };
 
 /// skip + limit (the SliceSpliterator pair). A cancelling stage: once the

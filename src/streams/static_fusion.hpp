@@ -19,10 +19,12 @@
 // re-associates; only the opt-in SIMD collectors in support/simd.hpp do).
 //
 // Static admission is decided by the type system: the vocabulary is
-// map / filter / peek only. Cancelling stages (limit, take_while) are
-// deliberately not expressible — they force element-mode driving, which
-// would erase the whole point of the static chain; spell those with the
-// dynamic Stream API (docs/execution.md has the admission table). Source
+// map / filter / peek / flat_map only. Cancelling stages (limit,
+// take_while) are deliberately not expressible — they force element-mode
+// driving, which would erase the whole point of the static chain; spell
+// those with the dynamic Stream API (docs/execution.md has the admission
+// table). Stateful stages (distinct, sorted) are likewise dynamic-only:
+// they carry runtime state that defeats splitting. Source
 // shape admission (windowed, SIZED|SUBSIZED) stays a runtime question, and
 // on refusal the pipeline falls back to the dynamic wrapper path with the
 // same ops applied — same results, slower transport.
@@ -64,6 +66,7 @@ namespace stages {
 struct MapTag {};
 struct FilterTag {};
 struct PeekTag {};
+struct FlatMapTag {};
 
 template <typename Fn>
 struct MapOp {
@@ -84,6 +87,12 @@ struct PeekOp {
 };
 
 template <typename Fn>
+struct FlatMapOp {
+  using category = FlatMapTag;
+  Fn fn;
+};
+
+template <typename Fn>
 constexpr MapOp<std::decay_t<Fn>> map(Fn&& fn) {
   return {std::forward<Fn>(fn)};
 }
@@ -95,6 +104,11 @@ constexpr FilterOp<std::decay_t<Pred>> filter(Pred&& pred) {
 
 template <typename Fn>
 constexpr PeekOp<std::decay_t<Fn>> peek(Fn&& fn) {
+  return {std::forward<Fn>(fn)};
+}
+
+template <typename Fn>
+constexpr FlatMapOp<std::decay_t<Fn>> flat_map(Fn&& fn) {
   return {std::forward<Fn>(fn)};
 }
 
@@ -124,6 +138,13 @@ template <typename In, typename Fn>
 struct stage_output<In, stages::PeekOp<Fn>> {
   using type = In;
 };
+template <typename In, typename Fn>
+struct stage_output<In, stages::FlatMapOp<Fn>> {
+  // The op returns a range of outputs; the stage's element type is that
+  // range's value_type.
+  using type = typename std::decay_t<
+      std::invoke_result_t<const Fn&, const In&>>::value_type;
+};
 
 template <typename In, typename... Ops>
 struct chain_output {
@@ -140,6 +161,15 @@ using chain_output_t = typename chain_output<In, Ops...>::type;
 template <typename... Ops>
 inline constexpr bool chain_has_filter_v =
     (std::is_same_v<typename Ops::category, stages::FilterTag> || ...);
+
+/// True when every op yields exactly one output per input. Filter drops
+/// elements and flat_map fans out, so either breaks the 1:1 contract (and
+/// with it dense chunk mode and sized sink propagation).
+template <typename... Ops>
+inline constexpr bool chain_one_to_one_v =
+    !((std::is_same_v<typename Ops::category, stages::FilterTag> ||
+       std::is_same_v<typename Ops::category, stages::FlatMapTag>) ||
+      ...);
 
 namespace detail {
 
@@ -158,6 +188,9 @@ inline void push_through(const Tuple& ops, const T& v, Emit&& emit) {
       push_through<I + 1>(ops, op.fn(v), std::forward<Emit>(emit));
     } else if constexpr (std::is_same_v<Cat, stages::FilterTag>) {
       if (op.pred(v)) push_through<I + 1>(ops, v, std::forward<Emit>(emit));
+    } else if constexpr (std::is_same_v<Cat, stages::FlatMapTag>) {
+      for (const auto& out : op.fn(v))
+        push_through<I + 1>(ops, out, emit);
     } else {
       op.fn(v);
       push_through<I + 1>(ops, v, std::forward<Emit>(emit));
@@ -176,7 +209,8 @@ inline auto apply_chain(const Tuple& ops, const T& v) {
     using Op = std::tuple_element_t<I, Tuple>;
     using Cat = typename Op::category;
     const auto& op = std::get<I>(ops);
-    static_assert(!std::is_same_v<Cat, stages::FilterTag>,
+    static_assert(!std::is_same_v<Cat, stages::FilterTag> &&
+                      !std::is_same_v<Cat, stages::FlatMapTag>,
                   "apply_chain is for 1:1 chains");
     if constexpr (std::is_same_v<Cat, stages::MapTag>) {
       return apply_chain<I + 1>(ops, op.fn(v));
@@ -200,7 +234,7 @@ class StaticChainSink final : public Sink<In> {
   using Out = chain_output_t<In, Ops...>;
 
  private:
-  static constexpr bool kOneToOne = !chain_has_filter_v<Ops...>;
+  static constexpr bool kOneToOne = chain_one_to_one_v<Ops...>;
   static constexpr bool kBatched = std::is_move_constructible_v<Out>;
   // Dense mode: every input yields exactly one output, so the chunk loop
   // writes scratch_[i] directly instead of push_back bookkeeping.
@@ -288,10 +322,10 @@ class StaticChainStage final : public StageNode {
     return typeid(Out);
   }
   bool one_to_one() const noexcept override {
-    return !chain_has_filter_v<Ops...>;
+    return chain_one_to_one_v<Ops...>;
   }
   std::uint64_t transform_count(std::uint64_t count) const noexcept override {
-    return chain_has_filter_v<Ops...> ? kUnknownSinkSize : count;
+    return chain_one_to_one_v<Ops...> ? count : kUnknownSinkSize;
   }
 
  private:
@@ -386,7 +420,7 @@ class StaticPipeline {
   template <typename... More>
   StaticPipeline<S, Ops..., std::decay_t<More>...> stages(More&&... more) && {
     static_assert((is_stage_op_v<More> && ...),
-                  "stages(...) takes stage ops (stages::map/filter/peek)");
+                  "stages(...) takes stage ops (stages::map/filter/peek/flat_map)");
     auto merged = std::make_shared<const std::tuple<Ops..., std::decay_t<More>...>>(
         std::tuple_cat(std::tuple<Ops...>(*ops_),
                        std::tuple<std::decay_t<More>...>(
@@ -469,6 +503,8 @@ class StaticPipeline {
         return apply_from<I + 1>(std::move(s).map(op.fn));
       } else if constexpr (std::is_same_v<Cat, stages::FilterTag>) {
         return apply_from<I + 1>(std::move(s).filter(op.pred));
+      } else if constexpr (std::is_same_v<Cat, stages::FlatMapTag>) {
+        return apply_from<I + 1>(std::move(s).flat_map(op.fn));
       } else {
         return apply_from<I + 1>(std::move(s).peek(op.fn));
       }
@@ -529,7 +565,7 @@ class StagePipe {
 template <typename... Ops>
 auto pipe(Ops&&... ops) {
   static_assert((is_stage_op_v<Ops> && ...),
-                "pipe(...) takes stage ops (stages::map/filter/peek)");
+                "pipe(...) takes stage ops (stages::map/filter/peek/flat_map)");
   return StagePipe<std::decay_t<Ops>...>(
       std::tuple<std::decay_t<Ops>...>(std::forward<Ops>(ops)...));
 }
@@ -540,7 +576,7 @@ template <typename T>
 template <typename... Ops>
 auto Stream<T>::stages(Ops&&... ops) && {
   static_assert((is_stage_op_v<Ops> && ...),
-                "stages(...) takes stage ops (stages::map/filter/peek)");
+                "stages(...) takes stage ops (stages::map/filter/peek/flat_map)");
   auto tuple = std::make_shared<const std::tuple<std::decay_t<Ops>...>>(
       std::forward<Ops>(ops)...);
   return StaticPipeline<T, std::decay_t<Ops>...>(

@@ -11,13 +11,11 @@
 // or toggle with .parallel()/.sequential().
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
-#include <set>
 #include <type_traits>
 #include <vector>
 
@@ -369,30 +367,21 @@ class Stream {
         std::move(source_), std::move(pred)));
   }
 
-  /// Sort the elements (stateful: materialises, like Java's sorted()).
+  /// Sort the elements (stateful: materialises lazily at first
+  /// traversal, like Java's sorted()). The buffer point restarts fusion:
+  /// terminals re-enter fuse_pipeline on the sorted buffer as a fresh
+  /// windowed array source, so downstream stages still fuse.
   template <typename Cmp = std::less<T>>
   Stream<T> sorted(Cmp cmp = Cmp{}) && {
-    std::vector<T> values = std::move(*this).to_vector();
-    std::sort(values.begin(), values.end(), cmp);
-    Stream<T> out = Stream<T>::of(std::move(values));
-    out.parallel_ = parallel_;
-    out.config_ = config_;
-    return out;
+    return rewrap<T>(std::make_unique<SortedSpliterator<T, Cmp>>(
+        std::move(source_), std::move(cmp)));
   }
 
-  /// Remove duplicates, keeping first occurrences (stateful).
+  /// Remove duplicates, keeping first occurrences (stateful). Fuses as a
+  /// DistinctSink; the seen-set makes the chain single-leaf-only.
   Stream<T> distinct() && {
-    std::vector<T> values = std::move(*this).to_vector();
-    std::vector<T> unique;
-    unique.reserve(values.size());
-    std::set<T> seen;
-    for (auto& v : values) {
-      if (seen.insert(v).second) unique.push_back(std::move(v));
-    }
-    Stream<T> out = Stream<T>::of(std::move(unique));
-    out.parallel_ = parallel_;
-    out.config_ = config_;
-    return out;
+    return rewrap<T>(std::make_unique<DistinctSpliterator<T>>(
+        std::move(source_)));
   }
 
   // ---- typed static pipeline -----------------------------------------
@@ -471,33 +460,30 @@ class Stream {
                                    [](T a, T b) { return a + b; });
   }
 
-  /// Short-circuit search terminals (sequential traversal, as the
-  /// encounter-order-respecting variant).
+  /// Short-circuit search terminals (sequential encounter-order
+  /// traversal). Planned like every other terminal: fused chains run a
+  /// cancelling terminal sink through the element-mode push loop
+  /// (DriveMode::kElementLoop) with legacy-identical source-consumption
+  /// depth; unfused chains run the classic pull loops.
   template <typename Pred>
   bool any_match(Pred pred) && {
-    bool found = false;
-    while (!found && source_->try_advance([&](const T& v) {
-      if (pred(v)) found = true;
-    })) {
-    }
-    return found;
+    return evaluate(source_, terminals::any_match(pred), parallel_, config_);
   }
 
+  /// Direct cancelling sink — not a negated any_match, so no negated
+  /// predicate wrapper is evaluated per element.
   template <typename Pred>
   bool all_match(Pred pred) && {
-    return !std::move(*this).any_match(
-        [pred](const T& v) { return !pred(v); });
+    return evaluate(source_, terminals::all_match(pred), parallel_, config_);
   }
 
   template <typename Pred>
   bool none_match(Pred pred) && {
-    return !std::move(*this).any_match(pred);
+    return evaluate(source_, terminals::none_match(pred), parallel_, config_);
   }
 
   std::optional<T> find_first() && {
-    std::optional<T> out;
-    source_->try_advance([&](const T& v) { out = v; });
-    return out;
+    return evaluate(source_, terminals::find_first(), parallel_, config_);
   }
 
   // ---- introspection --------------------------------------------------

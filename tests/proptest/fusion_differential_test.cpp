@@ -1,13 +1,16 @@
-// Fusion differential suite: generated map/peek/filter/limit/take_while
-// pipelines over Array/Range/Generate sources must collect bit-identical
-// vectors with fusion on and off, across the sequential fold, the
-// fork-join supplier/combiner reduction, and the destination-passing
-// collect — including identical short-circuit consumption depth, observed
-// through a counting peek injected below the cancelling stages. Each
-// generated shape is driven through 6 mode combinations over >= 120
-// iterations per property (~1400 pipeline x mode combinations across the
-// suite), plus a routing property asserting the fusion admission gate
-// mirrors expects_fusion_admission.
+// Fusion differential suite: generated pipelines over every op the
+// planner admits — map variants, peek, filter, limit, take_while,
+// flat_map, distinct, sorted — over Array/Range/Generate sources must
+// collect bit-identical vectors with fusion on and off, across the
+// sequential fold, the fork-join supplier/combiner reduction, and the
+// destination-passing collect — including identical short-circuit
+// consumption depth, observed through a counting peek injected below the
+// cancelling stages. The tentpole property drives each generated shape
+// through 6 mode combinations over >= 200 iterations (1200+ pipeline x
+// mode combinations), plus a routing property asserting the fusion
+// admission gate mirrors expects_fusion_admission.
+// (Match/find terminals and their consumption-depth parity live in
+// fusion_wide_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -43,7 +46,7 @@ TEST(FusionDifferential, FusedEqualsLegacyInEveryMode) {
   pls::forkjoin::ForkJoinPool pool(2);
   const auto result = check(
       "with_fusion(true) == with_fusion(false) x {seq, fj, dps}",
-      suite_config(120),
+      suite_config(200),
       [](Rand& r) {
         PipelineShape s = gen_pipeline(r, 9);
         return std::make_pair(s, r.bits());
@@ -96,7 +99,7 @@ TEST(FusionDifferential, FusedEqualsLegacyInEveryMode) {
 TEST(FusionDifferential, CancellationConsumptionDepthMatchesLegacy) {
   const auto result = check(
       "fused source consumption == legacy source consumption",
-      suite_config(120), [](Rand& r) { return gen_pipeline(r, 9); },
+      suite_config(200), [](Rand& r) { return gen_pipeline(r, 9); },
       [](const PipelineShape& s) { return shrink_pipeline(s); },
       [](const PipelineShape& s) -> PropStatus {
         std::uint64_t pulls[2] = {0, 0};
@@ -158,7 +161,33 @@ TEST(FusionDifferential, FusionAdmissionMatchesPredicate) {
 
 /// Counter parity: fused leaves must feed elements_accumulated the same
 /// totals legacy leaves do (transform_count mirrors the wrappers' sizing),
-/// so observability reports stay comparable across routes.
+/// so observability reports stay comparable across routes. Shapes where a
+/// sorted stage sits below a size-obscuring op (filter/take_while/
+/// flat_map/distinct) are skipped: sorted's buffer recovers the exact
+/// count, so the fused restart reports it while the legacy wrapper walk
+/// already lost sizing upstream — a deliberate sizing improvement, not a
+/// parity bug.
+bool sorted_recovers_obscured_size(const PipelineShape& s) {
+  bool sized = true;
+  for (const PipelineOp& op : s.ops) {
+    switch (op.kind) {
+      case OpKind::kFilter:
+      case OpKind::kTakeWhile:
+      case OpKind::kFlatMap:
+      case OpKind::kDistinct:
+        sized = false;
+        break;
+      case OpKind::kSorted:
+        if (!sized) return true;
+        sized = true;
+        break;
+      default:
+        break;  // map variants, peek, limit keep sizing as-is
+    }
+  }
+  return false;
+}
+
 TEST(FusionDifferential, FusedLeafElementTotalsMatchLegacy) {
   if (!pls::observe::kEnabled) {
     GTEST_SKIP() << "observability compiled out";
@@ -168,6 +197,7 @@ TEST(FusionDifferential, FusedLeafElementTotalsMatchLegacy) {
       suite_config(80), [](Rand& r) { return gen_pipeline(r, 8); },
       [](const PipelineShape& s) { return shrink_pipeline(s); },
       [](const PipelineShape& s) -> PropStatus {
+        if (sorted_recovers_obscured_size(s)) return PropStatus::pass();
         std::uint64_t elements[2] = {0, 0};
         for (const bool fusion : {false, true}) {
           const auto before = pls::observe::aggregate_counters();

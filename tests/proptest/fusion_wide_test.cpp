@@ -1,0 +1,186 @@
+// Wide-admission differential suite (PR 8): short-circuit match/find
+// terminals over pipelines generated from every op the planner admits —
+// map variants, peek, filter, limit, take_while, flat_map, distinct,
+// sorted. Three properties:
+//
+//   1. any/all/none_match and find_first agree fused vs legacy vs a
+//      reference computed from the op-by-op interpreter.
+//   2. Consumption-depth parity: a fused short-circuit terminal pulls
+//      exactly as many source elements as the legacy pull loop, observed
+//      through a counting peek between the source and the generated ops.
+//   3. Routing: match terminals run on the fused element loop whenever
+//      fusion is on (fused_leaves > 0) and never when it is off.
+//
+// Failures replay with PLS_TEST_SEED, like the rest of the proptest
+// suites.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "observe/counters.hpp"
+#include "proptest/pipelines.hpp"
+#include "proptest/prop.hpp"
+#include "streams/stream.hpp"
+
+namespace {
+
+using namespace pls::proptest;
+namespace streams = pls::streams;
+
+Config suite_config(int iterations) {
+  Config cfg;
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+/// Match predicate shared by all four terminals: sparse enough that
+/// short-circuiting usually stops mid-source, dense enough to hit.
+struct MatchPredFn {
+  std::uint64_t param;
+  bool operator()(const std::int64_t& v) const {
+    return ((static_cast<std::uint64_t>(v) ^ param) % 5) == 0;
+  }
+};
+
+struct ShapeAndParam {
+  PipelineShape shape;
+  std::uint64_t param;
+};
+
+ShapeAndParam gen_case(Rand& r) {
+  return ShapeAndParam{gen_pipeline(r, 9), r.bits()};
+}
+
+std::vector<ShapeAndParam> shrink_case(const ShapeAndParam& c) {
+  std::vector<ShapeAndParam> out;
+  for (auto& smaller : shrink_pipeline(c.shape)) {
+    out.push_back(ShapeAndParam{std::move(smaller), c.param});
+  }
+  if (c.param != 0) out.push_back(ShapeAndParam{c.shape, 0});
+  return out;
+}
+
+/// All four short-circuit terminals agree across the fused element loop,
+/// the legacy pull loops, and the reference interpreter.
+TEST(FusionWide, MatchAndFindAgreeFusedLegacyReference) {
+  const auto result = check(
+      "match/find fused == legacy == reference", suite_config(150), gen_case,
+      shrink_case, [](const ShapeAndParam& c) -> PropStatus {
+        const MatchPredFn pred{c.param};
+        const std::vector<std::int64_t> expected =
+            reference_result(c.shape);
+        bool ref_any = false, ref_all = true;
+        for (const std::int64_t v : expected) {
+          if (pred(v)) ref_any = true;
+          else ref_all = false;
+        }
+        const std::optional<std::int64_t> ref_first =
+            expected.empty() ? std::nullopt
+                             : std::optional<std::int64_t>(expected.front());
+        for (const bool parallel : {false, true}) {
+          for (const bool fusion : {false, true}) {
+            const auto stream_for = [&]() {
+              auto s = build_stream(c.shape).with_fusion(fusion);
+              if (parallel) s = std::move(s).parallel();
+              return s;
+            };
+            const std::string mode = std::string(fusion ? "fused" : "legacy") +
+                                     (parallel ? "+parallel" : "");
+            if (stream_for().any_match(pred) != ref_any) {
+              return PropStatus::fail("any_match diverged (" + mode + "): " +
+                                      c.shape.debug_string());
+            }
+            if (stream_for().all_match(pred) != ref_all) {
+              return PropStatus::fail("all_match diverged (" + mode + "): " +
+                                      c.shape.debug_string());
+            }
+            if (stream_for().none_match(pred) != !ref_any) {
+              return PropStatus::fail("none_match diverged (" + mode +
+                                      "): " + c.shape.debug_string());
+            }
+            if (stream_for().find_first() != ref_first) {
+              return PropStatus::fail("find_first diverged (" + mode +
+                                      "): " + c.shape.debug_string());
+            }
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Consumption-depth parity: fused short-circuit terminals pull exactly
+/// as many source elements as the legacy pull loops — the cancellable
+/// element-mode driver checks cancellation at the same points the wrapper
+/// walk stops pulling.
+TEST(FusionWide, ShortCircuitConsumptionDepthMatchesLegacy) {
+  const auto result = check(
+      "fused match/find source consumption == legacy", suite_config(150),
+      gen_case, shrink_case, [](const ShapeAndParam& c) -> PropStatus {
+        const MatchPredFn pred{c.param};
+        for (const bool use_find : {false, true}) {
+          std::uint64_t pulls[2] = {0, 0};
+          bool any[2] = {false, false};
+          std::optional<std::int64_t> first[2];
+          for (const bool fusion : {false, true}) {
+            std::uint64_t& n = pulls[fusion ? 1 : 0];
+            auto probed = build_source(c.shape)
+                              .with_fusion(fusion)
+                              .peek([&n](const std::int64_t&) { ++n; });
+            auto stream = apply_ops(std::move(probed), c.shape);
+            if (use_find) {
+              first[fusion ? 1 : 0] = std::move(stream).find_first();
+            } else {
+              any[fusion ? 1 : 0] = std::move(stream).any_match(pred);
+            }
+          }
+          if (any[1] != any[0] || first[1] != first[0]) {
+            return PropStatus::fail(
+                std::string(use_find ? "find_first" : "any_match") +
+                " result diverged: " + c.shape.debug_string());
+          }
+          if (pulls[1] != pulls[0]) {
+            return PropStatus::fail(
+                std::string(use_find ? "find_first" : "any_match") +
+                " fused consumed " + std::to_string(pulls[1]) +
+                " source elements, legacy consumed " +
+                std::to_string(pulls[0]) + ": " + c.shape.debug_string());
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+/// Routing: every generated shape fuses, so a match terminal must run on
+/// the fused element loop exactly when fusion is enabled.
+TEST(FusionWide, MatchTerminalsRouteThroughFusedLeaves) {
+  if (!pls::observe::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  const auto result = check(
+      "match terminal fused_leaves > 0 == with_fusion", suite_config(80),
+      gen_case, shrink_case, [](const ShapeAndParam& c) -> PropStatus {
+        const MatchPredFn pred{c.param};
+        for (const bool fusion : {false, true}) {
+          const auto before = pls::observe::aggregate_counters();
+          (void)build_stream(c.shape).with_fusion(fusion).any_match(pred);
+          const auto delta = pls::observe::aggregate_counters() - before;
+          if (fusion && delta.fused_leaves == 0) {
+            return PropStatus::fail("fusible match ran the legacy loop: " +
+                                    c.shape.debug_string());
+          }
+          if (!fusion && delta.fused_leaves != 0) {
+            return PropStatus::fail("with_fusion(false) still ran fused: " +
+                                    c.shape.debug_string());
+          }
+        }
+        return PropStatus::pass();
+      });
+  PLS_EXPECT_PROP(result);
+}
+
+}  // namespace

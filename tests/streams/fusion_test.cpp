@@ -273,7 +273,7 @@ TEST(Fusion, UnsizedIterateTailFallsBackToWrappers) {
   EXPECT_EQ(fused.size(), 20u);
 }
 
-TEST(Fusion, FlatMapBottomedChainFallsBackToWrappers) {
+TEST(Fusion, FlatMapChainFusesAsMultiAcceptStage) {
   const auto run = [&](bool fusion) {
     return Stream<long>::range(0, 64)
         .with_fusion(fusion)
@@ -289,7 +289,7 @@ TEST(Fusion, FlatMapBottomedChainFallsBackToWrappers) {
     const CounterTotals before = counters_now();
     (void)run(true);
     const CounterTotals delta = counters_now() - before;
-    EXPECT_EQ(delta.fused_leaves, 0u);  // flat_map product is unwindowed
+    EXPECT_GT(delta.fused_leaves, 0u);  // flat_map is a fusable fan-out
   }
 }
 

@@ -239,6 +239,95 @@ TEST(PlanCacheKey, DistinguishesShapes) {
             k(TerminalKind::kCollect, 64, 4, 2));
 }
 
+// ---- widened admission: flat_map / distinct / sorted / match ---------
+
+TEST(PlanWideAdmission, FlatMapFusesButRefusesDps) {
+  auto out = streams::Stream<int>::range(0, 64)
+                 .flat_map([](const int& v) {
+                   return std::vector<int>{v, v + 1};
+                 })
+                 .to_vector();
+  EXPECT_EQ(out.size(), 128u);
+  const ExecutionPlan& p = streams::last_plan();
+  EXPECT_TRUE(p.fused);
+  EXPECT_FALSE(p.one_to_one);
+  EXPECT_FALSE(p.stateful);
+  EXPECT_FALSE(p.dps);
+  EXPECT_EQ(p.dps_reason, PlanReason::kChainNotOneToOne);
+}
+
+TEST(PlanWideAdmission, DistinctChainIsStatefulSingleLeaf) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  auto out = streams::Stream<int>::range(0, 256)
+                 .map([](int v) { return v / 2; })
+                 .distinct()
+                 .parallel()
+                 .via(pool)
+                 .to_vector();
+  EXPECT_EQ(out.size(), 128u);
+  const ExecutionPlan& p = streams::last_plan();
+  EXPECT_TRUE(p.fused);
+  EXPECT_TRUE(p.stateful);
+  EXPECT_FALSE(p.cancels);
+  EXPECT_EQ(p.dps_reason, PlanReason::kChainStateful);
+  EXPECT_EQ(p.drive, DriveMode::kStatefulLoop);
+}
+
+TEST(PlanWideAdmission, SortedResumesFusionDownstreamOfBuffer) {
+  // 12-element range, filter keeps 8 (a power of two): the sorted buffer
+  // recovers exact sizing, fusion restarts on it, and only the downstream
+  // map lives in the fused chain — so DPS admits with the buffer's count.
+  auto out = streams::Stream<int>::range(0, 12)
+                 .filter([](const int& v) { return v % 3 != 0; })
+                 .sorted()
+                 .map([](int v) { return v + 1; })
+                 .to_vector();
+  EXPECT_EQ(out.size(), 8u);
+  const ExecutionPlan& p = streams::last_plan();
+  EXPECT_TRUE(p.fused);
+  EXPECT_EQ(p.stages, 1u);  // just the map; filter ran upstream of the buffer
+  EXPECT_EQ(p.source_size, 8u);
+  EXPECT_TRUE(p.dps);
+  ASSERT_TRUE(p.window.has_value());
+  EXPECT_EQ(p.window->count, 8u);
+}
+
+TEST(PlanWideAdmission, MatchTerminalsRunFusedElementLoop) {
+  pls::forkjoin::ForkJoinPool pool(2);
+  const bool found = streams::Stream<int>::range(0, 64)
+                         .map([](int v) { return v * 2; })
+                         .any_match([](const int& v) { return v > 50; });
+  EXPECT_TRUE(found);
+  {
+    const ExecutionPlan& p = streams::last_plan();
+    EXPECT_EQ(p.terminal, TerminalKind::kAnyMatch);
+    EXPECT_TRUE(p.fused);
+    EXPECT_EQ(p.drive, DriveMode::kElementLoop);
+    EXPECT_FALSE(p.dps);
+    EXPECT_EQ(p.dps_reason, PlanReason::kTerminalNotCollect);
+  }
+  // Parallel short-circuit terminals stay on the encounter-order element
+  // loop: promptness beats splitting for find-like terminals.
+  const bool all = streams::Stream<int>::range(0, 4096)
+                       .parallel()
+                       .via(pool)
+                       .all_match([](const int& v) { return v >= 0; });
+  EXPECT_TRUE(all);
+  {
+    const ExecutionPlan& p = streams::last_plan();
+    EXPECT_EQ(p.terminal, TerminalKind::kAllMatch);
+    EXPECT_TRUE(p.parallel);
+    EXPECT_EQ(p.drive, DriveMode::kElementLoop);
+  }
+}
+
+TEST(PlanCacheKey, DistinguishesStatefulChains) {
+  EXPECT_NE(streams::plan_cache_key(TerminalKind::kCollect, 64, 4, 1, true,
+                                    false, false),
+            streams::plan_cache_key(TerminalKind::kCollect, 64, 4, 1, true,
+                                    false, true));
+}
+
 // ---- recording and explain() ----------------------------------------
 
 TEST(PlanRecording, TerminalsRecordLastPlan) {
@@ -264,6 +353,21 @@ TEST(PlanExplain, NamesTheDecisions) {
   EXPECT_NE(text.find("source : 64 elements"), std::string::npos);
   EXPECT_NE(text.find("fusion : admitted"), std::string::npos);
   EXPECT_NE(text.find("dps"), std::string::npos);
+}
+
+TEST(PlanExplain, NamesStatefulChainsAndShortCircuitTerminals) {
+  (void)streams::Stream<int>::range(0, 32).distinct().to_vector();
+  {
+    const std::string text = streams::last_plan().explain();
+    EXPECT_NE(text.find("stateful"), std::string::npos);
+    EXPECT_NE(text.find("chain has a stateful stage"), std::string::npos);
+  }
+  (void)streams::Stream<int>::range(0, 32).find_first();
+  {
+    const std::string text = streams::last_plan().explain();
+    EXPECT_NE(text.find("plan: find_first"), std::string::npos);
+    EXPECT_NE(text.find("element loop"), std::string::npos);
+  }
 }
 
 }  // namespace
