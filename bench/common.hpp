@@ -38,6 +38,7 @@
 #include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
 #include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
 #include "streams/plan.hpp"
 #include "support/stats.hpp"
 #include "support/stopwatch.hpp"
@@ -270,24 +271,15 @@ class JsonObject {
 };
 
 /// Append one run's counter totals to a row under `<prefix>` names. The
-/// full schema (docs/observability.md) including the data-movement pair —
-/// `bytes_moved` / `allocations` — so every bench that records a counter
-/// delta reports the movement cost of its collect path, not just the
-/// scheduling shape. With PLS_OBSERVE=0 the fields are emitted as zeros.
+/// field set comes from the canonical table (observe::kCounterFields, the
+/// same one the Prometheus exposition walks) so the bench schema and the
+/// exporter can never drift apart. With PLS_OBSERVE=0 the fields are
+/// emitted as zeros.
 inline void counter_fields(JsonObject& row, const std::string& prefix,
                            const observe::CounterTotals& t) {
-  row.field(prefix + "tasks_executed", t.tasks_executed)
-      .field(prefix + "steals", t.steals)
-      .field(prefix + "steal_failures", t.steal_failures)
-      .field(prefix + "forks", t.forks)
-      .field(prefix + "splits", t.splits)
-      .field(prefix + "max_split_depth", t.max_split_depth)
-      .field(prefix + "elements_accumulated", t.elements_accumulated)
-      .field(prefix + "leaf_chunks", t.leaf_chunks)
-      .field(prefix + "fused_leaves", t.fused_leaves)
-      .field(prefix + "combines", t.combines)
-      .field(prefix + "bytes_moved", t.bytes_moved)
-      .field(prefix + "allocations", t.allocations);
+  for (const observe::CounterField& f : observe::kCounterFields) {
+    row.field(prefix + f.name, t.*f.member);
+  }
 }
 
 /// Append one run's ExecutionPlan to a row under `<prefix>` names —
@@ -370,6 +362,41 @@ inline void cp_fields(JsonObject& row, const std::string& prefix,
       .field(prefix + "nodes", static_cast<std::uint64_t>(cp.nodes))
       .field(prefix + "leaves", static_cast<std::uint64_t>(cp.leaves))
       .field(prefix + "max_depth", cp.max_depth);
+}
+
+/// Append the continuous-telemetry series gathered by a MetricsSession
+/// under doc-level `metrics_*` keys: sample count, sample timestamps, and
+/// the per-sample pool utilization / starvation-ratio means (averaged over
+/// pools when several were alive). regress.py skips `metrics_*` keys —
+/// they describe the run environment, not the measured figure — so these
+/// ride along without widening the regression gate. No-op rows (count 0,
+/// empty arrays) with PLS_OBSERVE=0 or when no sampler ran.
+inline void metrics_fields(JsonObject& doc,
+                           const std::vector<observe::MetricsSample>& samples) {
+  std::vector<double> t_ms, utilization, starvation;
+  t_ms.reserve(samples.size());
+  for (const observe::MetricsSample& s : samples) {
+    t_ms.push_back(s.t_ms);
+    double util_sum = 0.0, starve_sum = 0.0;
+    std::size_t util_n = 0, starve_n = 0;
+    for (const observe::MetricRow& row : s.rows) {
+      if (row.name == "pls_pool_utilization") {
+        util_sum += row.value;
+        ++util_n;
+      } else if (row.name == "pls_pool_starvation_ratio") {
+        starve_sum += row.value;
+        ++starve_n;
+      }
+    }
+    utilization.push_back(util_n != 0 ? util_sum / static_cast<double>(util_n)
+                                      : 0.0);
+    starvation.push_back(
+        starve_n != 0 ? starve_sum / static_cast<double>(starve_n) : 0.0);
+  }
+  doc.field("metrics_samples", static_cast<std::uint64_t>(samples.size()))
+      .raw("metrics_t_ms", Json::num_arr(t_ms))
+      .raw("metrics_utilization", Json::num_arr(utilization))
+      .raw("metrics_starvation_ratio", Json::num_arr(starvation));
 }
 
 /// Destination for BENCH_<name>.json: the --json flag when given,

@@ -41,7 +41,9 @@
 #include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
 #include "observe/flamegraph.hpp"
+#include "observe/export.hpp"
 #include "observe/histogram.hpp"
+#include "observe/sampler.hpp"
 #include "observe/trace.hpp"
 #include "powerlist/collector_functions.hpp"
 #include "streams/stream.hpp"
@@ -97,6 +99,15 @@ int main(int argc, char** argv) {
   std::printf("FIG3: speedup of parallel polynomial evaluation "
               "(paper: 8 cores, 5-run averages)\n");
   std::printf("simulated cores = %u, repetitions = %d\n\n", cores, reps);
+
+  // Continuous telemetry for the whole bench: a background sampler at the
+  // PLS_METRICS_INTERVAL_MS cadence (default 25 ms here) records pool
+  // utilization/starvation series, and every timed terminal leaves a run
+  // record. Teardown at end of main flushes both to PLS_METRICS_PATH (when
+  // set) as JSONL; the sampled series also land in the bench JSON under
+  // doc-level metrics_* keys. All of it no-ops with PLS_OBSERVE=0.
+  pls::observe::MetricsSession metrics_session(
+      pls::observe::metrics_interval_env(25));
 
   pls::forkjoin::ForkJoinPool pool(cores);
   pls::forkjoin::ForkJoinPool one_worker(1);
@@ -354,6 +365,8 @@ int main(int argc, char** argv) {
       .field("repetitions", static_cast<unsigned>(reps))
       .field("observe", pls::observe::kEnabled ? 1u : 0u)
       .raw("rows", pls::bench::Json::arr(json_rows));
+  pls::bench::metrics_fields(
+      doc, pls::observe::MetricsSampler::global().ring().samples());
   const std::string json_path = pls::bench::bench_json_path("fig3");
   pls::bench::write_json_file(json_path, doc.str());
   std::printf("\nper-run metrics: %s\n", json_path.c_str());

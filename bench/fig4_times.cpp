@@ -44,7 +44,9 @@
 #include "bench/common.hpp"
 #include "forkjoin/pool.hpp"
 #include "observe/critical_path.hpp"
+#include "observe/export.hpp"
 #include "observe/histogram.hpp"
+#include "observe/sampler.hpp"
 #include "powerlist/collector_functions.hpp"
 #include "streams/static_fusion.hpp"
 #include "streams/stream.hpp"
@@ -152,6 +154,12 @@ int main(int argc, char** argv) {
   std::printf("(novec ablation build: auto-vectorization disabled)\n");
 #endif
   std::printf("simulated cores = %u, repetitions = %d\n\n", cores, reps);
+
+  // Background sampler + run registry for the whole bench (same contract
+  // as fig3: PLS_METRICS_INTERVAL_MS cadence, JSONL to PLS_METRICS_PATH on
+  // teardown, doc-level metrics_* series below; no-op with PLS_OBSERVE=0).
+  pls::observe::MetricsSession metrics_session(
+      pls::observe::metrics_interval_env(25));
 
   pls::forkjoin::ForkJoinPool pool(cores);
   pls::forkjoin::ForkJoinPool one_worker(1);
@@ -295,6 +303,8 @@ int main(int argc, char** argv) {
       .field("repetitions", static_cast<unsigned>(reps))
       .field("observe", pls::observe::kEnabled ? 1u : 0u)
       .raw("rows", pls::bench::Json::arr(json_rows));
+  pls::bench::metrics_fields(
+      doc, pls::observe::MetricsSampler::global().ring().samples());
   const std::string json_path = pls::bench::bench_json_path(bench_name);
   pls::bench::write_json_file(json_path, doc.str());
   std::printf("\nper-run metrics: %s\n", json_path.c_str());

@@ -82,6 +82,12 @@ def compare_docs(baseline, current, warn_pct, fail_pct, metrics=None,
         for m in keys:
             if m not in base or m not in row:
                 continue
+            # metrics_* keys are continuous-telemetry series (sampler
+            # timestamps, pool utilization): they describe the run
+            # environment, not the benchmarked figure, and are never
+            # gated — even when named by --metrics.
+            if m.startswith("metrics_"):
+                continue
             # Schema-2 rows carry non-numeric plan_* fields (plan_drive,
             # plan_fusion_reason, ...); comparison only makes sense for
             # numbers, so skip anything else even when named by --metrics.

@@ -21,9 +21,28 @@ ForkJoinPool::ForkJoinPool(unsigned parallelism) {
   for (unsigned i = 0; i < parallelism; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
   }
+  if constexpr (observe::kEnabled) {
+    // Expose live pool state to the continuous-telemetry sampler for the
+    // pool's lifetime. The ordinal distinguishes pools in the labelled
+    // namespace (the common pool is usually 0).
+    static std::atomic<unsigned> next_pool_ordinal{0};
+    const unsigned ordinal =
+        next_pool_ordinal.fetch_add(1, std::memory_order_relaxed);
+    metrics_source_ = observe::MetricsRegistry::global().add_source(
+        [this, ordinal](observe::MetricsSample& sample) {
+          append_pool_metrics(sample, ordinal);
+        });
+  }
 }
 
 ForkJoinPool::~ForkJoinPool() {
+  if constexpr (observe::kEnabled) {
+    // Deregister before shutting workers down: remove_source blocks until
+    // no in-flight collect() can still sample this pool.
+    if (metrics_source_ != 0) {
+      observe::MetricsRegistry::global().remove_source(metrics_source_);
+    }
+  }
   shutdown_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(sleep_mutex_);
@@ -103,6 +122,44 @@ void ForkJoinPool::worker_loop(unsigned index) {
   }
   tls_worker_ = nullptr;
   tls_pool_ = nullptr;
+}
+
+void ForkJoinPool::append_pool_metrics(observe::MetricsSample& sample,
+                                       unsigned ordinal) const {
+  const double workers = static_cast<double>(workers_.size());
+  const double sleeping = static_cast<double>(sleeping_workers());
+  double backlog = 0.0;
+  for (const std::size_t depth : queue_depths()) {
+    backlog += static_cast<double>(depth);
+  }
+  const double steals =
+      static_cast<double>(steals_.load(std::memory_order_relaxed));
+  const double failures =
+      static_cast<double>(steal_failures_.load(std::memory_order_relaxed));
+  const double sweeps = steals + failures;
+  const std::string label = std::to_string(ordinal);
+  auto gauge = [&](const char* name, double value, const char* help) {
+    sample.rows.push_back(observe::MetricRow{
+        name, observe::MetricKind::kGauge, value, "pool", label, help});
+  };
+  auto counter = [&](const char* name, double value, const char* help) {
+    sample.rows.push_back(observe::MetricRow{
+        name, observe::MetricKind::kCounter, value, "pool", label, help});
+  };
+  gauge("pls_pool_workers", workers, "Worker threads owned by the pool");
+  gauge("pls_pool_sleeping_workers", sleeping,
+        "Workers parked in the timed sleep wait");
+  gauge("pls_pool_queue_backlog", backlog,
+        "Tasks queued across the pool's deques");
+  gauge("pls_pool_utilization",
+        workers > 0.0 ? (workers - sleeping) / workers : 0.0,
+        "Fraction of workers not sleeping");
+  gauge("pls_pool_starvation_ratio", sweeps > 0.0 ? failures / sweeps : 0.0,
+        "Failed steal sweeps over all steal sweeps");
+  counter("pls_pool_steals_total", steals,
+          "Successful task migrations between workers");
+  counter("pls_pool_steal_failures_total", failures,
+          "Full steal sweeps that found no task");
 }
 
 RawTask* ForkJoinPool::find_task(Worker& self) {

@@ -31,6 +31,7 @@
 #include "forkjoin/task.hpp"
 #include "observe/counters.hpp"
 #include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
 #include "observe/trace.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -163,6 +164,27 @@ class ForkJoinPool {
     return steal_failures_.load(std::memory_order_relaxed);
   }
 
+  /// Workers currently parked in the timed sleep wait (sampled,
+  /// approximate — a worker may be waking as you read). The continuous-
+  /// telemetry layer derives pool utilization from this.
+  int sleeping_workers() const noexcept {
+    const int s = sleepers_.load(std::memory_order_relaxed);
+    return s > 0 ? s : 0;
+  }
+
+  /// Approximate per-worker deque depths, indexed by worker ordinal. The
+  /// Chase-Lev size() reads both bounds with acquire loads, so sampling
+  /// from a non-worker thread is safe (the value may be momentarily
+  /// stale, which is fine for backlog gauges).
+  std::vector<std::size_t> queue_depths() const {
+    std::vector<std::size_t> out;
+    out.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      out.push_back(static_cast<std::size_t>(w->deque.size()));
+    }
+    return out;
+  }
+
   /// Aggregated observability counters over this pool's workers (zeros
   /// when PLS_OBSERVE=0; see src/observe/counters.hpp).
   observe::CounterTotals counter_totals() const {
@@ -259,6 +281,13 @@ class ForkJoinPool {
 
   void worker_loop(unsigned index);
 
+  /// Append this pool's gauges/counters (workers, sleepers, backlog,
+  /// utilization, starvation ratio, steal totals) to a metrics sample;
+  /// `ordinal` labels the rows (pool="N"). Called by the source this pool
+  /// registers with the MetricsRegistry for its lifetime.
+  void append_pool_metrics(observe::MetricsSample& sample,
+                           unsigned ordinal) const;
+
   /// Find runnable work: own deque, then injection queue, then steal sweep.
   RawTask* find_task(Worker& self);
 
@@ -325,6 +354,7 @@ class ForkJoinPool {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> steal_failures_{0};
   ForkScheduleHook* schedule_hook_ = nullptr;
+  std::uint64_t metrics_source_ = 0;  ///< MetricsRegistry token (0 = none)
 
   static thread_local Worker* tls_worker_;
   static thread_local ForkJoinPool* tls_pool_;

@@ -64,4 +64,16 @@ inline double ns_per_tick() {
 #endif
 }
 
+/// Wall-clock milliseconds since an arbitrary per-process epoch
+/// (steady_clock). Used to timestamp telemetry samples and run records —
+/// unlike now_ticks() it needs no calibration and is comparable across
+/// threads without a scale factor.
+inline double steady_now_ms() noexcept {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e6;
+}
+
 }  // namespace pls::observe

@@ -96,6 +96,38 @@ struct CounterTotals {
   }
 };
 
+/// One entry of the canonical counter-field table: the schema name, a
+/// member pointer into CounterTotals, and whether the field is a monotone
+/// counter (max_split_depth is a high-water mark — a gauge). Every
+/// consumer that enumerates counter fields by name (bench JSON rows, the
+/// Prometheus exposition, the JSONL run log) iterates kCounterFields so
+/// there is exactly one copy of the name list.
+struct CounterField {
+  const char* name;
+  std::uint64_t CounterTotals::*member;
+  bool monotone;
+};
+
+/// The counter schema, in the order bench rows and docs/observability.md
+/// present it. Real in both build modes.
+inline constexpr CounterField kCounterFields[] = {
+    {"tasks_executed", &CounterTotals::tasks_executed, true},
+    {"steals", &CounterTotals::steals, true},
+    {"steal_failures", &CounterTotals::steal_failures, true},
+    {"forks", &CounterTotals::forks, true},
+    {"splits", &CounterTotals::splits, true},
+    {"max_split_depth", &CounterTotals::max_split_depth, false},
+    {"elements_accumulated", &CounterTotals::elements_accumulated, true},
+    {"leaf_chunks", &CounterTotals::leaf_chunks, true},
+    {"fused_leaves", &CounterTotals::fused_leaves, true},
+    {"combines", &CounterTotals::combines, true},
+    {"bytes_moved", &CounterTotals::bytes_moved, true},
+    {"allocations", &CounterTotals::allocations, true},
+};
+
+inline constexpr std::size_t kCounterFieldCount =
+    sizeof(kCounterFields) / sizeof(kCounterFields[0]);
+
 /// One worker's labelled totals, as returned by CounterRegistry::per_worker.
 struct WorkerCounters {
   std::string label;

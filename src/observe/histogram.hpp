@@ -113,6 +113,21 @@ struct HistogramSnapshot {
     return a;
   }
 
+  /// Delta of two snapshots taken from the same monotone source
+  /// (`after - before`): bucket counts, total and sum subtract; max_value
+  /// keeps the later snapshot's high-water mark (it is not a counter, so
+  /// a true per-interval max is unrecoverable — the caveat mirrors
+  /// CounterTotals::max_split_depth).
+  friend HistogramSnapshot operator-(HistogramSnapshot a,
+                                     const HistogramSnapshot& b) noexcept {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      a.counts[i] -= b.counts[i];
+    }
+    a.total -= b.total;
+    a.sum -= b.sum;
+    return a;
+  }
+
   friend bool operator==(const HistogramSnapshot& a,
                          const HistogramSnapshot& b) noexcept {
     if (a.total != b.total || a.sum != b.sum || a.max_value != b.max_value) {

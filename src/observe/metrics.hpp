@@ -1,0 +1,192 @@
+// Process-wide metrics registry: one uniform, labelled metric namespace.
+//
+// The batch-shaped observability layers (counters, histograms, the plan
+// machinery) are consumed as snapshot deltas bracketing one terminal.
+// MetricsRegistry adapts them — plus any dynamically registered sources
+// such as live pool state or PlanCache occupancy — into a flat list of
+// named metric rows that a scraper can read at any instant:
+//
+//   collect() emits, in order:
+//     pls_<counter>_total            one monotone counter per
+//                                    kCounterFields entry (process totals)
+//     pls_max_split_depth            the one non-monotone counter field,
+//                                    exposed as a gauge (high-water mark)
+//     pls_hist_<metric>[_ns]        p50/p90 gauges per latency histogram,
+//                                    labelled quantile="0.5"/"0.9"
+//                                    (nanosecond-scaled for time metrics)
+//     pls_hist_<metric>[_ns]_count  + _sum: monotone totals per histogram
+//     pls_runs_total                 terminals recorded by the RunRegistry
+//     <registered sources>           e.g. pls_pool_* gauges from each live
+//                                    ForkJoinPool, pls_plan_cache_entries
+//
+// Sources are callbacks appending rows to a sample; registration returns a
+// token and remove_source() blocks until no collect() is using the source,
+// so a pool can deregister in its destructor and die safely. Metric names
+// follow the Prometheus charset ([a-zA-Z_:][a-zA-Z0-9_:]*); rows carry at
+// most one label pair, which covers every current need (quantile=, pool=).
+//
+// The sampled shapes (MetricRow, MetricsSample) are real in both build
+// modes; with PLS_OBSERVE=0 the registry itself is an empty shell whose
+// collect() returns an empty sample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "observe/config.hpp"
+#include "observe/counters.hpp"
+#include "observe/histogram.hpp"
+#include "observe/run_registry.hpp"
+
+namespace pls::observe {
+
+/// Prometheus-style metric typing: counters are monotone, gauges go both
+/// ways.
+enum class MetricKind : std::uint8_t { kCounter, kGauge };
+
+/// One named value at one instant. `label_key`/`label_value` form an
+/// optional single label pair (empty key = unlabelled). `help` seeds the
+/// exposition's # HELP line; rows sharing a name should share help text
+/// (the first occurrence wins at export time).
+struct MetricRow {
+  std::string name;
+  MetricKind kind = MetricKind::kGauge;
+  double value = 0.0;
+  std::string label_key;
+  std::string label_value;
+  std::string help;
+};
+
+/// One timestamped registry capture — what the sampler rings and the
+/// exporters consume. Real in both build modes.
+struct MetricsSample {
+  double t_ms = 0.0;  ///< steady_now_ms() at collection
+  std::vector<MetricRow> rows;
+};
+
+#if PLS_OBSERVE
+
+class MetricsRegistry {
+ public:
+  /// A source appends its rows to the sample under collection.
+  using Source = std::function<void(MetricsSample&)>;
+
+  static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+
+  /// Register a dynamic source; returns a token for remove_source().
+  std::uint64_t add_source(Source source) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = next_source_id_++;
+    sources_.emplace_back(id, std::move(source));
+    return id;
+  }
+
+  /// Deregister; blocks until no in-flight collect() can still call the
+  /// source, so the caller may free whatever the callback captures.
+  void remove_source(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i].first == id) {
+        sources_.erase(sources_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+
+  /// Snapshot every built-in adapter plus the registered sources.
+  MetricsSample collect() const {
+    MetricsSample s;
+    s.t_ms = steady_now_ms();
+    collect_counters(s);
+    collect_histograms(s);
+    s.rows.push_back(MetricRow{
+        "pls_runs_total", MetricKind::kCounter,
+        static_cast<double>(RunRegistry::global().total()), "", "",
+        "Terminal operations recorded by the run registry"});
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, source] : sources_) {
+      (void)id;
+      source(s);
+    }
+    return s;
+  }
+
+ private:
+  MetricsRegistry() = default;
+
+  static void collect_counters(MetricsSample& s) {
+    const CounterTotals t = aggregate_counters();
+    for (const CounterField& f : kCounterFields) {
+      MetricRow row;
+      if (f.monotone) {
+        row.name = std::string("pls_") + f.name + "_total";
+        row.kind = MetricKind::kCounter;
+      } else {
+        row.name = std::string("pls_") + f.name;
+        row.kind = MetricKind::kGauge;
+      }
+      row.value = static_cast<double>(t.*f.member);
+      row.help = std::string("Process-wide ") + f.name +
+                 (f.monotone ? " total" : " high-water mark");
+      s.rows.push_back(std::move(row));
+    }
+  }
+
+  static void collect_histograms(MetricsSample& s) {
+    const HistogramSetSnapshot h = aggregate_histograms();
+    const double ns = ns_per_tick();
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      const auto m = static_cast<Metric>(i);
+      const bool time = metric_is_time(m);
+      const double scale = time ? ns : 1.0;
+      const std::string base =
+          std::string("pls_hist_") + metric_name(m) + (time ? "_ns" : "");
+      const std::string help =
+          std::string("Latency histogram for ") + metric_name(m) +
+          (time ? " (nanoseconds)" : " (raw units)");
+      static constexpr std::pair<double, const char*> kQuantiles[] = {
+          {0.5, "0.5"}, {0.9, "0.9"}};
+      for (const auto& [q, qlabel] : kQuantiles) {
+        s.rows.push_back(MetricRow{base, MetricKind::kGauge,
+                                   h.metric[i].quantile(q, scale), "quantile",
+                                   qlabel, help});
+      }
+      s.rows.push_back(MetricRow{
+          base + "_count", MetricKind::kCounter,
+          static_cast<double>(h.metric[i].total), "", "", help + ": count"});
+      s.rows.push_back(MetricRow{
+          base + "_sum", MetricKind::kCounter,
+          static_cast<double>(h.metric[i].sum) * scale, "", "",
+          help + ": sum"});
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::uint64_t, Source>> sources_;
+  std::uint64_t next_source_id_ = 1;
+};
+
+#else  // !PLS_OBSERVE — empty shell; every call site compiles to nothing.
+
+class MetricsRegistry {
+ public:
+  using Source = std::function<void(MetricsSample&)>;
+  static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  std::uint64_t add_source(Source) { return 0; }
+  void remove_source(std::uint64_t) {}
+  MetricsSample collect() const { return {}; }
+};
+
+#endif  // PLS_OBSERVE
+
+}  // namespace pls::observe

@@ -77,13 +77,18 @@
 
 #include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
+#include "observe/export.hpp"
 #include "observe/flamegraph.hpp"
 #include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
+#include "observe/run_registry.hpp"
+#include "observe/sampler.hpp"
 #include "observe/trace.hpp"
 
 #include <optional>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 namespace pls {
 
@@ -168,6 +173,7 @@ class session {
   explicit session(const config& cfg) : cfg_(cfg) {
     if (cfg_.parallelism != 0) owned_pool_.emplace(cfg_.parallelism);
     counters_at_start_ = pool().counter_totals();
+    runs_total_at_start_ = observe::RunRegistry::global().total();
     if (cfg_.observe) {
       tracing_ = !observe::TraceRecorder::global().enabled();
       if (tracing_) observe::TraceRecorder::global().enable();
@@ -286,10 +292,26 @@ class session {
     return observe::aggregate_histograms();
   }
 
+  /// Run records appended since this session started (one per executed
+  /// terminal: plan identity, counter deltas, wall time, leaf latency —
+  /// see observe/run_registry.hpp). Empty when PLS_OBSERVE=0; bounded by
+  /// the registry's keep-latest ring for very long sessions.
+  std::vector<observe::RunRecord> runs() const {
+    return observe::RunRegistry::global().records_since(runs_total_at_start_);
+  }
+
+  /// One fresh metrics-registry sample (counters, histogram quantiles,
+  /// pool gauges, PlanCache occupancy), e.g. to render with
+  /// observe::write_prometheus. Empty when PLS_OBSERVE=0.
+  observe::MetricsSample metrics() const {
+    return observe::MetricsRegistry::global().collect();
+  }
+
  private:
   config cfg_;
   std::optional<forkjoin::ForkJoinPool> owned_pool_;
   observe::CounterTotals counters_at_start_{};
+  std::uint64_t runs_total_at_start_ = 0;
   bool tracing_ = false;
   bool profiling_ = false;
 };

@@ -422,13 +422,21 @@ ExecutionReport<R> execute_forkjoin_reported(
     const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
     PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
   detail::checked_leaf_size(leaf_size);
+  // Plan before running so the run-record scope brackets the execution
+  // (one RunRecord per executed terminal, PowerList runs included).
+  const streams::ExecutionPlan plan =
+      detail::synthesized_plan(input.length(), leaf_size, pool);
+  streams::record_plan(plan);
   const observe::CounterTotals before = pool.counter_totals();
-  R result = execute_forkjoin(pool, f, input, ctx, leaf_size);
-  ExecutionReport<R> report{std::move(result)};
+  std::optional<R> result;
+  {
+    streams::RunScope run_scope(plan);
+    result.emplace(execute_forkjoin(pool, f, input, ctx, leaf_size));
+  }
+  ExecutionReport<R> report{std::move(*result)};
   report.stats = detail::uniform_shape(input.length(), leaf_size);
   report.counters = pool.counter_totals() - before;
-  report.plan = detail::synthesized_plan(input.length(), leaf_size, pool);
-  streams::record_plan(report.plan);
+  report.plan = plan;
   return report;
 }
 
@@ -444,15 +452,22 @@ ExecutionReport<R> execute_forkjoin_profiled(
     const PowerFunction<std::remove_const_t<TV>, R, Ctx>& f,
     PowerListView<TV> input, Ctx ctx = Ctx{}, std::size_t leaf_size = 1) {
   detail::checked_leaf_size(leaf_size);
+  const streams::ExecutionPlan plan =
+      detail::synthesized_plan(input.length(), leaf_size, pool);
+  streams::record_plan(plan);
   auto& recorder = observe::CriticalPathRecorder::global();
   recorder.clear();
   recorder.enable();
   const observe::CounterTotals before = pool.counter_totals();
   const auto wall0 = std::chrono::steady_clock::now();
-  R result = execute_forkjoin(pool, f, input, ctx, leaf_size);
+  std::optional<R> result;
+  {
+    streams::RunScope run_scope(plan);
+    result.emplace(execute_forkjoin(pool, f, input, ctx, leaf_size));
+  }
   const auto wall1 = std::chrono::steady_clock::now();
   recorder.disable();
-  ExecutionReport<R> report{std::move(result)};
+  ExecutionReport<R> report{std::move(*result)};
   report.stats = detail::uniform_shape(input.length(), leaf_size);
   report.counters = pool.counter_totals() - before;
   report.profile = recorder.analyze();
@@ -460,8 +475,7 @@ ExecutionReport<R> execute_forkjoin_profiled(
   report.wall_ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0)
           .count());
-  report.plan = detail::synthesized_plan(input.length(), leaf_size, pool);
-  streams::record_plan(report.plan);
+  report.plan = plan;
   return report;
 }
 

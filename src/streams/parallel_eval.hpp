@@ -1228,6 +1228,10 @@ auto evaluate(std::unique_ptr<Spliterator<T>>& sp, const Term& term,
       plan_pipeline<T>(sp, Traits::kind, Traits::sized_collector,
                        Traits::chunk_collector, parallel, cfg, origin);
   record_plan(planned.plan);
+  // Scope declared after `planned` (whose plan it captures) and before
+  // the dispatch: its destructor fires once the terminal's result is
+  // materialized, appending one RunRecord covering the full run.
+  RunScope run_scope(planned.plan);
   if (planned.fused) {
     return detail::run_fused<T>(*planned.fused, term, parallel, cfg,
                                 planned.plan);
@@ -1249,6 +1253,7 @@ auto evaluate_fused(FusedPipeline& fused, const Term& term, bool parallel,
       plan_fused_pipeline(fused, Traits::kind, Traits::sized_collector,
                           Traits::chunk_collector, parallel, cfg, origin);
   record_plan(plan);
+  RunScope run_scope(plan);
   return detail::run_fused<T>(fused, term, parallel, cfg, plan);
 }
 

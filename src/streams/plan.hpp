@@ -37,8 +37,11 @@
 
 #include "forkjoin/pool.hpp"
 #include "observe/config.hpp"
+#include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
 #include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
+#include "observe/run_registry.hpp"
 #include "streams/fusion.hpp"
 #include "streams/spliterator.hpp"
 #include "support/assert.hpp"
@@ -807,6 +810,90 @@ inline void record_plan(const ExecutionPlan& p) {
 inline const ExecutionPlan& last_plan() {
   return detail::last_plan_slot();
 }
+
+// ---- continuous telemetry: run records + PlanCache gauge --------------
+
+#if PLS_OBSERVE
+
+/// RAII run recorder: constructed (by the terminal dispatchers) with the
+/// finished plan just before execution starts, destroyed when the
+/// terminal returns — including by exception unwind, so an aborted run
+/// still leaves its record. The destructor turns the plan plus the
+/// process-wide counter/leaf-histogram deltas and wall time into one
+/// RunRecord and appends it to the RunRegistry, correlating run history
+/// with pls::session::plan() through cache_key.
+class RunScope {
+ public:
+  explicit RunScope(const ExecutionPlan& plan)
+      : plan_(plan),
+        counters_before_(observe::aggregate_counters()),
+        leaf_before_(observe::aggregate_histograms().of(
+            observe::Metric::kLeafRun)),
+        start_ms_(observe::steady_now_ms()) {}
+
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  ~RunScope() {
+    observe::RunRecord rec;
+    rec.cache_key = plan_.cache_key;
+    rec.terminal = terminal_name(plan_.terminal);
+    rec.origin = origin_name(plan_.origin);
+    rec.drive = drive_name(plan_.drive);
+    rec.grain_source = grain_source_name(plan_.grain_source);
+    rec.kernel = kernel_name(plan_.kernel);
+    rec.fusion_reason = reason_name(plan_.fusion_reason);
+    rec.dps_reason = reason_name(plan_.dps_reason);
+    rec.parallel = plan_.parallel;
+    rec.fused = plan_.fused;
+    rec.dps = plan_.dps;
+    rec.parallelism = plan_.parallelism;
+    rec.source_size = plan_.source_size;
+    rec.grain = plan_.grain;
+    rec.counters = observe::aggregate_counters() - counters_before_;
+    const observe::HistogramSnapshot leaf =
+        observe::aggregate_histograms().of(observe::Metric::kLeafRun) -
+        leaf_before_;
+    const double scale = observe::ns_per_tick();
+    rec.leaf_p50_ns = leaf.quantile(0.5, scale);
+    rec.leaf_p90_ns = leaf.quantile(0.9, scale);
+    rec.wall_ms = observe::steady_now_ms() - start_ms_;
+    observe::RunRegistry::global().append(std::move(rec));
+  }
+
+ private:
+  ExecutionPlan plan_;
+  observe::CounterTotals counters_before_;
+  observe::HistogramSnapshot leaf_before_;
+  double start_ms_;
+};
+
+namespace detail {
+/// Registers the PlanCache occupancy gauge with the metrics registry once
+/// per process (inline variable: one registration across all TUs). Never
+/// deregistered — both singletons are function-local statics whose
+/// construction this initializer orders, and collect() is never called
+/// during static destruction (the sampler stops first).
+[[maybe_unused]] inline const std::uint64_t plan_cache_metrics_source =
+    observe::MetricsRegistry::global().add_source(
+        [](observe::MetricsSample& sample) {
+          sample.rows.push_back(observe::MetricRow{
+              "pls_plan_cache_entries", observe::MetricKind::kGauge,
+              static_cast<double>(PlanCache::global().size()), "", "",
+              "Pipeline shapes held by the PlanCache"});
+        });
+}  // namespace detail
+
+#else  // !PLS_OBSERVE — run recording compiles to nothing.
+
+class RunScope {
+ public:
+  explicit RunScope(const ExecutionPlan&) noexcept {}
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+};
+
+#endif  // PLS_OBSERVE
 
 /// Feed one profiled parallel run back into the PlanCache — called by
 /// the execution layer with the run's critical-path root (nullptr when

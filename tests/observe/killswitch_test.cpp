@@ -10,8 +10,12 @@
 
 #include "observe/counters.hpp"
 #include "observe/critical_path.hpp"
+#include "observe/export.hpp"
 #include "observe/flamegraph.hpp"
 #include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
+#include "observe/run_registry.hpp"
+#include "observe/sampler.hpp"
 #include "observe/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -36,6 +40,12 @@ static_assert(std::is_empty_v<pls::observe::HistogramBlock>);
 static_assert(std::is_empty_v<pls::observe::CpScope>);
 static_assert(std::is_empty_v<pls::observe::LatencyTimer>);
 static_assert(std::is_empty_v<pls::observe::TraceSession>);
+// The continuous-telemetry layer collapses the same way: registry,
+// sampler ring, run history and the RAII session all carry no state.
+static_assert(std::is_empty_v<pls::observe::MetricsRegistry>);
+static_assert(std::is_empty_v<pls::observe::MetricsSession>);
+static_assert(std::is_empty_v<pls::observe::SampleRing>);
+static_assert(std::is_empty_v<pls::observe::RunRegistry>);
 
 TEST(KillSwitch, CountersAreInert) {
   auto& block = pls::observe::local_counters();
@@ -115,6 +125,50 @@ TEST(KillSwitch, HistogramsAreInert) {
   s.max_value = 8;
   EXPECT_EQ((s + s).total, 2u);
   EXPECT_GT(s.quantile(0.5), 0.0);
+}
+
+TEST(KillSwitch, TelemetryLayerIsInert) {
+  // Registry: sources are dropped, collection yields nothing.
+  auto& reg = pls::observe::MetricsRegistry::global();
+  const auto token = reg.add_source([](pls::observe::MetricsSample& s) {
+    s.rows.push_back(pls::observe::MetricRow{});
+  });
+  EXPECT_EQ(token, 0u);
+  EXPECT_TRUE(reg.collect().rows.empty());
+  reg.remove_source(token);
+
+  // Sampler: start() refuses, the ring never fills.
+  auto& sampler = pls::observe::MetricsSampler::global();
+  EXPECT_FALSE(sampler.start(1));
+  EXPECT_FALSE(sampler.running());
+  sampler.ring().push(pls::observe::MetricsSample{});
+  EXPECT_EQ(sampler.ring().size(), 0u);
+  EXPECT_TRUE(sampler.ring().samples().empty());
+  sampler.stop();
+
+  // Run registry: appends vanish.
+  auto& runs = pls::observe::RunRegistry::global();
+  runs.append(pls::observe::RunRecord{});
+  EXPECT_EQ(runs.total(), 0u);
+  EXPECT_TRUE(runs.records().empty());
+
+  // Exporter: cannot be armed, flush writes nothing.
+  auto& log = pls::observe::MetricsLog::global();
+  log.enable();
+  log.set_output_path("should-not-be-written.jsonl");
+  EXPECT_TRUE(log.output_path().empty());
+  EXPECT_FALSE(log.flush());
+  { pls::observe::MetricsSession session(1); }
+
+  // The exposition writer stays real in both modes (reporting contract):
+  // a synthetic sample still renders grammar-valid text.
+  pls::observe::MetricsSample sample;
+  sample.rows.push_back(pls::observe::MetricRow{
+      "pls_demo_total", pls::observe::MetricKind::kCounter, 1.0, "", "",
+      "demo"});
+  const std::string text = pls::observe::prometheus_text(sample);
+  EXPECT_NE(text.find("# TYPE pls_demo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pls_demo_total 1"), std::string::npos);
 }
 
 TEST(KillSwitch, TotalsStillUsableForReporting) {

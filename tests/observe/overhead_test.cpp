@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "observe/critical_path.hpp"
+#include "observe/export.hpp"
 #include "observe/histogram.hpp"
+#include "observe/sampler.hpp"
 #include "observe/trace.hpp"
 #include "powerlist/algorithms/map_reduce.hpp"
 #include "powerlist/executors.hpp"
@@ -76,6 +78,42 @@ TEST(ObserveOverhead, ProfiledRunWithinBoundOfPlainRun) {
   // blows past 5x immediately.
   EXPECT_LT(profiled_ms, plain_ms * 5.0 + 20.0)
       << "plain=" << plain_ms << "ms profiled=" << profiled_ms << "ms";
+}
+
+TEST(ObserveOverhead, ActiveSamplerWithinBound) {
+  // An aggressively fast (1 ms) background sampler runs concurrently with
+  // the workload: registry collection walks every counter/histogram slot,
+  // so this checks the sampler stays off the execution hot paths (it
+  // must cost reads, never locks the workers touch).
+  pls::forkjoin::ForkJoinPool pool(2);
+  std::vector<long> data(1 << 16);
+  std::iota(data.begin(), data.end(), 1);
+  constexpr int kRounds = 5;
+  run_workload_ms(pool, data, 1);
+  const double plain_ms = run_workload_ms(pool, data, kRounds);
+
+  double sampled_ms = 0.0;
+  {
+    obs::MetricsSession session(/*interval_ms=*/1);
+    EXPECT_EQ(obs::MetricsSampler::global().running(), obs::kEnabled);
+    sampled_ms = run_workload_ms(pool, data, kRounds);
+  }
+  EXPECT_LT(sampled_ms, plain_ms * 5.0 + 20.0)
+      << "plain=" << plain_ms << "ms sampled=" << sampled_ms << "ms";
+}
+
+TEST(ObserveOverhead, MetricsSessionLeavesNoResidue) {
+  // After teardown the sampling thread is gone and the ring stops
+  // growing — further work must not produce samples.
+  { obs::MetricsSession session(/*interval_ms=*/1); }
+  EXPECT_FALSE(obs::MetricsSampler::global().running());
+  const auto pushed_before = obs::MetricsSampler::global().ring().total_pushed();
+  pls::forkjoin::ForkJoinPool pool(2);
+  std::vector<long> data(1 << 12);
+  std::iota(data.begin(), data.end(), 1);
+  run_workload_ms(pool, data, 2);
+  EXPECT_EQ(obs::MetricsSampler::global().ring().total_pushed(),
+            pushed_before);
 }
 
 TEST(ObserveOverhead, DisabledRecordersLeaveNoResidue) {
