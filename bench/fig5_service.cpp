@@ -1,0 +1,188 @@
+// FIG5 — the streaming-service layer under load (src/service/,
+// docs/service.md): a sessions × micro-batch-size sweep over the
+// ServiceDriver on the default (common) ForkJoinPool.
+//
+// Each row is one session count S (a power of two; the acceptance sweep
+// reaches S = 1024 concurrent sessions). For every micro-batch cap B in
+// the sweep the harness, per repetition:
+//   1. opens S sessions from one SessionSpec (map stage, tumbling window
+//      of 32, summing collector — the fused chain is planned once per
+//      session and reused per batch);
+//   2. offers kElemsPerSession elements to every session, round-robin in
+//      chunks, pumping the driver as it goes so drains overlap ingest;
+//   3. drain_all() as the quiescence barrier, wall-clocks the whole run.
+// Reported per (S, B): drain wall time (drain_b<B>_* stats fields),
+// sustained throughput in million elements/second, and the per-batch
+// service-time histogram merged across all S sessions (p50/p99 ns, from
+// the same per-session histograms the driver exports as metrics).
+//
+// Row keys: log2_n = log2(S), n = S — unique per row, so
+// bench/regress.py matches rows across runs by session count.
+//
+// Sizes flag: --sizes 2^A..2^B sweeps S = 2^A .. 2^B. When the range is
+// left at the harness default (an element-count range meant for the
+// figure benches, 2^20+), the sweep falls back to S = 1,4,...,1024.
+//
+// Shape to expect: wall time grows ~linearly with S at fixed total
+// offered work per session; larger micro-batches amortise per-drive
+// overhead, so batch 256 sits below batch 64 in per-element cost while
+// its per-batch latency quantiles sit higher (more elements per drive).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "observe/histogram.hpp"
+#include "pls.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr std::size_t kWindow = 32;
+constexpr std::size_t kElemsPerSession = 4096;
+constexpr std::size_t kOfferChunk = 64;
+constexpr std::size_t kBatchSweep[] = {64, 256};
+constexpr std::size_t kMaxSessionsLog2 = 10;  // 1024: the acceptance point
+
+struct ServiceRunResult {
+  double wall_ms = 0.0;
+  pls::observe::HistogramSnapshot latency;  ///< per-batch, all sessions
+  std::uint64_t batches = 0;
+  std::uint64_t windows = 0;
+};
+
+ServiceRunResult run_service(std::size_t sessions, std::size_t max_batch,
+                             const std::vector<double>& input) {
+  namespace service = pls::service;
+  namespace streams = pls::streams;
+
+  const auto spec =
+      service::pipeline(pls::stages::map([](double v) { return v * 1.5 + 0.25; }))
+          .window(kWindow)
+          .batch(max_batch)
+          .configure(streams::ExecutionConfig{}.with_queue_capacity(
+              2 * kElemsPerSession))
+          .collect(streams::collectors::summing<double>());
+
+  service::ServiceDriver driver;  // default pool
+  using SessionPtr = decltype(spec.open<double>(driver));
+  std::vector<SessionPtr> conns;
+  conns.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    conns.push_back(spec.open<double>(driver));
+  }
+
+  ServiceRunResult out;
+  pls::Stopwatch sw;
+  // Round-robin ingest in chunks, pumping so drains overlap offers.
+  for (std::size_t off = 0; off < kElemsPerSession; off += kOfferChunk) {
+    const std::size_t n =
+        std::min(kOfferChunk, kElemsPerSession - off);
+    for (auto& c : conns) c->offer_all(input.data() + off, n);
+    driver.pump();
+  }
+  driver.drain_all();
+  out.wall_ms = sw.elapsed_ms();
+
+  double checksum = 0.0;
+  for (auto& c : conns) {
+    out.latency += c->latency();
+    out.batches += c->batches_run();
+    const auto windows = c->take_results();
+    out.windows += windows.size();
+    for (const double w : windows) checksum += w;
+  }
+  pls::bench::keep(checksum);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!pls::bench::parse_args(argc, argv)) return 1;
+  const int reps = pls::bench::repetitions();
+
+  // Session sweep: --sizes names session-count exponents directly; the
+  // harness default range (element counts, >= 2^13) means "not set".
+  unsigned lg_lo = pls::bench::min_log2();
+  unsigned lg_hi = pls::bench::max_log2();
+  unsigned lg_step = 1;
+  if (lg_hi > kMaxSessionsLog2 + 2) {
+    lg_lo = 0;
+    lg_hi = kMaxSessionsLog2;
+    lg_step = 2;  // 1, 4, 16, 64, 256, 1024
+  }
+
+  std::vector<double> input(kElemsPerSession);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<double>(i % 97) * 0.125 - 3.0;
+  }
+
+  pls::TextTable table({"log2(S)", "sessions", "batch", "wall_ms", "rsd",
+                        "Melem/s", "batches", "lat_p50_us", "lat_p99_us"});
+  std::vector<std::string> json_rows;
+
+  for (unsigned lg = lg_lo; lg <= lg_hi; lg += lg_step) {
+    const std::size_t sessions = std::size_t{1} << lg;
+    pls::bench::JsonObject row;
+    row.field("log2_n", lg).field("n", static_cast<std::uint64_t>(sessions))
+        .field("sessions", static_cast<std::uint64_t>(sessions))
+        .field("elems_per_session",
+               static_cast<std::uint64_t>(kElemsPerSession));
+
+    for (const std::size_t batch : kBatchSweep) {
+      ServiceRunResult last;
+      const auto stats = pls::bench::time_ms(
+          [&] { last = run_service(sessions, batch, input); }, reps);
+
+      const double total_elems =
+          static_cast<double>(sessions * kElemsPerSession);
+      const double meps = total_elems / (stats.median * 1e3);  // Melem/s
+      const double ns = pls::observe::kEnabled ? pls::observe::ns_per_tick()
+                                               : 1.0;
+      const double p50_ns = last.latency.quantile(0.5, ns);
+      const double p99_ns = last.latency.quantile(0.99, ns);
+
+      table.add_row({std::to_string(lg), std::to_string(sessions),
+                     std::to_string(batch),
+                     pls::TextTable::num(stats.median),
+                     pls::TextTable::num(stats.rel_stddev(), 3),
+                     pls::TextTable::num(meps),
+                     std::to_string(last.batches),
+                     pls::TextTable::num(p50_ns / 1e3),
+                     pls::TextTable::num(p99_ns / 1e3)});
+
+      const std::string prefix = "drain_b" + std::to_string(batch) + "_";
+      pls::bench::stats_fields(row, prefix, stats);
+      row.field(prefix + "melem_per_s", meps)
+          .field(prefix + "batches", last.batches)
+          .field(prefix + "windows", last.windows)
+          .field(prefix + "lat_p50_ns", p50_ns)
+          .field(prefix + "lat_p99_ns", p99_ns)
+          .field(prefix + "lat_count", last.latency.total);
+    }
+    json_rows.push_back(row.str());
+  }
+
+  table.print();
+
+  pls::bench::JsonObject doc;
+  doc.field("schema", pls::bench::kBenchSchemaVersion)
+      .field("bench", "fig5_service")
+      .field("window", static_cast<std::uint64_t>(kWindow))
+      .field("elems_per_session",
+             static_cast<std::uint64_t>(kElemsPerSession))
+      .field("repetitions", static_cast<unsigned>(reps))
+      .field("observe", pls::observe::kEnabled ? 1u : 0u)
+      .raw("rows", pls::bench::Json::arr(json_rows));
+  const std::string json_path = pls::bench::bench_json_path("fig5_service");
+  pls::bench::write_json_file(json_path, doc.str());
+  std::printf("\nper-run metrics: %s\n", json_path.c_str());
+  std::printf(
+      "\nexpected shape: wall time ~linear in session count; larger\n"
+      "micro-batches cost less per element but more per batch (higher\n"
+      "latency quantiles); the 1024-session row is the acceptance point.\n");
+  return 0;
+}

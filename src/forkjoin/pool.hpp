@@ -100,6 +100,19 @@ class ForkJoinPool {
     return future.get();
   }
 
+  /// Fire-and-forget external submission: inject `f` and return
+  /// immediately. The caller owns completion tracking (the service driver
+  /// counts in-flight batches and quiesces before pool destruction); an
+  /// exception escaping `f` terminates, as from a detached thread. Unlike
+  /// run(), never runs inline — even from a worker of this pool the task
+  /// goes through the injection queue, so a drain task may safely submit
+  /// follow-up work without unbounded recursion.
+  template <typename F>
+  void submit(F&& f) {
+    using Fn = std::decay_t<F>;
+    external_push(new DetachedTask<Fn>(std::forward<F>(f)));  // deletes itself
+  }
+
   /// The fork-join primitive: execute both closures, potentially in
   /// parallel. Must be joined before the enclosing frame returns (enforced
   /// structurally: this function only returns once both closures finished).

@@ -8,6 +8,9 @@
 //     (Core Guidelines Per.14/Per.15).
 //   - HeapTask<F>: heap-allocated for external submissions via
 //     ForkJoinPool::run, completion signalled through a promise.
+//   - DetachedTask<F>: heap-allocated for fire-and-forget submissions via
+//     ForkJoinPool::submit; no promise — completion is the caller's
+//     protocol (the service driver counts in-flight batches itself).
 #pragma once
 
 #include <atomic>
@@ -94,6 +97,26 @@ class HeapTask final : public RawTask {
  private:
   F body_;
   std::promise<result_type> promise_;
+};
+
+/// Fire-and-forget heap task: runs the body, swallows nothing (the body
+/// must be noexcept in spirit — an escaping exception terminates, as it
+/// would from a detached thread), and deletes itself. Used by
+/// ForkJoinPool::submit for externally injected work whose completion is
+/// tracked out-of-band by the submitter.
+template <typename F>
+class DetachedTask final : public RawTask {
+ public:
+  explicit DetachedTask(F body) : body_(std::move(body)) {}
+
+  void execute() override {
+    body_();
+    mark_done();
+    delete this;
+  }
+
+ private:
+  F body_;
 };
 
 }  // namespace pls::forkjoin

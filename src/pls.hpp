@@ -12,6 +12,9 @@
 //   forkjoin/   work-stealing ForkJoinPool, parallel_for/reduce/invoke
 //   simmachine/ task-trace recorder + virtual-multicore scheduler
 //   streams/    Spliterator, Stream, Collector, collectors, unsized
+//   service/    long-lived push-mode sessions: ingest queues with
+//               watermark flow control, reusable planned chains,
+//               windowed terminals, the multiplexing driver
 //   powerlist/  views, PowerArray, Tie/ZipSpliterators, PowerFunction,
 //               executors, the algorithm library, the Streams adaptation
 //               layer, PowerStream facade, JPLF-compatibility layer
@@ -43,6 +46,11 @@
 #include "streams/stream.hpp"
 #include "streams/unsized.hpp"
 #include "support/simd.hpp"
+
+#include "service/driver.hpp"
+#include "service/facade.hpp"
+#include "service/queue.hpp"
+#include "service/session.hpp"
 
 #include "powerlist/algorithms/adder.hpp"
 #include "powerlist/algorithms/convolution.hpp"
@@ -100,6 +108,7 @@ namespace pls {
 
 using streams::ExecutionConfig;
 using streams::ExecutionPlan;
+using streams::OverloadPolicy;
 using streams::PlanCache;
 using streams::StagePipe;
 using streams::StaticPipeline;
@@ -162,6 +171,16 @@ struct config {
   /// planning"); mirrors ExecutionConfig::auto_grain. Also switchable
   /// process-wide via PLS_AUTO_GRAIN=1.
   bool auto_grain = false;
+  /// Service-layer knobs (docs/service.md), consumed by sessions opened
+  /// from pls::service specs: per-session ingest-queue capacity, the
+  /// qband watermark pair within it (0 = each mark's documented default),
+  /// and the congestion policy. Mirror ExecutionConfig::queue_capacity /
+  /// high_watermark / low_watermark / overload; batch terminals ignore
+  /// them.
+  std::size_t queue_capacity = 1024;
+  std::size_t high_watermark = 0;
+  std::size_t low_watermark = 0;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
 };
 
 /// A configured execution scope: owns (or borrows) the pool, carries the
@@ -218,7 +237,10 @@ class session {
         .with_min_chunk(cfg_.grain)
         .with_sized_sink(cfg_.sized_sink)
         .with_fusion(cfg_.fusion)
-        .with_auto_grain(cfg_.auto_grain);
+        .with_auto_grain(cfg_.auto_grain)
+        .with_queue_capacity(cfg_.queue_capacity)
+        .with_watermarks(cfg_.high_watermark, cfg_.low_watermark)
+        .with_overload_policy(cfg_.overload);
   }
 
   /// The plan behind the most recent terminal this thread ran — verdicts,

@@ -1,0 +1,268 @@
+// ServiceDriver: multiplexes many ServiceSessions over one ForkJoinPool.
+//
+// The driver owns no threads of its own for draining — it is a scheduler
+// front-end. pump() scans the sessions, claims each one that has queued
+// elements, and submits its drain as a fire-and-forget pool task
+// (ForkJoinPool::submit); thousands of sessions therefore share the
+// pool's workers, and a drain task costs the pool exactly what any other
+// external submission does. The per-session claim flag keeps window
+// state sequential (one drain in flight per session) while drains of
+// different sessions run concurrently.
+//
+// Two ways to run the pump:
+//   - call pump() yourself whenever producers have made progress
+//     (deterministic, what the tests do);
+//   - start(interval) a background pump thread that scans periodically
+//     (the continuous-service deployment; stop()/destructor joins it).
+//
+// drain_all() is the quiescence barrier: it pumps with drain_all=true
+// and waits until every submitted drain finished and no session has
+// queued elements left — the service-side analogue of a terminal
+// returning. The destructor stops the pump, quiesces, and deregisters
+// the metrics source, so a driver can never outlive-dangle its sessions
+// or its telemetry callback.
+//
+// Telemetry: one MetricsRegistry source per driver exporting aggregate
+// gauges (session count, total/max queue depth, shed and batch totals,
+// p50/p99 batch latency over all sessions) plus per-session queue-depth
+// rows for small fleets (< kPerSessionRowLimit, so a 10k-session driver
+// does not flood the exposition).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "forkjoin/pool.hpp"
+#include "observe/histogram.hpp"
+#include "observe/metrics.hpp"
+#include "service/session.hpp"
+#include "support/assert.hpp"
+
+namespace pls::service {
+
+class ServiceDriver {
+ public:
+  /// Per-session metric rows are emitted only below this session count.
+  static constexpr std::size_t kPerSessionRowLimit = 32;
+
+  explicit ServiceDriver(forkjoin::ForkJoinPool* pool = nullptr)
+      : pool_(pool) {
+    metrics_source_ = observe::MetricsRegistry::global().add_source(
+        [this](observe::MetricsSample& sample) { append_metrics(sample); });
+  }
+
+  ~ServiceDriver() {
+    stop();
+    quiesce();
+    // remove_source blocks until no in-flight collect() can still call
+    // the callback, so destroying members below is safe.
+    observe::MetricsRegistry::global().remove_source(metrics_source_);
+  }
+
+  ServiceDriver(const ServiceDriver&) = delete;
+  ServiceDriver& operator=(const ServiceDriver&) = delete;
+
+  forkjoin::ForkJoinPool& pool() const {
+    return pool_ != nullptr ? *pool_ : forkjoin::ForkJoinPool::common();
+  }
+
+  /// Register a session; the driver keeps it alive (shared) until
+  /// destruction. Returns the session unchanged for chaining.
+  template <typename S>
+  std::shared_ptr<S> add(std::shared_ptr<S> session) {
+    static_assert(std::is_base_of_v<SessionBase, S>,
+                  "driver sessions derive from SessionBase");
+    std::shared_ptr<SessionBase> base = session;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(base));
+    }
+    return session;
+  }
+
+  /// Session-id dispenser for the facade (ids are labels, not indices).
+  std::uint64_t next_session_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t session_count() const {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    return sessions_.size();
+  }
+
+  /// One scheduling sweep: submit a drain task for every ready,
+  /// unclaimed session. Returns how many tasks were submitted. The task
+  /// holds the session by shared_ptr, so a session stays alive for its
+  /// in-flight drain even if the driver is destroyed concurrently —
+  /// though quiesce() in the destructor makes that moot.
+  std::size_t pump(bool drain_all = false) {
+    std::vector<std::shared_ptr<SessionBase>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      snapshot = sessions_;
+    }
+    std::size_t submitted = 0;
+    for (auto& s : snapshot) {
+      if (!s->ready() || !s->try_claim()) continue;
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      ++submitted;
+      pool().submit([this, s, drain_all] {
+        s->drain(drain_all);
+        s->release();
+        if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Taking the lock before notifying closes the race against a
+          // quiesce() waiter between its predicate check and its sleep.
+          std::lock_guard<std::mutex> lock(quiesce_mutex_);
+          quiesce_cv_.notify_all();
+        }
+      });
+    }
+    return submitted;
+  }
+
+  /// Wait until every submitted drain task finished.
+  void quiesce() {
+    std::unique_lock<std::mutex> lock(quiesce_mutex_);
+    quiesce_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  /// Drain every session dry and wait for completion: pump (each drain
+  /// emptying its queue), quiesce, and repeat until a fully quiesced
+  /// sweep finds no session with queued elements. The re-check after
+  /// quiescence matters: a sweep can submit nothing because earlier
+  /// pump() tasks still hold session claims, and a single-batch drain
+  /// from such a task may leave elements behind.
+  void drain_all() {
+    for (;;) {
+      pump(/*drain_all=*/true);
+      quiesce();
+      std::vector<std::shared_ptr<SessionBase>> snapshot;
+      {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        snapshot = sessions_;
+      }
+      bool any_ready = false;
+      for (const auto& s : snapshot) {
+        if (s->ready()) {
+          any_ready = true;
+          break;
+        }
+      }
+      if (!any_ready) return;
+    }
+  }
+
+  /// Start the background pump thread (idempotent).
+  void start(std::chrono::milliseconds interval = std::chrono::milliseconds(1)) {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    if (pump_thread_.joinable()) return;
+    pump_stop_.store(false, std::memory_order_release);
+    pump_thread_ = std::thread([this, interval] {
+      while (!pump_stop_.load(std::memory_order_acquire)) {
+        pump(false);
+        std::this_thread::sleep_for(interval);
+      }
+    });
+  }
+
+  /// Stop and join the background pump thread (idempotent; in-flight
+  /// drain tasks keep running — quiesce() waits for those).
+  void stop() {
+    std::lock_guard<std::mutex> lock(pump_mutex_);
+    if (!pump_thread_.joinable()) return;
+    pump_stop_.store(true, std::memory_order_release);
+    pump_thread_.join();
+    pump_thread_ = std::thread();
+  }
+
+ private:
+  void append_metrics(observe::MetricsSample& sample) const {
+    std::vector<std::shared_ptr<SessionBase>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      snapshot = sessions_;
+    }
+    std::size_t depth_total = 0;
+    std::size_t depth_max = 0;
+    std::uint64_t shed_total = 0;
+    std::uint64_t batches_total = 0;
+    observe::HistogramSnapshot batch_latency;
+    for (const auto& s : snapshot) {
+      const QueueStats q = s->queue_stats();
+      depth_total += q.depth;
+      if (q.depth > depth_max) depth_max = q.depth;
+      shed_total += q.shed;
+      batches_total += q.batches;
+      batch_latency += s->latency();
+    }
+    using observe::MetricKind;
+    using observe::MetricRow;
+    sample.rows.push_back(MetricRow{
+        "pls_service_sessions", MetricKind::kGauge,
+        static_cast<double>(snapshot.size()), "", "",
+        "Sessions registered with this service driver"});
+    sample.rows.push_back(MetricRow{
+        "pls_service_queue_depth_total", MetricKind::kGauge,
+        static_cast<double>(depth_total), "", "",
+        "Queued elements across all session ingest queues"});
+    sample.rows.push_back(MetricRow{
+        "pls_service_queue_depth_max", MetricKind::kGauge,
+        static_cast<double>(depth_max), "", "",
+        "Deepest current session ingest queue"});
+    sample.rows.push_back(MetricRow{
+        "pls_service_shed_total", MetricKind::kCounter,
+        static_cast<double>(shed_total), "", "",
+        "Elements shed by overload policies across all sessions"});
+    sample.rows.push_back(MetricRow{
+        "pls_service_batches_total", MetricKind::kCounter,
+        static_cast<double>(batches_total), "", "",
+        "Micro-batches drained across all sessions"});
+    const double scale = observe::ns_per_tick();
+    sample.rows.push_back(MetricRow{
+        "pls_service_batch_latency_ns", MetricKind::kGauge,
+        batch_latency.quantile(0.5, scale), "quantile", "0.5",
+        "Batch service-time quantiles across all sessions (nanoseconds)"});
+    sample.rows.push_back(MetricRow{
+        "pls_service_batch_latency_ns", MetricKind::kGauge,
+        batch_latency.quantile(0.99, scale), "quantile", "0.99",
+        "Batch service-time quantiles across all sessions (nanoseconds)"});
+    if (snapshot.size() < kPerSessionRowLimit) {
+      for (const auto& s : snapshot) {
+        const QueueStats q = s->queue_stats();
+        sample.rows.push_back(MetricRow{
+            "pls_service_queue_depth", MetricKind::kGauge,
+            static_cast<double>(q.depth), "session", std::to_string(s->id()),
+            "Queued elements in one session's ingest queue"});
+      }
+    }
+  }
+
+  forkjoin::ForkJoinPool* pool_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<SessionBase>> sessions_;
+  std::atomic<std::uint64_t> next_id_{0};
+
+  std::atomic<std::size_t> in_flight_{0};
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+
+  std::mutex pump_mutex_;
+  std::thread pump_thread_;
+  std::atomic<bool> pump_stop_{false};
+
+  std::uint64_t metrics_source_ = 0;
+};
+
+}  // namespace pls::service

@@ -1,0 +1,163 @@
+// The pls::service facade — the third entry point of the API surface
+// (docs/execution.md has the table):
+//
+//   batch    pls::run(cfg, fn)                 one terminal, one result
+//   static   pls::pipe(stages...).over(v)...   one typed pipeline, one run
+//   service  pls::service::pipeline(stages...) a reusable SessionSpec for
+//                .window(N).collect(c)         long-lived push sessions
+//
+// pipeline() mirrors pls::pipe exactly — the same stages:: vocabulary,
+// the same shared ops tuple — but instead of binding a finite source it
+// produces a SessionSpec: a copyable description (stages, window,
+// micro-batch cap, collector, ExecutionConfig) from which any number of
+// live sessions can be opened against a driver:
+//
+//   pls::service::ServiceDriver driver;
+//   auto spec = pls::service::pipeline(pls::stages::map(square))
+//                   .window(64)
+//                   .batch(256)
+//                   .configure(session.stream_config())
+//                   .collect(pls::collectors::summing<double>());
+//   auto conn = spec.open<double>(driver);
+//   conn->offer(3.0); ...            // any producer thread
+//   driver.pump();                   // schedule ready drains
+//   auto sums = conn->take_results();
+//
+// The service knobs (queue capacity, watermarks, overload policy) ride
+// in the same ExecutionConfig every other entry point uses, so
+// pls::session::stream_config() round-trips them like any other flag.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "service/driver.hpp"
+#include "service/session.hpp"
+#include "streams/plan.hpp"
+#include "streams/static_fusion.hpp"
+#include "support/assert.hpp"
+
+namespace pls::service {
+
+/// Default micro-batch cap when batch() is not called: matches the fused
+/// chunk transport, so one drained batch is at most one chunk.
+inline constexpr std::size_t kDefaultMaxBatch = streams::kFusionChunk;
+
+/// A complete, reusable session description. Copyable and immutable:
+/// open<In>() can be called any number of times, each producing an
+/// independent live session registered with the given driver.
+template <typename C, typename... Ops>
+class SessionSpec {
+ public:
+  SessionSpec(std::shared_ptr<const std::tuple<Ops...>> ops, C collector,
+              std::size_t window, std::size_t slide, std::size_t max_batch,
+              streams::ExecutionConfig config)
+      : ops_(std::move(ops)),
+        collector_(std::move(collector)),
+        window_(window),
+        slide_(slide),
+        max_batch_(max_batch),
+        config_(config) {}
+
+  /// Open a live session for ingest type In and register it with the
+  /// driver. In must be nameable here (the spec is source-free, like
+  /// StagePipe before over()).
+  template <typename In>
+  std::shared_ptr<ServiceSession<In, C, Ops...>> open(
+      ServiceDriver& driver) const {
+    auto session = std::make_shared<ServiceSession<In, C, Ops...>>(
+        driver.next_session_id(), ops_, collector_, window_, slide_,
+        max_batch_, config_);
+    driver.add(session);
+    return session;
+  }
+
+  std::size_t window() const noexcept { return window_; }
+  std::size_t slide() const noexcept { return slide_; }
+  std::size_t max_batch() const noexcept { return max_batch_; }
+  const streams::ExecutionConfig& config() const noexcept { return config_; }
+
+ private:
+  std::shared_ptr<const std::tuple<Ops...>> ops_;
+  C collector_;
+  std::size_t window_;
+  std::size_t slide_;
+  std::size_t max_batch_;
+  streams::ExecutionConfig config_;
+};
+
+/// The builder returned by pipeline(): accumulates windowing, batching
+/// and execution settings, then collect() seals it into a SessionSpec.
+template <typename... Ops>
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(std::tuple<Ops...> ops)
+      : ops_(std::make_shared<const std::tuple<Ops...>>(std::move(ops))) {}
+
+  /// Tumbling count window: one result per `n` chain outputs.
+  PipelineBuilder& window(std::size_t n) {
+    PLS_CHECK(n > 0, "window size must be > 0");
+    window_ = n;
+    slide_ = n;
+    return *this;
+  }
+
+  /// Sliding count window: a result over the last `n` outputs every
+  /// `slide` outputs (slide == n is the tumbling case).
+  PipelineBuilder& window(std::size_t n, std::size_t slide) {
+    PLS_CHECK(n > 0, "window size must be > 0");
+    PLS_CHECK(slide > 0 && slide <= n, "window slide must be in [1, window]");
+    window_ = n;
+    slide_ = slide;
+    return *this;
+  }
+
+  /// Cap drained micro-batches at `n` elements (rounded down to a power
+  /// of two at drain time). Default: one fusion chunk (1024).
+  PipelineBuilder& batch(std::size_t n) {
+    PLS_CHECK(n > 0, "micro-batch size must be > 0");
+    max_batch_ = n;
+    return *this;
+  }
+
+  /// Adopt an ExecutionConfig — including the service knobs
+  /// (with_queue_capacity / with_watermarks / with_overload_policy) and
+  /// everything pls::session::stream_config() carries.
+  PipelineBuilder& configure(const streams::ExecutionConfig& cfg) {
+    config_ = cfg;
+    return *this;
+  }
+
+  /// Seal the spec with the windowed terminal's collector.
+  template <typename C>
+  SessionSpec<std::decay_t<C>, Ops...> collect(C&& collector) const {
+    PLS_CHECK(window_ > 0,
+              "service pipeline requires window(N) before collect()");
+    return SessionSpec<std::decay_t<C>, Ops...>(
+        ops_, std::forward<C>(collector), window_, slide_, max_batch_,
+        config_);
+  }
+
+ private:
+  std::shared_ptr<const std::tuple<Ops...>> ops_;
+  std::size_t window_ = 0;
+  std::size_t slide_ = 0;
+  std::size_t max_batch_ = kDefaultMaxBatch;
+  streams::ExecutionConfig config_{};
+};
+
+/// Build a source-free service pipeline from the shared stage
+/// vocabulary: pipeline(stages::map(f), stages::filter(p), ...).
+template <typename... Ops>
+auto pipeline(Ops&&... ops) {
+  static_assert(
+      (streams::is_stage_op_v<Ops> && ...),
+      "pipeline(...) takes stage ops (stages::map/filter/peek/flat_map)");
+  return PipelineBuilder<std::decay_t<Ops>...>(
+      std::tuple<std::decay_t<Ops>...>(std::forward<Ops>(ops)...));
+}
+
+}  // namespace pls::service

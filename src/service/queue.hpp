@@ -1,0 +1,164 @@
+// IngestQueue<T>: the bounded MPSC mailbox of one ServiceSession —
+// the userspace analogue of a STREAMS queue with qband flow control
+// (ROADMAP item 3; docs/service.md).
+//
+// Producers offer() elements from any thread; the session's drain task
+// pops them in power-of-two micro-batches sized for the fused chain's
+// chunked transport. Between the two sits the watermark pair:
+//
+//   high  — the queue is *congested* at or above this depth. What happens
+//           to offers while congested is the OverloadPolicy:
+//             block   producers wait (depth provably never exceeds high)
+//             shed    offers are dropped and counted
+//             sample  every sample-stride-th offer is kept, the rest
+//                     dropped and counted (a deterministic decimation,
+//                     not a coin flip — reproducible under test)
+//   low   — congestion clears only once a drain brings the depth back to
+//           or below this mark. The hysteresis gap is the point: one
+//           drained batch under a racing producer cannot flap the queue
+//           in and out of congestion per element.
+//
+// Accounting invariant (checked by the watermark property test):
+//   offered == accepted + shed,  always.
+//
+// One mutex guards everything. The queue is a session mailbox, not a
+// work-stealing deque: its operations are O(batch) pops amortised over
+// hundreds of elements, and the fan-out across sessions — not lock-free
+// cleverness within one — is where the service layer's parallelism lives.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "streams/plan.hpp"
+#include "support/assert.hpp"
+#include "support/bits.hpp"
+
+namespace pls::service {
+
+using streams::OverloadPolicy;
+
+/// Point-in-time accounting of one ingest queue.
+struct QueueStats {
+  std::uint64_t offered = 0;    ///< total offer() calls
+  std::uint64_t accepted = 0;   ///< offers that entered the queue
+  std::uint64_t shed = 0;       ///< offers dropped (offered-accepted)
+  std::uint64_t drained = 0;    ///< elements handed to drain_batch callers
+  std::uint64_t batches = 0;    ///< drain_batch calls that returned > 0
+  std::size_t depth = 0;        ///< current depth
+  std::size_t depth_hwm = 0;    ///< deepest the queue has ever been
+  bool congested = false;       ///< currently between high and low marks
+};
+
+template <typename T>
+class IngestQueue {
+ public:
+  /// Every k-th congested offer survives under OverloadPolicy::kSample.
+  static constexpr std::uint64_t kSampleStride = 8;
+
+  IngestQueue(std::size_t capacity, std::size_t high_watermark,
+              std::size_t low_watermark, OverloadPolicy policy)
+      : capacity_(capacity),
+        high_(high_watermark),
+        low_(low_watermark),
+        policy_(policy) {
+    PLS_CHECK(capacity_ > 0, "ingest queue requires capacity > 0");
+    PLS_CHECK(high_ > 0 && high_ <= capacity_,
+              "high watermark must be in (0, capacity]");
+    PLS_CHECK(low_ <= high_, "low watermark must not exceed the high one");
+  }
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Offer one element. Returns true when it entered the queue, false
+  /// when the overload policy shed it. Under kBlock this never returns
+  /// false — it waits for the drain side instead.
+  bool offer(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.offered;
+    if (policy_ == OverloadPolicy::kBlock) {
+      not_full_.wait(lock, [&] { return !congested_; });
+    } else if (congested_ || q_.size() >= capacity_) {
+      const bool keep = policy_ == OverloadPolicy::kSample &&
+                        q_.size() < capacity_ &&
+                        (sample_seq_++ % kSampleStride) == 0;
+      if (!keep) {
+        ++stats_.shed;
+        return false;
+      }
+    }
+    q_.push_back(std::move(value));
+    ++stats_.accepted;
+    if (q_.size() >= high_) congested_ = true;
+    if (q_.size() > stats_.depth_hwm) stats_.depth_hwm = q_.size();
+    return true;
+  }
+
+  /// Pop the next micro-batch into `out` (cleared first) and return its
+  /// size: the largest power of two <= min(depth, max_batch), so batches
+  /// align with the fused chain's chunk transport and any non-empty
+  /// queue makes progress (floor of 1 element). Clearing congestion is
+  /// the drain side's job: once the depth falls to the low mark, blocked
+  /// producers are woken and shedding stops.
+  std::size_t drain_batch(std::vector<T>& out, std::size_t max_batch) {
+    PLS_CHECK(max_batch > 0, "drain_batch requires max_batch > 0");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (q_.empty()) return 0;
+    std::size_t n = q_.size() < max_batch ? q_.size() : max_batch;
+    n = std::size_t{1} << floor_log2(n);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    stats_.drained += n;
+    ++stats_.batches;
+    const bool cleared = congested_ && q_.size() <= low_;
+    if (cleared) congested_ = false;
+    lock.unlock();
+    if (cleared) not_full_.notify_all();
+    return n;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return q_.size();
+  }
+
+  bool empty() const { return depth() == 0; }
+
+  QueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QueueStats s = stats_;
+    s.depth = q_.size();
+    s.congested = congested_;
+    return s;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t high_watermark() const noexcept { return high_; }
+  std::size_t low_watermark() const noexcept { return low_; }
+  OverloadPolicy policy() const noexcept { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t high_;
+  const std::size_t low_;
+  const OverloadPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  bool congested_ = false;
+  std::uint64_t sample_seq_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace pls::service

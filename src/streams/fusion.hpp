@@ -117,6 +117,17 @@ class FusedPipeline {
   /// arrive source-side first). Checks the element-type seam.
   virtual void append_stage(std::shared_ptr<const StageNode> stage) = 0;
 
+  /// Re-arm the chain for another drive. Batch terminals drive a pipeline
+  /// exactly once; the service layer (src/service/) plans a chain once per
+  /// session and drives it once per micro-batch, so the source must be a
+  /// ReusableSource and the chain must be re-armed between drives.
+  /// PLS_CHECKs that the chain is resettable: no cancelling stage (a
+  /// short-circuited chain has consumed an unknowable prefix), the
+  /// previous drive did not end cancelled (accidental reuse of a
+  /// cancelled chain is a bug, not a retry), and the source opts in via
+  /// ReusableSource.
+  virtual void reset() = 0;
+
   bool cancels() const noexcept { return cancels_; }
   bool one_to_one() const noexcept { return one_to_one_; }
   bool stateful() const noexcept { return stateful_; }
@@ -154,6 +165,18 @@ class FusableStage {
  public:
   virtual ~FusableStage() = default;
   virtual std::unique_ptr<FusedPipeline> strip_into_fused() = 0;
+};
+
+/// Mixin for spliterators that can be driven more than once. A source
+/// implementing this promises that rearm() restores it to "everything
+/// remaining" — either over the same bound data or over data freshly
+/// bound between drives (the service layer's BatchSpliterator rebinds a
+/// new micro-batch before each rearm). FusedPipeline::reset() requires
+/// the source to implement this; ordinary one-shot sources never do.
+class ReusableSource {
+ public:
+  virtual ~ReusableSource() = default;
+  virtual void rearm() = 0;
 };
 
 template <typename S>
@@ -206,8 +229,25 @@ class FusedPipelineImpl final : public FusedPipeline {
     run_drive(terminal, /*element_mode=*/true);
   }
 
+  void reset() override {
+    PLS_CHECK(!cancels_,
+              "cannot reset a fused pipeline with a cancelling stage "
+              "(limit/take_while chains are single-drive)");
+    PLS_CHECK(!last_drive_cancelled_,
+              "cannot reset a fused pipeline whose last drive was "
+              "cancelled (the source was left partially consumed)");
+    auto* reusable = dynamic_cast<ReusableSource*>(source_.get());
+    PLS_CHECK(reusable != nullptr,
+              "fused pipeline source is not reusable (ReusableSource)");
+    reusable->rearm();
+    driven_ = false;
+  }
+
  private:
   void run_drive(SinkControl& terminal, bool element_mode) {
+    PLS_CHECK(!driven_,
+              "fused pipeline already driven; call reset() between drives");
+    driven_ = true;
     // Compose the sink chain back-to-front: terminal first, then each
     // stage outermost-in. One virtual wrap_sink per stage per leaf.
     std::vector<std::unique_ptr<SinkControl>> owned;
@@ -229,6 +269,7 @@ class FusedPipelineImpl final : public FusedPipeline {
       drive_bulk(head);
     }
     head.end();
+    last_drive_cancelled_ = head.cancellation_requested();
   }
 
   /// Element-mode with a cancellation check between elements: consumes
@@ -272,6 +313,8 @@ class FusedPipelineImpl final : public FusedPipeline {
 
   std::unique_ptr<Spliterator<S>> source_;
   std::vector<std::shared_ptr<const StageNode>> stages_;
+  bool driven_ = false;
+  bool last_drive_cancelled_ = false;
 };
 
 // ---- stage descriptors ----------------------------------------------

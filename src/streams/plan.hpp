@@ -51,6 +51,24 @@ namespace pls::streams {
 
 // ---- execution configuration -----------------------------------------
 
+/// What an ingest queue does with offered elements while congested (at or
+/// above its high watermark) — the qband-style flow-control choice of the
+/// service layer (src/service/queue.hpp, docs/service.md).
+enum class OverloadPolicy : std::uint8_t {
+  kBlock,   ///< producers wait until the queue drains below the low mark
+  kShed,    ///< drop offered elements (counted) until below the low mark
+  kSample,  ///< keep every k-th offered element, drop (and count) the rest
+};
+
+inline const char* overload_policy_name(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kSample: return "sample";
+  }
+  return "?";
+}
+
 /// Where and how a terminal operation executes. The chainable with_*
 /// setters below are THE execution-config builder: Stream<T>'s with_*
 /// methods and pls::session::stream_config() both delegate here, so every
@@ -74,6 +92,17 @@ struct ExecutionConfig {
   /// Let the planner consume PlanCache profiles to pick min_chunk when
   /// it was left 0. Also enabled process-wide by PLS_AUTO_GRAIN=1.
   bool auto_grain = false;
+  /// Service-layer knobs (src/service/): bounded ingest-queue capacity
+  /// per session, the qband watermarks within it, and what to do with
+  /// offered elements while congested. Ignored by batch terminals.
+  std::size_t queue_capacity = 1024;
+  /// High watermark: the queue is congested at or above this depth.
+  /// 0 selects queue_capacity.
+  std::size_t high_watermark = 0;
+  /// Low watermark: congestion clears once depth drains to or below this.
+  /// 0 selects high_watermark / 2.
+  std::size_t low_watermark = 0;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
 
   ExecutionConfig& with_pool(forkjoin::ForkJoinPool& p) {
     pool = &p;
@@ -95,9 +124,42 @@ struct ExecutionConfig {
     auto_grain = enabled;
     return *this;
   }
+  ExecutionConfig& with_queue_capacity(std::size_t n) {
+    queue_capacity = n;
+    return *this;
+  }
+  /// Set both qband marks at once (the pair is only meaningful together).
+  /// `low` defaults to 0 = "half of high", matching the field defaults.
+  ExecutionConfig& with_watermarks(std::size_t high, std::size_t low = 0) {
+    high_watermark = high;
+    low_watermark = low;
+    return *this;
+  }
+  ExecutionConfig& with_overload_policy(OverloadPolicy p) {
+    overload = p;
+    return *this;
+  }
 
   forkjoin::ForkJoinPool& effective_pool() const {
     return pool != nullptr ? *pool : forkjoin::ForkJoinPool::common();
+  }
+
+  /// The effective qband marks after defaulting: high = capacity when
+  /// unset, low = high / 2 (at least 1) when unset. PLS_CHECKed so a
+  /// mis-ordered pair fails loudly at session construction.
+  std::size_t effective_high_watermark() const {
+    const std::size_t high =
+        high_watermark == 0 ? queue_capacity : high_watermark;
+    PLS_CHECK(high <= queue_capacity,
+              "high watermark exceeds queue capacity");
+    return high;
+  }
+  std::size_t effective_low_watermark() const {
+    const std::size_t high = effective_high_watermark();
+    const std::size_t low =
+        low_watermark == 0 ? (high / 2 > 0 ? high / 2 : 1) : low_watermark;
+    PLS_CHECK(low <= high, "low watermark exceeds high watermark");
+    return low;
   }
 
   std::uint64_t target_size(std::uint64_t estimate, unsigned parallelism) const;
@@ -172,6 +234,7 @@ enum class PlanOrigin : std::uint8_t {
   kStatic,         ///< StaticPipeline, fused with its compiled stage stack
   kStaticFallback, ///< StaticPipeline dissolved into the dynamic stream
   kSynthesized,    ///< skeleton executor (no stream pipeline)
+  kService,        ///< ServiceSession micro-batch through a reused chain
 };
 
 inline const char* origin_name(PlanOrigin o) {
@@ -180,6 +243,7 @@ inline const char* origin_name(PlanOrigin o) {
     case PlanOrigin::kStatic: return "static";
     case PlanOrigin::kStaticFallback: return "static-fallback";
     case PlanOrigin::kSynthesized: return "synthesized";
+    case PlanOrigin::kService: return "service";
   }
   return "?";
 }

@@ -1,0 +1,177 @@
+// IngestQueue watermark/overload semantics (docs/service.md):
+//  - blocking policy: queue depth provably never exceeds the high
+//    watermark, even under concurrent producers racing a slow drainer,
+//    and nothing is ever shed;
+//  - shed/sample policies: every offered element is accounted for
+//    (offered == accepted + shed) and the drained elements are exactly
+//    the accepted ones;
+//  - drain shape: micro-batches are always powers of two.
+#include "service/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using pls::service::IngestQueue;
+using pls::service::QueueStats;
+using pls::streams::OverloadPolicy;
+
+TEST(ServiceQueueTest, BlockingDepthNeverExceedsHighWatermark) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kHigh = 32;
+  constexpr std::size_t kLow = 8;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+
+  IngestQueue<int> q(kCapacity, kHigh, kLow, OverloadPolicy::kBlock);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> observed_hwm{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.offer(p * kPerProducer + i));  // kBlock never sheds
+      }
+    });
+  }
+
+  // Slow drainer: let the producers pile into the watermark, then pull
+  // small batches; sample the depth between batches.
+  std::thread drainer([&] {
+    std::vector<int> batch;
+    std::uint64_t drained = 0;
+    while (drained < kProducers * kPerProducer) {
+      const std::size_t d = q.depth();
+      std::size_t seen = observed_hwm.load();
+      while (d > seen && !observed_hwm.compare_exchange_weak(seen, d)) {
+      }
+      drained += q.drain_batch(batch, 16);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    done.store(true);
+  });
+
+  for (auto& t : producers) t.join();
+  drainer.join();
+  ASSERT_TRUE(done.load());
+
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.offered, kProducers * kPerProducer);
+  EXPECT_EQ(s.accepted, s.offered);
+  EXPECT_EQ(s.shed, 0u);
+  EXPECT_EQ(s.drained, s.accepted);
+  EXPECT_EQ(s.depth, 0u);
+  // The property under test: blocking flow control bounds the depth.
+  EXPECT_LE(s.depth_hwm, kHigh);
+  EXPECT_LE(observed_hwm.load(), kHigh);
+}
+
+TEST(ServiceQueueTest, ShedAccountsForEveryDroppedElement) {
+  constexpr std::size_t kHigh = 16;
+  IngestQueue<int> q(64, kHigh, 4, OverloadPolicy::kShed);
+
+  constexpr int kOffers = 1000;
+  for (int i = 0; i < kOffers; ++i) q.offer(i);
+
+  QueueStats s = q.stats();
+  EXPECT_EQ(s.offered, kOffers);
+  EXPECT_EQ(s.accepted + s.shed, s.offered);  // the accounting invariant
+  EXPECT_EQ(s.depth, s.accepted);             // nothing drained yet
+  EXPECT_LE(s.depth_hwm, kHigh);              // shedding starts at high
+  EXPECT_TRUE(s.congested);
+
+  // Drain everything: the drained elements are exactly the accepted ones.
+  std::vector<int> batch;
+  std::uint64_t drained = 0;
+  while (std::size_t n = q.drain_batch(batch, 64)) drained += n;
+  s = q.stats();
+  EXPECT_EQ(drained, s.accepted);
+  EXPECT_EQ(s.drained, s.accepted);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_FALSE(s.congested);
+}
+
+TEST(ServiceQueueTest, ShedHysteresisClearsAtLowWatermark) {
+  constexpr std::size_t kHigh = 16;
+  constexpr std::size_t kLow = 4;
+  IngestQueue<int> q(64, kHigh, kLow, OverloadPolicy::kShed);
+
+  for (std::size_t i = 0; i < kHigh; ++i) EXPECT_TRUE(q.offer(int(i)));
+  EXPECT_TRUE(q.stats().congested);
+  EXPECT_FALSE(q.offer(99));  // congested: shed
+
+  // One batch of 8 leaves depth 8 > low: still congested, still shedding.
+  std::vector<int> batch;
+  EXPECT_EQ(q.drain_batch(batch, 8), 8u);
+  EXPECT_TRUE(q.stats().congested);
+  EXPECT_FALSE(q.offer(99));
+
+  // Draining to the low mark clears congestion; offers flow again.
+  EXPECT_EQ(q.drain_batch(batch, 4), 4u);
+  EXPECT_FALSE(q.stats().congested);
+  EXPECT_TRUE(q.offer(100));
+}
+
+TEST(ServiceQueueTest, SampleKeepsEveryStrideThOfferWhileCongested) {
+  constexpr std::size_t kHigh = 16;
+  IngestQueue<int> q(256, kHigh, 4, OverloadPolicy::kSample);
+
+  constexpr int kOffers = 1000;
+  std::uint64_t accepted_true = 0;
+  for (int i = 0; i < kOffers; ++i) {
+    if (q.offer(i)) ++accepted_true;
+  }
+
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.offered, kOffers);
+  EXPECT_EQ(s.accepted + s.shed, s.offered);
+  EXPECT_EQ(s.accepted, accepted_true);
+  // Sampling keeps elements past the high mark (unlike shed)...
+  EXPECT_GT(s.accepted, kHigh);
+  // ...at exactly the deterministic 1-in-stride decimation.
+  const std::uint64_t congested_offers = kOffers - kHigh;
+  const std::uint64_t expected_kept =
+      (congested_offers + IngestQueue<int>::kSampleStride - 1) /
+      IngestQueue<int>::kSampleStride;
+  EXPECT_EQ(s.accepted, kHigh + expected_kept);
+}
+
+TEST(ServiceQueueTest, DrainBatchesArePowersOfTwo) {
+  IngestQueue<int> q(256, 256, 16, OverloadPolicy::kBlock);
+  for (int i = 0; i < 100; ++i) q.offer(i);
+
+  std::vector<int> batch;
+  std::vector<int> all;
+  std::vector<std::size_t> sizes;
+  while (std::size_t n = q.drain_batch(batch, 64)) {
+    EXPECT_EQ(n & (n - 1), 0u) << "batch of " << n << " is not a power of two";
+    EXPECT_EQ(batch.size(), n);
+    all.insert(all.end(), batch.begin(), batch.end());
+    sizes.push_back(n);
+  }
+  // 100 = 64 + 32 + 4: max-capped, then floor-pow2 of the remainders.
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{64, 32, 4}));
+  // FIFO order is preserved across batches.
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(ServiceQueueTest, WatermarkValidation) {
+  EXPECT_THROW((IngestQueue<int>(0, 1, 1, OverloadPolicy::kBlock)),
+               pls::precondition_error);
+  EXPECT_THROW((IngestQueue<int>(8, 16, 1, OverloadPolicy::kBlock)),
+               pls::precondition_error);
+  EXPECT_THROW((IngestQueue<int>(8, 4, 6, OverloadPolicy::kBlock)),
+               pls::precondition_error);
+}
+
+}  // namespace
